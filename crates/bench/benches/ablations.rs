@@ -1,0 +1,9 @@
+//! `cargo bench -p ebs-bench --bench ablations` runs the design-choice
+//! ablation studies of DESIGN.md §4.
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick" || a == "--test");
+    for exp in ebs_bench::ablations::run_all(quick) {
+        println!("{}", exp.render());
+    }
+}

@@ -1,0 +1,16 @@
+//! `cargo bench -p ebs-bench --bench experiments` regenerates EVERY
+//! figure and table of the paper's evaluation and prints paper-style
+//! rows. This is a plain binary (harness = false): the "benchmark" is the
+//! experiment suite itself, not a statistical timing loop — Criterion
+//! micro-benchmarks live in `micro.rs`.
+
+fn main() {
+    // `--quick` (or the bench-harness's `--test` flag that `cargo test
+    // --benches` passes) shrinks run lengths.
+    let quick = std::env::args().any(|a| a == "--quick" || a == "--test");
+    let t0 = std::time::Instant::now();
+    for exp in ebs_bench::run_all(quick) {
+        println!("{}", exp.render());
+    }
+    eprintln!("all experiments regenerated in {:.1}s", t0.elapsed().as_secs_f64());
+}

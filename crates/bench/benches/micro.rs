@@ -1,0 +1,256 @@
+//! Criterion micro-benchmarks of the hot paths: CRC, cipher, wire codecs,
+//! the transport engines and the FPGA pipeline. These justify the
+//! calibration constants (e.g. per-block CRC cost) with measured numbers
+//! on the host running the reproduction.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ebs_sim::SimTime;
+
+fn bench_crc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("crc32");
+    let block = vec![0xA5u8; 4096];
+    g.throughput(Throughput::Bytes(4096));
+    g.bench_function("ieee_4k_block", |b| {
+        b.iter(|| ebs_crc::crc32(std::hint::black_box(&block)))
+    });
+    g.bench_function("raw_4k_block", |b| {
+        b.iter(|| ebs_crc::crc32_raw(std::hint::black_box(&block)))
+    });
+    g.bench_function("segment_aggregate_8_blocks", |b| {
+        let crc = ebs_crc::block_crc_raw(&block, 4096);
+        b.iter(|| {
+            let mut chk = ebs_crc::SegmentChecker::new(4096);
+            for _ in 0..8 {
+                chk.add_block(&block, crc);
+            }
+            chk.verify_and_reset()
+        })
+    });
+    g.finish();
+}
+
+fn bench_crypto(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sec");
+    g.throughput(Throughput::Bytes(4096));
+    let eng = ebs_crypto::SecEngine::new([7; 32]);
+    g.bench_function("chacha20_4k_block", |b| {
+        let mut data = vec![0u8; 4096];
+        b.iter(|| eng.encrypt_block(1, 2, std::hint::black_box(&mut data)))
+    });
+    g.finish();
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wire");
+    let hdr = ebs_wire::EbsHeader {
+        version: 1,
+        op: ebs_wire::EbsOp::WriteBlock,
+        flags: 0,
+        path_id: 1,
+        vd_id: 2,
+        rpc_id: 3,
+        pkt_id: 4,
+        total_pkts: 8,
+        block_addr: 5,
+        len: 4096,
+        payload_crc: 6,
+        path_seq: 7,
+        segment_id: 8,
+    };
+    g.bench_function("ebs_header_encode_decode", |b| {
+        b.iter(|| {
+            let mut buf = bytes::BytesMut::with_capacity(64);
+            hdr.encode(&mut buf);
+            ebs_wire::EbsHeader::decode(&mut buf.freeze()).unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_tables(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sa_tables");
+    let mut seg = ebs_sa::SegmentTable::new(512);
+    for vd in 0..64 {
+        seg.provision(vd, 64 * 512, |s| (s % 16) as u32);
+    }
+    g.bench_function("segment_lookup", |b| {
+        let mut addr = 0u64;
+        b.iter(|| {
+            addr = (addr + 4097) % (64 * 512);
+            seg.lookup(std::hint::black_box(addr % 64), addr).unwrap()
+        })
+    });
+    let mut qos = ebs_sa::QosTable::new();
+    for vd in 0..64 {
+        qos.set_spec(vd, ebs_sa::QosSpec::unlimited());
+    }
+    g.bench_function("qos_admit", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            qos.admit(SimTime::from_nanos(i * 100), i % 64, 4096)
+        })
+    });
+    g.finish();
+}
+
+fn bench_transports(c: &mut Criterion) {
+    let mut g = c.benchmark_group("transport");
+    g.bench_function("solar_write_rpc_roundtrip_8_blocks", |b| {
+        b.iter(|| {
+            let mut client = ebs_solar::SolarClient::new(ebs_solar::SolarConfig::default());
+            let mut resp = ebs_solar::SolarResponder::new();
+            let blocks = (0..8)
+                .map(|i| ebs_solar::WriteBlock {
+                    block_addr: i,
+                    payload: Bytes::new(),
+                    crc: 0,
+                })
+                .collect();
+            client.submit_write(SimTime::ZERO, 1, 1, 1, blocks);
+            let now = SimTime::from_micros(10);
+            while let Some(out) = client.poll_transmit(SimTime::ZERO) {
+                if let ebs_solar::ServerAction::StoreBlock { hdr, int, .. } =
+                    resp.on_packet(ebs_solar::InPacket {
+                        hdr: out.hdr,
+                        payload: out.payload,
+                        int: None,
+                    })
+                {
+                    let (ack, _) = resp.write_ack(&hdr, int);
+                    client.on_packet(now, ebs_solar::InPacket {
+                        hdr: ack.hdr,
+                        payload: Bytes::new(),
+                        int: None,
+                    });
+                }
+            }
+            client.stats().rpcs_completed
+        })
+    });
+    g.bench_function("tcp_segment_pump_64k", |b| {
+        b.iter(|| {
+            let mut a = ebs_tcp::TcpEngine::connect(ebs_tcp::TcpConfig::default());
+            let mut s = ebs_tcp::TcpEngine::listen(ebs_tcp::TcpConfig::default());
+            // Handshake.
+            let mut now = SimTime::ZERO;
+            for _ in 0..4 {
+                while let Some(seg) = a.poll_segment(now) {
+                    s.on_segment(now, seg);
+                }
+                while let Some(seg) = s.poll_segment(now) {
+                    a.on_segment(now, seg);
+                }
+            }
+            a.send(Bytes::from(vec![0u8; 65536]));
+            for _ in 0..64 {
+                now = now + ebs_sim::SimDuration::from_micros(10);
+                while let Some(seg) = a.poll_segment(now) {
+                    s.on_segment(now, seg);
+                }
+                while let Some(seg) = s.poll_segment(now) {
+                    a.on_segment(now, seg);
+                }
+                if a.bytes_in_flight() == 0 && a.pending_bytes() == 0 {
+                    break;
+                }
+            }
+            s.stats().bytes_acked
+        })
+    });
+    g.finish();
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fpga_pipeline");
+    let mut seg = ebs_sa::SegmentTable::new(512);
+    seg.provision(1, 4096, |_| 0);
+    let mut qos = ebs_sa::QosTable::new();
+    qos.set_spec(1, ebs_sa::QosSpec::unlimited());
+    let mut pipeline = ebs_dpu::Pipeline::new(vec![
+        Box::new(ebs_dpu::QosStage::new(qos)),
+        Box::new(ebs_dpu::BlockStage::new(seg)),
+        Box::new(ebs_dpu::CrcStage::new(4096, None)),
+        Box::new(ebs_dpu::SecStage::encryptor(ebs_crypto::SecEngine::new([1; 32]))),
+    ]);
+    let hdr = ebs_wire::EbsHeader {
+        version: 1,
+        op: ebs_wire::EbsOp::WriteBlock,
+        flags: 0,
+        path_id: 0,
+        vd_id: 1,
+        rpc_id: 1,
+        pkt_id: 0,
+        total_pkts: 1,
+        block_addr: 7,
+        len: 4096,
+        payload_crc: 0,
+        path_seq: 0,
+        segment_id: 0,
+    };
+    g.throughput(Throughput::Bytes(4096));
+    g.bench_function("write_path_4k_block", |b| {
+        b.iter(|| {
+            let mut ctx =
+                ebs_dpu::PacketCtx::new(hdr, Bytes::from(vec![0x5Au8; 4096]));
+            pipeline.process(SimTime::ZERO, &mut ctx)
+        })
+    });
+    g.finish();
+}
+
+fn bench_ecmp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fabric");
+    let flow = ebs_net::FlowLabel {
+        src: ebs_net::DeviceId(1),
+        dst: ebs_net::DeviceId(99),
+        src_port: 47001,
+        dst_port: 9000,
+        proto: 17,
+    };
+    g.bench_function("ecmp_flow_hash", |b| b.iter(|| std::hint::black_box(flow).hash64()));
+    for paths in [1usize, 4, 8] {
+        g.bench_with_input(
+            BenchmarkId::new("solar_spray_pick", paths),
+            &paths,
+            |b, &paths| {
+                let mut client = ebs_solar::SolarClient::new(ebs_solar::SolarConfig {
+                    n_paths: paths,
+                    ..ebs_solar::SolarConfig::default()
+                });
+                b.iter(|| {
+                    client.submit_write(
+                        SimTime::ZERO,
+                        rand::random::<u64>(),
+                        1,
+                        1,
+                        vec![ebs_solar::WriteBlock {
+                            block_addr: 0,
+                            payload: Bytes::new(),
+                            crc: 0,
+                        }],
+                    );
+                    client.poll_transmit(SimTime::ZERO)
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .sample_size(30);
+    targets = bench_crc,
+        bench_crypto,
+        bench_wire,
+        bench_tables,
+        bench_transports,
+        bench_pipeline,
+        bench_ecmp
+}
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! # ebs-bench — the experiment harness
+//!
+//! One function per figure/table of the paper's evaluation; each returns
+//! an [`ExperimentOutput`] the bench target prints and integration tests
+//! assert on. `quick = true` shrinks run lengths for CI-grade tests;
+//! `cargo bench` runs the full sizes.
+//!
+//! | id | content | module |
+//! |----|---------|--------|
+//! | fig3/fig4/fig5/fig7/fig8 | workload & fleet characterization | [`characterization`] |
+//! | fig6/tab1/fig14/fig15 | latency & throughput on the testbed | [`performance`] |
+//! | tab2 | failure scenarios, Luna vs Solar | [`reliability`] |
+//! | fig11/tab3 | FPGA faults & resources | [`hardware`] |
+//! | ablate-* | design-choice ablations | [`ablations`] |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod characterization;
+pub mod hardware;
+mod output;
+pub mod performance;
+pub mod reliability;
+
+pub use output::ExperimentOutput;
+
+/// Run every experiment in paper order, printing each.
+pub fn run_all(quick: bool) -> Vec<ExperimentOutput> {
+    let mut out = Vec::new();
+    out.push(characterization::fig3());
+    out.push(characterization::fig4());
+    out.push(characterization::fig5());
+    let (fig6, fig6_nums) = performance::fig6(quick);
+    out.push(fig6);
+    out.push(performance::tab1(quick));
+    out.push(characterization::fig8());
+    out.push(hardware::fig11());
+    let (fig14, fig14_nums) = performance::fig14(quick);
+    out.push(fig14);
+    let (fig15, _) = performance::fig15(quick);
+    out.push(fig15);
+    out.push(reliability::tab2(quick));
+    out.push(hardware::tab3());
+    let (k, l, s) = performance::stack_perfs(&fig6_nums, &fig14_nums);
+    out.push(characterization::fig7(k, l, s));
+    out
+}

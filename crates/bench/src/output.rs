@@ -1,0 +1,35 @@
+//! Experiment output container: every reproduced figure/table renders to
+//! the same structure, printed by the bench harness and asserted on by
+//! integration tests.
+
+use ebs_stats::TextTable;
+
+/// One reproduced figure or table.
+pub struct ExperimentOutput {
+    /// Short id ("fig6", "tab2", ...).
+    pub id: &'static str,
+    /// Human title quoting the paper's caption.
+    pub title: String,
+    /// One or more captioned tables.
+    pub tables: Vec<(String, TextTable)>,
+    /// Free-form notes: paper-vs-measured commentary, substitutions.
+    pub notes: Vec<String>,
+}
+
+impl ExperimentOutput {
+    /// Render the whole experiment as text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("================ {} — {} ================\n", self.id, self.title));
+        for (caption, table) in &self.tables {
+            if !caption.is_empty() {
+                out.push_str(&format!("\n-- {caption}\n"));
+            }
+            out.push_str(&table.render());
+        }
+        for n in &self.notes {
+            out.push_str(&format!("note: {n}\n"));
+        }
+        out
+    }
+}

@@ -1,0 +1,82 @@
+//! Regression: closed-loop background load must stay closed-loop.
+//!
+//! (Found during reproduction: probe completions once triggered fio
+//! resubmissions, so every externally scheduled I/O permanently inflated
+//! the background depth and snowballed the testbed into saturation.)
+
+use ebs_sim::{SimDuration, SimTime};
+use ebs_stack::{FioConfig, Testbed, TestbedConfig, Variant};
+use rand::Rng;
+
+fn probe_median(variant: Variant, bg_depth: usize) -> (f64, usize) {
+    let mut cfg = TestbedConfig::small(variant, 2, 4);
+    cfg.seed = 31;
+    let mut tb = Testbed::new(cfg);
+    if bg_depth > 0 {
+        for c in 0..2 {
+            tb.attach_fio(
+                SimTime::from_micros(100),
+                c,
+                FioConfig {
+                    depth: bg_depth,
+                    bytes: 16 * 1024,
+                    read_fraction: 0.25,
+                },
+            );
+        }
+    }
+    let mut rng = ebs_sim::rng::stream(31, "probe");
+    let mut t = SimTime::from_millis(1);
+    for i in 0..200u64 {
+        tb.schedule_io(
+            t,
+            (i % 2) as usize,
+            ebs_sa::IoRequest {
+                vd_id: i % 2,
+                kind: ebs_sa::IoKind::Write,
+                offset: rng.gen_range(0..4000u64) * 4096,
+                len: 4096,
+            },
+        );
+        t += SimDuration::from_micros(rng.gen_range(120..260));
+    }
+    tb.run_until(t + SimDuration::from_millis(60));
+    let mut lats: Vec<f64> = tb
+        .traces()
+        .iter()
+        .filter(|tr| tr.bytes == 4096)
+        .filter_map(|tr| tr.latency())
+        .map(|l| l.as_micros_f64())
+        .collect();
+    lats.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    assert_eq!(lats.len(), 200, "all probes complete");
+    let bg_ios = tb
+        .traces()
+        .iter()
+        .filter(|t| t.bytes != 4096 && t.completed.is_some())
+        .count();
+    (lats[lats.len() / 2], bg_ios)
+}
+
+#[test]
+fn moderate_background_barely_moves_probe_latency() {
+    for variant in [Variant::Luna, Variant::Solar] {
+        let (idle, _) = probe_median(variant, 0);
+        let (loaded, bg) = probe_median(variant, 6);
+        assert!(bg > 1000, "{variant:?}: background actually ran: {bg} I/Os");
+        assert!(
+            loaded < idle * 1.6,
+            "{variant:?}: probe median {loaded}us under load vs {idle}us idle"
+        );
+    }
+}
+
+#[test]
+fn background_rate_scales_linearly_with_depth() {
+    // Closed loop: doubling the depth should roughly double the issue
+    // rate while the testbed is unsaturated — not explode it.
+    let (_, at2) = probe_median(Variant::Solar, 2);
+    let (_, at4) = probe_median(Variant::Solar, 4);
+    let ratio = at4 as f64 / at2 as f64;
+    assert!((1.5..2.6).contains(&ratio), "depth 2->4 rate ratio {ratio}");
+}

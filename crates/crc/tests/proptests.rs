@@ -1,0 +1,97 @@
+//! Property tests for the CRC invariants SOLAR's integrity design rests on.
+
+use ebs_crc::{block_crc_raw, combine, crc32, crc32_raw, SegmentChecker, SegmentVerdict};
+use proptest::prelude::*;
+
+proptest! {
+    /// Raw CRC is linear over XOR for equal-length inputs — the exact
+    /// property the paper's divide-and-conquer aggregation exploits.
+    #[test]
+    fn raw_crc_linear(a in proptest::collection::vec(any::<u8>(), 1..2048)) {
+        let b: Vec<u8> = a.iter().map(|x| x.wrapping_add(37)).collect();
+        let x: Vec<u8> = a.iter().zip(&b).map(|(p, q)| p ^ q).collect();
+        prop_assert_eq!(crc32_raw(&x), crc32_raw(&a) ^ crc32_raw(&b));
+    }
+
+    /// CRC combination matches CRC of the concatenation.
+    #[test]
+    fn combine_matches_concat(
+        a in proptest::collection::vec(any::<u8>(), 0..512),
+        b in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let whole: Vec<u8> = a.iter().chain(b.iter()).copied().collect();
+        prop_assert_eq!(combine(crc32(&a), crc32(&b), b.len() as u64), crc32(&whole));
+    }
+
+    /// A clean segment always verifies, regardless of block contents or
+    /// count (including short, zero-padded tail blocks).
+    #[test]
+    fn clean_segment_verifies(
+        blocks in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 1..=128), 1..16),
+    ) {
+        let mut chk = SegmentChecker::new(128);
+        for b in &blocks {
+            chk.add_block(b, block_crc_raw(b, 128));
+        }
+        prop_assert_eq!(chk.verify_and_reset(), SegmentVerdict::Ok);
+    }
+
+    /// A single bit flip in any block of a segment is always detected.
+    #[test]
+    fn single_bit_flip_detected(
+        blocks in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 128..=128), 1..8),
+        victim in any::<prop::sample::Index>(),
+        byte in any::<prop::sample::Index>(),
+        bit in 0u8..8,
+    ) {
+        let mut chk = SegmentChecker::new(128);
+        let victim = victim.index(blocks.len());
+        for (i, b) in blocks.iter().enumerate() {
+            let crc = block_crc_raw(b, 128);
+            if i == victim {
+                let mut bad = b.clone();
+                let idx = byte.index(bad.len());
+                bad[idx] ^= 1 << bit;
+                chk.add_block(&bad, crc);
+            } else {
+                chk.add_block(b, crc);
+            }
+        }
+        prop_assert_eq!(chk.verify_and_reset(), SegmentVerdict::Corrupt);
+    }
+
+    /// A flipped *claimed CRC* is always detected too (bit flips can hit
+    /// the CRC registers in the FPGA, not just the payload).
+    #[test]
+    fn crc_register_flip_detected(
+        blocks in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 64..=64), 1..8),
+        victim in any::<prop::sample::Index>(),
+        bit in 0u8..32,
+    ) {
+        let mut chk = SegmentChecker::new(64);
+        let victim = victim.index(blocks.len());
+        for (i, b) in blocks.iter().enumerate() {
+            let mut crc = block_crc_raw(b, 64);
+            if i == victim {
+                crc ^= 1 << bit;
+            }
+            chk.add_block(b, crc);
+        }
+        prop_assert_eq!(chk.verify_and_reset(), SegmentVerdict::Corrupt);
+    }
+
+    /// Incremental and one-shot CRC agree for any split point.
+    #[test]
+    fn incremental_split(data in proptest::collection::vec(any::<u8>(), 0..1024),
+                         split in any::<prop::sample::Index>()) {
+        let c = ebs_crc::Crc32::ieee();
+        let k = split.index(data.len() + 1);
+        let mut st = c.start();
+        st = c.update(st, &data[..k]);
+        st = c.update(st, &data[k..]);
+        prop_assert_eq!(c.finish(st), crc32(&data));
+    }
+}

@@ -1,0 +1,118 @@
+//! # ebs-crypto — the SEC (storage encryption) module
+//!
+//! EBS optionally encrypts virtual-disk data before it leaves the compute
+//! server (Fig. 2 / Fig. 12: the SEC stage sits between CRC and PktGen in
+//! the SOLAR FPGA pipeline). This crate supplies that stage:
+//!
+//! * [`chacha20_xor`] — a from-scratch RFC 8439 ChaCha20 keystream XOR;
+//! * [`SecEngine`] — per-virtual-disk keying with deterministic
+//!   block-address-derived nonces, so any 4 KiB block can be encrypted or
+//!   decrypted independently (a hard requirement of SOLAR's
+//!   one-block-one-packet design: there is no stream context shared across
+//!   packets).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod chacha;
+
+pub use chacha::chacha20_xor;
+
+/// Per-virtual-disk encryption engine.
+///
+/// The nonce binds ciphertext to `(virtual disk, block address)` so blocks
+/// can never be transplanted between addresses without detection, while
+/// staying stateless per packet.
+#[derive(Debug, Clone)]
+pub struct SecEngine {
+    key: [u8; 32],
+    enabled: bool,
+}
+
+impl SecEngine {
+    /// An engine holding the virtual disk's data key.
+    pub fn new(key: [u8; 32]) -> Self {
+        SecEngine { key, enabled: true }
+    }
+
+    /// A pass-through engine for unencrypted disks.
+    pub fn disabled() -> Self {
+        SecEngine {
+            key: [0; 32],
+            enabled: false,
+        }
+    }
+
+    /// Whether this disk encrypts data.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    fn nonce(vd_id: u64, block_addr: u64) -> [u8; 12] {
+        let mut n = [0u8; 12];
+        n[..8].copy_from_slice(&block_addr.to_le_bytes());
+        n[8..].copy_from_slice(&(vd_id as u32).to_le_bytes());
+        n
+    }
+
+    /// Encrypt one block in place. A no-op for disabled engines.
+    pub fn encrypt_block(&self, vd_id: u64, block_addr: u64, data: &mut [u8]) {
+        if self.enabled {
+            chacha20_xor(&self.key, 0, &Self::nonce(vd_id, block_addr), data);
+        }
+    }
+
+    /// Decrypt one block in place (ChaCha20 is an involution under XOR).
+    pub fn decrypt_block(&self, vd_id: u64, block_addr: u64, data: &mut [u8]) {
+        self.encrypt_block(vd_id, block_addr, data);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_per_block() {
+        let eng = SecEngine::new([0x42; 32]);
+        let original = vec![0xA5u8; 4096];
+        let mut data = original.clone();
+        eng.encrypt_block(1, 0x0F, &mut data);
+        assert_ne!(data, original);
+        eng.decrypt_block(1, 0x0F, &mut data);
+        assert_eq!(data, original);
+    }
+
+    #[test]
+    fn blocks_encrypt_independently() {
+        // The same plaintext at two addresses yields different ciphertexts
+        // and each decrypts alone — no cross-packet state.
+        let eng = SecEngine::new([0x42; 32]);
+        let mut a = vec![1u8; 4096];
+        let mut b = vec![1u8; 4096];
+        eng.encrypt_block(1, 0, &mut a);
+        eng.encrypt_block(1, 1, &mut b);
+        assert_ne!(a, b);
+        eng.decrypt_block(1, 1, &mut b);
+        assert_eq!(b, vec![1u8; 4096]);
+    }
+
+    #[test]
+    fn different_disks_differ() {
+        let eng = SecEngine::new([0x42; 32]);
+        let mut a = vec![1u8; 64];
+        let mut b = vec![1u8; 64];
+        eng.encrypt_block(1, 7, &mut a);
+        eng.encrypt_block(2, 7, &mut b);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn disabled_engine_is_identity() {
+        let eng = SecEngine::disabled();
+        let mut data = vec![9u8; 128];
+        eng.encrypt_block(1, 1, &mut data);
+        assert_eq!(data, vec![9u8; 128]);
+        assert!(!eng.is_enabled());
+    }
+}

@@ -1,0 +1,100 @@
+//! Host overhead models: kernel TCP vs LUNA.
+//!
+//! Kernel TCP and LUNA run the *same protocol engine* (`ebs-tcp`); what
+//! differs is everything around it — syscalls, softirq wakeups, copies
+//! between kernel and user buffers, lock contention — versus LUNA's
+//! run-to-complete, zero-copy, share-nothing design (§3.2). The constants
+//! here are calibrated against Table 1:
+//!
+//! * single 4 KiB RPC (2×25GE): kernel 70.1 µs vs LUNA 13.1 µs (base RTT
+//!   ≈ 8.3 µs) — four stack crossings per RPC, so per-crossing added
+//!   latency ≈ 15.5 µs (kernel) vs ≈ 1.2 µs (LUNA);
+//! * 50 Gbps stress: kernel burns 4 cores, LUNA 1 (2×25GE); 200 Gbps:
+//!   12 vs 4 (2×100GE) — dominated by per-byte costs (copies vs
+//!   zero-copy), so CPU is `per_rpc + per_kb × size`.
+
+use ebs_sim::SimDuration;
+
+/// CPU and latency costs a stack adds around the TCP engine.
+#[derive(Debug, Clone, Copy)]
+pub struct StackCosts {
+    /// Added latency per stack crossing (tx or rx of one RPC's data).
+    pub crossing_latency: SimDuration,
+    /// CPU time per RPC endpoint operation (framing, dispatch, wakeup).
+    pub cpu_per_rpc: SimDuration,
+    /// CPU time per KiB moved (copies, checksums in software).
+    pub cpu_per_kb: SimDuration,
+}
+
+impl StackCosts {
+    /// The kernel TCP stack (§3.1's baseline).
+    pub fn kernel() -> Self {
+        StackCosts {
+            crossing_latency: SimDuration::from_micros_f64(15.5),
+            cpu_per_rpc: SimDuration::from_micros_f64(4.0),
+            cpu_per_kb: SimDuration::from_micros_f64(0.38),
+        }
+    }
+
+    /// LUNA: run-to-complete + zero-copy + share-nothing.
+    pub fn luna() -> Self {
+        StackCosts {
+            crossing_latency: SimDuration::from_micros_f64(1.2),
+            cpu_per_rpc: SimDuration::from_micros_f64(1.2),
+            cpu_per_kb: SimDuration::from_micros_f64(0.10),
+        }
+    }
+
+    /// CPU time to push/pull one RPC of `bytes` through this stack (one
+    /// endpoint, one direction pair).
+    pub fn cpu_for_rpc(&self, bytes: usize) -> SimDuration {
+        self.cpu_per_rpc + self.cpu_per_kb.mul_f64(bytes as f64 / 1024.0)
+    }
+
+    /// Added latency for a full RPC round trip (four crossings: tx req,
+    /// rx req, tx resp, rx resp).
+    pub fn rpc_added_latency(&self) -> SimDuration {
+        self.crossing_latency * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_rpc_latency_matches_table1() {
+        let base_rtt = SimDuration::from_micros_f64(8.3);
+        let kernel = (StackCosts::kernel().rpc_added_latency() + base_rtt).as_micros_f64();
+        let luna = (StackCosts::luna().rpc_added_latency() + base_rtt).as_micros_f64();
+        assert!((65.0..76.0).contains(&kernel), "kernel {kernel}us vs paper 70.1");
+        assert!((12.0..14.5).contains(&luna), "luna {luna}us vs paper 13.1");
+    }
+
+    #[test]
+    fn stress_core_counts_match_table1() {
+        // 50 Gbps of 32 KiB RPCs (stress test uses concurrent bulk RPCs).
+        let rps = 50e9 / 8.0 / 32768.0;
+        let kernel_cores =
+            rps * StackCosts::kernel().cpu_for_rpc(32768).as_secs_f64();
+        let luna_cores = rps * StackCosts::luna().cpu_for_rpc(32768).as_secs_f64();
+        assert!((3.0..5.0).contains(&kernel_cores), "kernel {kernel_cores} cores vs 4");
+        assert!(luna_cores <= 1.1, "luna {luna_cores} cores vs 1");
+
+        // 200 Gbps.
+        let rps = 200e9 / 8.0 / 32768.0;
+        let kernel_cores =
+            rps * StackCosts::kernel().cpu_for_rpc(32768).as_secs_f64();
+        let luna_cores = rps * StackCosts::luna().cpu_for_rpc(32768).as_secs_f64();
+        assert!((10.0..15.0).contains(&kernel_cores), "kernel {kernel_cores} vs 12");
+        assert!((2.5..5.0).contains(&luna_cores), "luna {luna_cores} vs 4");
+    }
+
+    #[test]
+    fn luna_is_strictly_cheaper() {
+        let k = StackCosts::kernel();
+        let l = StackCosts::luna();
+        assert!(l.crossing_latency < k.crossing_latency);
+        assert!(l.cpu_for_rpc(4096) < k.cpu_for_rpc(4096));
+    }
+}

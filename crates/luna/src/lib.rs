@@ -1,0 +1,27 @@
+//! # ebs-luna — the user-space TCP stack (and its kernel baseline)
+//!
+//! LUNA (§3) replaced kernel TCP on the frontend network to match SSD
+//! latency: an mTCP-style user-space stack with run-to-complete
+//! scheduling, zero-copy buffers shared across SA and RPC layers, and
+//! share-nothing per-core engines. This crate provides:
+//!
+//! * [`RpcClient`] / [`RpcServer`] — the storage RPC layer over the
+//!   shared `ebs-tcp` engine;
+//! * [`StackCosts`] — the calibrated host-overhead models that are the
+//!   *only* difference between kernel TCP and LUNA (Table 1);
+//! * [`BufferPool`] — the zero-copy recycling pool;
+//! * [`RtcEngine`] — the share-nothing core layout with stable flow
+//!   steering.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod buffer;
+mod host;
+mod rpc;
+mod rtc;
+
+pub use buffer::BufferPool;
+pub use host::StackCosts;
+pub use rpc::{read_request, write_request, RpcClient, RpcCompletion, RpcServer};
+pub use rtc::{steer, CoreEngine, RtcEngine};

@@ -1,0 +1,161 @@
+//! Run-to-complete, share-nothing engine layout.
+//!
+//! LUNA pins each connection to exactly one core and runs network +
+//! storage processing of a packet to completion on that core — no locks,
+//! no cross-core buffer sharing (§3.2). This module models that layout:
+//! a deterministic flow-steering function and per-core engine structs
+//! that own their connections outright (Rust's ownership model *is* the
+//! share-nothing guarantee: there is no shared mutable state to lock).
+
+/// Steer a connection to a core: stable hash of the peer id.
+pub fn steer(peer_id: u64, cores: usize) -> usize {
+    assert!(cores > 0);
+    // SplitMix64 finalizer: avalanches low-entropy peer ids.
+    let mut x = peer_id.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    ((x ^ (x >> 31)) % cores as u64) as usize
+}
+
+/// One core's engine: exclusively owns its connections.
+#[derive(Debug)]
+pub struct CoreEngine<C> {
+    /// Core index.
+    pub core: usize,
+    connections: std::collections::HashMap<u64, C>,
+    ops: u64,
+}
+
+impl<C> CoreEngine<C> {
+    fn new(core: usize) -> Self {
+        CoreEngine {
+            core,
+            connections: std::collections::HashMap::new(),
+            ops: 0,
+        }
+    }
+
+    /// Connections owned by this core.
+    pub fn connections(&self) -> usize {
+        self.connections.len()
+    }
+
+    /// Operations processed on this core.
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+}
+
+/// The multi-core run-to-complete engine.
+#[derive(Debug)]
+pub struct RtcEngine<C> {
+    cores: Vec<CoreEngine<C>>,
+}
+
+impl<C> RtcEngine<C> {
+    /// An engine over `cores` cores.
+    ///
+    /// # Panics
+    /// Panics if `cores` is zero.
+    pub fn new(cores: usize) -> Self {
+        assert!(cores > 0);
+        RtcEngine {
+            cores: (0..cores).map(CoreEngine::new).collect(),
+        }
+    }
+
+    /// Number of cores.
+    pub fn cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Register a connection for `peer_id`; returns the owning core.
+    pub fn add_connection(&mut self, peer_id: u64, conn: C) -> usize {
+        let core = steer(peer_id, self.cores.len());
+        self.cores[core].connections.insert(peer_id, conn);
+        core
+    }
+
+    /// Run a closure against the connection, on its owning core, to
+    /// completion. Returns `None` for unknown peers.
+    pub fn with_connection<R>(
+        &mut self,
+        peer_id: u64,
+        f: impl FnOnce(&mut C) -> R,
+    ) -> Option<(usize, R)> {
+        let core = steer(peer_id, self.cores.len());
+        let engine = &mut self.cores[core];
+        let conn = engine.connections.get_mut(&peer_id)?;
+        engine.ops += 1;
+        Some((core, f(conn)))
+    }
+
+    /// Per-core view.
+    pub fn core(&self, i: usize) -> &CoreEngine<C> {
+        &self.cores[i]
+    }
+
+    /// Total connections.
+    pub fn total_connections(&self) -> usize {
+        self.cores.iter().map(|c| c.connections()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steering_is_stable() {
+        for peer in 0..1000u64 {
+            assert_eq!(steer(peer, 8), steer(peer, 8));
+        }
+    }
+
+    #[test]
+    fn steering_balances() {
+        let cores = 8;
+        let mut counts = vec![0usize; cores];
+        for peer in 0..8000u64 {
+            counts[steer(peer, cores)] += 1;
+        }
+        let min = *counts.iter().min().unwrap();
+        let max = *counts.iter().max().unwrap();
+        assert!(max < min * 2, "imbalanced: {counts:?}");
+    }
+
+    #[test]
+    fn ops_always_hit_the_owning_core() {
+        let mut rtc: RtcEngine<u32> = RtcEngine::new(4);
+        let owner = rtc.add_connection(99, 0);
+        for _ in 0..10 {
+            let (core, _) = rtc.with_connection(99, |c| *c += 1).unwrap();
+            assert_eq!(core, owner, "no cross-core access, ever");
+        }
+        assert_eq!(rtc.core(owner).ops(), 10);
+        let (_, val) = rtc.with_connection(99, |c| *c).unwrap();
+        assert_eq!(val, 10);
+    }
+
+    #[test]
+    fn unknown_peer_is_none() {
+        let mut rtc: RtcEngine<u32> = RtcEngine::new(2);
+        assert!(rtc.with_connection(1, |_| ()).is_none());
+    }
+
+    #[test]
+    fn tens_of_thousands_of_connections() {
+        // The FN-side scalability requirement of §3.1: a storage node
+        // holds tens of thousands of connections; per-core ownership must
+        // stay balanced.
+        let mut rtc: RtcEngine<u8> = RtcEngine::new(6);
+        for peer in 0..30_000u64 {
+            rtc.add_connection(peer, 0);
+        }
+        assert_eq!(rtc.total_connections(), 30_000);
+        for i in 0..6 {
+            let n = rtc.core(i).connections();
+            assert!((4_000..6_000).contains(&n), "core {i} has {n}");
+        }
+    }
+}

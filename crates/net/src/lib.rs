@@ -1,0 +1,23 @@
+//! # ebs-net — the frontend-network fabric simulator
+//!
+//! A packet-level model of the region network between compute and storage
+//! clusters (§2.1): a multi-DC Clos topology ([`Topology`]) with
+//! finite shallow egress queues, store-and-forward serialization,
+//! consistent-hash ECMP, per-hop INT stamping for HPCC, and the failure
+//! modes that drive the paper's reliability story ([`FailureMode`]:
+//! fail-stop with slow routing convergence, *silent blackholes* that
+//! routing never detects, and random loss).
+//!
+//! The fabric is payload-generic and sans-io: it consumes and emits
+//! [`NetEvent`]s on any [`Scheduler`](ebs_sim::Scheduler), so the composed
+//! world in `ebs-stack` embeds it with a
+//! [`MapScheduler`](ebs_sim::MapScheduler).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod fabric;
+mod topology;
+
+pub use fabric::{DropStats, Fabric, FabricConfig, FabricPacket, FailureMode, FlowLabel, NetEvent};
+pub use topology::{ClosConfig, Coord, DeviceId, DeviceKind, DeviceSpec, LinkSpec, PortSpec, Topology};

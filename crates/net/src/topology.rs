@@ -1,0 +1,562 @@
+//! Clos fabric topology and structural up/down routing.
+//!
+//! The frontend network (FN) spans a region: servers attach to ToR
+//! switches, ToRs to pod spines, spines to per-datacenter cores, and cores
+//! to region-level DC routers (§2.1, Fig. 8's four failure tiers). Routing
+//! is computed structurally from device coordinates — standard Clos
+//! up/down forwarding with ECMP fan-out at each upward stage — so no
+//! routing tables need to be stored or converged in the common case.
+
+use ebs_sim::{Bandwidth, SimDuration};
+
+/// Index of a device (server or switch) within a [`Topology`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DeviceId(pub u32);
+
+/// What a device is; determines its routing behaviour and its tier in the
+/// failure experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeviceKind {
+    /// A compute or storage server (fabric endpoint).
+    Server,
+    /// Top-of-rack switch. The paper notes each server attaches to a
+    /// *pair* of ToRs; we model the pair as one logical ToR whose
+    /// fail-stop is survivable via ECMP re-hash only when multiple ToR
+    /// uplinks exist, matching the observed behaviour that ToR failures
+    /// still caused Luna I/O hangs (Table 2).
+    Tor,
+    /// Pod spine (aggregation) switch.
+    Spine,
+    /// Per-datacenter core switch.
+    Core,
+    /// Region-level DC router.
+    DcRouter,
+}
+
+/// Structural position of a device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Coord {
+    /// Device kind.
+    pub kind: DeviceKind,
+    /// Datacenter index within the region.
+    pub dc: u32,
+    /// Pod index within the datacenter (servers/ToRs/spines only).
+    pub pod: u32,
+    /// Index within the (kind, dc, pod) group. For servers this encodes
+    /// `tor_index * servers_per_tor + slot`.
+    pub index: u32,
+}
+
+/// Per-tier link parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct LinkSpec {
+    /// Line rate.
+    pub rate: Bandwidth,
+    /// Propagation + switching delay, one way.
+    pub delay: SimDuration,
+    /// Egress queue capacity in bytes (shallow-buffer switches, §3.1).
+    pub queue_bytes: usize,
+}
+
+/// Geometry + link parameters of a region fabric.
+#[derive(Debug, Clone)]
+pub struct ClosConfig {
+    /// Number of datacenters in the region.
+    pub dcs: u32,
+    /// Pods per datacenter.
+    pub pods_per_dc: u32,
+    /// ToR switches per pod.
+    pub tors_per_pod: u32,
+    /// Spine switches per pod.
+    pub spines_per_pod: u32,
+    /// Core switches per datacenter.
+    pub cores_per_dc: u32,
+    /// Region-level DC routers.
+    pub dc_routers: u32,
+    /// Servers attached to each ToR.
+    pub servers_per_tor: u32,
+    /// Dual-home every server to its rack's ToR *pair* (the paper: "even
+    /// with the ToR switch, we connect each server to a pair of it",
+    /// §3.3). Pairs are ToR indices (2k, 2k+1) within a pod.
+    pub dual_homed: bool,
+    /// Server↔ToR links (the NIC rate: 2×25GE ≈ 50G aggregate).
+    pub server_link: LinkSpec,
+    /// ToR↔Spine links.
+    pub tor_spine: LinkSpec,
+    /// Spine↔Core links.
+    pub spine_core: LinkSpec,
+    /// Core↔DC-router links (longer haul).
+    pub core_router: LinkSpec,
+}
+
+impl ClosConfig {
+    /// A small single-DC testbed fabric: 1 DC, `pods` pods, with 25G
+    /// server links — the shape used by most experiments.
+    pub fn testbed(pods: u32, tors_per_pod: u32, servers_per_tor: u32) -> Self {
+        let shallow = 512 * 1024; // 512 KiB shallow buffers
+        ClosConfig {
+            dcs: 1,
+            pods_per_dc: pods,
+            tors_per_pod,
+            spines_per_pod: 2,
+            cores_per_dc: 4,
+            dc_routers: 2,
+            servers_per_tor,
+            dual_homed: false,
+            server_link: LinkSpec {
+                rate: Bandwidth::from_gbps(50),
+                delay: SimDuration::from_micros(1),
+                queue_bytes: shallow,
+            },
+            tor_spine: LinkSpec {
+                rate: Bandwidth::from_gbps(100),
+                delay: SimDuration::from_micros(1),
+                queue_bytes: shallow,
+            },
+            spine_core: LinkSpec {
+                rate: Bandwidth::from_gbps(100),
+                delay: SimDuration::from_micros(2),
+                queue_bytes: shallow,
+            },
+            core_router: LinkSpec {
+                rate: Bandwidth::from_gbps(400),
+                delay: SimDuration::from_micros(20),
+                queue_bytes: 4 * shallow,
+            },
+        }
+    }
+}
+
+/// A directed link (one egress port of a device).
+#[derive(Debug, Clone)]
+pub struct PortSpec {
+    /// Neighbor this port transmits toward.
+    pub to: DeviceId,
+    /// Link parameters.
+    pub link: LinkSpec,
+}
+
+/// A device plus its egress ports.
+#[derive(Debug, Clone)]
+pub struct DeviceSpec {
+    /// Structural position.
+    pub coord: Coord,
+    /// Egress ports, in neighbor order.
+    pub ports: Vec<PortSpec>,
+}
+
+/// A fully built fabric topology with structural routing.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    cfg: ClosConfig,
+    devices: Vec<DeviceSpec>,
+    servers: Vec<DeviceId>,
+}
+
+impl Topology {
+    /// Build the region fabric described by `cfg`.
+    ///
+    /// # Panics
+    /// Panics if any dimension of `cfg` is zero.
+    pub fn build(cfg: ClosConfig) -> Self {
+        assert!(
+            cfg.dcs > 0
+                && cfg.pods_per_dc > 0
+                && cfg.tors_per_pod > 0
+                && cfg.spines_per_pod > 0
+                && cfg.cores_per_dc > 0
+                && cfg.dc_routers > 0
+                && cfg.servers_per_tor > 0,
+            "all topology dimensions must be positive"
+        );
+        let mut devices: Vec<DeviceSpec> = Vec::new();
+        let mut servers = Vec::new();
+
+        let push = |coord: Coord, devices: &mut Vec<DeviceSpec>| -> DeviceId {
+            let id = DeviceId(devices.len() as u32);
+            devices.push(DeviceSpec {
+                coord,
+                ports: Vec::new(),
+            });
+            id
+        };
+
+        // Allocate ids tier by tier, remembering each group's ids.
+        let mut tor_ids = vec![];
+        let mut spine_ids = vec![];
+        let mut core_ids = vec![];
+        let mut router_ids = vec![];
+
+        for dc in 0..cfg.dcs {
+            for pod in 0..cfg.pods_per_dc {
+                for t in 0..cfg.tors_per_pod {
+                    let tor = push(
+                        Coord {
+                            kind: DeviceKind::Tor,
+                            dc,
+                            pod,
+                            index: t,
+                        },
+                        &mut devices,
+                    );
+                    tor_ids.push(tor);
+                    for s in 0..cfg.servers_per_tor {
+                        let srv = push(
+                            Coord {
+                                kind: DeviceKind::Server,
+                                dc,
+                                pod,
+                                index: t * cfg.servers_per_tor + s,
+                            },
+                            &mut devices,
+                        );
+                        servers.push(srv);
+                    }
+                }
+                for s in 0..cfg.spines_per_pod {
+                    let spine = push(
+                        Coord {
+                            kind: DeviceKind::Spine,
+                            dc,
+                            pod,
+                            index: s,
+                        },
+                        &mut devices,
+                    );
+                    spine_ids.push(spine);
+                }
+            }
+            for c in 0..cfg.cores_per_dc {
+                let core = push(
+                    Coord {
+                        kind: DeviceKind::Core,
+                        dc,
+                        pod: 0,
+                        index: c,
+                    },
+                    &mut devices,
+                );
+                core_ids.push(core);
+            }
+        }
+        for r in 0..cfg.dc_routers {
+            let router = push(
+                Coord {
+                    kind: DeviceKind::DcRouter,
+                    dc: 0,
+                    pod: 0,
+                    index: r,
+                },
+                &mut devices,
+            );
+            router_ids.push(router);
+        }
+
+        // Wire links (both directions).
+        let connect = |a: DeviceId, b: DeviceId, link: LinkSpec, devices: &mut Vec<DeviceSpec>| {
+            devices[a.0 as usize].ports.push(PortSpec { to: b, link });
+            devices[b.0 as usize].ports.push(PortSpec { to: a, link });
+        };
+
+        // Server <-> home ToR(s).
+        for &srv in &servers {
+            let c = devices[srv.0 as usize].coord;
+            let primary = c.index / cfg.servers_per_tor;
+            let mut homes = vec![primary];
+            if cfg.dual_homed {
+                let pair = primary ^ 1;
+                if pair < cfg.tors_per_pod {
+                    homes.push(pair);
+                }
+            }
+            for home in homes {
+                let tor = *tor_ids
+                    .iter()
+                    .find(|&&t| {
+                        let tc = devices[t.0 as usize].coord;
+                        tc.dc == c.dc && tc.pod == c.pod && tc.index == home
+                    })
+                    .expect("tor exists");
+                connect(srv, tor, cfg.server_link, &mut devices);
+            }
+        }
+        // ToR <-> every spine in its pod.
+        for &tor in &tor_ids {
+            let tc = devices[tor.0 as usize].coord;
+            for &spine in &spine_ids {
+                let sc = devices[spine.0 as usize].coord;
+                if sc.dc == tc.dc && sc.pod == tc.pod {
+                    connect(tor, spine, cfg.tor_spine, &mut devices);
+                }
+            }
+        }
+        // Spine <-> every core in its DC.
+        for &spine in &spine_ids {
+            let sc = devices[spine.0 as usize].coord;
+            for &core in &core_ids {
+                let cc = devices[core.0 as usize].coord;
+                if cc.dc == sc.dc {
+                    connect(spine, core, cfg.spine_core, &mut devices);
+                }
+            }
+        }
+        // Core <-> every DC router.
+        for &core in &core_ids {
+            for &router in &router_ids {
+                connect(core, router, cfg.core_router, &mut devices);
+            }
+        }
+
+        Topology {
+            cfg,
+            devices,
+            servers,
+        }
+    }
+
+    /// The configuration the fabric was built from.
+    pub fn config(&self) -> &ClosConfig {
+        &self.cfg
+    }
+
+    /// All devices.
+    pub fn devices(&self) -> &[DeviceSpec] {
+        &self.devices
+    }
+
+    /// All server endpoints, in construction order.
+    pub fn servers(&self) -> &[DeviceId] {
+        &self.servers
+    }
+
+    /// A device's coordinates.
+    pub fn coord(&self, id: DeviceId) -> Coord {
+        self.devices[id.0 as usize].coord
+    }
+
+    /// Devices of a given kind (useful for failure injection).
+    pub fn devices_of_kind(&self, kind: DeviceKind) -> Vec<DeviceId> {
+        (0..self.devices.len() as u32)
+            .map(DeviceId)
+            .filter(|&d| self.coord(d).kind == kind)
+            .collect()
+    }
+
+    /// ToR indices (within the server's pod) the server is homed to.
+    fn home_tor_indices(&self, server: Coord) -> [Option<u32>; 2] {
+        let t = server.index / self.cfg.servers_per_tor;
+        if self.cfg.dual_homed {
+            let pair = t ^ 1;
+            if pair < self.cfg.tors_per_pod {
+                return [Some(t), Some(pair)];
+            }
+        }
+        [Some(t), None]
+    }
+
+    /// The candidate egress ports (indices into the device's port list)
+    /// toward `dst`, per Clos up/down routing. Multiple entries mean ECMP.
+    ///
+    /// Returns an empty list only if `dst` is unreachable from `at` (which
+    /// cannot happen in a healthy fabric).
+    pub fn next_hop_ports(&self, at: DeviceId, dst: DeviceId) -> Vec<usize> {
+        let here = self.coord(at);
+        let to = self.coord(dst);
+        debug_assert_eq!(to.kind, DeviceKind::Server, "destinations are servers");
+        let dev = &self.devices[at.0 as usize];
+        let homes = self.home_tor_indices(to);
+        let is_home = |idx: u32| homes.iter().flatten().any(|&h| h == idx);
+
+        let port_filter = |f: &dyn Fn(Coord, DeviceId) -> bool| -> Vec<usize> {
+            dev.ports
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| f(self.coord(p.to), p.to))
+                .map(|(i, _)| i)
+                .collect()
+        };
+
+        match here.kind {
+            DeviceKind::Server => port_filter(&|c, _| c.kind == DeviceKind::Tor),
+            DeviceKind::Tor => {
+                if here.dc == to.dc && here.pod == to.pod && is_home(here.index) {
+                    // Down to the destination server.
+                    port_filter(&|c, id| c.kind == DeviceKind::Server && id == dst)
+                } else {
+                    // Up to all pod spines.
+                    port_filter(&|c, _| c.kind == DeviceKind::Spine)
+                }
+            }
+            DeviceKind::Spine => {
+                if here.dc == to.dc && here.pod == to.pod {
+                    // Down to the destination's home ToR(s).
+                    port_filter(&|c, _| {
+                        c.kind == DeviceKind::Tor && c.pod == to.pod && is_home(c.index)
+                    })
+                } else {
+                    // Up to all cores in this DC.
+                    port_filter(&|c, _| c.kind == DeviceKind::Core)
+                }
+            }
+            DeviceKind::Core => {
+                if here.dc == to.dc {
+                    // Down to the destination pod's spines.
+                    port_filter(&|c, _| {
+                        c.kind == DeviceKind::Spine && c.dc == to.dc && c.pod == to.pod
+                    })
+                } else {
+                    // Up to the DC routers.
+                    port_filter(&|c, _| c.kind == DeviceKind::DcRouter)
+                }
+            }
+            DeviceKind::DcRouter => {
+                // Down to the destination DC's cores.
+                port_filter(&|c, _| c.kind == DeviceKind::Core && c.dc == to.dc)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Topology {
+        Topology::build(ClosConfig::testbed(2, 2, 2))
+    }
+
+    #[test]
+    fn device_counts() {
+        let t = small();
+        // 1 dc * 2 pods * (2 tors * (1 + 2 servers) + 2 spines) + 4 cores + 2 routers
+        let expect = 2 * (2 * 3 + 2) + 4 + 2;
+        assert_eq!(t.devices().len(), expect);
+        assert_eq!(t.servers().len(), 8);
+    }
+
+    #[test]
+    fn servers_reach_all_servers() {
+        let t = small();
+        for &a in t.servers() {
+            for &b in t.servers() {
+                if a == b {
+                    continue;
+                }
+                // Walk greedily: at every device there must be ≥1 next hop,
+                // and the walk must terminate at b within 10 hops.
+                let mut at = a;
+                for hop in 0..10 {
+                    if at == b {
+                        break;
+                    }
+                    let ports = t.next_hop_ports(at, b);
+                    assert!(!ports.is_empty(), "stuck at {:?} toward {:?}", at, b);
+                    at = t.devices()[at.0 as usize].ports[ports[0]].to;
+                    assert!(hop < 9, "no loop-free route {a:?}->{b:?}");
+                }
+                assert_eq!(at, b);
+            }
+        }
+    }
+
+    #[test]
+    fn intra_pod_routes_stay_in_pod() {
+        let t = small();
+        // Servers 0 and 2 share a pod (pod 0, tors 0 and 1).
+        let a = t.servers()[0];
+        let b = t.servers()[2];
+        assert_eq!(t.coord(a).pod, t.coord(b).pod);
+        // Route from a's tor goes to spines, and spine goes directly down.
+        let tor = t.devices()[a.0 as usize].ports[0].to;
+        let ups = t.next_hop_ports(tor, b);
+        assert_eq!(ups.len(), 2, "ECMP across both pod spines");
+        for p in ups {
+            let spine = t.devices()[tor.0 as usize].ports[p].to;
+            assert_eq!(t.coord(spine).kind, DeviceKind::Spine);
+            let downs = t.next_hop_ports(spine, b);
+            assert_eq!(downs.len(), 1, "single ToR below spine");
+        }
+    }
+
+    #[test]
+    fn cross_pod_routes_climb_to_core() {
+        let t = small();
+        let a = t.servers()[0]; // pod 0
+        let b = t.servers()[4]; // pod 1
+        assert_ne!(t.coord(a).pod, t.coord(b).pod);
+        let tor = t.devices()[a.0 as usize].ports[0].to;
+        let spine = {
+            let ups = t.next_hop_ports(tor, b);
+            t.devices()[tor.0 as usize].ports[ups[0]].to
+        };
+        let cores = t.next_hop_ports(spine, b);
+        assert_eq!(cores.len(), 4, "ECMP across all DC cores");
+    }
+
+    #[test]
+    fn cross_dc_routes_use_routers() {
+        let cfg = ClosConfig {
+            dcs: 2,
+            ..ClosConfig::testbed(1, 1, 1)
+        };
+        let t = Topology::build(cfg);
+        let a = t.servers()[0];
+        let b = t.servers()[1];
+        assert_ne!(t.coord(a).dc, t.coord(b).dc);
+        // Find a core in dc 0 and check it routes up to DC routers.
+        let core = t.devices_of_kind(DeviceKind::Core)[0];
+        assert_eq!(t.coord(core).dc, 0);
+        let ups = t.next_hop_ports(core, b);
+        assert_eq!(ups.len(), 2, "ECMP across both DC routers");
+        for p in ups {
+            let r = t.devices()[core.0 as usize].ports[p].to;
+            assert_eq!(t.coord(r).kind, DeviceKind::DcRouter);
+        }
+    }
+
+    #[test]
+    fn dual_homed_servers_have_two_uplinks() {
+        let cfg = ClosConfig {
+            dual_homed: true,
+            ..ClosConfig::testbed(1, 2, 2)
+        };
+        let t = Topology::build(cfg);
+        for &srv in t.servers() {
+            let ups = t.next_hop_ports(srv, t.servers()[0]);
+            // Routing from a server always offers both ToR uplinks (for
+            // any non-self destination).
+            if srv != t.servers()[0] {
+                assert_eq!(ups.len(), 2, "server {srv:?}");
+            }
+            assert_eq!(t.devices()[srv.0 as usize].ports.len(), 2);
+        }
+        // And spines route down to both home ToRs.
+        let dst = t.servers()[0];
+        let spine = t.devices_of_kind(DeviceKind::Spine)[0];
+        assert_eq!(t.next_hop_ports(spine, dst).len(), 2);
+        // Full reachability with dual homing.
+        for &a in t.servers() {
+            for &b in t.servers() {
+                if a == b { continue; }
+                let mut at = a;
+                for _ in 0..10 {
+                    if at == b { break; }
+                    let ports = t.next_hop_ports(at, b);
+                    assert!(!ports.is_empty());
+                    at = t.devices()[at.0 as usize].ports[ports[0]].to;
+                }
+                assert_eq!(at, b);
+            }
+        }
+    }
+
+    #[test]
+    fn kinds_enumerate() {
+        let t = small();
+        assert_eq!(t.devices_of_kind(DeviceKind::Tor).len(), 4);
+        assert_eq!(t.devices_of_kind(DeviceKind::Spine).len(), 4);
+        assert_eq!(t.devices_of_kind(DeviceKind::Core).len(), 4);
+        assert_eq!(t.devices_of_kind(DeviceKind::DcRouter).len(), 2);
+        assert_eq!(t.devices_of_kind(DeviceKind::Server).len(), 8);
+    }
+}

@@ -1,0 +1,31 @@
+//! # ebs-sa — the storage agent (SA)
+//!
+//! The hypervisor function that converts guest storage operations into
+//! network transactions (§2.2, Fig. 2). Its data plane is exactly the
+//! logic that LUNA runs in software and SOLAR offloads into the FPGA
+//! pipeline (`ebs-dpu` wraps these same structures as match-action
+//! stages):
+//!
+//! * [`SegmentTable`] — virtual-disk block address → (segment, block
+//!   server): the heart of storage virtualization;
+//! * [`QosTable`] — per-disk dual token buckets (IOPS + bandwidth) for
+//!   admission control;
+//! * [`split_io`] — decompose a guest I/O into per-block, per-segment
+//!   sub-I/Os (one RPC each).
+//!
+//! CRC and encryption — the other two heavy SA stages — live in `ebs-crc`
+//! and `ebs-crypto`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod qos;
+mod segment;
+mod split;
+
+pub use qos::{QosSpec, QosTable};
+pub use segment::{SegmentEntry, SegmentError, SegmentTable, SEGMENT_BLOCKS};
+pub use split::{split_io, IoKind, IoRequest, SplitError, SubIo};
+
+/// The EBS block size in bytes (4 KiB, matching SSD sectors).
+pub const BLOCK_SIZE: u32 = 4096;

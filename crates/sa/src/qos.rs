@@ -1,0 +1,203 @@
+//! The QoS Table: per-virtual-disk dual token buckets (IOPS + bandwidth).
+//!
+//! Every I/O traverses the QoS table for admission control (§2.2) so one
+//! noisy disk cannot exceed the service level its owner purchased. The
+//! paper's latency figures explicitly *exclude* policy-induced queueing
+//! (Fig. 6 caption), so admission returns the delay for the caller to
+//! apply (and to subtract in measurements).
+
+use std::collections::HashMap;
+
+use ebs_sim::{Bandwidth, SimDuration, SimTime};
+
+/// Purchased service level of one virtual disk.
+#[derive(Debug, Clone, Copy)]
+pub struct QosSpec {
+    /// I/O operations per second.
+    pub iops: u64,
+    /// Sustained bandwidth.
+    pub bandwidth: Bandwidth,
+    /// Burst allowance, in units of one second of the sustained rate.
+    pub burst_secs: f64,
+}
+
+impl QosSpec {
+    /// An effectively unlimited spec (for experiments where QoS must not
+    /// bind).
+    pub fn unlimited() -> Self {
+        QosSpec {
+            iops: u64::MAX / 2,
+            bandwidth: Bandwidth::from_gbps(10_000),
+            burst_secs: 1.0,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Bucket {
+    /// Tokens available at `refreshed`.
+    tokens: f64,
+    capacity: f64,
+    rate_per_sec: f64,
+    refreshed: SimTime,
+}
+
+impl Bucket {
+    fn new(rate_per_sec: f64, capacity: f64) -> Self {
+        Bucket {
+            tokens: capacity,
+            capacity,
+            rate_per_sec,
+            refreshed: SimTime::ZERO,
+        }
+    }
+
+    fn refill(&mut self, now: SimTime) {
+        let dt = now.saturating_since(self.refreshed).as_secs_f64();
+        self.tokens = (self.tokens + dt * self.rate_per_sec).min(self.capacity);
+        self.refreshed = now;
+    }
+
+    /// Take `cost` tokens, going negative if needed; returns how long the
+    /// caller must wait for the balance to be non-negative again.
+    fn take(&mut self, now: SimTime, cost: f64) -> SimDuration {
+        self.refill(now);
+        self.tokens -= cost;
+        if self.tokens >= 0.0 {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_secs_f64(-self.tokens / self.rate_per_sec)
+        }
+    }
+}
+
+#[derive(Debug)]
+struct VdQos {
+    iops: Bucket,
+    bytes: Bucket,
+}
+
+/// The QoS table of one storage agent.
+#[derive(Debug, Default)]
+pub struct QosTable {
+    disks: HashMap<u64, VdQos>,
+}
+
+impl QosTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        QosTable::default()
+    }
+
+    /// Register (or update) a disk's service level.
+    pub fn set_spec(&mut self, vd_id: u64, spec: QosSpec) {
+        let bps = spec.bandwidth.bytes_per_sec();
+        self.disks.insert(
+            vd_id,
+            VdQos {
+                iops: Bucket::new(spec.iops as f64, spec.iops as f64 * spec.burst_secs),
+                bytes: Bucket::new(bps, bps * spec.burst_secs),
+            },
+        );
+    }
+
+    /// Number of registered disks (sizing input for the FPGA QoS table).
+    pub fn disks_registered(&self) -> usize {
+        self.disks.len()
+    }
+
+    /// Admit one I/O of `bytes` at `now`; returns the policy delay to
+    /// apply before it proceeds (zero when within the purchased rate).
+    /// Unregistered disks are admitted immediately (fail-open, like a
+    /// missing table entry in hardware).
+    pub fn admit(&mut self, now: SimTime, vd_id: u64, bytes: usize) -> SimDuration {
+        let Some(vd) = self.disks.get_mut(&vd_id) else {
+            return SimDuration::ZERO;
+        };
+        let d1 = vd.iops.take(now, 1.0);
+        let d2 = vd.bytes.take(now, bytes as f64);
+        d1.max(d2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec_1k_iops_100mbs() -> QosSpec {
+        QosSpec {
+            iops: 1000,
+            bandwidth: Bandwidth::from_mbps(800), // 100 MB/s
+            burst_secs: 0.01,                     // small burst for tight tests
+        }
+    }
+
+    #[test]
+    fn within_rate_is_free() {
+        let mut q = QosTable::new();
+        q.set_spec(1, spec_1k_iops_100mbs());
+        // 10 IOPS-worth over a second: never delayed.
+        for i in 0..10 {
+            let d = q.admit(SimTime::from_millis(i * 100), 1, 4096);
+            assert_eq!(d, SimDuration::ZERO, "op {i}");
+        }
+    }
+
+    #[test]
+    fn iops_overload_delays() {
+        let mut q = QosTable::new();
+        q.set_spec(1, spec_1k_iops_100mbs());
+        // Burst capacity is 10 ops; the 11th in the same instant waits.
+        let now = SimTime::from_secs(1);
+        let mut delayed = 0;
+        for _ in 0..30 {
+            if q.admit(now, 1, 512) > SimDuration::ZERO {
+                delayed += 1;
+            }
+        }
+        assert!(delayed >= 19, "{delayed} of 30 delayed");
+    }
+
+    #[test]
+    fn bandwidth_overload_delays_proportionally() {
+        let mut q = QosTable::new();
+        q.set_spec(1, spec_1k_iops_100mbs());
+        let now = SimTime::from_secs(1);
+        // Burst = 1 MB. A 2 MB I/O overdraws by 1 MB -> 10 ms at 100 MB/s.
+        let d = q.admit(now, 1, 2 * 1024 * 1024);
+        let ms = d.as_secs_f64() * 1e3;
+        assert!((9.0..12.0).contains(&ms), "delay {ms} ms");
+    }
+
+    #[test]
+    fn tokens_refill_over_time() {
+        let mut q = QosTable::new();
+        q.set_spec(1, spec_1k_iops_100mbs());
+        let t0 = SimTime::from_secs(1);
+        // Drain the burst.
+        for _ in 0..10 {
+            q.admit(t0, 1, 4096);
+        }
+        assert!(q.admit(t0, 1, 4096) > SimDuration::ZERO);
+        // After a second the bucket is full again.
+        assert_eq!(q.admit(SimTime::from_secs(3), 1, 4096), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn unregistered_disks_fail_open() {
+        let mut q = QosTable::new();
+        assert_eq!(q.admit(SimTime::ZERO, 42, 1 << 20), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn disks_are_isolated() {
+        let mut q = QosTable::new();
+        q.set_spec(1, spec_1k_iops_100mbs());
+        q.set_spec(2, spec_1k_iops_100mbs());
+        let now = SimTime::from_secs(1);
+        for _ in 0..30 {
+            q.admit(now, 1, 4096); // hammer disk 1
+        }
+        assert_eq!(q.admit(now, 2, 4096), SimDuration::ZERO, "disk 2 unaffected");
+    }
+}

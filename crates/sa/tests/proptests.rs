@@ -1,0 +1,93 @@
+//! Property tests on the storage agent's invariants.
+
+use ebs_sa::{split_io, IoKind, IoRequest, QosSpec, QosTable, SegmentTable, BLOCK_SIZE};
+use ebs_sim::{Bandwidth, SimDuration, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    /// Splitting partitions an I/O exactly: the sub-I/Os' block lists
+    /// concatenate to precisely the requested block range, in order, and
+    /// each sub-I/O stays within one segment.
+    #[test]
+    fn split_is_an_exact_partition(
+        segs in 1u64..8,
+        start in 0u64..2048,
+        blocks in 1u64..200,
+    ) {
+        let mut table = SegmentTable::new(ebs_sa::SEGMENT_BLOCKS);
+        let vd_blocks = 8 * ebs_sa::SEGMENT_BLOCKS;
+        table.provision(1, vd_blocks, |s| (s % segs.max(1)) as u32);
+        let start = start.min(vd_blocks - 1);
+        let blocks = blocks.min(vd_blocks - start);
+        let req = IoRequest {
+            vd_id: 1,
+            kind: IoKind::Write,
+            offset: start * BLOCK_SIZE as u64,
+            len: (blocks * BLOCK_SIZE as u64) as u32,
+        };
+        let subs = split_io(&table, &req, BLOCK_SIZE).unwrap();
+        let all: Vec<u64> = subs.iter().flat_map(|s| s.blocks.iter().copied()).collect();
+        let expect: Vec<u64> = (start..start + blocks).collect();
+        prop_assert_eq!(all, expect);
+        for sub in &subs {
+            let seg0 = sub.blocks[0] / ebs_sa::SEGMENT_BLOCKS;
+            for &b in &sub.blocks {
+                prop_assert_eq!(b / ebs_sa::SEGMENT_BLOCKS, seg0, "one segment per sub-I/O");
+            }
+            let entry = table.lookup(1, sub.blocks[0]).unwrap();
+            prop_assert_eq!(entry.block_server, sub.block_server);
+            prop_assert_eq!(entry.segment_id, sub.segment_id);
+        }
+    }
+
+    /// The QoS dual token bucket never admits more than the configured
+    /// IOPS (over a long window, with arbitrary arrival patterns).
+    #[test]
+    fn qos_never_exceeds_iops(
+        iops in 100u64..5000,
+        arrivals in proptest::collection::vec(0u64..1_000_000, 50..300),
+    ) {
+        let mut q = QosTable::new();
+        q.set_spec(1, QosSpec {
+            iops,
+            bandwidth: Bandwidth::from_gbps(100), // not binding
+            burst_secs: 0.1,
+        });
+        let mut times: Vec<u64> = arrivals;
+        times.sort();
+        let horizon_us = *times.last().unwrap() + 1;
+        let mut admitted_immediately = 0u64;
+        for &us in &times {
+            if q.admit(SimTime::from_micros(us), 1, 4096) == SimDuration::ZERO {
+                admitted_immediately += 1;
+            }
+        }
+        // Over the window, immediate admissions ≤ rate * window + burst.
+        let allowance = iops as f64 * (horizon_us as f64 / 1e6) + iops as f64 * 0.1 + 1.0;
+        prop_assert!(
+            (admitted_immediately as f64) <= allowance,
+            "{admitted_immediately} admitted vs allowance {allowance}"
+        );
+    }
+
+    /// Delayed admissions report a delay that actually restores the
+    /// budget: replaying the same I/O at `now + delay` is admitted.
+    #[test]
+    fn qos_delay_is_sufficient(burst_ios in 1usize..40) {
+        let mut q = QosTable::new();
+        q.set_spec(1, QosSpec {
+            iops: 1000,
+            bandwidth: Bandwidth::from_mbps(800),
+            burst_secs: 0.005,
+        });
+        let now = SimTime::from_secs(1);
+        let mut max_delay = SimDuration::ZERO;
+        for _ in 0..burst_ios {
+            max_delay = max_delay.max(q.admit(now, 1, 4096));
+        }
+        // After waiting out the worst delay plus one token interval, an
+        // I/O goes straight through.
+        let later = now + max_delay + SimDuration::from_millis(1);
+        prop_assert_eq!(q.admit(later, 1, 4096), SimDuration::ZERO);
+    }
+}

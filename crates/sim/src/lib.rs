@@ -1,0 +1,35 @@
+//! # ebs-sim — deterministic discrete-event simulation kernel
+//!
+//! The domain-free substrate every other crate in this workspace runs on:
+//!
+//! * [`SimTime`] / [`SimDuration`] — a nanosecond virtual clock;
+//! * [`EventQueue`] — a deterministic timestamped event heap with stable
+//!   tie-breaking and cancellation, plus the [`Scheduler`] trait and
+//!   [`MapScheduler`] adapter that let subsystems schedule their own event
+//!   types inside a composed world;
+//! * [`Bandwidth`] — exact byte↔wire-time conversion for links, PCIe and
+//!   pacing;
+//! * [`FifoResource`] / [`Channel`] — analytic multi-server FIFO queues used
+//!   to model CPU cores, DMA engines and PCIe channels without per-operation
+//!   events;
+//! * [`rng`] — labelled deterministic random streams so every stochastic
+//!   component draws from its own reproducible sequence.
+//!
+//! Design follows the sans-io idiom of the session guides: protocol and
+//! hardware models in the sibling crates are pure state machines; only the
+//! composed world (in `ebs-stack`) owns an event loop, and it is a plain
+//! `while let Some((t, ev)) = queue.pop()` over this crate's queue.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod queue;
+mod rate;
+pub mod rng;
+mod resource;
+mod time;
+
+pub use queue::{EventId, EventQueue, MapScheduler, Scheduler};
+pub use rate::Bandwidth;
+pub use resource::{Channel, FifoResource};
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,290 @@
+//! The event queue at the heart of the discrete-event simulator.
+//!
+//! The queue is deliberately decoupled from any "world" state: callers pop
+//! `(time, event)` pairs and dispatch them against their own state, then
+//! schedule follow-up events. This sidesteps borrow-checker fights between
+//! the event loop and component state, and keeps this crate free of domain
+//! knowledge.
+//!
+//! Determinism: ties in time are broken by a monotonically increasing
+//! sequence number, so two runs with the same inputs pop events in exactly
+//! the same order.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+use crate::time::{SimDuration, SimTime};
+
+/// Identifies a scheduled event, for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventId(u64);
+
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event pops first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic priority queue of timestamped events.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    cancelled: HashSet<u64>,
+    seq: u64,
+    now: SimTime,
+    popped: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+            popped: 0,
+        }
+    }
+
+    /// Current simulated time: the timestamp of the most recently popped
+    /// event (or zero before the first pop).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events popped so far (for run-length diagnostics).
+    pub fn events_processed(&self) -> u64 {
+        self.popped
+    }
+
+    /// Number of events still pending (including cancelled tombstones).
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events remain.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedule `event` at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics in debug builds if `at` is in the past: the simulator never
+    /// rewinds its clock.
+    pub fn schedule_at(&mut self, at: SimTime, event: E) -> EventId {
+        debug_assert!(at >= self.now, "scheduling into the past");
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry { at, seq, event });
+        EventId(seq)
+    }
+
+    /// Schedule `event` to fire `after` from the current time.
+    pub fn schedule_after(&mut self, after: SimDuration, event: E) -> EventId {
+        self.schedule_at(self.now + after, event)
+    }
+
+    /// Cancel a previously scheduled event. Cancelling an event that has
+    /// already fired (or was already cancelled) is a no-op.
+    pub fn cancel(&mut self, id: EventId) {
+        self.cancelled.insert(id.0);
+    }
+
+    /// Pop the next event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(entry) = self.heap.pop() {
+            if self.cancelled.remove(&entry.seq) {
+                continue;
+            }
+            debug_assert!(entry.at >= self.now, "time went backwards");
+            self.now = entry.at;
+            self.popped += 1;
+            return Some((entry.at, entry.event));
+        }
+        None
+    }
+
+    /// Timestamp of the next pending (non-cancelled) event without popping.
+    ///
+    /// This needs to skip tombstones, so it may pop-and-discard cancelled
+    /// entries internally.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        while let Some(entry) = self.heap.peek() {
+            if self.cancelled.contains(&entry.seq) {
+                let e = self.heap.pop().unwrap();
+                self.cancelled.remove(&e.seq);
+                continue;
+            }
+            return Some(entry.at);
+        }
+        None
+    }
+}
+
+/// Anything events can be scheduled onto. Implemented by [`EventQueue`]
+/// itself and by adapters that wrap a queue of a larger event enum, so that
+/// a subsystem (e.g. the network fabric) can schedule its own event type
+/// while the composed world uses one enum for everything.
+pub trait Scheduler<E> {
+    /// Current simulated time.
+    fn now(&self) -> SimTime;
+    /// Schedule `event` at absolute time `at`, returning a cancellation id.
+    fn at(&mut self, at: SimTime, event: E) -> EventId;
+    /// Schedule `event` after a relative delay.
+    fn after(&mut self, d: SimDuration, event: E) -> EventId {
+        let at = self.now() + d;
+        self.at(at, event)
+    }
+    /// Cancel a previously scheduled event.
+    fn cancel(&mut self, id: EventId);
+}
+
+impl<E> Scheduler<E> for EventQueue<E> {
+    fn now(&self) -> SimTime {
+        EventQueue::now(self)
+    }
+    fn at(&mut self, at: SimTime, event: E) -> EventId {
+        self.schedule_at(at, event)
+    }
+    fn cancel(&mut self, id: EventId) {
+        EventQueue::cancel(self, id)
+    }
+}
+
+/// Adapter that lets a component scheduling events of type `Small` run on a
+/// queue whose event type is a larger enum `Big`.
+pub struct MapScheduler<'a, Big, Small, F>
+where
+    F: FnMut(Small) -> Big,
+{
+    inner: &'a mut EventQueue<Big>,
+    map: F,
+    _marker: core::marker::PhantomData<Small>,
+}
+
+impl<'a, Big, Small, F> MapScheduler<'a, Big, Small, F>
+where
+    F: FnMut(Small) -> Big,
+{
+    /// Wrap `queue` so that `Small` events are converted with `map`.
+    pub fn new(queue: &'a mut EventQueue<Big>, map: F) -> Self {
+        MapScheduler {
+            inner: queue,
+            map,
+            _marker: core::marker::PhantomData,
+        }
+    }
+}
+
+impl<'a, Big, Small, F> Scheduler<Small> for MapScheduler<'a, Big, Small, F>
+where
+    F: FnMut(Small) -> Big,
+{
+    fn now(&self) -> SimTime {
+        self.inner.now()
+    }
+    fn at(&mut self, at: SimTime, event: Small) -> EventId {
+        self.inner.schedule_at(at, (self.map)(event))
+    }
+    fn cancel(&mut self, id: EventId) {
+        self.inner.cancel(id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_micros(5), "c");
+        q.schedule_at(SimTime::from_micros(1), "a");
+        q.schedule_at(SimTime::from_micros(3), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+        assert_eq!(q.now(), SimTime::from_micros(5));
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_micros(1);
+        for i in 0..100 {
+            q.schedule_at(t, i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancellation_skips_events() {
+        let mut q = EventQueue::new();
+        let a = q.schedule_at(SimTime::from_micros(1), "a");
+        q.schedule_at(SimTime::from_micros(2), "b");
+        q.cancel(a);
+        assert_eq!(q.pop().map(|(_, e)| e), Some("b"));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn peek_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let a = q.schedule_at(SimTime::from_micros(1), "a");
+        q.schedule_at(SimTime::from_micros(7), "b");
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(SimTime::from_micros(7)));
+    }
+
+    #[test]
+    fn relative_scheduling_uses_clock() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_micros(10), 0u32);
+        q.pop();
+        q.schedule_after(SimDuration::from_micros(5), 1u32);
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t, SimTime::from_micros(15));
+    }
+
+    #[test]
+    fn map_scheduler_wraps_events() {
+        #[derive(Debug, PartialEq)]
+        enum Big {
+            Net(u8),
+        }
+        let mut q: EventQueue<Big> = EventQueue::new();
+        {
+            let mut m = MapScheduler::new(&mut q, Big::Net);
+            m.at(SimTime::from_micros(1), 42u8);
+        }
+        assert_eq!(q.pop().map(|(_, e)| e), Some(Big::Net(42)));
+    }
+}

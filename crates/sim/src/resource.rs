@@ -1,0 +1,220 @@
+//! Analytic FIFO service resources.
+//!
+//! CPU cores, DMA engines and PCIe channels are all "c servers draining a
+//! FIFO of jobs". Instead of simulating each job's enqueue/dequeue as
+//! events, [`FifoResource`] computes each job's completion time analytically
+//! at admission: for a non-preemptive FIFO multi-server queue, a job
+//! admitted at `now` with service time `s` completes at
+//! `max(now, earliest_free_server) + s`. The caller schedules that
+//! completion as a single event. This is exact and keeps the event count
+//! proportional to jobs, not to queue operations.
+
+use std::collections::BinaryHeap;
+
+use crate::time::{SimDuration, SimTime};
+
+/// A multi-server FIFO queueing resource with analytic completion times.
+#[derive(Debug)]
+pub struct FifoResource {
+    /// Min-heap (via Reverse ordering on nanos) of each server's
+    /// next-free time.
+    free_at: BinaryHeap<std::cmp::Reverse<u64>>,
+    servers: usize,
+    busy_ns: u64,
+    jobs: u64,
+    last_reset: SimTime,
+}
+
+impl FifoResource {
+    /// A resource with `servers` parallel servers (e.g. CPU cores).
+    ///
+    /// # Panics
+    /// Panics if `servers == 0`.
+    pub fn new(servers: usize) -> Self {
+        assert!(servers > 0, "resource needs at least one server");
+        let mut free_at = BinaryHeap::with_capacity(servers);
+        for _ in 0..servers {
+            free_at.push(std::cmp::Reverse(0));
+        }
+        FifoResource {
+            free_at,
+            servers,
+            busy_ns: 0,
+            jobs: 0,
+            last_reset: SimTime::ZERO,
+        }
+    }
+
+    /// Number of parallel servers.
+    pub fn servers(&self) -> usize {
+        self.servers
+    }
+
+    /// Admit a job at `now` requiring `service` of work on one server.
+    /// Returns the completion time; the job occupies the earliest-free
+    /// server from `max(now, free)` to the returned instant.
+    pub fn admit(&mut self, now: SimTime, service: SimDuration) -> SimTime {
+        let std::cmp::Reverse(free) = self.free_at.pop().expect("non-empty");
+        let start = now.as_nanos().max(free);
+        let done = start + service.as_nanos();
+        self.free_at.push(std::cmp::Reverse(done));
+        self.busy_ns += service.as_nanos();
+        self.jobs += 1;
+        SimTime::from_nanos(done)
+    }
+
+    /// Queueing delay a job admitted at `now` would experience before
+    /// starting service (without admitting it).
+    pub fn backlog(&self, now: SimTime) -> SimDuration {
+        let std::cmp::Reverse(free) = *self.free_at.peek().expect("non-empty");
+        SimDuration::from_nanos(free.saturating_sub(now.as_nanos()))
+    }
+
+    /// Total service time accumulated since the last [`reset_stats`].
+    ///
+    /// [`reset_stats`]: FifoResource::reset_stats
+    pub fn busy_time(&self) -> SimDuration {
+        SimDuration::from_nanos(self.busy_ns)
+    }
+
+    /// Jobs admitted since the last reset.
+    pub fn jobs(&self) -> u64 {
+        self.jobs
+    }
+
+    /// Mean utilization of the servers over `[last_reset, now]`.
+    pub fn utilization(&self, now: SimTime) -> f64 {
+        let elapsed = now.saturating_since(self.last_reset).as_nanos();
+        if elapsed == 0 {
+            return 0.0;
+        }
+        self.busy_ns as f64 / (elapsed as f64 * self.servers as f64)
+    }
+
+    /// Equivalent number of fully-busy servers over `[last_reset, now]` —
+    /// this is the "consumed cores" metric of the paper's Table 1.
+    pub fn consumed_servers(&self, now: SimTime) -> f64 {
+        self.utilization(now) * self.servers as f64
+    }
+
+    /// Reset utilization accounting (e.g. after warm-up).
+    pub fn reset_stats(&mut self, now: SimTime) {
+        self.busy_ns = 0;
+        self.jobs = 0;
+        self.last_reset = now;
+    }
+}
+
+/// A serial bandwidth channel (PCIe lane group, DMA engine): jobs are byte
+/// transfers serialized at a fixed rate, FIFO order.
+#[derive(Debug)]
+pub struct Channel {
+    resource: FifoResource,
+    rate: crate::rate::Bandwidth,
+    /// Fixed per-transfer latency added after serialization (e.g. PCIe
+    /// round-trip / doorbell cost).
+    per_transfer: SimDuration,
+    bytes: u64,
+}
+
+impl Channel {
+    /// A channel of the given rate with a fixed per-transfer overhead.
+    pub fn new(rate: crate::rate::Bandwidth, per_transfer: SimDuration) -> Self {
+        Channel {
+            resource: FifoResource::new(1),
+            rate,
+            per_transfer,
+            bytes: 0,
+        }
+    }
+
+    /// The configured line rate.
+    pub fn rate(&self) -> crate::rate::Bandwidth {
+        self.rate
+    }
+
+    /// Admit a transfer of `bytes` at `now`; returns its completion time.
+    pub fn transfer(&mut self, now: SimTime, bytes: usize) -> SimTime {
+        self.bytes += bytes as u64;
+        let ser = self.rate.transmit_time(bytes);
+        self.resource.admit(now, ser) + self.per_transfer
+    }
+
+    /// Total bytes moved since construction or stats reset.
+    pub fn bytes_moved(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Mean utilization over `[reset, now]`.
+    pub fn utilization(&self, now: SimTime) -> f64 {
+        self.resource.utilization(now)
+    }
+
+    /// Reset accounting.
+    pub fn reset_stats(&mut self, now: SimTime) {
+        self.resource.reset_stats(now);
+        self.bytes = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rate::Bandwidth;
+
+    #[test]
+    fn single_server_serializes() {
+        let mut r = FifoResource::new(1);
+        let t0 = SimTime::from_micros(0);
+        let d = SimDuration::from_micros(10);
+        assert_eq!(r.admit(t0, d), SimTime::from_micros(10));
+        assert_eq!(r.admit(t0, d), SimTime::from_micros(20));
+        assert_eq!(r.admit(SimTime::from_micros(50), d), SimTime::from_micros(60));
+    }
+
+    #[test]
+    fn multi_server_runs_parallel() {
+        let mut r = FifoResource::new(2);
+        let t0 = SimTime::ZERO;
+        let d = SimDuration::from_micros(10);
+        assert_eq!(r.admit(t0, d), SimTime::from_micros(10));
+        assert_eq!(r.admit(t0, d), SimTime::from_micros(10));
+        assert_eq!(r.admit(t0, d), SimTime::from_micros(20));
+    }
+
+    #[test]
+    fn backlog_reports_wait() {
+        let mut r = FifoResource::new(1);
+        r.admit(SimTime::ZERO, SimDuration::from_micros(10));
+        assert_eq!(r.backlog(SimTime::ZERO), SimDuration::from_micros(10));
+        assert_eq!(r.backlog(SimTime::from_micros(4)), SimDuration::from_micros(6));
+        assert_eq!(r.backlog(SimTime::from_micros(30)), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn utilization_counts_busy_fraction() {
+        let mut r = FifoResource::new(2);
+        r.admit(SimTime::ZERO, SimDuration::from_micros(10));
+        // 10us busy of 2 servers * 10us elapsed = 0.5 util.
+        assert!((r.utilization(SimTime::from_micros(10)) - 0.5).abs() < 1e-9);
+        assert!((r.consumed_servers(SimTime::from_micros(10)) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn channel_serializes_bytes() {
+        // 1 Gbps, no fixed overhead: 1024B = 8.192us each.
+        let mut ch = Channel::new(Bandwidth::from_gbps(1), SimDuration::ZERO);
+        assert_eq!(ch.transfer(SimTime::ZERO, 1024), SimTime::from_nanos(8192));
+        assert_eq!(ch.transfer(SimTime::ZERO, 1024), SimTime::from_nanos(16384));
+        assert_eq!(ch.bytes_moved(), 2048);
+    }
+
+    #[test]
+    fn channel_adds_fixed_latency() {
+        let mut ch = Channel::new(Bandwidth::from_gbps(1), SimDuration::from_micros(1));
+        assert_eq!(
+            ch.transfer(SimTime::ZERO, 1024),
+            SimTime::from_nanos(8192 + 1000)
+        );
+    }
+}

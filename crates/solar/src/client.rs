@@ -1,0 +1,798 @@
+//! The SOLAR initiator (compute-side control plane).
+//!
+//! One [`SolarClient`] manages the transport toward **one block server**:
+//! it sprays one-block packets across the persistent paths (favoring low
+//! RTT), tracks per-packet timeouts for selective retransmission on a
+//! different path, infers path failure from consecutive timeouts and
+//! shifts traffic within milliseconds (§4.5), and runs HPCC per path from
+//! the INT stacks echoed in per-packet ACKs.
+//!
+//! Sans-io: the host drives it with [`SolarClient::on_packet`] /
+//! [`SolarClient::on_timer`], drains [`SolarClient::poll_transmit`] and
+//! [`SolarClient::poll_event`].
+//!
+//! Simplification vs. Fig. 13: the paper sends one READ request RPC that
+//! yields multiple response blocks; we send one small `ReadReq` packet per
+//! block so that every outstanding packet has exactly one answer and the
+//! retransmission machinery is identical for reads and writes. The wire
+//! property that matters — each *data-bearing* packet is one self-
+//! contained block — is unchanged.
+
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+use bytes::Bytes;
+use ebs_sim::{SimDuration, SimTime};
+use ebs_wire::{EbsHeader, EbsOp, IntStack, FLAG_INT_REQUEST, FLAG_RETRANSMIT};
+
+use crate::config::SolarConfig;
+use crate::path::{Path, PktKey};
+
+/// A packet the host must put on the wire (UDP source port selects the
+/// path: `base_port + hdr.path_id`).
+#[derive(Debug, Clone)]
+pub struct OutPacket {
+    /// EBS header (path_id / path_seq already assigned).
+    pub hdr: EbsHeader,
+    /// Block payload (empty for requests/acks/probes).
+    pub payload: Bytes,
+    /// UDP source port to use.
+    pub src_port: u16,
+    /// Whether switches should stamp INT into this packet.
+    pub int_request: bool,
+}
+
+impl OutPacket {
+    /// Total wire size (Ethernet+IP+UDP+EBS headers + payload).
+    pub fn wire_size(&self) -> usize {
+        ebs_wire::SOLAR_OVERHEAD + self.payload.len()
+    }
+}
+
+/// A packet arriving from the fabric.
+#[derive(Debug, Clone)]
+pub struct InPacket {
+    /// Decoded EBS header.
+    pub hdr: EbsHeader,
+    /// Payload (for `ReadResp`).
+    pub payload: Bytes,
+    /// INT stack carried/echoed by this packet.
+    pub int: Option<IntStack>,
+}
+
+/// What kind of I/O an RPC is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RpcKind {
+    /// Write blocks to the block server.
+    Write,
+    /// Read blocks back.
+    Read,
+}
+
+/// Completion / notification events for the host.
+#[derive(Debug)]
+pub enum SolarEvent {
+    /// Every packet of the RPC has been acknowledged / received.
+    RpcCompleted {
+        /// RPC id.
+        rpc_id: u64,
+        /// Read or write.
+        kind: RpcKind,
+        /// Submission-to-completion latency.
+        latency: SimDuration,
+    },
+    /// One read block arrived (host DMAs it to `guest_addr` and feeds the
+    /// segment CRC checker).
+    BlockReceived {
+        /// RPC id.
+        rpc_id: u64,
+        /// Packet index within the RPC.
+        pkt_id: u16,
+        /// Virtual-disk block address.
+        block_addr: u64,
+        /// Guest memory destination recorded in the Addr table.
+        guest_addr: u64,
+        /// Block payload.
+        data: Bytes,
+        /// CRC the responder computed (verified by the host's checker).
+        crc: u32,
+    },
+    /// A packet exhausted its retry budget; the RPC failed upward.
+    RpcFailed {
+        /// RPC id.
+        rpc_id: u64,
+    },
+    /// A path was declared failed (consecutive timeouts).
+    PathDown {
+        /// Path index.
+        path_id: u8,
+    },
+    /// A failed path answered a probe and rejoined the spray set.
+    PathUp {
+        /// Path index.
+        path_id: u8,
+    },
+}
+
+/// Transport counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SolarStats {
+    /// Data/request packets sent (including retransmissions).
+    pub pkts_sent: u64,
+    /// Retransmitted packets.
+    pub retransmits: u64,
+    /// Per-packet timeouts.
+    pub timeouts: u64,
+    /// Losses inferred from path-sequence gaps (before RTO).
+    pub reorder_losses: u64,
+    /// RPCs completed.
+    pub rpcs_completed: u64,
+    /// RPCs failed.
+    pub rpcs_failed: u64,
+    /// Path failover events.
+    pub path_failovers: u64,
+    /// Probes sent.
+    pub probes_sent: u64,
+}
+
+#[derive(Debug)]
+struct Outstanding {
+    hdr: EbsHeader,
+    payload: Bytes,
+    credit_bytes: u64,
+    sent_at: SimTime,
+    path: u8,
+    path_seq: u32,
+    retries: u32,
+    generation: u64,
+    retransmitted: bool,
+    in_flight: bool,
+    /// Path that most recently timed this packet out; the retransmit
+    /// prefers any other path.
+    avoid_path: Option<u8>,
+}
+
+#[derive(Debug)]
+struct RpcState {
+    kind: RpcKind,
+    total: u16,
+    done: u16,
+    submitted: SimTime,
+    failed: bool,
+}
+
+#[derive(Debug, PartialEq, Eq)]
+struct TimerEntry {
+    at_ns: u64,
+    key: PktKey,
+    generation: u64,
+}
+
+impl Ord for TimerEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Min-heap by time.
+        other
+            .at_ns
+            .cmp(&self.at_ns)
+            .then_with(|| other.key.cmp(&self.key))
+            .then_with(|| other.generation.cmp(&self.generation))
+    }
+}
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// One block of a WRITE submission.
+#[derive(Debug, Clone)]
+pub struct WriteBlock {
+    /// Virtual-disk block address.
+    pub block_addr: u64,
+    /// Block payload (may be an empty placeholder in pure-latency sims;
+    /// `len` is taken from the config block size in that case).
+    pub payload: Bytes,
+    /// Raw CRC32 of the (padded) payload, as the CRC stage computed it.
+    pub crc: u32,
+}
+
+/// One block of a READ submission.
+#[derive(Debug, Clone)]
+pub struct ReadBlock {
+    /// Virtual-disk block address to fetch.
+    pub block_addr: u64,
+    /// Guest memory address the block lands at (Addr-table entry).
+    pub guest_addr: u64,
+}
+
+/// The SOLAR initiator toward one block server (see module docs).
+#[derive(Debug)]
+pub struct SolarClient {
+    cfg: SolarConfig,
+    paths: Vec<Path>,
+    outstanding: HashMap<PktKey, Outstanding>,
+    /// The Addr table: (rpc, pkt) → guest address for in-flight reads. In
+    /// real SOLAR this lives in FPGA BRAM (Table 3 charges it 5.1% LUT /
+    /// 8.1% BRAM); it is the *only* per-request state the design needs.
+    addr_table: HashMap<PktKey, u64>,
+    txq: VecDeque<PktKey>,
+    timers: BinaryHeap<TimerEntry>,
+    rpcs: HashMap<u64, RpcState>,
+    events: VecDeque<SolarEvent>,
+    stats: SolarStats,
+    next_generation: u64,
+    rr_cursor: usize,
+}
+
+impl SolarClient {
+    /// A client with `cfg.n_paths` fresh paths.
+    ///
+    /// # Panics
+    /// Panics if `cfg.n_paths` is zero or exceeds 256.
+    pub fn new(cfg: SolarConfig) -> Self {
+        assert!(cfg.n_paths > 0 && cfg.n_paths <= 256, "1..=256 paths");
+        let paths = (0..cfg.n_paths as u8).map(|i| Path::new(i, &cfg)).collect();
+        SolarClient {
+            cfg,
+            paths,
+            outstanding: HashMap::new(),
+            addr_table: HashMap::new(),
+            txq: VecDeque::new(),
+            timers: BinaryHeap::new(),
+            rpcs: HashMap::new(),
+            events: VecDeque::new(),
+            stats: SolarStats::default(),
+            next_generation: 1,
+            rr_cursor: 0,
+        }
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> SolarStats {
+        self.stats
+    }
+
+    /// Per-path view (diagnostics / tests).
+    pub fn paths(&self) -> &[Path] {
+        &self.paths
+    }
+
+    /// In-flight plus queued packets.
+    pub fn outstanding_packets(&self) -> usize {
+        self.outstanding.len()
+    }
+
+    /// Number of RPCs not yet completed or failed.
+    pub fn inflight_rpcs(&self) -> usize {
+        self.rpcs.len()
+    }
+
+    /// Submit a WRITE: one packet per block.
+    ///
+    /// # Panics
+    /// Panics if `rpc_id` is already in flight or `blocks` is empty.
+    pub fn submit_write(
+        &mut self,
+        now: SimTime,
+        rpc_id: u64,
+        vd_id: u64,
+        segment_id: u64,
+        blocks: Vec<WriteBlock>,
+    ) {
+        assert!(!blocks.is_empty(), "empty write");
+        assert!(
+            !self.rpcs.contains_key(&rpc_id),
+            "rpc_id {rpc_id} already in flight"
+        );
+        let total = blocks.len() as u16;
+        self.rpcs.insert(
+            rpc_id,
+            RpcState {
+                kind: RpcKind::Write,
+                total,
+                done: 0,
+                submitted: now,
+                failed: false,
+            },
+        );
+        for (i, b) in blocks.into_iter().enumerate() {
+            let len = if b.payload.is_empty() {
+                self.cfg.block_size as u32
+            } else {
+                b.payload.len() as u32
+            };
+            let key = PktKey {
+                rpc_id,
+                pkt_id: i as u16,
+            };
+            let hdr = EbsHeader {
+                version: EbsHeader::VERSION,
+                op: EbsOp::WriteBlock,
+                flags: if self.cfg.int_enabled { FLAG_INT_REQUEST } else { 0 },
+                path_id: 0,
+                vd_id,
+                rpc_id,
+                pkt_id: key.pkt_id,
+                total_pkts: total,
+                block_addr: b.block_addr,
+                len,
+                payload_crc: b.crc,
+                path_seq: 0,
+                segment_id,
+            };
+            self.outstanding.insert(
+                key,
+                Outstanding {
+                    hdr,
+                    payload: b.payload,
+                    credit_bytes: len as u64 + ebs_wire::SOLAR_OVERHEAD as u64,
+                    sent_at: now,
+                    path: 0,
+                    path_seq: 0,
+                    retries: 0,
+                    generation: 0,
+                    retransmitted: false,
+                    in_flight: false,
+                    avoid_path: None,
+                },
+            );
+            self.txq.push_back(key);
+        }
+    }
+
+    /// Submit a READ: one request packet per block; responses DMA to the
+    /// recorded guest addresses.
+    ///
+    /// # Panics
+    /// Panics if `rpc_id` is already in flight or `blocks` is empty.
+    pub fn submit_read(
+        &mut self,
+        now: SimTime,
+        rpc_id: u64,
+        vd_id: u64,
+        segment_id: u64,
+        blocks: Vec<ReadBlock>,
+    ) {
+        assert!(!blocks.is_empty(), "empty read");
+        assert!(
+            !self.rpcs.contains_key(&rpc_id),
+            "rpc_id {rpc_id} already in flight"
+        );
+        let total = blocks.len() as u16;
+        self.rpcs.insert(
+            rpc_id,
+            RpcState {
+                kind: RpcKind::Read,
+                total,
+                done: 0,
+                submitted: now,
+                failed: false,
+            },
+        );
+        for (i, b) in blocks.into_iter().enumerate() {
+            let key = PktKey {
+                rpc_id,
+                pkt_id: i as u16,
+            };
+            let hdr = EbsHeader {
+                version: EbsHeader::VERSION,
+                op: EbsOp::ReadReq,
+                flags: if self.cfg.int_enabled { FLAG_INT_REQUEST } else { 0 },
+                path_id: 0,
+                vd_id,
+                rpc_id,
+                pkt_id: key.pkt_id,
+                total_pkts: total,
+                block_addr: b.block_addr,
+                len: self.cfg.block_size as u32,
+                payload_crc: 0,
+                path_seq: 0,
+                // The Addr table entry travels with the client; segment_id
+                // routes the lookup server-side.
+                segment_id,
+            };
+            self.outstanding.insert(
+                key,
+                Outstanding {
+                    hdr,
+                    payload: Bytes::new(),
+                    // Reads credit the *response* size against the window:
+                    // that is the direction that congests.
+                    credit_bytes: self.cfg.block_size as u64 + ebs_wire::SOLAR_OVERHEAD as u64,
+                    sent_at: now,
+                    path: 0,
+                    path_seq: 0,
+                    retries: 0,
+                    generation: 0,
+                    retransmitted: false,
+                    in_flight: false,
+                    avoid_path: None,
+                },
+            );
+            // Addr-table entry: remember where the block lands.
+            self.addr_insert(key, b.guest_addr);
+            self.txq.push_back(key);
+        }
+    }
+
+    fn addr_insert(&mut self, key: PktKey, guest_addr: u64) {
+        self.addr_table.insert(key, guest_addr);
+    }
+
+    /// Earliest instant `on_timer` must run (packet RTOs and path probes).
+    pub fn poll_timer(&self) -> Option<SimTime> {
+        let t1 = self.timers.peek().map(|e| SimTime::from_nanos(e.at_ns));
+        let t2 = self
+            .paths
+            .iter()
+            .filter_map(|p| p.next_probe())
+            .min();
+        match (t1, t2) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Fire due timers: packet timeouts (→ selective retransmit on another
+    /// path, path-failure inference) and probe transmissions.
+    pub fn on_timer(&mut self, now: SimTime) {
+        // Packet RTOs.
+        while let Some(top) = self.timers.peek() {
+            if top.at_ns > now.as_nanos() {
+                break;
+            }
+            let TimerEntry { key, generation, .. } = self.timers.pop().expect("peeked");
+            let Some(o) = self.outstanding.get(&key) else {
+                continue; // already completed
+            };
+            if o.generation != generation || !o.in_flight {
+                continue; // retransmitted since; stale timer
+            }
+            self.handle_timeout(now, key);
+        }
+        // Probes for failed paths are emitted from poll_transmit; nothing
+        // else to do here (next_probe gates them by time).
+    }
+
+    fn handle_timeout(&mut self, now: SimTime, key: PktKey) {
+        self.stats.timeouts += 1;
+        let o = self.outstanding.get_mut(&key).expect("checked");
+        let old_path = o.path;
+        let old_seq = o.path_seq;
+        let credit = o.credit_bytes;
+        o.in_flight = false;
+        o.retransmitted = true;
+        o.retries += 1;
+        o.avoid_path = Some(old_path);
+        let out_of_budget = o.retries > self.cfg.max_pkt_retries;
+        let rpc_id = o.hdr.rpc_id;
+        self.paths[old_path as usize].release(old_seq, credit);
+        let failed_now = self.paths[old_path as usize].on_timeout(now, &self.cfg);
+        if failed_now {
+            self.stats.path_failovers += 1;
+            self.events.push_back(SolarEvent::PathDown { path_id: old_path });
+        }
+        if out_of_budget {
+            self.fail_rpc(rpc_id);
+            return;
+        }
+        // Selective retransmission, preferably on a different path.
+        self.stats.retransmits += 1;
+        self.txq.push_front(key);
+    }
+
+    fn fail_rpc(&mut self, rpc_id: u64) {
+        if let Some(rpc) = self.rpcs.get_mut(&rpc_id) {
+            if !rpc.failed {
+                rpc.failed = true;
+                self.stats.rpcs_failed += 1;
+                self.events.push_back(SolarEvent::RpcFailed { rpc_id });
+            }
+        }
+        // Drop all of this RPC's outstanding packets.
+        let keys: Vec<PktKey> = self
+            .outstanding
+            .keys()
+            .filter(|k| k.rpc_id == rpc_id)
+            .copied()
+            .collect();
+        for k in keys {
+            if let Some(o) = self.outstanding.remove(&k) {
+                if o.in_flight {
+                    self.paths[o.path as usize].release(o.path_seq, o.credit_bytes);
+                }
+            }
+            self.addr_table.remove(&k);
+        }
+        self.txq.retain(|k| k.rpc_id != rpc_id);
+        self.rpcs.remove(&rpc_id);
+    }
+
+    /// Pick the best up path with window for `bytes`: lowest smoothed RTT,
+    /// unknown-RTT paths tried round-robin so all get measured. Falls back
+    /// to *any* up path (ignoring window) only for retransmissions, and to
+    /// the least-bad failed path if everything is down.
+    fn pick_path(&self, bytes: u64, ignore_window: bool, avoid: Option<u8>) -> Option<u8> {
+        let mut best: Option<(u8, f64)> = None;
+        let n = self.paths.len();
+        // Pass 1 honors the avoid-hint; if nothing qualifies, retry
+        // without it (a lone healthy path is better than none).
+        for honor_avoid in [true, false] {
+            for i in 0..n {
+                let idx = (self.rr_cursor + i) % n;
+                let p = &self.paths[idx];
+                if honor_avoid && avoid == Some(p.id) {
+                    continue;
+                }
+                if !p.is_up() {
+                    continue;
+                }
+                if !ignore_window && p.available_window() < bytes {
+                    continue;
+                }
+                let rtt = p
+                    .srtt()
+                    .map(|d| d.as_nanos() as f64)
+                    .unwrap_or(0.0); // unmeasured paths look fastest → get sampled
+                match best {
+                    None => best = Some((p.id, rtt)),
+                    Some((_, b)) if rtt < b => best = Some((p.id, rtt)),
+                    _ => {}
+                }
+            }
+            if best.is_some() {
+                break;
+            }
+        }
+        // Last resort for retransmissions: every path is Failed, but an
+        // idle transmit queue helps nobody — push the packet through the
+        // least-recently-probed failed path (it doubles as a probe with
+        // payload).
+        if best.is_none() && ignore_window {
+            best = self
+                .paths
+                .iter()
+                .min_by_key(|p| p.next_probe().map(|t| t.as_nanos()).unwrap_or(u64::MAX))
+                .map(|p| (p.id, 0.0));
+        }
+        best.map(|(id, _)| id)
+    }
+
+
+    /// Produce the next packet to put on the wire, if any. Call repeatedly
+    /// until `None` after submissions, ACKs and timer fires.
+    pub fn poll_transmit(&mut self, now: SimTime) -> Option<OutPacket> {
+        // 1. Probes for failed paths.
+        for i in 0..self.paths.len() {
+            let due = matches!(self.paths[i].next_probe(), Some(t) if t <= now);
+            if due {
+                self.paths[i].probe_sent(now, &self.cfg);
+                self.stats.probes_sent += 1;
+                let path_id = self.paths[i].id;
+                let src_port = self.paths[i].src_port(&self.cfg);
+                return Some(OutPacket {
+                    hdr: EbsHeader {
+                        version: EbsHeader::VERSION,
+                        op: EbsOp::Probe,
+                        flags: 0,
+                        path_id,
+                        vd_id: 0,
+                        rpc_id: 0,
+                        pkt_id: 0,
+                        total_pkts: 0,
+                        block_addr: 0,
+                        len: 0,
+                        payload_crc: 0,
+                        path_seq: 0,
+                        segment_id: 0,
+                    },
+                    payload: Bytes::new(),
+                    src_port,
+                    int_request: false,
+                });
+            }
+        }
+
+        // 2. Data / request packets gated by per-path windows. Scan a
+        // bounded prefix of the queue so a window-blocked new packet at
+        // the head cannot starve retransmissions (which bypass windows)
+        // or packets destined for paths with free window.
+        let mut chosen: Option<(usize, PktKey, u8)> = None;
+        for (idx, &key) in self.txq.iter().enumerate().take(64) {
+            let Some(o) = self.outstanding.get(&key) else {
+                continue;
+            };
+            let is_retx = o.retries > 0;
+            if let Some(path_id) = self.pick_path(o.credit_bytes, is_retx, o.avoid_path) {
+                chosen = Some((idx, key, path_id));
+                break;
+            }
+        }
+        let (idx, key, path_id) = chosen?;
+        self.txq.remove(idx);
+        self.rr_cursor = (self.rr_cursor + 1) % self.paths.len();
+
+        let generation = self.next_generation;
+        self.next_generation += 1;
+        let o = self.outstanding.get_mut(&key).expect("present");
+        let bytes = o.credit_bytes;
+        let is_retx = o.retries > 0;
+        let seq = self.paths[path_id as usize].register_tx(key, bytes);
+        o.path = path_id;
+        o.path_seq = seq;
+        o.sent_at = now;
+        o.generation = generation;
+        o.in_flight = true;
+        o.hdr.path_id = path_id;
+        o.hdr.path_seq = seq;
+        if is_retx {
+            o.hdr.flags |= FLAG_RETRANSMIT;
+        }
+        let rto = self.paths[path_id as usize].rto();
+        self.timers.push(TimerEntry {
+            at_ns: (now + rto).as_nanos(),
+            key,
+            generation,
+        });
+        self.stats.pkts_sent += 1;
+        let src_port = self.paths[path_id as usize].src_port(&self.cfg);
+        Some(OutPacket {
+            hdr: o.hdr,
+            payload: o.payload.clone(),
+            src_port,
+            int_request: self.cfg.int_enabled,
+        })
+    }
+
+    /// Process a packet from the fabric (ACK, read response, probe ack or
+    /// NACK).
+    pub fn on_packet(&mut self, now: SimTime, pkt: InPacket) {
+        match pkt.hdr.op {
+            EbsOp::WriteAck => self.complete_packet(now, pkt, false),
+            EbsOp::ReadResp => self.complete_packet(now, pkt, true),
+            EbsOp::ProbeAck => {
+                let id = pkt.hdr.path_id as usize;
+                if id < self.paths.len() && !self.paths[id].is_up() {
+                    self.paths[id].revive();
+                    self.events.push_back(SolarEvent::PathUp {
+                        path_id: pkt.hdr.path_id,
+                    });
+                }
+            }
+            EbsOp::Nack => {
+                let key = PktKey {
+                    rpc_id: pkt.hdr.rpc_id,
+                    pkt_id: pkt.hdr.pkt_id,
+                };
+                if self.outstanding.get(&key).is_some_and(|o| o.in_flight) {
+                    self.handle_timeout(now, key); // treat as immediate loss
+                }
+            }
+            EbsOp::GapNack => self.on_gap_nack(now, &pkt.hdr),
+            EbsOp::WriteBlock | EbsOp::ReadReq | EbsOp::Probe => {
+                // Initiator never receives these; drop.
+            }
+        }
+    }
+
+    fn complete_packet(&mut self, now: SimTime, pkt: InPacket, is_read: bool) {
+        let key = PktKey {
+            rpc_id: pkt.hdr.rpc_id,
+            pkt_id: pkt.hdr.pkt_id,
+        };
+        let Some(o) = self.outstanding.get(&key) else {
+            return; // duplicate ack / ack after rpc failure
+        };
+        if !o.in_flight {
+            return; // waiting in txq for retransmission: stale ack — accept it anyway
+        }
+        let o = self.outstanding.remove(&key).expect("present");
+        let path = &mut self.paths[o.path as usize];
+        path.release(o.path_seq, o.credit_bytes);
+        let sample = if o.retransmitted {
+            None
+        } else {
+            Some(now.saturating_since(o.sent_at))
+        };
+        path.on_ack(now, sample, pkt.int.as_ref(), &self.cfg);
+
+        if is_read {
+            let guest_addr = self.addr_table.remove(&key).unwrap_or(0);
+            self.events.push_back(SolarEvent::BlockReceived {
+                rpc_id: key.rpc_id,
+                pkt_id: key.pkt_id,
+                block_addr: pkt.hdr.block_addr,
+                guest_addr,
+                data: pkt.payload,
+                crc: pkt.hdr.payload_crc,
+            });
+        }
+
+        // RPC progress.
+        if let Some(rpc) = self.rpcs.get_mut(&key.rpc_id) {
+            rpc.done += 1;
+            if rpc.done == rpc.total && !rpc.failed {
+                let kind = rpc.kind;
+                let latency = now.saturating_since(rpc.submitted);
+                self.rpcs.remove(&key.rpc_id);
+                self.stats.rpcs_completed += 1;
+                self.events.push_back(SolarEvent::RpcCompleted {
+                    rpc_id: key.rpc_id,
+                    kind,
+                    latency,
+                });
+            }
+        }
+    }
+
+    /// Handle a receiver-side gap report: every outstanding packet whose
+    /// sequence falls in the reported gap is definitively lost (per-path
+    /// FIFO) and is retransmitted immediately, without waiting for its
+    /// RTO. ACK completion order carries *no* ordering information (it is
+    /// storage completion order), which is why loss inference lives at
+    /// the receiver, not in dupack counting.
+    fn on_gap_nack(&mut self, _now: SimTime, hdr: &EbsHeader) {
+        let path_idx = hdr.path_id as usize;
+        if path_idx >= self.paths.len() {
+            return;
+        }
+        let gap_start = hdr.block_addr as u32;
+        let gap_end = hdr.path_seq;
+        if gap_start >= gap_end {
+            return;
+        }
+        let lost: Vec<PktKey> = self.paths[path_idx]
+            .outstanding_seqs
+            .range(gap_start..gap_end)
+            .map(|(_, &k)| k)
+            .collect();
+        for k in lost {
+            let Some(o) = self.outstanding.get_mut(&k) else {
+                continue;
+            };
+            if !o.in_flight {
+                continue;
+            }
+            self.stats.reorder_losses += 1;
+            o.in_flight = false;
+            o.retransmitted = true;
+            o.retries += 1;
+            let (p, s, c, rpc) = (o.path, o.path_seq, o.credit_bytes, o.hdr.rpc_id);
+            self.paths[p as usize].release(s, c);
+            if self.outstanding[&k].retries > self.cfg.max_pkt_retries {
+                self.fail_rpc(rpc);
+            } else {
+                self.stats.retransmits += 1;
+                self.txq.push_front(k);
+            }
+        }
+    }
+
+    /// Drain the next host-visible event.
+    pub fn poll_event(&mut self) -> Option<SolarEvent> {
+        self.events.pop_front()
+    }
+
+    /// Number of live Addr-table entries (in-flight read blocks).
+    pub fn addr_table_entries(&self) -> usize {
+        self.addr_table.len()
+    }
+
+    /// Debug: one line per outstanding packet (diagnostics only).
+    pub fn debug_outstanding(&self) -> Vec<String> {
+        self.outstanding
+            .iter()
+            .map(|(k, o)| {
+                format!(
+                    "rpc={} pkt={} retries={} in_flight={} path={} seq={} sent_at={} avoid={:?}",
+                    k.rpc_id, k.pkt_id, o.retries, o.in_flight, o.path, o.path_seq,
+                    o.sent_at, o.avoid_path
+                )
+            })
+            .collect()
+    }
+
+    /// Debug: transmit-queue length (diagnostics only).
+    pub fn debug_txq_len(&self) -> usize {
+        self.txq.len()
+    }
+}

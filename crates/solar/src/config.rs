@@ -1,0 +1,112 @@
+//! SOLAR transport configuration.
+
+use ebs_sim::{Bandwidth, SimDuration};
+
+/// HPCC-style congestion control parameters (per path).
+#[derive(Debug, Clone, Copy)]
+pub struct HpccConfig {
+    /// Target utilization η (HPCC uses 0.95).
+    pub eta: f64,
+    /// Additive increase per ACK, in bytes (W_ai).
+    pub wai_bytes: f64,
+    /// Maximum additive-increase stages before a multiplicative update is
+    /// forced (HPCC's maxStage).
+    pub max_stage: u32,
+    /// Line rate of the bottleneck-free path (sets the initial window).
+    pub line_rate: Bandwidth,
+    /// Base (unloaded) RTT; with `line_rate` gives the BDP.
+    pub base_rtt: SimDuration,
+    /// Lower bound on the window so a path can always probe (bytes).
+    pub min_window: f64,
+}
+
+impl Default for HpccConfig {
+    fn default() -> Self {
+        HpccConfig {
+            eta: 0.95,
+            wai_bytes: 4096.0,
+            max_stage: 5,
+            // Per-path share of a 2x25GE NIC spraying over 4 paths: the
+            // *initial* window is one path's fair share of the NIC; HPCC
+            // grows it when INT shows headroom.
+            line_rate: Bandwidth::from_gbps(25),
+            base_rtt: SimDuration::from_micros(20),
+            min_window: 2.0 * 4096.0,
+        }
+    }
+}
+
+impl HpccConfig {
+    /// The bandwidth-delay product: initial and reference maximum window.
+    pub fn bdp_bytes(&self) -> f64 {
+        self.line_rate.bytes_per_sec() * self.base_rtt.as_secs_f64()
+    }
+}
+
+/// SOLAR transport configuration.
+#[derive(Debug, Clone)]
+pub struct SolarConfig {
+    /// Persistent paths per (compute, block-server) pair (§4.5 uses 4).
+    pub n_paths: usize,
+    /// Source UDP port of path 0; path `i` uses `base_port + i`.
+    pub base_port: u16,
+    /// Storage block size (4096).
+    pub block_size: usize,
+    /// RTO before any RTT estimate exists on a path.
+    pub rto_initial: SimDuration,
+    /// RTO floor.
+    pub rto_min: SimDuration,
+    /// RTO ceiling.
+    pub rto_max: SimDuration,
+    /// Consecutive timeouts on one path that mark it failed (§4.5 "uses
+    /// consecutive timeouts to infer a path failure").
+    pub path_fail_threshold: u32,
+    /// Probe interval while a path is failed.
+    pub probe_interval: SimDuration,
+    /// Retained for ablations: sender-side dupack-style loss inference is
+    /// unsound for SOLAR (ACK order is storage-completion order), so loss
+    /// is detected at the *receiver* via per-path arrival-sequence gaps
+    /// and reported with `GapNack`. This knob no longer gates anything.
+    pub reorder_threshold: u32,
+    /// Unanswered probes on a failed path before it is *remapped* to a
+    /// fresh UDP source port — i.e. a different ECMP hash. Persistent
+    /// paths are cheap to keep, but a silently blackholed bucket must
+    /// eventually be abandoned, not just probed.
+    pub remap_after_probes: u32,
+    /// Per-packet retransmit budget before the RPC is failed upward.
+    /// Production EBS never abandons an I/O (the guest observes a hang,
+    /// not an error — §3.3), so the default is effectively unbounded;
+    /// tests set small budgets to exercise the failure path.
+    pub max_pkt_retries: u32,
+    /// Request INT stamping and run HPCC; otherwise a fixed window.
+    pub int_enabled: bool,
+    /// Congestion control parameters.
+    pub hpcc: HpccConfig,
+}
+
+impl Default for SolarConfig {
+    fn default() -> Self {
+        SolarConfig {
+            n_paths: 4,
+            base_port: 47000,
+            block_size: 4096,
+            rto_initial: SimDuration::from_millis(1),
+            // The per-packet RTT includes storage service (a WRITE ack
+            // returns after 3-replica commit; a READ response after a
+            // NAND read), so the floor must clear the storage tail, not
+            // just the network's.
+            rto_min: SimDuration::from_micros(500),
+            // Storage round trips are ~100us; capping backoff at 20ms
+            // bounds any packet's worst-case delivery (even a long streak
+            // of losses stays well under the 1s hang threshold).
+            rto_max: SimDuration::from_millis(20),
+            path_fail_threshold: 3,
+            probe_interval: SimDuration::from_millis(10),
+            reorder_threshold: 3,
+            remap_after_probes: 2,
+            max_pkt_retries: u32::MAX,
+            int_enabled: true,
+            hpcc: HpccConfig::default(),
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! HPCC-style INT-driven congestion control, one instance per path.
+//!
+//! SOLAR pairs its per-packet ACKs with fine-grained congestion control
+//! (§4.8 cites HPCC [38]): every ACK echoes the INT stack the data packet
+//! collected, the sender computes the most-utilized hop's normalized
+//! utilization `U = qlen/(B·T) + txRate/B`, and the window follows HPCC's
+//! update rule — multiplicative adjustment toward `η` when over-utilized,
+//! bounded additive increase otherwise, against a per-RTT reference
+//! window `Wc`.
+
+use std::collections::HashMap;
+
+use ebs_sim::SimTime;
+use ebs_wire::IntStack;
+
+use crate::config::HpccConfig;
+
+/// Previous INT observation of one hop (to difference the tx counter).
+#[derive(Debug, Clone, Copy)]
+struct HopSnapshot {
+    tx_bytes: u64,
+    ts_ns: u64,
+}
+
+/// Per-path HPCC state.
+#[derive(Debug)]
+pub struct Hpcc {
+    cfg: HpccConfig,
+    /// Current window, bytes.
+    window: f64,
+    /// Reference window updated once per RTT.
+    wc: f64,
+    inc_stage: u32,
+    last_wc_update: SimTime,
+    prev_hops: HashMap<u32, HopSnapshot>,
+    /// Most recent computed max-hop utilization (diagnostic).
+    last_u: f64,
+}
+
+impl Hpcc {
+    /// A fresh controller starting at the BDP.
+    pub fn new(cfg: HpccConfig) -> Self {
+        let bdp = cfg.bdp_bytes();
+        Hpcc {
+            cfg,
+            window: bdp,
+            wc: bdp,
+            inc_stage: 0,
+            last_wc_update: SimTime::ZERO,
+            prev_hops: HashMap::new(),
+            last_u: 0.0,
+        }
+    }
+
+    /// Current window in bytes.
+    pub fn window(&self) -> f64 {
+        self.window
+    }
+
+    /// Last computed utilization (diagnostics / tests).
+    pub fn last_utilization(&self) -> f64 {
+        self.last_u
+    }
+
+    /// Process the INT stack echoed by an ACK.
+    pub fn on_ack(&mut self, now: SimTime, int: &IntStack) {
+        let Some(u) = self.max_hop_utilization(int) else {
+            return; // first sample of every hop: no rate yet
+        };
+        self.last_u = u;
+        let eta = self.cfg.eta;
+        // The window may grow past the per-path starting BDP when INT
+        // shows headroom (paths share the NIC unevenly), but is bounded
+        // to keep a sick path from absorbing unbounded inflight.
+        let w_max = 4.0 * self.cfg.bdp_bytes();
+        if u >= eta || self.inc_stage >= self.cfg.max_stage {
+            // Multiplicative move toward target utilization.
+            self.window = (self.wc / (u / eta) + self.cfg.wai_bytes)
+                .clamp(self.cfg.min_window, w_max);
+            self.inc_stage = 0;
+            self.wc = self.window;
+            self.last_wc_update = now;
+        } else {
+            self.window = (self.wc + self.cfg.wai_bytes)
+                .clamp(self.cfg.min_window, w_max);
+            self.inc_stage += 1;
+            // Update the reference once per base RTT.
+            if now.saturating_since(self.last_wc_update) >= self.cfg.base_rtt {
+                self.wc = self.window;
+                self.inc_stage = 0;
+                self.last_wc_update = now;
+            }
+        }
+    }
+
+    /// A timeout is a strong congestion / failure signal: halve toward the
+    /// floor so retransmissions do not pile onto a sick path.
+    pub fn on_timeout(&mut self) {
+        self.window = (self.window / 2.0).max(self.cfg.min_window);
+        self.wc = self.window;
+        self.inc_stage = 0;
+    }
+
+    fn max_hop_utilization(&mut self, int: &IntStack) -> Option<f64> {
+        let t_ns = self.cfg.base_rtt.as_nanos() as f64;
+        let mut max_u: Option<f64> = None;
+        for hop in &int.hops {
+            let b_bytes_per_ns = hop.link_mbps as f64 * 1e6 / 8.0 / 1e9;
+            let prev = self.prev_hops.insert(
+                hop.device_id,
+                HopSnapshot {
+                    tx_bytes: hop.tx_bytes,
+                    ts_ns: hop.ts_ns,
+                },
+            );
+            let Some(prev) = prev else { continue };
+            if hop.ts_ns <= prev.ts_ns {
+                continue; // reordered INT sample
+            }
+            let dt = (hop.ts_ns - prev.ts_ns) as f64;
+            let tx_rate = (hop.tx_bytes.saturating_sub(prev.tx_bytes)) as f64 / dt;
+            let u = hop.queue_bytes as f64 / (b_bytes_per_ns * t_ns) + tx_rate / b_bytes_per_ns;
+            max_u = Some(max_u.map_or(u, |m: f64| m.max(u)));
+        }
+        max_u
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ebs_wire::IntHop;
+
+    fn hop(dev: u32, queue: u32, tx: u64, ts: u64) -> IntHop {
+        IntHop {
+            device_id: dev,
+            queue_bytes: queue,
+            tx_bytes: tx,
+            ts_ns: ts,
+            link_mbps: 25_000, // 25G
+        }
+    }
+
+    fn stack(hops: Vec<IntHop>) -> IntStack {
+        IntStack { hops }
+    }
+
+    #[test]
+    fn starts_at_bdp() {
+        let cfg = HpccConfig::default();
+        let h = Hpcc::new(cfg);
+        assert!((h.window() - cfg.bdp_bytes()).abs() < 1.0);
+    }
+
+    #[test]
+    fn idle_link_grows_additively() {
+        let mut h = Hpcc::new(HpccConfig::default());
+        // Drain below BDP first so growth is visible.
+        h.on_timeout();
+        let w0 = h.window();
+        // Empty queue, negligible tx rate.
+        h.on_ack(SimTime::from_micros(10), &stack(vec![hop(1, 0, 0, 10_000)]));
+        h.on_ack(SimTime::from_micros(25), &stack(vec![hop(1, 0, 100, 25_000)]));
+        assert!(h.window() > w0, "{} !> {}", h.window(), w0);
+    }
+
+    #[test]
+    fn congested_link_shrinks() {
+        let mut h = Hpcc::new(HpccConfig::default());
+        let w0 = h.window();
+        // Deep queue and line-rate tx: U >> eta.
+        // 25G = 3.125 bytes/ns: in 10_000 ns, 31_250 bytes at line rate.
+        h.on_ack(SimTime::from_micros(10), &stack(vec![hop(1, 200_000, 0, 10_000)]));
+        h.on_ack(
+            SimTime::from_micros(25),
+            &stack(vec![hop(1, 200_000, 46_875, 25_000)]),
+        );
+        assert!(h.window() < w0, "{} !< {}", h.window(), w0);
+        assert!(h.last_utilization() > 1.0);
+    }
+
+    #[test]
+    fn bottleneck_is_the_max_hop() {
+        let mut h = Hpcc::new(HpccConfig::default());
+        h.on_ack(
+            SimTime::from_micros(10),
+            &stack(vec![hop(1, 0, 0, 10_000), hop(2, 500_000, 0, 10_000)]),
+        );
+        h.on_ack(
+            SimTime::from_micros(25),
+            &stack(vec![hop(1, 0, 100, 25_000), hop(2, 500_000, 46_875, 25_000)]),
+        );
+        assert!(h.last_utilization() > 1.0, "congested hop 2 must dominate");
+    }
+
+    #[test]
+    fn timeout_halves() {
+        let mut h = Hpcc::new(HpccConfig::default());
+        let w0 = h.window();
+        h.on_timeout();
+        assert!((h.window() - w0 / 2.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn window_never_below_floor() {
+        let cfg = HpccConfig::default();
+        let mut h = Hpcc::new(cfg);
+        for _ in 0..64 {
+            h.on_timeout();
+        }
+        assert!(h.window() >= cfg.min_window);
+    }
+}

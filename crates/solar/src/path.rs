@@ -1,0 +1,324 @@
+//! Per-path state: RTT/RTO, HPCC window, liveness.
+//!
+//! SOLAR keeps a small, fixed set of persistent paths to every block
+//! server (distinct UDP source ports → distinct ECMP routes) and maintains
+//! per-path condition — window, sending rate, RTT, consecutive timeouts —
+//! entirely in the *control plane* (DPU CPU). No per-path state exists in
+//! hardware, which is what lets multi-path scale (§4.4).
+
+use std::collections::BTreeMap;
+
+use ebs_sim::{SimDuration, SimTime};
+
+use crate::config::SolarConfig;
+use crate::hpcc::Hpcc;
+
+/// Liveness of one path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PathStatus {
+    /// Healthy; eligible for spraying.
+    Up,
+    /// Declared failed after consecutive timeouts; probed until it
+    /// answers.
+    Failed {
+        /// When the path was declared failed.
+        since: SimTime,
+    },
+}
+
+/// Identifies one in-flight packet (rpc, pkt) for bookkeeping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PktKey {
+    /// RPC id.
+    pub rpc_id: u64,
+    /// Packet index within the RPC.
+    pub pkt_id: u16,
+}
+
+/// One persistent path toward a block server.
+#[derive(Debug)]
+pub struct Path {
+    /// Path index (0..n_paths); the UDP source port is `base_port + id`.
+    pub id: u8,
+    status: PathStatus,
+    srtt_ns: Option<f64>,
+    rttvar_ns: f64,
+    rto: SimDuration,
+    consecutive_timeouts: u32,
+    hpcc: Hpcc,
+    inflight_bytes: u64,
+    next_seq: u32,
+    /// Outstanding path sequence numbers, for out-of-order loss detection.
+    pub outstanding_seqs: BTreeMap<u32, PktKey>,
+    next_probe: SimTime,
+    /// Unanswered probes since the path failed.
+    probes_unanswered: u32,
+    /// How many times this path has been re-hashed onto a new source
+    /// port after persistent probe failures.
+    remap_generation: u16,
+}
+
+impl Path {
+    /// A fresh, healthy path.
+    pub fn new(id: u8, cfg: &SolarConfig) -> Self {
+        Path {
+            id,
+            status: PathStatus::Up,
+            srtt_ns: None,
+            rttvar_ns: 0.0,
+            rto: cfg.rto_initial,
+            consecutive_timeouts: 0,
+            hpcc: Hpcc::new(cfg.hpcc),
+            inflight_bytes: 0,
+            next_seq: 0,
+            outstanding_seqs: BTreeMap::new(),
+            next_probe: SimTime::ZERO,
+            probes_unanswered: 0,
+            remap_generation: 0,
+        }
+    }
+
+    /// The UDP source port this path currently uses. Remapping bumps the
+    /// port by `n_paths` so the flow hashes onto a different ECMP bucket
+    /// while the path id on the wire stays stable.
+    pub fn src_port(&self, cfg: &SolarConfig) -> u16 {
+        cfg.base_port
+            + self.id as u16
+            + self.remap_generation.wrapping_mul(cfg.n_paths as u16)
+    }
+
+    /// Times this path has been remapped (diagnostics).
+    pub fn remap_generation(&self) -> u16 {
+        self.remap_generation
+    }
+
+    /// Liveness.
+    pub fn status(&self) -> PathStatus {
+        self.status
+    }
+
+    /// True if the path may carry new packets.
+    pub fn is_up(&self) -> bool {
+        self.status == PathStatus::Up
+    }
+
+    /// Smoothed RTT estimate (used to prefer fast paths when spraying).
+    pub fn srtt(&self) -> Option<SimDuration> {
+        self.srtt_ns.map(|ns| SimDuration::from_nanos(ns as u64))
+    }
+
+    /// Current retransmission timeout.
+    pub fn rto(&self) -> SimDuration {
+        self.rto
+    }
+
+    /// Congestion window in bytes.
+    pub fn window(&self) -> u64 {
+        self.hpcc.window() as u64
+    }
+
+    /// Last INT-derived utilization the congestion controller saw.
+    pub fn last_utilization(&self) -> f64 {
+        self.hpcc.last_utilization()
+    }
+
+    /// Unacked bytes currently attributed to this path.
+    pub fn inflight_bytes(&self) -> u64 {
+        self.inflight_bytes
+    }
+
+    /// Free window for new packets.
+    pub fn available_window(&self) -> u64 {
+        self.window().saturating_sub(self.inflight_bytes)
+    }
+
+    /// Consecutive timeout count (diagnostics).
+    pub fn consecutive_timeouts(&self) -> u32 {
+        self.consecutive_timeouts
+    }
+
+    /// Allocate the next per-path sequence number and account the bytes.
+    pub fn register_tx(&mut self, key: PktKey, bytes: u64) -> u32 {
+        let seq = self.next_seq;
+        self.next_seq = self.next_seq.wrapping_add(1);
+        self.outstanding_seqs.insert(seq, key);
+        self.inflight_bytes += bytes;
+        seq
+    }
+
+    /// Remove a packet from this path's accounting (acked, timed out, or
+    /// moved to another path).
+    pub fn release(&mut self, seq: u32, bytes: u64) {
+        self.outstanding_seqs.remove(&seq);
+        self.inflight_bytes = self.inflight_bytes.saturating_sub(bytes);
+    }
+
+    /// Record a successful round trip: RTT sample (when `sample` is set —
+    /// Karn's rule excludes retransmissions), HPCC update from the echoed
+    /// INT, and liveness reset.
+    pub fn on_ack(
+        &mut self,
+        now: SimTime,
+        sample: Option<SimDuration>,
+        int: Option<&ebs_wire::IntStack>,
+        cfg: &SolarConfig,
+    ) {
+        self.consecutive_timeouts = 0;
+        // NOTE: a Failed path is NOT revived by stray data ACKs — a lossy
+        // path delivers a fraction of packets, and bouncing back on every
+        // fluke success would keep feeding it traffic at ever-longer RTOs.
+        // Only a clean probe round trip (`revive`) re-admits a path.
+        if let Some(rtt) = sample {
+            let r = rtt.as_nanos() as f64;
+            match self.srtt_ns {
+                None => {
+                    self.srtt_ns = Some(r);
+                    self.rttvar_ns = r / 2.0;
+                }
+                Some(srtt) => {
+                    self.rttvar_ns = 0.75 * self.rttvar_ns + 0.25 * (srtt - r).abs();
+                    self.srtt_ns = Some(0.875 * srtt + 0.125 * r);
+                }
+            }
+            // RTO = srtt + 4*var, but never below 2x srtt: under incast
+            // the *level* of RTT moves with queueing while the variance
+            // estimator lags, and a timeout fired into genuine congestion
+            // starts a flap-and-collapse spiral.
+            let srtt = self.srtt_ns.unwrap();
+            let rto_ns = (srtt + 4.0 * self.rttvar_ns.max(1000.0)).max(2.0 * srtt);
+            self.rto = SimDuration::from_nanos(rto_ns as u64)
+                .max(cfg.rto_min)
+                .min(cfg.rto_max);
+        }
+        if let Some(int) = int {
+            self.hpcc.on_ack(now, int);
+        }
+    }
+
+    /// Record a timeout; returns `true` if this crossed the failure
+    /// threshold and the path was just declared down.
+    pub fn on_timeout(&mut self, now: SimTime, cfg: &SolarConfig) -> bool {
+        self.consecutive_timeouts += 1;
+        self.hpcc.on_timeout();
+        self.rto = self.rto.mul_f64(2.0).min(cfg.rto_max);
+        if self.consecutive_timeouts >= cfg.path_fail_threshold && self.is_up() {
+            self.status = PathStatus::Failed { since: now };
+            self.next_probe = now + cfg.probe_interval;
+            return true;
+        }
+        false
+    }
+
+    /// Next probe instant while failed.
+    pub fn next_probe(&self) -> Option<SimTime> {
+        match self.status {
+            PathStatus::Failed { .. } => Some(self.next_probe),
+            PathStatus::Up => None,
+        }
+    }
+
+    /// A probe was just sent; schedule the next one. After
+    /// `remap_after_probes` unanswered probes the path abandons its ECMP
+    /// bucket: the source port moves, so the next probe tries a fresh
+    /// fabric route.
+    pub fn probe_sent(&mut self, now: SimTime, cfg: &SolarConfig) {
+        self.next_probe = now + cfg.probe_interval;
+        self.probes_unanswered += 1;
+        if self.probes_unanswered >= cfg.remap_after_probes {
+            self.remap_generation = self.remap_generation.wrapping_add(1);
+            self.probes_unanswered = 0;
+        }
+    }
+
+    /// A probe answer arrived: the path is healthy again.
+    pub fn revive(&mut self) {
+        self.status = PathStatus::Up;
+        self.consecutive_timeouts = 0;
+        self.probes_unanswered = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> SolarConfig {
+        SolarConfig::default()
+    }
+
+    #[test]
+    fn tx_accounting() {
+        let c = cfg();
+        let mut p = Path::new(0, &c);
+        let k = PktKey { rpc_id: 1, pkt_id: 0 };
+        let s0 = p.register_tx(k, 4096);
+        let s1 = p.register_tx(PktKey { rpc_id: 1, pkt_id: 1 }, 4096);
+        assert_eq!(s1, s0 + 1);
+        assert_eq!(p.inflight_bytes(), 8192);
+        p.release(s0, 4096);
+        assert_eq!(p.inflight_bytes(), 4096);
+        assert_eq!(p.outstanding_seqs.len(), 1);
+    }
+
+    #[test]
+    fn rtt_drives_rto() {
+        let c = cfg();
+        let mut p = Path::new(0, &c);
+        for _ in 0..16 {
+            p.on_ack(SimTime::from_micros(100), Some(SimDuration::from_micros(20)), None, &c);
+        }
+        let rto = p.rto();
+        // Converged rttvar makes srtt+4*var small; the floor clamps it.
+        assert_eq!(rto, c.rto_min, "rto {rto}");
+        assert_eq!(p.srtt().unwrap(), SimDuration::from_micros(20));
+    }
+
+    #[test]
+    fn consecutive_timeouts_fail_path() {
+        let c = cfg();
+        let mut p = Path::new(0, &c);
+        assert!(!p.on_timeout(SimTime::from_micros(1), &c));
+        assert!(!p.on_timeout(SimTime::from_micros(2), &c));
+        assert!(p.on_timeout(SimTime::from_micros(3), &c), "third timeout fails path");
+        assert!(!p.is_up());
+        // Further timeouts do not re-fail.
+        assert!(!p.on_timeout(SimTime::from_micros(4), &c));
+    }
+
+    #[test]
+    fn ack_resets_timeout_streak() {
+        let c = cfg();
+        let mut p = Path::new(0, &c);
+        p.on_timeout(SimTime::from_micros(1), &c);
+        p.on_timeout(SimTime::from_micros(2), &c);
+        p.on_ack(SimTime::from_micros(3), None, None, &c);
+        assert_eq!(p.consecutive_timeouts(), 0);
+        assert!(!p.on_timeout(SimTime::from_micros(4), &c));
+        assert!(p.is_up());
+    }
+
+    #[test]
+    fn probe_cycle() {
+        let c = cfg();
+        let mut p = Path::new(0, &c);
+        for i in 0..3 {
+            p.on_timeout(SimTime::from_micros(i), &c);
+        }
+        let probe_at = p.next_probe().expect("failed paths probe");
+        assert!(probe_at > SimTime::from_micros(2));
+        p.probe_sent(probe_at, &c);
+        assert!(p.next_probe().unwrap() > probe_at);
+        p.revive();
+        assert!(p.is_up());
+        assert!(p.next_probe().is_none());
+    }
+
+    #[test]
+    fn timeout_backs_off_rto() {
+        let c = cfg();
+        let mut p = Path::new(0, &c);
+        let r0 = p.rto();
+        p.on_timeout(SimTime::from_micros(1), &c);
+        assert_eq!(p.rto(), r0.mul_f64(2.0));
+    }
+}

@@ -1,0 +1,232 @@
+//! Property tests: SOLAR delivers every block exactly once under loss,
+//! reordering and path failures — the transport invariant the paper's
+//! reliability claims rest on.
+
+use bytes::Bytes;
+use ebs_sim::{EventQueue, SimDuration, SimTime};
+use ebs_solar::{
+    InPacket, ReadBlock, ServerAction, SolarClient, SolarConfig, SolarEvent, SolarResponder,
+    WriteBlock,
+};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+enum Ev {
+    ToServer(InPacket),
+    ToClient(InPacket),
+    Tick,
+}
+
+struct World {
+    client: SolarClient,
+    server: SolarResponder,
+    q: EventQueue<Ev>,
+    rng: SmallRng,
+    loss: f64,
+    /// Writes the server actually committed (exactly-once check).
+    committed: Vec<(u64, u16)>,
+    /// Per (direction, path) last scheduled delivery: a single ECMP route
+    /// is FIFO, so same-path packets must not overtake each other (SOLAR's
+    /// gap detector relies on exactly this fabric property). Cross-path
+    /// reordering remains arbitrary via the jitter.
+    last_delivery: std::collections::HashMap<(bool, u8), u64>,
+}
+
+impl World {
+    fn new(seed: u64, loss: f64) -> Self {
+        World {
+            client: SolarClient::new(SolarConfig::default()),
+            server: SolarResponder::new(),
+            q: EventQueue::new(),
+            rng: SmallRng::seed_from_u64(seed),
+            loss,
+            committed: Vec::new(),
+            last_delivery: std::collections::HashMap::new(),
+        }
+    }
+
+    fn fly(&mut self, now: SimTime, ev: Ev) {
+        let key = match &ev {
+            Ev::ToServer(p) => Some((true, p.hdr.path_id)),
+            Ev::ToClient(p) => Some((false, p.hdr.path_id)),
+            Ev::Tick => None,
+        };
+        if key.is_some() && self.rng.gen::<f64>() < self.loss {
+            return; // lost in the fabric
+        }
+        let jitter = SimDuration::from_micros(self.rng.gen_range(5..100));
+        let mut at = (now + jitter).as_nanos();
+        if let Some(key) = key {
+            let last = self.last_delivery.entry(key).or_insert(0);
+            at = at.max(*last + 1); // per-path FIFO
+            *last = at;
+        }
+        self.q.schedule_at(SimTime::from_nanos(at), ev);
+    }
+
+    fn pump(&mut self, now: SimTime) {
+        while let Some(out) = self.client.poll_transmit(now) {
+            self.fly(
+                now,
+                Ev::ToServer(InPacket {
+                    hdr: out.hdr,
+                    payload: out.payload,
+                    int: None,
+                }),
+            );
+        }
+        if let Some(t) = self.client.poll_timer() {
+            if t > now {
+                self.q.schedule_at(t, Ev::Tick);
+            }
+        }
+    }
+
+    fn run(&mut self, horizon: SimTime) -> Vec<SolarEvent> {
+        let mut events = Vec::new();
+        self.pump(SimTime::ZERO);
+        while let Some((now, ev)) = self.q.pop() {
+            if now > horizon {
+                break;
+            }
+            match ev {
+                Ev::ToServer(pkt) => {
+                    let action = self.server.on_packet(pkt);
+                    match action {
+                        ServerAction::StoreBlock { hdr, int, .. } => {
+                            self.committed.push((hdr.rpc_id, hdr.pkt_id));
+                            let (ack, _) = self.server.write_ack(&hdr, int);
+                            self.fly(
+                                now,
+                                Ev::ToClient(InPacket {
+                                    hdr: ack.hdr,
+                                    payload: ack.payload,
+                                    int: None,
+                                }),
+                            );
+                        }
+                        ServerAction::FetchBlock { hdr } => {
+                            let resp = self.server.read_resp(
+                                &hdr,
+                                Bytes::from(vec![hdr.block_addr as u8; 32]),
+                                hdr.block_addr as u32,
+                            );
+                            self.fly(
+                                now,
+                                Ev::ToClient(InPacket {
+                                    hdr: resp.hdr,
+                                    payload: resp.payload,
+                                    int: None,
+                                }),
+                            );
+                        }
+                        ServerAction::Reply(p) => {
+                            self.fly(
+                                now,
+                                Ev::ToClient(InPacket {
+                                    hdr: p.hdr,
+                                    payload: p.payload,
+                                    int: None,
+                                }),
+                            );
+                        }
+                        ServerAction::None => {}
+                    }
+                }
+                Ev::ToClient(pkt) => self.client.on_packet(now, pkt),
+                Ev::Tick => self.client.on_timer(now),
+            }
+            if let Some(t) = self.client.poll_timer() {
+                if t <= now {
+                    self.client.on_timer(now);
+                }
+            }
+            self.pump(now);
+            while let Some(e) = self.client.poll_event() {
+                events.push(e);
+            }
+            if self.client.inflight_rpcs() == 0 {
+                break;
+            }
+        }
+        events
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// All write RPCs complete under 15% loss, and every block was
+    /// committed at least once (duplicates allowed on the wire — the
+    /// block write is idempotent, §4.4's independence property).
+    #[test]
+    fn writes_complete_under_loss(
+        seed in any::<u64>(),
+        n_rpcs in 1usize..6,
+        blocks_per_rpc in 1usize..10,
+    ) {
+        let mut w = World::new(seed, 0.15);
+        for r in 0..n_rpcs {
+            let blocks = (0..blocks_per_rpc)
+                .map(|i| WriteBlock { block_addr: i as u64, payload: Bytes::new(), crc: 0 })
+                .collect();
+            w.client.submit_write(SimTime::ZERO, r as u64, 1, 1, blocks);
+        }
+        let events = w.run(SimTime::from_secs(60));
+        let completed = events
+            .iter()
+            .filter(|e| matches!(e, SolarEvent::RpcCompleted { .. }))
+            .count();
+        prop_assert_eq!(completed, n_rpcs, "stats: {:?}", w.client.stats());
+        // Exactly-once upward: every (rpc, pkt) committed at least once.
+        for r in 0..n_rpcs as u64 {
+            for p in 0..blocks_per_rpc as u16 {
+                prop_assert!(w.committed.contains(&(r, p)), "({r},{p}) never stored");
+            }
+        }
+    }
+
+    /// Reads deliver each block exactly once to the app even with loss
+    /// and reordering.
+    #[test]
+    fn reads_deliver_exactly_once(
+        seed in any::<u64>(),
+        blocks in 1usize..16,
+    ) {
+        let mut w = World::new(seed, 0.15);
+        let req = (0..blocks)
+            .map(|i| ReadBlock { block_addr: i as u64, guest_addr: 0x1000 * i as u64 })
+            .collect();
+        w.client.submit_read(SimTime::ZERO, 9, 1, 1, req);
+        let events = w.run(SimTime::from_secs(60));
+        let mut got: Vec<u16> = events
+            .iter()
+            .filter_map(|e| match e {
+                SolarEvent::BlockReceived { pkt_id, .. } => Some(*pkt_id),
+                _ => None,
+            })
+            .collect();
+        got.sort();
+        let expect: Vec<u16> = (0..blocks as u16).collect();
+        prop_assert_eq!(got, expect, "each block exactly once");
+        prop_assert_eq!(
+            events.iter().filter(|e| matches!(e, SolarEvent::RpcCompleted { .. })).count(),
+            1
+        );
+    }
+
+    /// Zero loss ⇒ zero retransmissions, even with heavy jitter-induced
+    /// reordering (the one-block-one-packet independence property).
+    #[test]
+    fn reordering_alone_never_retransmits(seed in any::<u64>(), blocks in 1usize..32) {
+        let mut w = World::new(seed, 0.0);
+        let wb = (0..blocks)
+            .map(|i| WriteBlock { block_addr: i as u64, payload: Bytes::new(), crc: 0 })
+            .collect();
+        w.client.submit_write(SimTime::ZERO, 1, 1, 1, wb);
+        let _ = w.run(SimTime::from_secs(60));
+        prop_assert_eq!(w.client.stats().retransmits, 0);
+        prop_assert_eq!(w.client.stats().rpcs_completed, 1);
+    }
+}

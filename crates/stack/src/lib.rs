@@ -1,0 +1,188 @@
+//! # ebs-stack — the composed end-to-end EBS system
+//!
+//! Ties every substrate together into runnable deployments: compute
+//! servers (guest I/O → QoS → SA → PCIe → transport) and storage servers
+//! (block server → BN replication → SSD) on the Clos fabric, under any of
+//! the paper's five data-path variants ([`Variant`]). Provides the
+//! distributed-trace latency breakdown (Fig. 6), consumed-core accounting
+//! (Table 1 / Fig. 14), closed-loop fio drivers, and scheduled failure
+//! injection (Table 2 / Fig. 8) that the experiment harness builds on.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod calibrate;
+mod testbed;
+mod trace;
+
+pub use calibrate::{RdmaCosts, SaCosts, SolarCosts};
+pub use testbed::{Event, FioConfig, Msg, Reply, Testbed, TestbedConfig, Variant};
+pub use trace::{Breakdown, IoTrace};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ebs_sa::{IoKind, IoRequest};
+    use ebs_sim::{SimDuration, SimTime};
+
+    fn one_io(variant: Variant, kind: IoKind, bytes: u32) -> IoTrace {
+        let mut tb = Testbed::new(TestbedConfig::small(variant, 2, 3));
+        tb.schedule_io(
+            SimTime::from_millis(1),
+            0,
+            IoRequest {
+                vd_id: 0,
+                kind,
+                offset: 0,
+                len: bytes,
+            },
+        );
+        tb.run_until(SimTime::from_secs(1));
+        let t = tb.traces()[0];
+        assert!(t.completed.is_some(), "{variant:?} {kind:?} io must complete");
+        t
+    }
+
+    #[test]
+    fn solar_write_completes_with_sane_breakdown() {
+        let t = one_io(Variant::Solar, IoKind::Write, 4096);
+        let lat = t.latency().unwrap().as_micros_f64();
+        assert!((15.0..200.0).contains(&lat), "latency {lat}us");
+        assert!(t.sa.as_micros_f64() < 10.0, "solar SA tiny: {}", t.sa);
+        assert!(t.ssd > SimDuration::ZERO);
+        assert!(t.bn > SimDuration::ZERO);
+        assert!(t.fn_ > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn luna_write_completes() {
+        let t = one_io(Variant::Luna, IoKind::Write, 4096);
+        let lat = t.latency().unwrap().as_micros_f64();
+        assert!((40.0..400.0).contains(&lat), "latency {lat}us");
+        assert!(t.sa.as_micros_f64() >= 20.0, "software SA: {}", t.sa);
+    }
+
+    #[test]
+    fn kernel_is_slowest_solar_is_fastest() {
+        let k = one_io(Variant::Kernel, IoKind::Write, 4096)
+            .latency()
+            .unwrap();
+        let l = one_io(Variant::Luna, IoKind::Write, 4096).latency().unwrap();
+        let s = one_io(Variant::Solar, IoKind::Write, 4096)
+            .latency()
+            .unwrap();
+        assert!(k > l, "kernel {k} > luna {l}");
+        assert!(l > s, "luna {l} > solar {s}");
+    }
+
+    #[test]
+    fn reads_complete_on_all_variants() {
+        for v in [
+            Variant::Kernel,
+            Variant::Luna,
+            Variant::Rdma,
+            Variant::SolarStar,
+            Variant::Solar,
+        ] {
+            let t = one_io(v, IoKind::Read, 16384);
+            assert!(t.latency().unwrap() > SimDuration::ZERO, "{v:?}");
+            assert!(t.ssd.as_micros_f64() > 30.0, "{v:?} NAND read: {}", t.ssd);
+        }
+    }
+
+    #[test]
+    fn fio_closed_loop_sustains_depth() {
+        let mut tb = Testbed::new(TestbedConfig::small(Variant::Solar, 1, 3));
+        tb.attach_fio(
+            SimTime::from_millis(1),
+            0,
+            FioConfig {
+                depth: 8,
+                bytes: 4096,
+                read_fraction: 1.0,
+            },
+        );
+        tb.run_until(SimTime::from_millis(80));
+        let (ios, bytes) = tb.compute_progress(0);
+        assert!(ios > 200, "closed loop kept running: {ios}");
+        assert_eq!(bytes, ios * 4096);
+        // All but the in-flight depth completed.
+        let completed = tb.traces().iter().filter(|t| t.completed.is_some()).count();
+        assert!(tb.traces().len() - completed <= 8);
+    }
+
+    #[test]
+    fn multi_segment_io_splits_and_completes() {
+        // An I/O spanning a segment boundary produces two sub-RPCs to two
+        // different storage servers, and still completes exactly once.
+        let mut tb = Testbed::new(TestbedConfig::small(Variant::Solar, 1, 3));
+        let seg_bytes = ebs_sa::SEGMENT_BLOCKS * 4096;
+        tb.schedule_io(
+            SimTime::from_millis(1),
+            0,
+            IoRequest {
+                vd_id: 0,
+                kind: IoKind::Write,
+                offset: seg_bytes - 2 * 4096,
+                len: 4 * 4096,
+            },
+        );
+        tb.run_until(SimTime::from_secs(1));
+        assert_eq!(tb.traces().len(), 1);
+        assert!(tb.traces()[0].completed.is_some());
+    }
+
+    #[test]
+    fn consumed_cores_reflect_load() {
+        let mut tb = Testbed::new(TestbedConfig::small(Variant::Kernel, 1, 3));
+        tb.attach_fio(
+            SimTime::from_millis(1),
+            0,
+            FioConfig {
+                depth: 16,
+                bytes: 16384,
+                read_fraction: 0.0,
+            },
+        );
+        tb.run_until(SimTime::from_millis(50));
+        let cores = tb.consumed_cores(0);
+        assert!(cores > 0.1, "kernel stack burns CPU: {cores}");
+    }
+
+    #[test]
+    fn solar_survives_tor_blackhole_luna_hangs() {
+        // The core reliability claim (Table 2): a silent blackhole on the
+        // compute-side ToR leaves Luna's single-path connections dead for
+        // ≥1s, while Solar's multipath routes around it.
+        let hung = |variant: Variant| {
+            let mut tb = Testbed::new(TestbedConfig::small(variant, 4, 4));
+            for cidx in 0..4 {
+                tb.attach_fio(
+                    SimTime::from_millis(1),
+                    cidx,
+                    FioConfig {
+                        depth: 1,
+                        bytes: 4096,
+                        read_fraction: 0.2,
+                    },
+                );
+            }
+            // Blackhole half the flows through the first ToR at t=100ms.
+            let tor = tb.fabric().topology().devices_of_kind(ebs_net::DeviceKind::Tor)[0];
+            tb.schedule_failure(
+                SimTime::from_millis(100),
+                tor,
+                ebs_net::FailureMode::Blackhole {
+                    fraction: 0.5,
+                    salt: 42,
+                },
+            );
+            tb.run_until(SimTime::from_secs(4));
+            tb.hung_ios(SimDuration::from_secs(1))
+        };
+        let luna = hung(Variant::Luna);
+        let solar = hung(Variant::Solar);
+        assert!(luna > 0, "luna must hang I/Os under a blackhole: {luna}");
+        assert_eq!(solar, 0, "solar must not hang any I/O");
+    }
+}

@@ -1,0 +1,1675 @@
+//! The composed end-to-end testbed.
+//!
+//! One [`Testbed`] is a simulated deployment: N compute servers and M
+//! storage servers on a Clos fabric, running one of the five data-path
+//! variants (kernel TCP, LUNA, RDMA, SOLAR*, SOLAR). Guest I/Os traverse
+//! QoS → SA → PCIe → transport → fabric → block server → (BN + SSD) →
+//! response → completion, with every stage charged against the calibrated
+//! models and recorded in a distributed trace (Fig. 6 methodology).
+
+use std::collections::{BTreeMap, HashMap};
+
+use bytes::Bytes;
+use ebs_luna::{RpcClient, RpcServer, StackCosts};
+use ebs_net::{
+    ClosConfig, DeviceId, Fabric, FabricConfig, FabricPacket, FailureMode, FlowLabel, NetEvent,
+    Topology,
+};
+use ebs_rdma::{QpConfig, QpPacket, RdmaQp};
+use ebs_sa::{split_io, IoKind, IoRequest, QosSpec, QosTable, SegmentTable, SubIo, BLOCK_SIZE};
+use ebs_sim::{rng, EventQueue, MapScheduler, SimDuration, SimTime};
+use ebs_solar::{
+    InPacket, OutPacket, ReadBlock, ServerAction, SolarClient, SolarConfig, SolarEvent,
+    SolarResponder, WriteBlock,
+};
+use ebs_storage::{BnConfig, SsdConfig, StorageBreakdown, StorageServer};
+use ebs_tcp::{Segment, TcpConfig};
+use ebs_wire::{EbsHeader, IntStack, RpcFrame, RpcMethod};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::calibrate::{RdmaCosts, SaCosts, SolarCosts};
+use crate::trace::IoTrace;
+
+/// The five FN data-path variants of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Variant {
+    /// Kernel TCP + software SA.
+    Kernel,
+    /// LUNA user-space TCP + software SA.
+    Luna,
+    /// RDMA transport + software SA (Fig. 10b).
+    Rdma,
+    /// SOLAR protocol with data-plane offload disabled (§4.7's SOLAR*).
+    SolarStar,
+    /// Full SOLAR: one-block-one-packet, FPGA data path (Fig. 10c).
+    Solar,
+}
+
+impl Variant {
+    /// Display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Variant::Kernel => "Kernel",
+            Variant::Luna => "Luna",
+            Variant::Rdma => "RDMA",
+            Variant::SolarStar => "Solar*",
+            Variant::Solar => "Solar",
+        }
+    }
+
+    /// PCIe traversal profile (Fig. 10).
+    fn pcie_path(&self) -> ebs_dpu::DataPath {
+        match self {
+            Variant::Kernel | Variant::Luna => ebs_dpu::DataPath::Luna,
+            Variant::Rdma => ebs_dpu::DataPath::Rdma,
+            Variant::SolarStar => ebs_dpu::DataPath::SolarStar,
+            Variant::Solar => ebs_dpu::DataPath::Solar,
+        }
+    }
+}
+
+/// Messages the fabric carries.
+#[derive(Debug)]
+pub enum Msg {
+    /// TCP segment of a (compute, storage) connection.
+    Tcp {
+        /// Compute endpoint index.
+        compute: u32,
+        /// Storage endpoint index.
+        storage: u32,
+        /// The segment.
+        seg: Segment,
+    },
+    /// RDMA RC packet of a (compute, storage) QP.
+    Rdma {
+        /// Compute endpoint index.
+        compute: u32,
+        /// Storage endpoint index.
+        storage: u32,
+        /// The packet.
+        pkt: QpPacket,
+    },
+    /// SOLAR packet (either direction; header op disambiguates).
+    Solar {
+        /// Compute endpoint index.
+        compute: u32,
+        /// Storage endpoint index.
+        storage: u32,
+        /// The EBS header.
+        hdr: EbsHeader,
+        /// INT stack echoed in an ACK (as opposed to collected en route).
+        echo_int: Option<IntStack>,
+    },
+
+}
+
+/// Closed-loop fio-style driver configuration (Fig. 14/15, Table 2).
+#[derive(Debug, Clone, Copy)]
+pub struct FioConfig {
+    /// Outstanding I/Os kept in flight.
+    pub depth: usize,
+    /// I/O size in bytes (4 KiB aligned).
+    pub bytes: u32,
+    /// Fraction of reads (1.0 = pure read).
+    pub read_fraction: f64,
+}
+
+#[derive(Debug)]
+struct FioState {
+    cfg: FioConfig,
+    rng: SmallRng,
+    issued: u64,
+}
+
+/// Testbed configuration.
+#[derive(Debug, Clone)]
+pub struct TestbedConfig {
+    /// Data-path variant under test.
+    pub variant: Variant,
+    /// Compute servers.
+    pub n_compute: usize,
+    /// Storage servers.
+    pub n_storage: usize,
+    /// DPU CPU cores available to the FN stack + SA on each compute
+    /// server (Fig. 14 sweeps 1-3).
+    pub compute_cores: usize,
+    /// Fabric geometry.
+    pub fabric: ClosConfig,
+    /// Routing convergence delay after fail-stop.
+    pub routing_convergence: SimDuration,
+    /// Segments per virtual disk.
+    pub vd_segments: u64,
+    /// QoS spec per disk (use [`QosSpec::unlimited`] unless testing QoS).
+    pub qos: QosSpec,
+    /// SSD model.
+    pub ssd: SsdConfig,
+    /// Backend network model.
+    pub bn: BnConfig,
+    /// SOLAR transport parameters.
+    pub solar: SolarConfig,
+    /// DPU PCIe channel parameters (Fig. 10's internal bottleneck).
+    pub pcie: ebs_dpu::PcieConfig,
+    /// Run the storage-agent data plane (tables, CRC) on each I/O. The
+    /// Table 1 methodology benchmarks the bare RPC path, so it disables
+    /// this.
+    pub sa_enabled: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl TestbedConfig {
+    /// A small default testbed for `variant`: fabric sized to fit the
+    /// servers, generous VDs, no QoS throttling.
+    pub fn small(variant: Variant, n_compute: usize, n_storage: usize) -> Self {
+        let total = n_compute + n_storage;
+        let servers_per_tor = 4;
+        // Compute and storage clusters live in separate pods (Fig. 1), so
+        // FN traffic genuinely crosses the spine/core tiers.
+        let compute_tors = n_compute.div_ceil(servers_per_tor).max(2) as u32;
+        let storage_tors = n_storage.div_ceil(servers_per_tor).max(2) as u32;
+        let tors = compute_tors + storage_tors;
+        let _ = total;
+        let pods = tors.div_ceil(2).max(2);
+        let mut fabric = ClosConfig::testbed(pods, 2, servers_per_tor as u32);
+        // Production servers attach to a ToR *pair* (§3.3); SOLAR's
+        // multipath needs that diversity to survive ToR-level failures.
+        fabric.dual_homed = true;
+        TestbedConfig {
+            variant,
+            n_compute,
+            n_storage,
+            compute_cores: 6,
+            fabric,
+            routing_convergence: SimDuration::from_secs(30),
+            vd_segments: 16,
+            qos: QosSpec::unlimited(),
+            ssd: SsdConfig::default(),
+            bn: BnConfig::default(),
+            solar: SolarConfig::default(),
+            pcie: ebs_dpu::PcieConfig::default(),
+            sa_enabled: true,
+            seed: 1,
+        }
+    }
+}
+
+#[derive(Debug)]
+enum ComputeTransport {
+    // BTreeMaps: host pumps iterate the connections, and iteration order
+    // must be deterministic for bit-identical replays.
+    Tcp {
+        costs: StackCosts,
+        conns: BTreeMap<u32, RpcClient>,
+    },
+    Rdma {
+        costs: RdmaCosts,
+        conns: BTreeMap<u32, RdmaQp>,
+    },
+    Solar {
+        clients: BTreeMap<u32, SolarClient>,
+    },
+}
+
+#[derive(Debug)]
+struct PendingIo {
+    trace_idx: usize,
+    subs_total: usize,
+    subs_done: usize,
+    sa_ready: SimTime,
+    max_storage: StorageBreakdown,
+    done_at: SimTime,
+    /// Completion-side SA work (SOLAR's doorbell path), attributed to the
+    /// SA component per §4.7.
+    completion_sa: SimDuration,
+    /// Whether this I/O came from the fio driver (closed-loop resubmit).
+    from_fio: bool,
+    subs: Vec<SubIo>,
+}
+
+struct ComputeNode {
+    device: DeviceId,
+    cpu: ebs_dpu::DpuCpu,
+    pcie: ebs_dpu::DpuPcie,
+    seg_table: SegmentTable,
+    qos: QosTable,
+    transport: ComputeTransport,
+    pending: HashMap<u64, PendingIo>,
+    rpc_to_io: HashMap<u64, (u64, u32)>,
+    next_io_id: u64,
+    next_rpc_id: u64,
+    fio: Option<FioState>,
+    timer_at: Option<SimTime>,
+    completed_ios: u64,
+    completed_bytes: u64,
+}
+
+struct StorageNode {
+    device: DeviceId,
+    backend: StorageServer,
+    tcp: BTreeMap<u32, RpcServer>,
+    rdma: BTreeMap<u32, RdmaQp>,
+    solar: BTreeMap<u32, SolarResponder>,
+    timer_at: Option<SimTime>,
+}
+
+/// A reply the storage backend finished preparing.
+#[derive(Debug)]
+pub enum Reply {
+    /// TCP response frame on a connection.
+    Tcp {
+        /// Compute peer.
+        compute: u32,
+        /// Response frame.
+        frame: RpcFrame,
+    },
+    /// RDMA response message.
+    Rdma {
+        /// Compute peer.
+        compute: u32,
+        /// Encoded response frame.
+        frame: RpcFrame,
+    },
+    /// SOLAR response packet.
+    Solar {
+        /// Compute peer.
+        compute: u32,
+        /// The packet to emit.
+        out: OutPacket,
+        /// INT echoed from the request.
+        echo_int: Option<IntStack>,
+        /// The request's UDP source port: replies return to it, so the
+        /// reverse flow re-hashes whenever the client remaps a path.
+        reply_port: u16,
+    },
+}
+
+/// World events.
+#[derive(Debug)]
+pub enum Event {
+    /// Fabric internals.
+    Net(NetEvent<Msg>),
+    /// A guest submits an I/O.
+    Guest {
+        /// Compute server index.
+        compute: usize,
+        /// The request.
+        io: IoRequest,
+        /// True when issued by the closed-loop fio driver (only such I/Os
+        /// trigger a resubmission on completion).
+        from_fio: bool,
+    },
+    /// SA processing (CPU + PCIe) finished; hand the I/O to the transport.
+    SaDone {
+        /// Compute server index.
+        compute: usize,
+        /// I/O id.
+        io_id: u64,
+    },
+    /// Storage backend finished; emit the response.
+    StorageDone {
+        /// Storage server index.
+        storage: usize,
+        /// The prepared reply.
+        reply: Reply,
+    },
+    /// Compute-side transport timer.
+    ComputeTimer {
+        /// Compute server index.
+        compute: usize,
+    },
+    /// Storage-side transport timer.
+    StorageTimer {
+        /// Storage server index.
+        storage: usize,
+    },
+    /// Inject a fabric failure.
+    InjectFailure {
+        /// Device to fail.
+        device: DeviceId,
+        /// Mode.
+        mode: FailureMode,
+        /// Routing-convergence override (None = fabric default).
+        convergence: Option<SimDuration>,
+    },
+    /// Heal a fabric failure.
+    Heal {
+        /// Device to heal.
+        device: DeviceId,
+    },
+}
+
+/// The composed world (see module docs).
+pub struct Testbed {
+    cfg: TestbedConfig,
+    q: EventQueue<Event>,
+    fabric: Fabric<Msg>,
+    computes: Vec<ComputeNode>,
+    storages: Vec<StorageNode>,
+    compute_of_device: HashMap<DeviceId, usize>,
+    storage_of_device: HashMap<DeviceId, usize>,
+    traces: Vec<IoTrace>,
+    breakdowns: HashMap<(u32, u64), StorageBreakdown>,
+    sa_costs: SaCosts,
+    solar_costs: SolarCosts,
+    /// Storage-side stack latency per served request (rx + tx crossings
+    /// of whatever stack the storage servers run for this variant).
+    server_stack_latency: SimDuration,
+}
+
+impl Testbed {
+    /// Build a testbed.
+    ///
+    /// # Panics
+    /// Panics if the fabric has fewer server slots than
+    /// `n_compute + n_storage`.
+    pub fn new(cfg: TestbedConfig) -> Self {
+        let topo = Topology::build(cfg.fabric.clone());
+        assert!(
+            topo.servers().len() >= cfg.n_compute + cfg.n_storage,
+            "fabric too small: {} slots for {} servers",
+            topo.servers().len(),
+            cfg.n_compute + cfg.n_storage
+        );
+        let fabric = Fabric::new(
+            topo,
+            FabricConfig {
+                routing_convergence: cfg.routing_convergence,
+                seed: cfg.seed,
+            },
+        );
+
+        let mut compute_of_device = HashMap::new();
+        let mut storage_of_device = HashMap::new();
+        let mut computes = Vec::with_capacity(cfg.n_compute);
+        for i in 0..cfg.n_compute {
+            let device = fabric.topology().servers()[i];
+            compute_of_device.insert(device, i);
+            let mut seg_table = SegmentTable::new(ebs_sa::SEGMENT_BLOCKS);
+            let n_storage = cfg.n_storage as u64;
+            seg_table.provision(i as u64, cfg.vd_segments * ebs_sa::SEGMENT_BLOCKS, |seg| {
+                ((seg + i as u64) % n_storage) as u32
+            });
+            let mut qos = QosTable::new();
+            qos.set_spec(i as u64, cfg.qos);
+            let transport = match cfg.variant {
+                Variant::Kernel => ComputeTransport::Tcp {
+                    costs: StackCosts::kernel(),
+                    conns: BTreeMap::new(),
+                },
+                Variant::Luna => ComputeTransport::Tcp {
+                    costs: StackCosts::luna(),
+                    conns: BTreeMap::new(),
+                },
+                Variant::Rdma => ComputeTransport::Rdma {
+                    costs: RdmaCosts::default_costs(),
+                    conns: BTreeMap::new(),
+                },
+                // SOLAR* shares the transport; its extra per-block CPU and
+                // PCIe crossings are charged by variant in `guest_io`.
+                Variant::SolarStar | Variant::Solar => ComputeTransport::Solar {
+                    clients: BTreeMap::new(),
+                },
+            };
+            computes.push(ComputeNode {
+                device,
+                cpu: ebs_dpu::DpuCpu::new(cfg.compute_cores),
+                pcie: ebs_dpu::DpuPcie::new(cfg.pcie),
+                seg_table,
+                qos,
+                transport,
+                pending: HashMap::new(),
+                rpc_to_io: HashMap::new(),
+                next_io_id: 1,
+                next_rpc_id: 1,
+                fio: None,
+                timer_at: None,
+                completed_ios: 0,
+                completed_bytes: 0,
+            });
+        }
+        let n_slots = fabric.topology().servers().len();
+        let mut storages = Vec::with_capacity(cfg.n_storage);
+        for j in 0..cfg.n_storage {
+            // Storage takes slots from the end of the fabric: with the
+            // `small()` geometry that lands in different pods from the
+            // compute servers.
+            let device = fabric.topology().servers()[n_slots - cfg.n_storage + j];
+            storage_of_device.insert(device, j);
+            storages.push(StorageNode {
+                device,
+                backend: StorageServer::new(j, cfg.ssd, cfg.bn, cfg.seed),
+                tcp: BTreeMap::new(),
+                rdma: BTreeMap::new(),
+                solar: BTreeMap::new(),
+                timer_at: None,
+            });
+        }
+        let server_stack_latency = match cfg.variant {
+            Variant::Kernel => StackCosts::kernel().crossing_latency * 2,
+            Variant::Luna => StackCosts::luna().crossing_latency * 2,
+            Variant::Rdma => RdmaCosts::default_costs().crossing_latency * 2,
+            // Storage-side SOLAR is a thin user-space UDP responder.
+            Variant::SolarStar | Variant::Solar => SimDuration::from_micros(1),
+        };
+        Testbed {
+            sa_costs: SaCosts::software(),
+            solar_costs: SolarCosts::offloaded(),
+            server_stack_latency,
+            cfg,
+            q: EventQueue::new(),
+            fabric,
+            computes,
+            storages,
+            compute_of_device,
+            storage_of_device,
+            traces: Vec::new(),
+            breakdowns: HashMap::new(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &TestbedConfig {
+        &self.cfg
+    }
+
+    /// The fabric (topology queries, drop stats).
+    pub fn fabric(&self) -> &Fabric<Msg> {
+        &self.fabric
+    }
+
+    /// All I/O traces so far.
+    pub fn traces(&self) -> &[IoTrace] {
+        &self.traces
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.q.now()
+    }
+
+    /// Completed I/Os and bytes on one compute server.
+    pub fn compute_progress(&self, compute: usize) -> (u64, u64) {
+        let c = &self.computes[compute];
+        (c.completed_ios, c.completed_bytes)
+    }
+
+    /// Consumed DPU-CPU cores on one compute server (Table 1 metric).
+    pub fn consumed_cores(&self, compute: usize) -> f64 {
+        self.computes[compute].cpu.consumed_cores(self.q.now())
+    }
+
+    /// (jobs, busy time) of one compute server's CPU (diagnostics).
+    pub fn cpu_stats(&self, compute: usize) -> (u64, SimDuration) {
+        let c = &self.computes[compute];
+        (c.cpu.jobs(), c.cpu.busy_time())
+    }
+
+    /// Total SOLAR retransmissions across this compute server's clients.
+    pub fn solar_retransmits(&self, compute: usize) -> u64 {
+        if let ComputeTransport::Solar { clients } = &self.computes[compute].transport {
+            clients.values().map(|c| c.stats().retransmits).sum()
+        } else {
+            0
+        }
+    }
+
+    /// Per-(peer, path) SOLAR diagnostics: (storage, path id, window,
+    /// inflight, last utilization, srtt µs) plus client stats.
+    pub fn solar_debug(&self, compute: usize) -> Vec<String> {
+        let mut out = Vec::new();
+        if let ComputeTransport::Solar { clients } = &self.computes[compute].transport {
+            for (storage, client) in clients {
+                out.push(format!(
+                    "peer {} stats {:?} txq={} outstanding={}",
+                    storage,
+                    client.stats(),
+                    client.debug_txq_len(),
+                    client.outstanding_packets()
+                ));
+                for line in client.debug_outstanding() {
+                    out.push(format!("  OUT {line}"));
+                }
+                for p in client.paths() {
+                    out.push(format!(
+                        "  peer {} path {} window={} inflight={} u={:.2} srtt={:?} up={} next_probe={:?} rto={}",
+                        storage,
+                        p.id,
+                        p.window(),
+                        p.inflight_bytes(),
+                        p.last_utilization(),
+                        p.srtt(),
+                        p.is_up(),
+                        p.next_probe(),
+                        p.rto(),
+                    ));
+                }
+            }
+        }
+        out
+    }
+
+    /// Reset CPU/PCIe accounting on all compute servers (post-warm-up).
+    pub fn reset_compute_stats(&mut self) {
+        let now = self.q.now();
+        for c in &mut self.computes {
+            c.cpu.reset_stats(now);
+            c.pcie.reset_stats(now);
+        }
+    }
+
+    /// Schedule a guest I/O.
+    pub fn schedule_io(&mut self, at: SimTime, compute: usize, io: IoRequest) {
+        self.q.schedule_at(
+            at,
+            Event::Guest {
+                compute,
+                io,
+                from_fio: false,
+            },
+        );
+    }
+
+    /// Attach a closed-loop fio driver to a compute server, starting at
+    /// `start`.
+    pub fn attach_fio(&mut self, start: SimTime, compute: usize, fio: FioConfig) {
+        let mut state = FioState {
+            cfg: fio,
+            rng: rng::stream_indexed(self.cfg.seed, "fio", compute as u64),
+            issued: 0,
+        };
+        let ios: Vec<IoRequest> = (0..fio.depth)
+            .map(|_| next_fio_io(&mut state, compute, &self.cfg))
+            .collect();
+        self.computes[compute].fio = Some(state);
+        for (k, io) in ios.into_iter().enumerate() {
+            // Ramp the initial window over ~20us per I/O: real fio opens
+            // its queue depth over many submission syscalls, not in one
+            // zero-width burst.
+            self.q.schedule_at(
+                at_plus(start, k as u64 * 20_000),
+                Event::Guest {
+                    compute,
+                    io,
+                    from_fio: true,
+                },
+            );
+        }
+    }
+
+    /// Schedule a fabric failure injection.
+    pub fn schedule_failure(&mut self, at: SimTime, device: DeviceId, mode: FailureMode) {
+        self.q
+            .schedule_at(at, Event::InjectFailure { device, mode, convergence: None });
+    }
+
+    /// Schedule a fail-stop whose routing convergence differs from the
+    /// fabric default (fabric-internal link-down converges in tens of
+    /// milliseconds; host-facing ToR loss takes tens of seconds).
+    pub fn schedule_failure_with(
+        &mut self,
+        at: SimTime,
+        device: DeviceId,
+        mode: FailureMode,
+        convergence: SimDuration,
+    ) {
+        self.q.schedule_at(
+            at,
+            Event::InjectFailure {
+                device,
+                mode,
+                convergence: Some(convergence),
+            },
+        );
+    }
+
+    /// Schedule a heal.
+    pub fn schedule_heal(&mut self, at: SimTime, device: DeviceId) {
+        self.q.schedule_at(at, Event::Heal { device });
+    }
+
+    /// Run the world until `horizon` (inclusive of events at it).
+    pub fn run_until(&mut self, horizon: SimTime) {
+        while let Some(t) = self.q.peek_time() {
+            if t > horizon {
+                break;
+            }
+            let (now, ev) = self.q.pop().expect("peeked");
+            self.dispatch(now, ev);
+        }
+    }
+
+    /// I/Os that were unanswered for ≥ `threshold` as of `now` (Table 2's
+    /// metric with threshold = 1 s).
+    pub fn hung_ios(&self, threshold: SimDuration) -> usize {
+        let now = self.q.now();
+        self.traces.iter().filter(|t| t.hung(now, threshold)).count()
+    }
+
+    fn dispatch(&mut self, now: SimTime, ev: Event) {
+        match ev {
+            Event::Net(nev) => {
+                let Testbed { q, fabric, .. } = self;
+                let mut sched = MapScheduler::new(q, Event::Net);
+                if let Some(pkt) = fabric.handle(now, nev, &mut sched) {
+                    self.deliver(now, pkt);
+                }
+            }
+            Event::Guest {
+                compute,
+                io,
+                from_fio,
+            } => self.guest_io(now, compute, io, from_fio),
+            Event::SaDone { compute, io_id } => self.sa_done(now, compute, io_id),
+            Event::StorageDone { storage, reply } => self.storage_done(now, storage, reply),
+            Event::ComputeTimer { compute } => {
+                self.computes[compute].timer_at = None;
+                self.fire_compute_timers(now, compute);
+                self.pump_compute(now, compute);
+            }
+            Event::StorageTimer { storage } => {
+                self.storages[storage].timer_at = None;
+                self.fire_storage_timers(now, storage);
+                self.pump_storage(now, storage);
+            }
+            Event::InjectFailure {
+                device,
+                mode,
+                convergence,
+            } => {
+                let Testbed { q, fabric, .. } = self;
+                let mut sched = MapScheduler::new(q, Event::Net);
+                match convergence {
+                    Some(c) => fabric.inject_failure_with(device, mode, c, &mut sched),
+                    None => fabric.inject_failure(device, mode, &mut sched),
+                }
+            }
+            Event::Heal { device } => self.fabric.heal(device),
+        }
+    }
+
+    // --- guest I/O entry -------------------------------------------------
+
+    fn guest_io(&mut self, now: SimTime, compute: usize, io: IoRequest, from_fio: bool) {
+        let c = &mut self.computes[compute];
+        let io_id = c.next_io_id;
+        c.next_io_id += 1;
+        let qos_delay = c.qos.admit(now, io.vd_id, io.len as usize);
+        let start = now + qos_delay;
+
+        let subs = match split_io(&c.seg_table, &io, BLOCK_SIZE) {
+            Ok(s) => s,
+            Err(e) => panic!("workload generated invalid I/O: {e}"),
+        };
+        let blocks = (io.len / BLOCK_SIZE) as usize;
+
+        // SA processing: CPU work (+ pipeline for SOLAR) + PCIe crossings.
+        // For the software SA, light-load latency exceeds the pure CPU
+        // work (VM exits, notification waits); under saturation the CPU
+        // queue dominates. Take the max of the two.
+        let sa_fin = if !self.cfg.sa_enabled {
+            // Bare-RPC benchmarking mode (Table 1): skip the SA data
+            // plane, keep only a token submission cost.
+            c.cpu.run(start, SimDuration::from_nanos(200))
+        } else {
+            match self.cfg.variant {
+            Variant::Kernel | Variant::Luna | Variant::Rdma => c
+                .cpu
+                .run(start, self.sa_costs.cpu_for(blocks))
+                .max(start + self.sa_costs.latency_per_io),
+            Variant::SolarStar => {
+                let extra = SolarCosts::star_extra_per_block().saturating_mul(blocks as u64);
+                c.cpu.run(
+                    start,
+                    self.solar_costs
+                        .cpu_per_rpc
+                        .saturating_mul(subs.len() as u64)
+                        + extra,
+                ) + self.solar_costs.pipeline
+            }
+            Variant::Solar => {
+                c.cpu.run(
+                    start,
+                    self.solar_costs
+                        .cpu_per_rpc
+                        .saturating_mul(subs.len() as u64),
+                ) + self.solar_costs.pipeline
+            }
+            }
+        };
+        // Data crossings: writes move the payload before transmission.
+        let ready = if io.kind == IoKind::Write {
+            c.pcie
+                .transfer_block(sa_fin, self.cfg.variant.pcie_path(), io.len as usize)
+        } else {
+            sa_fin
+        };
+
+        let trace_idx = self.traces.len();
+        self.traces.push(IoTrace {
+            compute,
+            kind: io.kind,
+            bytes: io.len,
+            submitted: now,
+            completed: None,
+            qos_delay,
+            sa: ready.saturating_since(start),
+            fn_: SimDuration::ZERO,
+            bn: SimDuration::ZERO,
+            ssd: SimDuration::ZERO,
+        });
+        c.pending.insert(
+            io_id,
+            PendingIo {
+                trace_idx,
+                subs_total: subs.len(),
+                subs_done: 0,
+                sa_ready: ready,
+                max_storage: StorageBreakdown {
+                    bn: SimDuration::ZERO,
+                    ssd: SimDuration::ZERO,
+                },
+                done_at: SimTime::ZERO,
+                completion_sa: SimDuration::ZERO,
+                from_fio,
+                subs,
+            },
+        );
+        self.q.schedule_at(ready, Event::SaDone { compute, io_id });
+    }
+
+    // --- transport submit ------------------------------------------------
+
+    fn sa_done(&mut self, now: SimTime, compute: usize, io_id: u64) {
+        let c = &mut self.computes[compute];
+        let pending = c.pending.get_mut(&io_id).expect("pending io");
+        let subs = std::mem::take(&mut pending.subs);
+        let trace = &self.traces[pending.trace_idx];
+        let kind = trace.kind;
+        let vd_id = compute as u64;
+
+        for sub in subs {
+            let rpc_id = c.next_rpc_id;
+            c.next_rpc_id += 1;
+            c.rpc_to_io.insert(rpc_id, (io_id, sub.blocks.len() as u32));
+            let storage = sub.block_server;
+            match &mut c.transport {
+                ComputeTransport::Tcp { costs, conns } => {
+                    let conn = conns.entry(storage).or_insert_with(|| {
+                        RpcClient::connect(TcpConfig {
+                            iss: (compute as u32) << 8 | storage,
+                            mss: 8960, // jumbo-capable NICs with TSO/GSO
+                            ..TcpConfig::default()
+                        })
+                    });
+                    let bytes = sub.blocks.len() * BLOCK_SIZE as usize;
+                    let frame = match kind {
+                        IoKind::Write => RpcFrame {
+                            rpc_id,
+                            method: RpcMethod::Write,
+                            vd_id,
+                            offset: sub.blocks[0] * BLOCK_SIZE as u64,
+                            len: bytes as u32,
+                            payload: Bytes::from(vec![0u8; bytes]),
+                        },
+                        IoKind::Read => RpcFrame {
+                            rpc_id,
+                            method: RpcMethod::Read,
+                            vd_id,
+                            offset: sub.blocks[0] * BLOCK_SIZE as u64,
+                            len: bytes as u32,
+                            payload: Bytes::new(),
+                        },
+                    };
+                    // Stack cost: CPU for the tx side plus crossing latency.
+                    let cpu_cost = costs.cpu_for_rpc(bytes);
+                    let t = c.cpu.run(now, cpu_cost)
+                        + costs.crossing_latency.saturating_sub(cpu_cost);
+                    // The engine is sans-io: submission is immediate; the
+                    // latency shows up by delaying the pump via a timer.
+                    conn.call(t.max(now), &frame);
+                    bump_timer(&mut c.timer_at, &mut self.q, t.max(now), Event::ComputeTimer {
+                        compute,
+                    });
+                }
+                ComputeTransport::Rdma { costs, conns } => {
+                    let conn = conns
+                        .entry(storage)
+                        .or_insert_with(|| RdmaQp::new(QpConfig::default()));
+                    let bytes = sub.blocks.len() * BLOCK_SIZE as usize;
+                    let frame = RpcFrame {
+                        rpc_id,
+                        method: if kind == IoKind::Write {
+                            RpcMethod::Write
+                        } else {
+                            RpcMethod::Read
+                        },
+                        vd_id,
+                        offset: sub.blocks[0] * BLOCK_SIZE as u64,
+                        len: bytes as u32,
+                        payload: if kind == IoKind::Write {
+                            Bytes::from(vec![0u8; bytes])
+                        } else {
+                            Bytes::new()
+                        },
+                    };
+                    let t = c.cpu.run(now, costs.cpu_per_rpc) + costs.crossing_latency;
+                    conn.post_send(frame.to_bytes());
+                    bump_timer(&mut c.timer_at, &mut self.q, t.max(now), Event::ComputeTimer {
+                        compute,
+                    });
+                }
+                ComputeTransport::Solar { clients } => {
+                    let client = clients.entry(storage).or_insert_with(|| {
+                        SolarClient::new(self.cfg.solar.clone())
+                    });
+                    match kind {
+                        IoKind::Write => {
+                            let blocks = sub
+                                .blocks
+                                .iter()
+                                .map(|&b| WriteBlock {
+                                    block_addr: b,
+                                    payload: Bytes::new(),
+                                    crc: 0,
+                                })
+                                .collect();
+                            client.submit_write(now, rpc_id, vd_id, sub.segment_id, blocks);
+                        }
+                        IoKind::Read => {
+                            let blocks = sub
+                                .blocks
+                                .iter()
+                                .map(|&b| ReadBlock {
+                                    block_addr: b,
+                                    guest_addr: b * BLOCK_SIZE as u64,
+                                })
+                                .collect();
+                            client.submit_read(now, rpc_id, vd_id, sub.segment_id, blocks);
+                        }
+                    }
+                }
+            }
+        }
+        self.pump_compute(now, compute);
+    }
+
+    // --- delivery from the fabric ---------------------------------------
+
+    fn deliver(&mut self, now: SimTime, pkt: FabricPacket<Msg>) {
+        let dst = pkt.flow.dst;
+        if let Some(&s) = self.storage_of_device.get(&dst) {
+            self.storage_rx(now, s, pkt);
+        } else if let Some(&cidx) = self.compute_of_device.get(&dst) {
+            self.compute_rx(now, cidx, pkt);
+        }
+    }
+
+    fn storage_rx(&mut self, now: SimTime, storage: usize, pkt: FabricPacket<Msg>) {
+        let int = pkt.int;
+        match pkt.payload {
+            Msg::Tcp { compute, seg, .. } => {
+                let node = &mut self.storages[storage];
+                let srv = node.tcp.entry(compute).or_insert_with(|| {
+                    RpcServer::listen(TcpConfig {
+                        iss: 0x8000_0000 | (compute << 8),
+                        mss: 8960,
+                        ..TcpConfig::default()
+                    })
+                });
+                srv.on_segment(now, seg);
+                // Serve any complete requests.
+                let mut jobs = Vec::new();
+                while let Some(req) = srv.poll_request() {
+                    jobs.push(req);
+                }
+                for req in jobs {
+                    self.serve_request(now, storage, compute, req, RpcTransportKind::Tcp);
+                }
+                self.pump_storage(now, storage);
+            }
+            Msg::Rdma { compute, pkt: qpkt, .. } => {
+                let node = &mut self.storages[storage];
+                let qp = node
+                    .rdma
+                    .entry(compute)
+                    .or_insert_with(|| RdmaQp::new(QpConfig::default()));
+                qp.on_packet(now, qpkt);
+                let mut jobs = Vec::new();
+                while let Some(msg) = qp.poll_recv() {
+                    let mut dec = ebs_wire::FrameDecoder::new();
+                    dec.extend(&msg);
+                    if let Ok(Some(frame)) = dec.next_frame() {
+                        jobs.push(frame);
+                    }
+                }
+                for req in jobs {
+                    self.serve_request(now, storage, compute, req, RpcTransportKind::Rdma);
+                }
+                self.pump_storage(now, storage);
+            }
+            Msg::Solar { compute, hdr, .. } => {
+                let reply_port = pkt.flow.src_port;
+                let (action, gap_nacks) = {
+                    let node = &mut self.storages[storage];
+                    let resp = node
+                        .solar
+                        .entry(compute)
+                        .or_insert_with(SolarResponder::new);
+                    let action = resp.on_packet(InPacket {
+                        hdr,
+                        payload: Bytes::new(),
+                        int,
+                    });
+                    let mut nacks = Vec::new();
+                    while let Some(n) = resp.poll_gap_nack() {
+                        nacks.push(n);
+                    }
+                    (action, nacks)
+                };
+                // Gap reports go straight back (tiny control packets).
+                for n in gap_nacks {
+                    self.q.schedule_at(
+                        now,
+                        Event::StorageDone {
+                            storage,
+                            reply: Reply::Solar {
+                                compute,
+                                out: n,
+                                echo_int: None,
+                                reply_port,
+                            },
+                        },
+                    );
+                }
+                match action {
+                    ServerAction::StoreBlock { hdr, int, .. } => {
+                        let (done, bd) = self.storages[storage].backend.write(now, 1);
+                        self.merge_breakdown(compute, hdr.rpc_id, bd);
+                        let (ack, echo) = self.storages[storage]
+                            .solar
+                            .get_mut(&compute)
+                            .expect("responder exists")
+                            .write_ack(&hdr, int);
+                        self.q.schedule_at(
+                            done + self.server_stack_latency,
+                            Event::StorageDone {
+                                storage,
+                                reply: Reply::Solar {
+                                    compute,
+                                    out: ack,
+                                    echo_int: echo,
+                                    reply_port,
+                                },
+                            },
+                        );
+                    }
+                    ServerAction::FetchBlock { hdr } => {
+                        let (done, bd) = self.storages[storage].backend.read(now, 1);
+                        self.merge_breakdown(compute, hdr.rpc_id, bd);
+                        let out = self.storages[storage]
+                            .solar
+                            .get_mut(&compute)
+                            .expect("responder exists")
+                            .read_resp(&hdr, Bytes::new(), 0);
+                        self.q.schedule_at(
+                            done + self.server_stack_latency,
+                            Event::StorageDone {
+                                storage,
+                                reply: Reply::Solar {
+                                    compute,
+                                    out,
+                                    echo_int: None,
+                                    reply_port,
+                                },
+                            },
+                        );
+                    }
+                    ServerAction::Reply(out) => {
+                        self.q.schedule_at(
+                            now,
+                            Event::StorageDone {
+                                storage,
+                                reply: Reply::Solar {
+                                    compute,
+                                    out,
+                                    echo_int: None,
+                                    reply_port,
+                                },
+                            },
+                        );
+                    }
+                    ServerAction::None => {}
+                }
+            }
+        }
+    }
+
+    fn merge_breakdown(&mut self, compute: u32, rpc_id: u64, bd: StorageBreakdown) {
+        let e = self
+            .breakdowns
+            .entry((compute, rpc_id))
+            .or_insert(StorageBreakdown {
+                bn: SimDuration::ZERO,
+                ssd: SimDuration::ZERO,
+            });
+        e.bn = e.bn.max(bd.bn);
+        e.ssd = e.ssd.max(bd.ssd);
+    }
+
+    fn serve_request(
+        &mut self,
+        now: SimTime,
+        storage: usize,
+        compute: u32,
+        req: RpcFrame,
+        kind: RpcTransportKind,
+    ) {
+        let node = &mut self.storages[storage];
+        let blocks = (req.len / BLOCK_SIZE).max(1) as usize;
+        let (done, bd, resp) = match req.method {
+            RpcMethod::Write => {
+                let (done, bd) = node.backend.write(now, blocks);
+                (
+                    done,
+                    bd,
+                    RpcFrame {
+                        rpc_id: req.rpc_id,
+                        method: RpcMethod::WriteResp,
+                        vd_id: req.vd_id,
+                        offset: req.offset,
+                        len: 0,
+                        payload: Bytes::new(),
+                    },
+                )
+            }
+            RpcMethod::Read => {
+                let (done, bd) = node.backend.read(now, blocks);
+                (
+                    done,
+                    bd,
+                    RpcFrame {
+                        rpc_id: req.rpc_id,
+                        method: RpcMethod::ReadResp,
+                        vd_id: req.vd_id,
+                        offset: req.offset,
+                        len: req.len,
+                        payload: Bytes::from(vec![0u8; req.len as usize]),
+                    },
+                )
+            }
+            _ => return, // responses never arrive at the server
+        };
+        self.merge_breakdown(compute, req.rpc_id, bd);
+        let reply = match kind {
+            RpcTransportKind::Tcp => Reply::Tcp {
+                compute,
+                frame: resp,
+            },
+            RpcTransportKind::Rdma => Reply::Rdma {
+                compute,
+                frame: resp,
+            },
+        };
+        // Storage-side stack crossings (rx of the request + tx of the
+        // response) — half of Table 1's four per-RPC crossings.
+        self.q.schedule_at(
+            done + self.server_stack_latency,
+            Event::StorageDone { storage, reply },
+        );
+    }
+
+    fn storage_done(&mut self, now: SimTime, storage: usize, reply: Reply) {
+        match reply {
+            Reply::Tcp { compute, frame } => {
+                if let Some(srv) = self.storages[storage].tcp.get_mut(&compute) {
+                    srv.respond(&frame);
+                }
+                self.pump_storage(now, storage);
+            }
+            Reply::Rdma { compute, frame } => {
+                if let Some(qp) = self.storages[storage].rdma.get_mut(&compute) {
+                    qp.post_send(frame.to_bytes());
+                }
+                self.pump_storage(now, storage);
+            }
+            Reply::Solar {
+                compute,
+                out,
+                echo_int,
+                reply_port,
+            } => {
+                let is_data = out.hdr.op == ebs_wire::EbsOp::ReadResp;
+                let size = if is_data {
+                    ebs_wire::SOLAR_OVERHEAD + out.hdr.len as usize
+                } else {
+                    ebs_wire::SOLAR_OVERHEAD
+                        + echo_int.as_ref().map_or(0, |i| i.wire_len())
+                };
+                let hdr = out.hdr;
+                let sdev = self.storages[storage].device;
+                let cdev = self.computes[compute as usize].device;
+                self.send_fabric(
+                    now,
+                    FlowLabel {
+                        src: sdev,
+                        dst: cdev,
+                        src_port: out.src_port,
+                        // Replies return to the request's source port, so
+                        // the reverse flow re-hashes with path remapping.
+                        dst_port: reply_port,
+                        proto: 17,
+                    },
+                    size,
+                    // Read responses collect fresh INT on the reverse path.
+                    is_data.then(IntStack::new),
+                    Msg::Solar {
+                        compute,
+                        storage: storage as u32,
+                        hdr,
+                        echo_int,
+                    },
+                );
+            }
+        }
+    }
+
+    fn compute_rx(&mut self, now: SimTime, compute: usize, pkt: FabricPacket<Msg>) {
+        let collected_int = pkt.int;
+        match pkt.payload {
+            Msg::Tcp { storage, seg, .. } => {
+                let c = &mut self.computes[compute];
+                if let ComputeTransport::Tcp { conns, .. } = &mut c.transport {
+                    if let Some(conn) = conns.get_mut(&storage) {
+                        conn.on_segment(now, seg);
+                    }
+                }
+                self.drain_completions(now, compute);
+                self.pump_compute(now, compute);
+            }
+            Msg::Rdma { storage, pkt: qpkt, .. } => {
+                let c = &mut self.computes[compute];
+                if let ComputeTransport::Rdma { conns, .. } = &mut c.transport {
+                    if let Some(qp) = conns.get_mut(&storage) {
+                        qp.on_packet(now, qpkt);
+                    }
+                }
+                self.drain_completions(now, compute);
+                self.pump_compute(now, compute);
+            }
+            Msg::Solar {
+                hdr,
+                echo_int,
+                storage,
+                ..
+            } => {
+                let c = &mut self.computes[compute];
+                if let ComputeTransport::Solar { clients, .. } = &mut c.transport {
+                    if let Some(client) = clients.get_mut(&storage) {
+                        let int = echo_int.or(collected_int);
+                        // Read data DMAs into guest memory via host PCIe.
+                        let at = if hdr.op == ebs_wire::EbsOp::ReadResp {
+                            c.pcie.transfer_block(
+                                now + self.solar_costs.pipeline,
+                                self.cfg.variant.pcie_path(),
+                                hdr.len as usize,
+                            )
+                        } else {
+                            now
+                        };
+                        client.on_packet(at.max(now), InPacket {
+                            hdr,
+                            payload: Bytes::new(),
+                            int,
+                        });
+                    }
+                }
+                self.drain_completions(now, compute);
+                self.pump_compute(now, compute);
+            }
+        }
+    }
+
+    // --- completion plumbing ---------------------------------------------
+
+    fn drain_completions(&mut self, now: SimTime, compute: usize) {
+        let mut done_rpcs: Vec<(u64, SimTime)> = Vec::new();
+        {
+            let c = &mut self.computes[compute];
+            match &mut c.transport {
+                ComputeTransport::Tcp { costs, conns } => {
+                    let crossing = costs.crossing_latency;
+                    let cpu_cost = costs.cpu_per_rpc;
+                    let path = self.cfg.variant.pcie_path();
+                    for conn in conns.values_mut() {
+                        while let Some(done) = conn.poll_completion() {
+                            let mut t = c.cpu.run(now, cpu_cost)
+                                + crossing.saturating_sub(cpu_cost);
+                            // Read data crosses the DPU's PCIe on its way
+                            // to guest memory (Fig. 10a).
+                            let bytes = done.response.payload.len();
+                            if bytes > 0 {
+                                t = t.max(c.pcie.transfer_block(now, path, bytes));
+                            }
+                            done_rpcs.push((done.rpc_id, t.max(now)));
+                        }
+                    }
+                }
+                ComputeTransport::Rdma { costs, conns } => {
+                    let path = self.cfg.variant.pcie_path();
+                    for qp in conns.values_mut() {
+                        while let Some(msg) = qp.poll_recv() {
+                            let mut dec = ebs_wire::FrameDecoder::new();
+                            dec.extend(&msg);
+                            if let Ok(Some(frame)) = dec.next_frame() {
+                                let mut t = c.cpu.run(now, costs.cpu_per_rpc)
+                                    + costs.crossing_latency;
+                                let bytes = frame.payload.len();
+                                if bytes > 0 {
+                                    t = t.max(c.pcie.transfer_block(now, path, bytes));
+                                }
+                                done_rpcs.push((frame.rpc_id, t.max(now)));
+                            }
+                        }
+                    }
+                }
+                ComputeTransport::Solar { clients, .. } => {
+                    let doorbell = self.solar_costs.cpu_doorbell;
+                    let cc_completion = self.solar_costs.cpu_cc_per_completion;
+                    let cc_ack = self.solar_costs.cpu_cc_per_ack;
+                    let rpc_blocks = &c.rpc_to_io;
+                    let mut jobs: Vec<(u64, u32)> = Vec::new();
+                    for client in clients.values_mut() {
+                        while let Some(ev) = client.poll_event() {
+                            match ev {
+                                SolarEvent::RpcCompleted { rpc_id, .. } => {
+                                    let blocks = rpc_blocks
+                                        .get(&rpc_id)
+                                        .map_or(1, |&(_, b)| b);
+                                    jobs.push((rpc_id, blocks));
+                                }
+                                SolarEvent::RpcFailed { rpc_id } => {
+                                    // Leave the I/O incomplete: it will show
+                                    // up as a hang, like production.
+                                    let _ = rpc_id;
+                                }
+                                _ => {}
+                            }
+                        }
+                    }
+                    for (rpc_id, blocks) in jobs {
+                        // Only the integrity check + doorbell gates the
+                        // I/O; the Path&CC bookkeeping runs after the
+                        // doorbell but still occupies the cores — which
+                        // is exactly how §4.7's SA tail arises under
+                        // intensive I/O: CC backlog delays doorbells.
+                        let t = c.cpu.run(now, doorbell);
+                        c.cpu.run(
+                            now,
+                            cc_completion + cc_ack.saturating_mul(blocks as u64),
+                        );
+                        done_rpcs.push((rpc_id, t.max(now)));
+                    }
+                }
+            }
+        }
+        let is_solar = matches!(
+            self.cfg.variant,
+            Variant::Solar | Variant::SolarStar
+        );
+        for (rpc_id, t_done) in done_rpcs {
+            let overhead = if is_solar {
+                t_done.saturating_since(now)
+            } else {
+                SimDuration::ZERO
+            };
+            self.finish_rpc(compute, rpc_id, t_done, overhead);
+        }
+    }
+
+    fn finish_rpc(
+        &mut self,
+        compute: usize,
+        rpc_id: u64,
+        t_done: SimTime,
+        completion_sa: SimDuration,
+    ) {
+        let c = &mut self.computes[compute];
+        let Some((io_id, _blocks)) = c.rpc_to_io.remove(&rpc_id) else {
+            return;
+        };
+        let bd = self
+            .breakdowns
+            .remove(&(compute as u32, rpc_id))
+            .unwrap_or(StorageBreakdown {
+                bn: SimDuration::ZERO,
+                ssd: SimDuration::ZERO,
+            });
+        let Some(p) = c.pending.get_mut(&io_id) else {
+            return;
+        };
+        p.subs_done += 1;
+        p.done_at = p.done_at.max(t_done);
+        p.completion_sa = p.completion_sa.max(completion_sa);
+        p.max_storage.bn = p.max_storage.bn.max(bd.bn);
+        p.max_storage.ssd = p.max_storage.ssd.max(bd.ssd);
+        if p.subs_done == p.subs_total {
+            let p = c.pending.remove(&io_id).expect("present");
+            let trace = &mut self.traces[p.trace_idx];
+            trace.completed = Some(p.done_at);
+            let transport_total = p.done_at.saturating_since(p.sa_ready);
+            let completion_sa = p.completion_sa.min(transport_total);
+            trace.sa += completion_sa;
+            let transport_total = transport_total.saturating_sub(completion_sa);
+            trace.bn = p.max_storage.bn.min(transport_total);
+            trace.ssd = p.max_storage.ssd.min(transport_total.saturating_sub(trace.bn));
+            trace.fn_ = transport_total
+                .saturating_sub(trace.bn)
+                .saturating_sub(trace.ssd);
+            c.completed_ios += 1;
+            c.completed_bytes += trace.bytes as u64;
+            // Closed loop: only fio-originated completions resubmit, so
+            // externally scheduled probe I/Os don't inflate the depth.
+            if p.from_fio {
+                if let Some(fio) = &mut c.fio {
+                    let io = next_fio_io(fio, compute, &self.cfg);
+                    self.q.schedule_at(
+                        p.done_at,
+                        Event::Guest {
+                            compute,
+                            io,
+                            from_fio: true,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    // --- pumping & timers --------------------------------------------------
+
+    fn fire_compute_timers(&mut self, now: SimTime, compute: usize) {
+        let c = &mut self.computes[compute];
+        match &mut c.transport {
+            ComputeTransport::Tcp { conns, .. } => {
+                for conn in conns.values_mut() {
+                    if matches!(conn.poll_timer(), Some(t) if t <= now) {
+                        conn.on_timer(now);
+                    }
+                }
+            }
+            ComputeTransport::Rdma { conns, .. } => {
+                for qp in conns.values_mut() {
+                    if matches!(qp.poll_timer(), Some(t) if t <= now) {
+                        qp.on_timer(now);
+                    }
+                }
+            }
+            ComputeTransport::Solar { clients, .. } => {
+                for client in clients.values_mut() {
+                    if matches!(client.poll_timer(), Some(t) if t <= now) {
+                        client.on_timer(now);
+                    }
+                }
+            }
+        }
+        self.drain_completions(now, compute);
+    }
+
+    fn fire_storage_timers(&mut self, now: SimTime, storage: usize) {
+        let node = &mut self.storages[storage];
+        for srv in node.tcp.values_mut() {
+            if matches!(srv.poll_timer(), Some(t) if t <= now) {
+                srv.on_timer(now);
+            }
+        }
+        for qp in node.rdma.values_mut() {
+            if matches!(qp.poll_timer(), Some(t) if t <= now) {
+                qp.on_timer(now);
+            }
+        }
+    }
+
+    fn pump_compute(&mut self, now: SimTime, compute: usize) {
+        // Collect outgoing packets first (borrow of computes), then send.
+        let mut outgoing: Vec<(FlowLabel, usize, Option<IntStack>, Msg)> = Vec::new();
+        let mut min_timer: Option<SimTime> = None;
+        {
+            let c = &mut self.computes[compute];
+            let cdev = c.device;
+            match &mut c.transport {
+                ComputeTransport::Tcp { conns, .. } => {
+                    for (&storage, conn) in conns.iter_mut() {
+                        let sdev = self.storages[storage as usize].device;
+                        while let Some(seg) = conn.poll_segment(now) {
+                            let size = seg.wire_size();
+                            outgoing.push((
+                                FlowLabel {
+                                    src: cdev,
+                                    dst: sdev,
+                                    src_port: 10_000 + storage as u16,
+                                    dst_port: 7000,
+                                    proto: 6,
+                                },
+                                size,
+                                None,
+                                Msg::Tcp {
+                                    compute: compute as u32,
+                                    storage,
+                                    seg,
+                                },
+                            ));
+                        }
+                        min_timer = min_opt(min_timer, conn.poll_timer());
+                    }
+                }
+                ComputeTransport::Rdma { conns, .. } => {
+                    for (&storage, qp) in conns.iter_mut() {
+                        let sdev = self.storages[storage as usize].device;
+                        while let Some(pkt) = qp.poll_transmit(now) {
+                            let size = pkt.wire_size();
+                            outgoing.push((
+                                FlowLabel {
+                                    src: cdev,
+                                    dst: sdev,
+                                    src_port: 20_000 + storage as u16,
+                                    dst_port: 4791,
+                                    proto: 17,
+                                },
+                                size,
+                                None,
+                                Msg::Rdma {
+                                    compute: compute as u32,
+                                    storage,
+                                    pkt,
+                                },
+                            ));
+                        }
+                        min_timer = min_opt(min_timer, qp.poll_timer());
+                    }
+                }
+                ComputeTransport::Solar { clients, .. } => {
+                    for (&storage, client) in clients.iter_mut() {
+                        let sdev = self.storages[storage as usize].device;
+                        while let Some(out) = client.poll_transmit(now) {
+                            let size = out.wire_size()
+                                + if out.hdr.op == ebs_wire::EbsOp::WriteBlock {
+                                    out.hdr.len as usize
+                                } else {
+                                    0
+                                };
+                            let int = out.int_request.then(IntStack::new);
+                            outgoing.push((
+                                FlowLabel {
+                                    src: cdev,
+                                    dst: sdev,
+                                    src_port: out.src_port,
+                                    dst_port: 9000,
+                                    proto: 17,
+                                },
+                                size,
+                                int,
+                                Msg::Solar {
+                                    compute: compute as u32,
+                                    storage,
+                                    hdr: out.hdr,
+                                    echo_int: None,
+                                },
+                            ));
+                        }
+                        min_timer = min_opt(min_timer, client.poll_timer());
+                    }
+                }
+            }
+        }
+        for (flow, size, int, msg) in outgoing {
+            self.send_fabric(now, flow, size, int, msg);
+        }
+        // (Re)arm the host timer.
+        if let Some(t) = min_timer {
+            let c = &mut self.computes[compute];
+            if c.timer_at.map_or(true, |cur| t < cur) {
+                c.timer_at = Some(t);
+                self.q
+                    .schedule_at(t.max(now), Event::ComputeTimer { compute });
+            }
+        }
+    }
+
+    fn pump_storage(&mut self, now: SimTime, storage: usize) {
+        let mut outgoing: Vec<(FlowLabel, usize, Msg)> = Vec::new();
+        let mut min_timer: Option<SimTime> = None;
+        {
+            let node = &mut self.storages[storage];
+            let sdev = node.device;
+            for (&compute, srv) in node.tcp.iter_mut() {
+                let cdev = self.computes[compute as usize].device;
+                while let Some(seg) = srv.poll_segment(now) {
+                    let size = seg.wire_size();
+                    outgoing.push((
+                        FlowLabel {
+                            src: sdev,
+                            dst: cdev,
+                            src_port: 7000,
+                            dst_port: 10_000 + storage as u16,
+                            proto: 6,
+                        },
+                        size,
+                        Msg::Tcp {
+                            compute,
+                            storage: storage as u32,
+                            seg,
+                        },
+                    ));
+                }
+                min_timer = min_opt(min_timer, srv.poll_timer());
+            }
+            for (&compute, qp) in node.rdma.iter_mut() {
+                let cdev = self.computes[compute as usize].device;
+                while let Some(pkt) = qp.poll_transmit(now) {
+                    let size = pkt.wire_size();
+                    outgoing.push((
+                        FlowLabel {
+                            src: sdev,
+                            dst: cdev,
+                            src_port: 4791,
+                            dst_port: 20_000 + storage as u16,
+                            proto: 17,
+                        },
+                        size,
+                        Msg::Rdma {
+                            compute,
+                            storage: storage as u32,
+                            pkt,
+                        },
+                    ));
+                }
+                min_timer = min_opt(min_timer, qp.poll_timer());
+            }
+        }
+        for (flow, size, msg) in outgoing {
+            self.send_fabric(now, flow, size, None, msg);
+        }
+        if let Some(t) = min_timer {
+            let node = &mut self.storages[storage];
+            if node.timer_at.map_or(true, |cur| t < cur) {
+                node.timer_at = Some(t);
+                self.q
+                    .schedule_at(t.max(now), Event::StorageTimer { storage });
+            }
+        }
+    }
+
+    fn send_fabric(
+        &mut self,
+        now: SimTime,
+        flow: FlowLabel,
+        size: usize,
+        int: Option<IntStack>,
+        msg: Msg,
+    ) {
+        let Testbed { q, fabric, .. } = self;
+        let mut sched = MapScheduler::new(q, Event::Net);
+        let delivered = fabric.send(
+            now,
+            FabricPacket {
+                flow,
+                size,
+                int,
+                payload: msg,
+            },
+            &mut sched,
+        );
+        if let Some(pkt) = delivered {
+            self.deliver(now, pkt);
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum RpcTransportKind {
+    Tcp,
+    Rdma,
+}
+
+fn min_opt(a: Option<SimTime>, b: Option<SimTime>) -> Option<SimTime> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(x.min(y)),
+        (x, y) => x.or(y),
+    }
+}
+
+fn at_plus(t: SimTime, ns: u64) -> SimTime {
+    t + SimDuration::from_nanos(ns)
+}
+
+fn bump_timer(
+    timer_at: &mut Option<SimTime>,
+    q: &mut EventQueue<Event>,
+    at: SimTime,
+    ev: Event,
+) {
+    if timer_at.map_or(true, |cur| at < cur) {
+        *timer_at = Some(at);
+        q.schedule_at(at, ev);
+    }
+}
+
+fn next_fio_io(fio: &mut FioState, compute: usize, cfg: &TestbedConfig) -> IoRequest {
+    fio.issued += 1;
+    let vd_blocks = cfg.vd_segments * ebs_sa::SEGMENT_BLOCKS;
+    let blocks = (fio.cfg.bytes / BLOCK_SIZE) as u64;
+    let max_start = vd_blocks.saturating_sub(blocks).max(1);
+    let offset_block = fio.rng.gen_range(0..max_start);
+    let kind = if fio.rng.gen::<f64>() < fio.cfg.read_fraction {
+        IoKind::Read
+    } else {
+        IoKind::Write
+    };
+    IoRequest {
+        vd_id: compute as u64,
+        kind,
+        offset: offset_block * BLOCK_SIZE as u64,
+        len: fio.cfg.bytes,
+    }
+}

@@ -1,0 +1,226 @@
+//! Log-bucketed latency histogram.
+//!
+//! HdrHistogram-style: values are bucketed with a fixed relative error
+//! (sub-bucket resolution of 1/64, i.e. ≤ ~1.6% quantile error), which is
+//! plenty for reproducing median / p95 / p99 rows from the paper while
+//! keeping memory constant regardless of sample count.
+
+/// A histogram of non-negative integer values (we use nanoseconds).
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    /// counts[bucket][sub] — bucket = floor(log2(v)) clamped, 64 linear
+    /// sub-buckets per power of two.
+    counts: Vec<u64>,
+    total: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+const SUB_BITS: u32 = 6; // 64 sub-buckets
+const SUB: u64 = 1 << SUB_BITS;
+const BUCKETS: usize = 64;
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            counts: vec![0; BUCKETS * SUB as usize],
+            total: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    fn index(value: u64) -> usize {
+        if value < SUB {
+            return value as usize;
+        }
+        let bucket = 63 - value.leading_zeros();
+        let shift = bucket - SUB_BITS;
+        let sub = (value >> shift) & (SUB - 1);
+        // bucket SUB_BITS..63 each contribute SUB slots beyond the first
+        // linear region.
+        (((bucket - SUB_BITS + 1) as u64 * SUB) + sub) as usize
+    }
+
+    fn bucket_value(index: usize) -> u64 {
+        let index = index as u64;
+        if index < SUB {
+            return index;
+        }
+        let bucket = index / SUB + SUB_BITS as u64 - 1;
+        let sub = index % SUB;
+        let shift = bucket - SUB_BITS as u64;
+        // Midpoint of the sub-bucket to halve the representation error.
+        ((SUB + sub) << shift) + (1u64 << shift) / 2
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, value: u64) {
+        let idx = Self::index(value).min(self.counts.len() - 1);
+        self.counts[idx] += 1;
+        self.total += 1;
+        self.sum += value as u128;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Record a [`SimDuration`](ebs_sim::SimDuration)-like nanosecond span.
+    pub fn record_ns(&mut self, ns: u64) {
+        self.record(ns);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// True if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Mean of recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// Smallest recorded value (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Value at quantile `q` in `[0, 1]`, with ≤ ~1.6% relative error.
+    /// Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::bucket_value(idx).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median (p50).
+    pub fn median(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile.
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += *b;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_zeroes() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.median(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), 0);
+    }
+
+    #[test]
+    fn small_values_exact() {
+        let mut h = Histogram::new();
+        for v in [1u64, 2, 3, 4, 5] {
+            h.record(v);
+        }
+        assert_eq!(h.median(), 3);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 5);
+        assert_eq!(h.mean(), 3.0);
+    }
+
+    #[test]
+    fn quantiles_within_relative_error() {
+        let mut h = Histogram::new();
+        for v in 1..=100_000u64 {
+            h.record(v);
+        }
+        for (q, expect) in [(0.5, 50_000u64), (0.95, 95_000), (0.99, 99_000)] {
+            let got = h.quantile(q);
+            let err = (got as f64 - expect as f64).abs() / expect as f64;
+            assert!(err < 0.02, "q={q} got={got} expect={expect} err={err}");
+        }
+    }
+
+    #[test]
+    fn large_values_bounded_error() {
+        let mut h = Histogram::new();
+        let v = 3_141_592_653u64;
+        h.record(v);
+        let got = h.median();
+        let err = (got as f64 - v as f64).abs() / v as f64;
+        assert!(err < 0.02, "got={got} err={err}");
+    }
+
+    #[test]
+    fn merge_combines_counts() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(10);
+        b.record(30);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), 10);
+        assert_eq!(a.max(), 30);
+    }
+
+    #[test]
+    fn quantile_clamps_to_extremes() {
+        let mut h = Histogram::new();
+        h.record(1000);
+        assert_eq!(h.quantile(0.0), 1000);
+        assert_eq!(h.quantile(1.0), 1000);
+    }
+}

@@ -1,0 +1,24 @@
+//! # ebs-stats — measurement plumbing for the reproduction
+//!
+//! Everything the experiments use to turn simulator events into the rows
+//! and series the paper reports:
+//!
+//! * [`Histogram`] — constant-memory log-bucketed latency histogram
+//!   (median / p95 / p99 with ≤ ~1.6% error);
+//! * [`OnlineStats`] / [`Ecdf`] — exact summary stats and CDF curves;
+//! * [`BinnedSeries`] — time-binned counters for the monitoring figures;
+//! * [`TextTable`] — the aligned-table renderer used by the benchmark
+//!   harness to print paper-style output.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod hist;
+mod series;
+mod summary;
+mod table;
+
+pub use hist::Histogram;
+pub use series::BinnedSeries;
+pub use summary::{Ecdf, OnlineStats};
+pub use table::{f1, f2, us, TextTable};

@@ -1,0 +1,122 @@
+//! Time-binned series accumulators, for the monitoring-style figures
+//! (hourly traffic over a week, per-minute IOPS over a day).
+
+use ebs_sim::{SimDuration, SimTime};
+
+/// Accumulates events into fixed-width time bins; each bin reports either a
+/// sum (bytes, request counts) or a rate (per-second average).
+#[derive(Debug, Clone)]
+pub struct BinnedSeries {
+    bin: SimDuration,
+    sums: Vec<f64>,
+    counts: Vec<u64>,
+}
+
+impl BinnedSeries {
+    /// A series with the given bin width.
+    ///
+    /// # Panics
+    /// Panics if `bin` is zero.
+    pub fn new(bin: SimDuration) -> Self {
+        assert!(bin > SimDuration::ZERO, "bin width must be positive");
+        BinnedSeries {
+            bin,
+            sums: Vec::new(),
+            counts: Vec::new(),
+        }
+    }
+
+    fn bin_index(&self, at: SimTime) -> usize {
+        (at.as_nanos() / self.bin.as_nanos()) as usize
+    }
+
+    /// Add `value` at time `at`.
+    pub fn add(&mut self, at: SimTime, value: f64) {
+        let idx = self.bin_index(at);
+        if idx >= self.sums.len() {
+            self.sums.resize(idx + 1, 0.0);
+            self.counts.resize(idx + 1, 0);
+        }
+        self.sums[idx] += value;
+        self.counts[idx] += 1;
+    }
+
+    /// Count an event (value 1) at time `at`.
+    pub fn tick(&mut self, at: SimTime) {
+        self.add(at, 1.0);
+    }
+
+    /// Number of bins touched so far.
+    pub fn len(&self) -> usize {
+        self.sums.len()
+    }
+
+    /// True if no bins were touched.
+    pub fn is_empty(&self) -> bool {
+        self.sums.is_empty()
+    }
+
+    /// Per-bin totals.
+    pub fn totals(&self) -> &[f64] {
+        &self.sums
+    }
+
+    /// Per-bin event counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Per-bin average rate: total / bin-width-in-seconds.
+    pub fn rates_per_sec(&self) -> Vec<f64> {
+        let secs = self.bin.as_secs_f64();
+        self.sums.iter().map(|s| s / secs).collect()
+    }
+
+    /// Per-bin mean of added values (0 for empty bins).
+    pub fn means(&self) -> Vec<f64> {
+        self.sums
+            .iter()
+            .zip(self.counts.iter())
+            .map(|(s, &c)| if c == 0 { 0.0 } else { s / c as f64 })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_accumulate() {
+        let mut s = BinnedSeries::new(SimDuration::from_secs(1));
+        s.add(SimTime::from_millis(100), 2.0);
+        s.add(SimTime::from_millis(900), 3.0);
+        s.add(SimTime::from_millis(1500), 4.0);
+        assert_eq!(s.totals(), &[5.0, 4.0]);
+        assert_eq!(s.counts(), &[2, 1]);
+    }
+
+    #[test]
+    fn rates_divide_by_bin_width() {
+        let mut s = BinnedSeries::new(SimDuration::from_secs(2));
+        s.add(SimTime::from_secs(0), 10.0);
+        assert_eq!(s.rates_per_sec(), vec![5.0]);
+    }
+
+    #[test]
+    fn means_handle_empty_bins() {
+        let mut s = BinnedSeries::new(SimDuration::from_secs(1));
+        s.add(SimTime::from_secs(0), 4.0);
+        s.add(SimTime::from_secs(2), 6.0);
+        assert_eq!(s.means(), vec![4.0, 0.0, 6.0]);
+    }
+
+    #[test]
+    fn tick_counts_events() {
+        let mut s = BinnedSeries::new(SimDuration::from_secs(1));
+        for ms in [0u64, 10, 20, 1001] {
+            s.tick(SimTime::from_millis(ms));
+        }
+        assert_eq!(s.counts(), &[3, 1]);
+    }
+}

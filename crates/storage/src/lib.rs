@@ -1,0 +1,16 @@
+//! # ebs-storage — the storage-cluster substrate
+//!
+//! Everything behind the frontend network (Fig. 1): block servers that
+//! aggregate and sequentialize per-segment operations, chunk servers with
+//! an SSD service model (DRAM write cache vs. NAND reads), three-way
+//! replication over an RDMA backend network, and the per-request latency
+//! breakdown that feeds Fig. 6's BN and SSD components.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod server;
+mod ssd;
+
+pub use server::{BnConfig, StorageBreakdown, StorageServer, REPLICAS};
+pub use ssd::{Ssd, SsdConfig};

@@ -1,0 +1,665 @@
+//! The sans-io TCP engine.
+//!
+//! One [`TcpEngine`] is one end of one connection. It never touches
+//! sockets or clocks: the host feeds it segments ([`TcpEngine::on_segment`])
+//! and timer expirations ([`TcpEngine::on_timer`]), and drains outgoing
+//! segments ([`TcpEngine::poll_segment`]) and delivered stream bytes
+//! ([`TcpEngine::recv`]). Both the kernel-TCP baseline and LUNA wrap this
+//! same engine — per §3, their difference is the host overhead around the
+//! stack, not the protocol.
+//!
+//! Implemented: three-way handshake, MSS segmentation, cumulative ACKs,
+//! out-of-order reassembly (the receive buffering SOLAR later eliminates),
+//! RTO with exponential backoff and Karn's rule, fast retransmit on three
+//! duplicate ACKs, Reno congestion control (slow start / congestion
+//! avoidance / fast recovery), receive-window flow control.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use bytes::{Bytes, BytesMut};
+use ebs_sim::{SimDuration, SimTime};
+use ebs_wire::TcpFlags;
+
+use crate::seq::unwrap_seq;
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct TcpConfig {
+    /// Maximum segment payload (1460 for standard frames; LUNA can use
+    /// larger with TSO/GSO-style offload).
+    pub mss: usize,
+    /// Initial sequence number.
+    pub iss: u32,
+    /// Initial congestion window, in segments (RFC 6928 default 10).
+    pub initial_cwnd_segs: u32,
+    /// Initial retransmission timeout before any RTT sample.
+    pub rto_initial: SimDuration,
+    /// RTO floor.
+    pub rto_min: SimDuration,
+    /// RTO ceiling.
+    pub rto_max: SimDuration,
+    /// Advertised receive buffer in bytes.
+    pub recv_window: usize,
+    /// Cap on buffered out-of-order bytes.
+    pub max_ooo_bytes: usize,
+    /// Consecutive RTOs before the connection is declared dead.
+    pub max_retries: u32,
+}
+
+impl Default for TcpConfig {
+    fn default() -> Self {
+        TcpConfig {
+            mss: 1460,
+            iss: 1,
+            initial_cwnd_segs: 10,
+            rto_initial: SimDuration::from_millis(50),
+            rto_min: SimDuration::from_millis(5),
+            rto_max: SimDuration::from_secs(4),
+            recv_window: 1 << 20,
+            max_ooo_bytes: 1 << 20,
+            max_retries: 10,
+        }
+    }
+}
+
+/// A TCP segment as exchanged between engines (structured form; see
+/// `ebs-wire` for the byte encoding).
+#[derive(Debug, Clone)]
+pub struct Segment {
+    /// Wire sequence number of the first payload byte (or of SYN).
+    pub seq: u32,
+    /// Cumulative acknowledgment (valid when ACK flag set).
+    pub ack: u32,
+    /// Flags.
+    pub flags: TcpFlags,
+    /// Advertised receive window.
+    pub window: u32,
+    /// Payload.
+    pub payload: Bytes,
+}
+
+impl Segment {
+    /// Wire size: TCP/IP headers + payload (used by hosts to cost CPU and
+    /// fabric bytes).
+    pub fn wire_size(&self) -> usize {
+        54 + self.payload.len() // eth 14 + ip 20 + tcp 20
+    }
+}
+
+/// Connection state (condensed: no TIME_WAIT machinery — EBS connections
+/// are long-lived and torn down administratively).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TcpState {
+    /// Passive open, waiting for SYN.
+    Listen,
+    /// Active open, SYN sent.
+    SynSent,
+    /// SYN received, SYN+ACK sent.
+    SynReceived,
+    /// Data may flow.
+    Established,
+    /// Dead (reset or too many retries).
+    Closed,
+}
+
+#[derive(Debug)]
+struct SentSeg {
+    payload: Bytes,
+    sent_at: SimTime,
+    retransmitted: bool,
+}
+
+/// Counters for the experiments.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TcpStats {
+    /// Data segments transmitted (including retransmits).
+    pub segs_sent: u64,
+    /// Pure ACKs transmitted.
+    pub acks_sent: u64,
+    /// Retransmitted segments (fast + timeout).
+    pub retransmits: u64,
+    /// RTO expirations.
+    pub timeouts: u64,
+    /// Application bytes acknowledged end-to-end.
+    pub bytes_acked: u64,
+}
+
+/// One end of a TCP connection (see module docs).
+#[derive(Debug)]
+pub struct TcpEngine {
+    cfg: TcpConfig,
+    state: TcpState,
+    /// Peer's initial sequence number (valid post-handshake).
+    irs: u32,
+
+    // --- send side (u64 unwrapped stream offsets) ---
+    snd_una: u64,
+    snd_nxt: u64,
+    pending: VecDeque<Bytes>,
+    pending_bytes: usize,
+    inflight: BTreeMap<u64, SentSeg>,
+    rtx_queue: BTreeSet<u64>,
+    peer_window: u64,
+    cwnd: f64,
+    ssthresh: f64,
+    dupacks: u32,
+    recover: u64,
+    in_recovery: bool,
+
+    // --- receive side ---
+    rcv_nxt: u64,
+    ooo: BTreeMap<u64, Bytes>,
+    ooo_bytes: usize,
+    rx_ready: VecDeque<Bytes>,
+    rx_ready_bytes: usize,
+
+    // --- timers / RTT ---
+    srtt_ns: Option<f64>,
+    rttvar_ns: f64,
+    rto: SimDuration,
+    rto_deadline: Option<SimTime>,
+    retries: u32,
+
+    // --- output flags ---
+    ack_pending: bool,
+    syn_pending: bool,
+
+    stats: TcpStats,
+}
+
+impl TcpEngine {
+    fn new(cfg: TcpConfig, state: TcpState) -> Self {
+        let cwnd = (cfg.initial_cwnd_segs as usize * cfg.mss) as f64;
+        let rto = cfg.rto_initial;
+        TcpEngine {
+            state,
+            irs: 0,
+            snd_una: 0,
+            snd_nxt: 0,
+            pending: VecDeque::new(),
+            pending_bytes: 0,
+            inflight: BTreeMap::new(),
+            rtx_queue: BTreeSet::new(),
+            peer_window: cfg.recv_window as u64,
+            cwnd,
+            ssthresh: f64::INFINITY,
+            dupacks: 0,
+            recover: 0,
+            in_recovery: false,
+            rcv_nxt: 0,
+            ooo: BTreeMap::new(),
+            ooo_bytes: 0,
+            rx_ready: VecDeque::new(),
+            rx_ready_bytes: 0,
+            srtt_ns: None,
+            rttvar_ns: 0.0,
+            rto,
+            rto_deadline: None,
+            retries: 0,
+            ack_pending: false,
+            syn_pending: false,
+            stats: TcpStats::default(),
+            cfg,
+        }
+    }
+
+    /// Active open: the engine will emit a SYN on the next poll.
+    pub fn connect(cfg: TcpConfig) -> Self {
+        let mut e = Self::new(cfg, TcpState::SynSent);
+        e.syn_pending = true;
+        e
+    }
+
+    /// Passive open: waits for a SYN.
+    pub fn listen(cfg: TcpConfig) -> Self {
+        Self::new(cfg, TcpState::Listen)
+    }
+
+    /// Current state.
+    pub fn state(&self) -> TcpState {
+        self.state
+    }
+
+    /// True once the handshake completed.
+    pub fn is_established(&self) -> bool {
+        self.state == TcpState::Established
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> TcpStats {
+        self.stats
+    }
+
+    /// Unacknowledged bytes in flight.
+    pub fn bytes_in_flight(&self) -> u64 {
+        self.snd_nxt - self.snd_una
+    }
+
+    /// Current congestion window in bytes.
+    pub fn cwnd(&self) -> u64 {
+        self.cwnd as u64
+    }
+
+    /// Current retransmission timeout.
+    pub fn rto(&self) -> SimDuration {
+        self.rto
+    }
+
+    /// Smoothed RTT, if sampled.
+    pub fn srtt(&self) -> Option<SimDuration> {
+        self.srtt_ns.map(|ns| SimDuration::from_nanos(ns as u64))
+    }
+
+    /// Bytes accepted from the app but not yet transmitted.
+    pub fn pending_bytes(&self) -> usize {
+        self.pending_bytes
+    }
+
+    /// Queue application data for transmission.
+    pub fn send(&mut self, data: Bytes) {
+        if data.is_empty() {
+            return;
+        }
+        self.pending_bytes += data.len();
+        self.pending.push_back(data);
+    }
+
+    /// Drain the next chunk of in-order received stream bytes.
+    pub fn recv(&mut self) -> Option<Bytes> {
+        let b = self.rx_ready.pop_front()?;
+        self.rx_ready_bytes -= b.len();
+        Some(b)
+    }
+
+    fn advertised_window(&self) -> u32 {
+        self.cfg
+            .recv_window
+            .saturating_sub(self.rx_ready_bytes + self.ooo_bytes) as u32
+    }
+
+    fn data_seq(&self, offset: u64) -> u32 {
+        // SYN consumes one sequence number; data starts at iss+1.
+        self.cfg.iss.wrapping_add(1).wrapping_add(offset as u32)
+    }
+
+    fn ack_seq(&self) -> u32 {
+        self.irs.wrapping_add(1).wrapping_add(self.rcv_nxt as u32)
+    }
+
+    fn arm_rto(&mut self, now: SimTime) {
+        self.rto_deadline = Some(now + self.rto);
+    }
+
+    /// Next timer deadline the host must call [`TcpEngine::on_timer`] at.
+    pub fn poll_timer(&self) -> Option<SimTime> {
+        self.rto_deadline
+    }
+
+    /// Fire the retransmission timer if due.
+    pub fn on_timer(&mut self, now: SimTime) {
+        let Some(deadline) = self.rto_deadline else {
+            return;
+        };
+        if now < deadline {
+            return;
+        }
+        if self.state == TcpState::SynSent {
+            // Re-send SYN.
+            self.syn_pending = true;
+            self.retries += 1;
+            self.rto = self.rto.mul_f64(2.0).min(self.cfg.rto_max);
+            self.arm_rto(now);
+            if self.retries > self.cfg.max_retries {
+                self.state = TcpState::Closed;
+                self.rto_deadline = None;
+            }
+            return;
+        }
+        if self.inflight.is_empty() {
+            self.rto_deadline = None;
+            return;
+        }
+        // Timeout: retransmit the earliest unacked segment, collapse cwnd.
+        self.stats.timeouts += 1;
+        self.retries += 1;
+        if self.retries > self.cfg.max_retries {
+            self.state = TcpState::Closed;
+            self.rto_deadline = None;
+            return;
+        }
+        let first = *self.inflight.keys().next().expect("non-empty");
+        self.rtx_queue.insert(first);
+        let flight = self.bytes_in_flight() as f64;
+        self.ssthresh = (flight / 2.0).max(2.0 * self.cfg.mss as f64);
+        self.cwnd = self.cfg.mss as f64;
+        self.in_recovery = false;
+        self.dupacks = 0;
+        self.rto = self.rto.mul_f64(2.0).min(self.cfg.rto_max);
+        self.arm_rto(now);
+    }
+
+    /// Produce the next outgoing segment, if any. Call repeatedly until
+    /// `None` after every `on_segment` / `on_timer` / `send`.
+    pub fn poll_segment(&mut self, now: SimTime) -> Option<Segment> {
+        match self.state {
+            TcpState::Closed | TcpState::Listen => return None,
+            TcpState::SynSent => {
+                if self.syn_pending {
+                    self.syn_pending = false;
+                    if self.rto_deadline.is_none() {
+                        self.arm_rto(now);
+                    }
+                    return Some(Segment {
+                        seq: self.cfg.iss,
+                        ack: 0,
+                        flags: TcpFlags::SYN,
+                        window: self.advertised_window(),
+                        payload: Bytes::new(),
+                    });
+                }
+                return None;
+            }
+            TcpState::SynReceived => {
+                if self.syn_pending {
+                    self.syn_pending = false;
+                    return Some(Segment {
+                        seq: self.cfg.iss,
+                        ack: self.irs.wrapping_add(1),
+                        flags: TcpFlags::SYN | TcpFlags::ACK,
+                        window: self.advertised_window(),
+                        payload: Bytes::new(),
+                    });
+                }
+                return None;
+            }
+            TcpState::Established => {}
+        }
+
+        // 1. Retransmissions take priority.
+        while let Some(&off) = self.rtx_queue.iter().next() {
+            self.rtx_queue.remove(&off);
+            let payload = match self.inflight.get_mut(&off) {
+                Some(seg) => {
+                    seg.retransmitted = true;
+                    seg.sent_at = now;
+                    Some(seg.payload.clone())
+                }
+                None => None,
+            };
+            if let Some(payload) = payload {
+                self.stats.segs_sent += 1;
+                self.stats.retransmits += 1;
+                self.ack_pending = false;
+                if self.rto_deadline.is_none() {
+                    self.arm_rto(now);
+                }
+                return Some(Segment {
+                    seq: self.data_seq(off),
+                    ack: self.ack_seq(),
+                    flags: TcpFlags::ACK | TcpFlags::PSH,
+                    window: self.advertised_window(),
+                    payload,
+                });
+            }
+            // Already acked — skip.
+        }
+
+        // 2. New data, within cwnd and the peer's window.
+        let window = (self.cwnd as u64).min(self.peer_window);
+        if !self.pending.is_empty() && self.bytes_in_flight() < window {
+            let budget = (window - self.bytes_in_flight()) as usize;
+            let take = budget.min(self.cfg.mss);
+            let payload = self.carve(take);
+            if !payload.is_empty() {
+                let off = self.snd_nxt;
+                self.snd_nxt += payload.len() as u64;
+                self.inflight.insert(
+                    off,
+                    SentSeg {
+                        payload: payload.clone(),
+                        sent_at: now,
+                        retransmitted: false,
+                    },
+                );
+                self.stats.segs_sent += 1;
+                self.ack_pending = false;
+                if self.rto_deadline.is_none() {
+                    self.arm_rto(now);
+                }
+                return Some(Segment {
+                    seq: self.data_seq(off),
+                    ack: self.ack_seq(),
+                    flags: TcpFlags::ACK | TcpFlags::PSH,
+                    window: self.advertised_window(),
+                    payload,
+                });
+            }
+        }
+
+        // 3. Pure ACK.
+        if self.ack_pending {
+            self.ack_pending = false;
+            self.stats.acks_sent += 1;
+            return Some(Segment {
+                seq: self.data_seq(self.snd_nxt),
+                ack: self.ack_seq(),
+                flags: TcpFlags::ACK,
+                window: self.advertised_window(),
+                payload: Bytes::new(),
+            });
+        }
+        None
+    }
+
+    /// Pull up to `max` bytes off the pending queue as one payload.
+    fn carve(&mut self, max: usize) -> Bytes {
+        let mut out = BytesMut::with_capacity(max.min(self.pending_bytes));
+        while out.len() < max {
+            let Some(mut chunk) = self.pending.pop_front() else {
+                break;
+            };
+            let room = max - out.len();
+            if chunk.len() <= room {
+                self.pending_bytes -= chunk.len();
+                out.extend_from_slice(&chunk);
+            } else {
+                let head = chunk.split_to(room);
+                self.pending_bytes -= head.len();
+                out.extend_from_slice(&head);
+                self.pending.push_front(chunk);
+            }
+        }
+        out.freeze()
+    }
+
+    /// Process an incoming segment.
+    pub fn on_segment(&mut self, now: SimTime, seg: Segment) {
+        if seg.flags.contains(TcpFlags::RST) {
+            self.state = TcpState::Closed;
+            self.rto_deadline = None;
+            return;
+        }
+        match self.state {
+            TcpState::Closed => {}
+            TcpState::Listen => {
+                if seg.flags.contains(TcpFlags::SYN) {
+                    self.irs = seg.seq;
+                    self.peer_window = seg.window as u64;
+                    self.state = TcpState::SynReceived;
+                    self.syn_pending = true;
+                }
+            }
+            TcpState::SynSent => {
+                if seg.flags.contains(TcpFlags::SYN) && seg.flags.contains(TcpFlags::ACK) {
+                    self.irs = seg.seq;
+                    self.peer_window = seg.window as u64;
+                    self.state = TcpState::Established;
+                    self.rto_deadline = None;
+                    self.retries = 0;
+                    self.rto = self.cfg.rto_initial;
+                    self.ack_pending = true;
+                }
+            }
+            TcpState::SynReceived => {
+                if seg.flags.contains(TcpFlags::SYN) && !seg.flags.contains(TcpFlags::ACK) {
+                    // Our SYN+ACK was lost and the client re-SYNed: resend.
+                    self.syn_pending = true;
+                } else if seg.flags.contains(TcpFlags::ACK) {
+                    self.state = TcpState::Established;
+                    self.peer_window = seg.window as u64;
+                    // Fall through to normal processing for piggybacked data.
+                    self.established_segment(now, seg);
+                }
+            }
+            TcpState::Established => self.established_segment(now, seg),
+        }
+    }
+
+    fn established_segment(&mut self, now: SimTime, seg: Segment) {
+        self.peer_window = seg.window as u64;
+
+        // A retransmitted SYN+ACK means our final handshake ACK was lost:
+        // re-ack so the peer can leave SYN_RECEIVED.
+        if seg.flags.contains(TcpFlags::SYN) {
+            self.ack_pending = true;
+            return;
+        }
+
+        // --- ACK processing ---
+        if seg.flags.contains(TcpFlags::ACK) {
+            let ack_off = unwrap_seq(
+                seg.ack.wrapping_sub(self.cfg.iss).wrapping_sub(1),
+                self.snd_una,
+            );
+            if ack_off > self.snd_una as i64 && ack_off <= self.snd_nxt as i64 {
+                let ack_off = ack_off as u64;
+                self.retries = 0;
+                // RTT sample from the newest fully-acked, never
+                // retransmitted segment (Karn's rule).
+                let mut sample: Option<SimDuration> = None;
+                let acked: Vec<u64> = self
+                    .inflight
+                    .range(..ack_off)
+                    .map(|(&o, _)| o)
+                    .collect();
+                for off in acked {
+                    let s = self.inflight.remove(&off).expect("present");
+                    if !s.retransmitted && off + s.payload.len() as u64 <= ack_off {
+                        sample = Some(now.saturating_since(s.sent_at));
+                    }
+                    self.rtx_queue.remove(&off);
+                }
+                let newly = ack_off - self.snd_una;
+                self.stats.bytes_acked += newly;
+                self.snd_una = ack_off;
+                self.dupacks = 0;
+                if let Some(rtt) = sample {
+                    self.update_rtt(rtt);
+                }
+                // Congestion control.
+                if self.in_recovery {
+                    if ack_off >= self.recover {
+                        self.in_recovery = false;
+                        self.cwnd = self.ssthresh;
+                    }
+                } else if self.cwnd < self.ssthresh {
+                    self.cwnd += newly as f64; // slow start
+                } else {
+                    self.cwnd +=
+                        (self.cfg.mss as f64 * self.cfg.mss as f64) / self.cwnd; // CA
+                }
+                // Timer: restart if data remains, else disarm.
+                if self.inflight.is_empty() {
+                    self.rto_deadline = None;
+                } else {
+                    self.arm_rto(now);
+                }
+            } else if ack_off == self.snd_una as i64
+                && !self.inflight.is_empty()
+                && seg.payload.is_empty()
+            {
+                self.dupacks += 1;
+                if self.dupacks == 3 && !self.in_recovery {
+                    // Fast retransmit + fast recovery (simplified Reno).
+                    let flight = self.bytes_in_flight() as f64;
+                    self.ssthresh = (flight / 2.0).max(2.0 * self.cfg.mss as f64);
+                    self.cwnd = self.ssthresh;
+                    self.in_recovery = true;
+                    self.recover = self.snd_nxt;
+                    if let Some(&first) = self.inflight.keys().next() {
+                        self.rtx_queue.insert(first);
+                    }
+                }
+            }
+        }
+
+        // --- data processing ---
+        if !seg.payload.is_empty() {
+            let off = unwrap_seq(
+                seg.seq.wrapping_sub(self.irs).wrapping_sub(1),
+                self.rcv_nxt,
+            );
+            self.ack_pending = true;
+            let len = seg.payload.len() as i64;
+            if off == self.rcv_nxt as i64 {
+                self.deliver(seg.payload);
+                self.drain_ooo();
+            } else if off > self.rcv_nxt as i64 {
+                // Out of order: buffer if capacity allows (this buffer is
+                // exactly the state SOLAR removes from hardware).
+                if self.ooo_bytes + seg.payload.len() <= self.cfg.max_ooo_bytes {
+                    let off = off as u64;
+                    if let std::collections::btree_map::Entry::Vacant(e) = self.ooo.entry(off) {
+                        self.ooo_bytes += seg.payload.len();
+                        e.insert(seg.payload);
+                    }
+                }
+            } else if off + len > self.rcv_nxt as i64 {
+                // Partial overlap: deliver the new tail.
+                let skip = (self.rcv_nxt as i64 - off) as usize;
+                self.deliver(seg.payload.slice(skip..));
+                self.drain_ooo();
+            }
+            // else: pure duplicate — just ack.
+        }
+    }
+
+    fn deliver(&mut self, data: Bytes) {
+        self.rcv_nxt += data.len() as u64;
+        self.rx_ready_bytes += data.len();
+        self.rx_ready.push_back(data);
+    }
+
+    fn drain_ooo(&mut self) {
+        while let Some((&off, _)) = self.ooo.iter().next() {
+            if off > self.rcv_nxt {
+                break;
+            }
+            let (off, data) = self.ooo.pop_first().expect("non-empty");
+            self.ooo_bytes -= data.len();
+            if off + data.len() as u64 <= self.rcv_nxt {
+                continue; // fully duplicate
+            }
+            let skip = (self.rcv_nxt - off) as usize;
+            self.deliver(data.slice(skip..));
+        }
+    }
+
+    fn update_rtt(&mut self, rtt: SimDuration) {
+        let r = rtt.as_nanos() as f64;
+        match self.srtt_ns {
+            None => {
+                self.srtt_ns = Some(r);
+                self.rttvar_ns = r / 2.0;
+            }
+            Some(srtt) => {
+                self.rttvar_ns = 0.75 * self.rttvar_ns + 0.25 * (srtt - r).abs();
+                self.srtt_ns = Some(0.875 * srtt + 0.125 * r);
+            }
+        }
+        let rto_ns = self.srtt_ns.unwrap() + 4.0 * self.rttvar_ns;
+        self.rto = SimDuration::from_nanos(rto_ns as u64)
+            .max(self.cfg.rto_min)
+            .min(self.cfg.rto_max);
+    }
+}

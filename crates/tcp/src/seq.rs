@@ -1,0 +1,85 @@
+//! 32-bit sequence-number arithmetic.
+//!
+//! Wire sequence numbers wrap; internally the engine keeps unwrapped
+//! 64-bit stream offsets and converts at the edge.
+
+/// Serial-number "less than" for wrapping u32 sequence numbers.
+pub fn seq_lt(a: u32, b: u32) -> bool {
+    (a.wrapping_sub(b) as i32) < 0
+}
+
+/// Serial-number "less than or equal".
+pub fn seq_le(a: u32, b: u32) -> bool {
+    a == b || seq_lt(a, b)
+}
+
+/// Unwrap a wire sequence number `seq` to a 64-bit stream offset near the
+/// `reference` offset (the receiver's or sender's current edge). Handles
+/// wraparound in both directions; offsets before stream start clamp via
+/// i64 math (callers treat negative results as "old data").
+pub fn unwrap_seq(seq: u32, reference: u64) -> i64 {
+    let ref_wire = reference as u32;
+    let delta = seq.wrapping_sub(ref_wire) as i32 as i64;
+    reference as i64 + delta
+}
+
+/// Wrap a 64-bit stream offset (plus initial sequence number) to the wire.
+pub fn wrap_seq(offset: u64, iss: u32) -> u32 {
+    iss.wrapping_add(offset as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_basic() {
+        assert!(seq_lt(1, 2));
+        assert!(!seq_lt(2, 1));
+        assert!(!seq_lt(5, 5));
+        assert!(seq_le(5, 5));
+    }
+
+    #[test]
+    fn ordering_across_wrap() {
+        assert!(seq_lt(0xFFFF_FFF0, 0x10));
+        assert!(!seq_lt(0x10, 0xFFFF_FFF0));
+    }
+
+    #[test]
+    fn unwrap_near_reference() {
+        assert_eq!(unwrap_seq(105, 100), 105);
+        assert_eq!(unwrap_seq(95, 100), 95);
+    }
+
+    #[test]
+    fn unwrap_across_wrap() {
+        // Reference offset just before 2^32; incoming small seq means the
+        // stream wrapped.
+        let reference = 0xFFFF_FFF0u64;
+        assert_eq!(unwrap_seq(0x10, reference), 0x1_0000_0010);
+        // And a seq slightly behind the reference stays behind.
+        assert_eq!(unwrap_seq(0xFFFF_FFE0, reference), 0xFFFF_FFE0);
+    }
+
+    #[test]
+    fn unwrap_far_stream() {
+        // 10 GB into the stream.
+        let reference = 10_000_000_000u64;
+        let wire = wrap_seq(reference, 0);
+        assert_eq!(unwrap_seq(wire, reference), reference as i64);
+        assert_eq!(unwrap_seq(wire.wrapping_add(1460), reference), reference as i64 + 1460);
+    }
+
+    #[test]
+    fn wrap_roundtrip_with_iss() {
+        let iss = 0xDEAD_BEEF;
+        let offset = 5_000_000_123u64;
+        let wire = wrap_seq(offset, iss);
+        // Unwrap relative to the same offset recovers it (mod iss shift).
+        assert_eq!(
+            unwrap_seq(wire.wrapping_sub(iss), offset),
+            offset as i64
+        );
+    }
+}

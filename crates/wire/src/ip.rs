@@ -1,0 +1,375 @@
+//! Minimal IPv4 / UDP / TCP header codecs.
+//!
+//! The simulator mostly moves structured packets, but the real-socket
+//! examples and the SOLAR wire format need honest byte-level encodings, so
+//! the headers here are real: correct field layout, network byte order and
+//! internet checksums.
+
+use bytes::{Buf, BufMut};
+
+/// Errors produced when decoding malformed headers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// Input shorter than the fixed header.
+    Truncated,
+    /// A version / length field is inconsistent.
+    Malformed,
+    /// Checksum verification failed.
+    BadChecksum,
+}
+
+impl core::fmt::Display for WireError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "truncated packet"),
+            WireError::Malformed => write!(f, "malformed header"),
+            WireError::BadChecksum => write!(f, "bad checksum"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// The RFC 1071 internet checksum over `data`.
+pub fn internet_checksum(data: &[u8]) -> u16 {
+    let mut sum: u32 = 0;
+    let mut chunks = data.chunks_exact(2);
+    for c in &mut chunks {
+        sum += u16::from_be_bytes([c[0], c[1]]) as u32;
+    }
+    if let [last] = chunks.remainder() {
+        sum += (*last as u32) << 8;
+    }
+    while sum > 0xFFFF {
+        sum = (sum & 0xFFFF) + (sum >> 16);
+    }
+    !(sum as u16)
+}
+
+/// An IPv4 header (no options).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ipv4Header {
+    /// Source address.
+    pub src: u32,
+    /// Destination address.
+    pub dst: u32,
+    /// Payload protocol (17 = UDP, 6 = TCP).
+    pub protocol: u8,
+    /// Time to live.
+    pub ttl: u8,
+    /// Total length including this header.
+    pub total_len: u16,
+    /// DSCP/ECN byte; SOLAR uses a dedicated queue, signalled via DSCP.
+    pub tos: u8,
+}
+
+impl Ipv4Header {
+    /// Encoded size (no options).
+    pub const LEN: usize = 20;
+    /// Protocol number for UDP.
+    pub const PROTO_UDP: u8 = 17;
+    /// Protocol number for TCP.
+    pub const PROTO_TCP: u8 = 6;
+
+    /// Encode into `buf` with a correct header checksum.
+    pub fn encode(&self, buf: &mut impl BufMut) {
+        let mut hdr = [0u8; Self::LEN];
+        hdr[0] = 0x45; // v4, IHL 5
+        hdr[1] = self.tos;
+        hdr[2..4].copy_from_slice(&self.total_len.to_be_bytes());
+        hdr[8] = self.ttl;
+        hdr[9] = self.protocol;
+        hdr[12..16].copy_from_slice(&self.src.to_be_bytes());
+        hdr[16..20].copy_from_slice(&self.dst.to_be_bytes());
+        let csum = internet_checksum(&hdr);
+        hdr[10..12].copy_from_slice(&csum.to_be_bytes());
+        buf.put_slice(&hdr);
+    }
+
+    /// Decode from `buf`, verifying version and checksum.
+    pub fn decode(buf: &mut impl Buf) -> Result<Self, WireError> {
+        if buf.remaining() < Self::LEN {
+            return Err(WireError::Truncated);
+        }
+        let mut hdr = [0u8; Self::LEN];
+        buf.copy_to_slice(&mut hdr);
+        if hdr[0] != 0x45 {
+            return Err(WireError::Malformed);
+        }
+        if internet_checksum(&hdr) != 0 {
+            return Err(WireError::BadChecksum);
+        }
+        Ok(Ipv4Header {
+            src: u32::from_be_bytes(hdr[12..16].try_into().unwrap()),
+            dst: u32::from_be_bytes(hdr[16..20].try_into().unwrap()),
+            protocol: hdr[9],
+            ttl: hdr[8],
+            total_len: u16::from_be_bytes(hdr[2..4].try_into().unwrap()),
+            tos: hdr[1],
+        })
+    }
+}
+
+/// A UDP header. SOLAR's multi-path design uses the **source port as the
+/// path identifier** (§4.5): ECMP hashes the 5-tuple, so distinct source
+/// ports pin distinct fabric paths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UdpHeader {
+    /// Source port — SOLAR's path id lives here.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Length of header + payload.
+    pub len: u16,
+}
+
+impl UdpHeader {
+    /// Encoded size.
+    pub const LEN: usize = 8;
+
+    /// Encode into `buf` (checksum 0 = disabled, as permitted for IPv4;
+    /// SOLAR's payload is protected end-to-end by the block CRC instead).
+    pub fn encode(&self, buf: &mut impl BufMut) {
+        buf.put_u16(self.src_port);
+        buf.put_u16(self.dst_port);
+        buf.put_u16(self.len);
+        buf.put_u16(0);
+    }
+
+    /// Decode from `buf`.
+    pub fn decode(buf: &mut impl Buf) -> Result<Self, WireError> {
+        if buf.remaining() < Self::LEN {
+            return Err(WireError::Truncated);
+        }
+        let src_port = buf.get_u16();
+        let dst_port = buf.get_u16();
+        let len = buf.get_u16();
+        let _csum = buf.get_u16();
+        if (len as usize) < Self::LEN {
+            return Err(WireError::Malformed);
+        }
+        Ok(UdpHeader {
+            src_port,
+            dst_port,
+            len,
+        })
+    }
+}
+
+/// Tiny local stand-in for the `bitflags` crate (not in the offline set).
+macro_rules! bitflags_lite {
+    (
+        $(#[$meta:meta])*
+        pub struct $name:ident: $ty:ty {
+            $( $(#[$fmeta:meta])* const $flag:ident = $val:expr; )*
+        }
+    ) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
+        pub struct $name(pub $ty);
+        impl $name {
+            $( $(#[$fmeta])* pub const $flag: $name = $name($val); )*
+            /// No flags set.
+            pub const fn empty() -> Self { $name(0) }
+            /// True if every bit of `other` is set in `self`.
+            pub const fn contains(self, other: $name) -> bool {
+                self.0 & other.0 == other.0
+            }
+            /// Union of two flag sets.
+            pub const fn union(self, other: $name) -> $name { $name(self.0 | other.0) }
+        }
+        impl core::ops::BitOr for $name {
+            type Output = $name;
+            fn bitor(self, rhs: $name) -> $name { $name(self.0 | rhs.0) }
+        }
+    };
+}
+
+bitflags_lite! {
+    /// TCP flag bits.
+    pub struct TcpFlags: u8 {
+        /// FIN — sender is done.
+        const FIN = 0x01;
+        /// SYN — synchronize sequence numbers.
+        const SYN = 0x02;
+        /// RST — abort the connection.
+        const RST = 0x04;
+        /// PSH — push buffered data to the application.
+        const PSH = 0x08;
+        /// ACK — acknowledgment field is valid.
+        const ACK = 0x10;
+    }
+}
+
+/// A TCP header (no options beyond MSS implied by config).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TcpHeader {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Sequence number.
+    pub seq: u32,
+    /// Acknowledgment number (valid when ACK set).
+    pub ack: u32,
+    /// Flag bits.
+    pub flags: TcpFlags,
+    /// Receive window.
+    pub window: u16,
+}
+
+impl TcpHeader {
+    /// Encoded size (no options).
+    pub const LEN: usize = 20;
+
+    /// Encode into `buf` (checksum omitted — the simulator's fabric is the
+    /// only consumer; real-socket examples run SOLAR/UDP, not TCP).
+    pub fn encode(&self, buf: &mut impl BufMut) {
+        buf.put_u16(self.src_port);
+        buf.put_u16(self.dst_port);
+        buf.put_u32(self.seq);
+        buf.put_u32(self.ack);
+        buf.put_u8(0x50); // data offset 5
+        buf.put_u8(self.flags.0);
+        buf.put_u16(self.window);
+        buf.put_u16(0); // checksum
+        buf.put_u16(0); // urgent
+    }
+
+    /// Decode from `buf`.
+    pub fn decode(buf: &mut impl Buf) -> Result<Self, WireError> {
+        if buf.remaining() < Self::LEN {
+            return Err(WireError::Truncated);
+        }
+        let src_port = buf.get_u16();
+        let dst_port = buf.get_u16();
+        let seq = buf.get_u32();
+        let ack = buf.get_u32();
+        let off = buf.get_u8();
+        if off >> 4 != 5 {
+            return Err(WireError::Malformed);
+        }
+        let flags = TcpFlags(buf.get_u8());
+        let window = buf.get_u16();
+        let _csum = buf.get_u16();
+        let _urg = buf.get_u16();
+        Ok(TcpHeader {
+            src_port,
+            dst_port,
+            seq,
+            ack,
+            flags,
+            window,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::BytesMut;
+
+    #[test]
+    fn checksum_known_vector() {
+        // Classic RFC 1071 example.
+        let data = [0x00u8, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        assert_eq!(internet_checksum(&data), !0xddf2);
+    }
+
+    #[test]
+    fn ipv4_roundtrip() {
+        let hdr = Ipv4Header {
+            src: 0x0a000001,
+            dst: 0x0a000102,
+            protocol: Ipv4Header::PROTO_UDP,
+            ttl: 64,
+            total_len: 1500,
+            tos: 0x08,
+        };
+        let mut buf = BytesMut::new();
+        hdr.encode(&mut buf);
+        assert_eq!(buf.len(), Ipv4Header::LEN);
+        let got = Ipv4Header::decode(&mut buf.freeze()).unwrap();
+        assert_eq!(got, hdr);
+    }
+
+    #[test]
+    fn ipv4_detects_corruption() {
+        let hdr = Ipv4Header {
+            src: 1,
+            dst: 2,
+            protocol: 6,
+            ttl: 5,
+            total_len: 40,
+            tos: 0,
+        };
+        let mut buf = BytesMut::new();
+        hdr.encode(&mut buf);
+        buf[13] ^= 0xFF;
+        assert_eq!(
+            Ipv4Header::decode(&mut buf.freeze()),
+            Err(WireError::BadChecksum)
+        );
+    }
+
+    #[test]
+    fn udp_roundtrip() {
+        let hdr = UdpHeader {
+            src_port: 47001, // a SOLAR path id
+            dst_port: 9000,
+            len: 4096 + 8,
+        };
+        let mut buf = BytesMut::new();
+        hdr.encode(&mut buf);
+        let got = UdpHeader::decode(&mut buf.freeze()).unwrap();
+        assert_eq!(got, hdr);
+    }
+
+    #[test]
+    fn udp_rejects_short_len() {
+        let mut buf = BytesMut::new();
+        UdpHeader {
+            src_port: 1,
+            dst_port: 2,
+            len: 4,
+        }
+        .encode(&mut buf);
+        assert_eq!(UdpHeader::decode(&mut buf.freeze()), Err(WireError::Malformed));
+    }
+
+    #[test]
+    fn tcp_roundtrip() {
+        let hdr = TcpHeader {
+            src_port: 1234,
+            dst_port: 80,
+            seq: 0xdeadbeef,
+            ack: 0x01020304,
+            flags: TcpFlags::SYN | TcpFlags::ACK,
+            window: 65535,
+        };
+        let mut buf = BytesMut::new();
+        hdr.encode(&mut buf);
+        assert_eq!(buf.len(), TcpHeader::LEN);
+        let got = TcpHeader::decode(&mut buf.freeze()).unwrap();
+        assert_eq!(got, hdr);
+    }
+
+    #[test]
+    fn flags_ops() {
+        let f = TcpFlags::SYN | TcpFlags::ACK;
+        assert!(f.contains(TcpFlags::SYN));
+        assert!(f.contains(TcpFlags::ACK));
+        assert!(!f.contains(TcpFlags::FIN));
+    }
+
+    #[test]
+    fn truncated_errors() {
+        let short = [0u8; 4];
+        assert_eq!(
+            Ipv4Header::decode(&mut &short[..]),
+            Err(WireError::Truncated)
+        );
+        assert_eq!(TcpHeader::decode(&mut &short[..]), Err(WireError::Truncated));
+        assert_eq!(UdpHeader::decode(&mut &short[..]), Err(WireError::Truncated));
+    }
+}

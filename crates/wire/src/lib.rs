@@ -1,0 +1,60 @@
+//! # ebs-wire — wire formats of the Luna/Solar storage network
+//!
+//! Byte-level codecs shared by the simulator and the real-socket examples:
+//!
+//! * [`Ipv4Header`] / [`UdpHeader`] / [`TcpHeader`] — minimal but honest
+//!   L3/L4 headers (network byte order, internet checksum on IPv4);
+//! * [`EbsHeader`] — SOLAR's per-packet storage header: one packet carries
+//!   one self-contained 4 KiB block with its address and CRC (§4.4's
+//!   "one-block-one-packet" fusion of packet and block);
+//! * [`IntStack`] — in-band network telemetry records consumed by the
+//!   HPCC-style congestion control;
+//! * [`RpcFrame`] / [`FrameDecoder`] — LUNA's length-prefixed RPC framing
+//!   over a TCP byte stream, including the incremental reassembly that
+//!   SOLAR's design makes unnecessary.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ebs;
+mod int;
+mod ip;
+mod rpc;
+
+pub use ebs::{EbsHeader, EbsOp, FLAG_ENCRYPTED, FLAG_INT_REQUEST, FLAG_RETRANSMIT};
+pub use int::{IntHop, IntStack, MAX_INT_HOPS};
+pub use ip::{internet_checksum, Ipv4Header, TcpFlags, TcpHeader, UdpHeader, WireError};
+pub use rpc::{FrameDecoder, RpcFrame, RpcMethod};
+
+/// The EBS data block size: 4 KiB, matching the SSD sector size (§2.2).
+pub const BLOCK_SIZE: usize = 4096;
+
+/// Jumbo frame MTU used by SOLAR so one block (+ headers) fits in a single
+/// packet. The paper picks 4 KiB blocks in ≤ 9 KiB jumbo frames and
+/// deliberately avoids 8 KiB blocks to balance congestion risk (§4.8).
+pub const JUMBO_MTU: usize = 9000;
+
+/// Ethernet + IPv4 + UDP + EBS header overhead for one SOLAR data packet.
+pub const SOLAR_OVERHEAD: usize = 14 + ip_udp_overhead() + ebs::EbsHeader::LEN;
+
+const fn ip_udp_overhead() -> usize {
+    ip::Ipv4Header::LEN + ip::UdpHeader::LEN
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_block_fits_one_jumbo_frame() {
+        // The invariant the whole SOLAR design rests on.
+        assert!(BLOCK_SIZE + SOLAR_OVERHEAD <= JUMBO_MTU);
+    }
+
+    #[test]
+    fn two_blocks_do_not_fit_standard_mtu() {
+        // ...and it genuinely requires jumbo frames: a block + overhead
+        // exceeds the standard 1500-byte MTU.
+        assert!(BLOCK_SIZE + SOLAR_OVERHEAD > 1500);
+    }
+}

@@ -1,0 +1,139 @@
+//! Property tests: every wire codec round-trips arbitrary field values,
+//! and decoders never panic on arbitrary bytes.
+
+use bytes::BytesMut;
+use ebs_wire::{EbsHeader, EbsOp, IntHop, IntStack, Ipv4Header, RpcFrame, RpcMethod, TcpFlags, TcpHeader, UdpHeader};
+use proptest::prelude::*;
+
+fn op_strategy() -> impl Strategy<Value = EbsOp> {
+    prop::sample::select(vec![
+        EbsOp::WriteBlock,
+        EbsOp::WriteAck,
+        EbsOp::ReadReq,
+        EbsOp::ReadResp,
+        EbsOp::Nack,
+        EbsOp::Probe,
+        EbsOp::ProbeAck,
+        EbsOp::GapNack,
+    ])
+}
+
+fn method_strategy() -> impl Strategy<Value = RpcMethod> {
+    prop::sample::select(vec![
+        RpcMethod::Write,
+        RpcMethod::Read,
+        RpcMethod::WriteResp,
+        RpcMethod::ReadResp,
+        RpcMethod::Error,
+    ])
+}
+
+proptest! {
+    #[test]
+    fn ebs_header_roundtrip(
+        op in op_strategy(),
+        flags in any::<u8>(),
+        path_id in any::<u8>(),
+        vd_id in any::<u64>(),
+        rpc_id in any::<u64>(),
+        pkt_id in any::<u16>(),
+        total in any::<u16>(),
+        addr in any::<u64>(),
+        len in any::<u32>(),
+        crc in any::<u32>(),
+        seq in any::<u32>(),
+        seg in any::<u64>(),
+    ) {
+        let hdr = EbsHeader {
+            version: EbsHeader::VERSION,
+            op,
+            flags,
+            path_id,
+            vd_id,
+            rpc_id,
+            pkt_id,
+            total_pkts: total,
+            block_addr: addr,
+            len,
+            payload_crc: crc,
+            path_seq: seq,
+            segment_id: seg,
+        };
+        let mut buf = BytesMut::new();
+        hdr.encode(&mut buf);
+        prop_assert_eq!(buf.len(), EbsHeader::LEN);
+        prop_assert_eq!(EbsHeader::decode(&mut buf.freeze()).unwrap(), hdr);
+    }
+
+    #[test]
+    fn ipv4_roundtrip(src in any::<u32>(), dst in any::<u32>(),
+                      proto in any::<u8>(), ttl in any::<u8>(),
+                      len in any::<u16>(), tos in any::<u8>()) {
+        let hdr = Ipv4Header { src, dst, protocol: proto, ttl, total_len: len, tos };
+        let mut buf = BytesMut::new();
+        hdr.encode(&mut buf);
+        prop_assert_eq!(Ipv4Header::decode(&mut buf.freeze()).unwrap(), hdr);
+    }
+
+    #[test]
+    fn udp_tcp_roundtrip(sp in any::<u16>(), dp in any::<u16>(),
+                         seq in any::<u32>(), ack in any::<u32>(),
+                         win in any::<u16>(), fl in 0u8..32) {
+        let u = UdpHeader { src_port: sp, dst_port: dp, len: 8 + (seq as u16 % 1000) };
+        let mut buf = BytesMut::new();
+        u.encode(&mut buf);
+        prop_assert_eq!(UdpHeader::decode(&mut buf.freeze()).unwrap(), u);
+
+        let t = TcpHeader { src_port: sp, dst_port: dp, seq, ack, flags: TcpFlags(fl), window: win };
+        let mut buf = BytesMut::new();
+        t.encode(&mut buf);
+        prop_assert_eq!(TcpHeader::decode(&mut buf.freeze()).unwrap(), t);
+    }
+
+    #[test]
+    fn int_stack_roundtrip(hops in proptest::collection::vec(
+        (any::<u32>(), any::<u32>(), any::<u64>(), any::<u64>(), any::<u32>()), 0..15))
+    {
+        let mut stack = IntStack::new();
+        for (d, q, tx, ts, mbps) in hops {
+            stack.push(IntHop { device_id: d, queue_bytes: q, tx_bytes: tx, ts_ns: ts, link_mbps: mbps });
+        }
+        let mut buf = BytesMut::new();
+        stack.encode(&mut buf);
+        prop_assert_eq!(IntStack::decode(&mut buf.freeze()).unwrap(), stack);
+    }
+
+    #[test]
+    fn rpc_frame_roundtrip(
+        rpc_id in any::<u64>(),
+        method in method_strategy(),
+        vd in any::<u64>(),
+        offset in any::<u64>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..2048),
+    ) {
+        let frame = RpcFrame {
+            rpc_id,
+            method,
+            vd_id: vd,
+            offset,
+            len: payload.len() as u32,
+            payload: bytes::Bytes::from(payload),
+        };
+        let mut dec = ebs_wire::FrameDecoder::new();
+        dec.extend(&frame.to_bytes());
+        prop_assert_eq!(dec.next_frame().unwrap().unwrap(), frame);
+    }
+
+    /// Decoders never panic on garbage (they return errors instead).
+    #[test]
+    fn decoders_are_total(junk in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = EbsHeader::decode(&mut &junk[..]);
+        let _ = Ipv4Header::decode(&mut &junk[..]);
+        let _ = TcpHeader::decode(&mut &junk[..]);
+        let _ = UdpHeader::decode(&mut &junk[..]);
+        let _ = IntStack::decode(&mut &junk[..]);
+        let mut dec = ebs_wire::FrameDecoder::new();
+        dec.extend(&junk);
+        let _ = dec.next_frame();
+    }
+}

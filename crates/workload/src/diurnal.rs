@@ -1,0 +1,187 @@
+//! Fleet traffic models: the monitoring figures (Figs. 3 & 4).
+//!
+//! Hourly-averaged per-server throughput over a week (EBS vs total, RX vs
+//! TX) and per-minute IOPS over a day for a highly loaded server. These
+//! are *input characterizations* in the paper — the generative model here
+//! reproduces their anchor numbers: EBS ≈ 63% of TX / 51% of overall
+//! traffic, write I/O rate 3-4× read, ~200K IOPS peaks (§2.3).
+
+use rand::Rng;
+use rand::rngs::SmallRng;
+
+/// One hourly sample of per-server traffic (GB transferred that hour).
+#[derive(Debug, Clone, Copy)]
+pub struct TrafficSample {
+    /// Hour index since the start of the window.
+    pub hour: u32,
+    /// EBS bytes received (GB).
+    pub ebs_rx: f64,
+    /// EBS bytes sent (GB).
+    pub ebs_tx: f64,
+    /// All bytes received (GB).
+    pub all_rx: f64,
+    /// All bytes sent (GB).
+    pub all_tx: f64,
+}
+
+/// One hourly sample of fleet I/O request rate (kilo-requests/s/server).
+#[derive(Debug, Clone, Copy)]
+pub struct IoRateSample {
+    /// Hour index.
+    pub hour: u32,
+    /// Read request rate.
+    pub read_krps: f64,
+    /// Write request rate.
+    pub write_krps: f64,
+}
+
+/// Diurnal fleet model.
+#[derive(Debug, Clone)]
+pub struct FleetModel {
+    /// Mean EBS TX per server-hour at the diurnal midpoint (GB).
+    pub ebs_tx_base_gb: f64,
+    /// EBS share of server TX traffic (the paper: 63%).
+    pub ebs_tx_share: f64,
+    /// EBS share of overall traffic (the paper: 51%).
+    pub ebs_total_share: f64,
+    /// Write:read volume ratio (3-4×).
+    pub write_read_ratio: f64,
+    /// Diurnal swing amplitude (fraction of base).
+    pub diurnal_amplitude: f64,
+    /// Relative noise sigma.
+    pub noise: f64,
+}
+
+impl Default for FleetModel {
+    fn default() -> Self {
+        FleetModel {
+            ebs_tx_base_gb: 0.85,
+            ebs_tx_share: 0.63,
+            ebs_total_share: 0.51,
+            write_read_ratio: 3.5,
+            diurnal_amplitude: 0.25,
+            noise: 0.05,
+        }
+    }
+}
+
+impl FleetModel {
+    fn diurnal(&self, hour: u32, rng: &mut SmallRng) -> f64 {
+        let phase = (hour % 24) as f64 / 24.0 * std::f64::consts::TAU;
+        let season = 1.0 + self.diurnal_amplitude * (phase - 0.7).sin();
+        let noise = 1.0 + self.noise * (rng.gen::<f64>() * 2.0 - 1.0);
+        season * noise
+    }
+
+    /// Hourly traffic samples over `hours` (168 = Fig. 3a's week).
+    pub fn traffic(&self, hours: u32, seed: u64) -> Vec<TrafficSample> {
+        let mut rng = ebs_sim::rng::stream(seed, "fleet-traffic");
+        (0..hours)
+            .map(|hour| {
+                let s = self.diurnal(hour, &mut rng);
+                // TX carries writes (3.5x reads); RX carries read returns.
+                let ebs_tx = self.ebs_tx_base_gb * s;
+                let ebs_rx = ebs_tx / self.write_read_ratio;
+                let all_tx = ebs_tx / self.ebs_tx_share;
+                // Overall EBS share pins the RX side:
+                // (ebs_tx+ebs_rx) / (all_tx+all_rx) = ebs_total_share.
+                let all = (ebs_tx + ebs_rx) / self.ebs_total_share;
+                let all_rx = (all - all_tx).max(ebs_rx);
+                TrafficSample {
+                    hour,
+                    ebs_rx,
+                    ebs_tx,
+                    all_rx,
+                    all_tx,
+                }
+            })
+            .collect()
+    }
+
+    /// Hourly fleet-average I/O rates over `hours` (Fig. 3b).
+    pub fn io_rates(&self, hours: u32, seed: u64) -> Vec<IoRateSample> {
+        let mut rng = ebs_sim::rng::stream(seed, "fleet-iorate");
+        (0..hours)
+            .map(|hour| {
+                let s = self.diurnal(hour, &mut rng);
+                let write_krps = 9.0 * s;
+                let read_krps = write_krps / self.write_read_ratio;
+                IoRateSample {
+                    hour,
+                    read_krps,
+                    write_krps,
+                }
+            })
+            .collect()
+    }
+}
+
+/// Per-minute IOPS of one highly loaded server over a day (Fig. 4: hovers
+/// above 10^5 with bursts toward 200K).
+pub fn hot_server_iops(seed: u64) -> Vec<(u32, f64)> {
+    let mut rng = ebs_sim::rng::stream(seed, "hot-server");
+    (0..24 * 60)
+        .map(|minute| {
+            let phase = minute as f64 / (24.0 * 60.0) * std::f64::consts::TAU;
+            let base = 130_000.0 * (1.0 + 0.18 * (phase - 1.0).sin());
+            let burst = if rng.gen::<f64>() < 0.04 {
+                rng.gen_range(30_000.0..70_000.0)
+            } else {
+                0.0
+            };
+            let noise = rng.gen_range(-12_000.0..12_000.0);
+            (minute, (base + burst + noise).max(20_000.0))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traffic_shares_match_paper() {
+        let m = FleetModel::default();
+        let samples = m.traffic(168, 1);
+        assert_eq!(samples.len(), 168);
+        let (mut ebs, mut tx_share_acc, mut all) = (0.0, 0.0, 0.0);
+        for s in &samples {
+            ebs += s.ebs_rx + s.ebs_tx;
+            all += s.all_rx + s.all_tx;
+            tx_share_acc += s.ebs_tx / s.all_tx;
+        }
+        let total_share = ebs / all;
+        let tx_share = tx_share_acc / samples.len() as f64;
+        assert!((tx_share - 0.63).abs() < 0.02, "tx share {tx_share}");
+        assert!((total_share - 0.51).abs() < 0.03, "total share {total_share}");
+    }
+
+    #[test]
+    fn write_rate_is_3_to_4x_read() {
+        let m = FleetModel::default();
+        for s in m.io_rates(168, 1) {
+            let ratio = s.write_krps / s.read_krps;
+            assert!((3.0..4.2).contains(&ratio), "{ratio}");
+        }
+    }
+
+    #[test]
+    fn hot_server_peaks_near_200k() {
+        let series = hot_server_iops(1);
+        assert_eq!(series.len(), 1440);
+        let max = series.iter().map(|(_, v)| *v).fold(0.0, f64::max);
+        let mean = series.iter().map(|(_, v)| *v).sum::<f64>() / 1440.0;
+        assert!((150_000.0..230_000.0).contains(&max), "peak {max}");
+        assert!((90_000.0..170_000.0).contains(&mean), "mean {mean}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let m = FleetModel::default();
+        let a = m.traffic(24, 9);
+        let b = m.traffic(24, 9);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.ebs_tx, y.ebs_tx);
+        }
+    }
+}

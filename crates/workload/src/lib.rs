@@ -1,0 +1,49 @@
+//! # ebs-workload — production-calibrated workload & incident generators
+//!
+//! The inputs behind the paper's characterization figures:
+//!
+//! * [`SizeMixture`] / [`RwMix`] — the I/O size CDF and 3-4:1 write:read
+//!   mix of Fig. 5 / §2.3;
+//! * [`FleetModel`] / [`hot_server_iops`] — hourly fleet traffic (Fig. 3)
+//!   and per-minute hot-server IOPS (Fig. 4);
+//! * [`rollout`] / [`evolution`] — the three-year deployment model behind
+//!   Fig. 7, combined with this repo's own measured per-stack
+//!   performance;
+//! * [`incidents`] — the Luna-era failure scatter of Fig. 8.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod diurnal;
+pub mod incidents;
+mod rollout;
+mod sizes;
+
+pub use diurnal::{hot_server_iops, FleetModel, IoRateSample, TrafficSample};
+pub use rollout::{evolution, rollout, EvolutionPoint, QuarterMix, StackPerf, QUARTERS};
+pub use sizes::{RwMix, SizeMixture};
+
+/// Failure location tiers of Fig. 8 / Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FailureTier {
+    /// Top-of-rack switch.
+    Tor,
+    /// Pod spine switch.
+    Spine,
+    /// Datacenter core switch.
+    Core,
+    /// Region DC router.
+    DcRouter,
+}
+
+impl FailureTier {
+    /// Display label matching the figure legend.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FailureTier::Tor => "ToR Switch Failure",
+            FailureTier::Spine => "Spine Switch Failure",
+            FailureTier::Core => "Core Switch Failure",
+            FailureTier::DcRouter => "DC Router Failure",
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! Fleet rollout model (Fig. 7).
+//!
+//! Fig. 7 tracks normalized fleet-average latency and IOPS per quarter as
+//! LUNA (reaching scale ~2021 Q1, −64% latency / +180% IOPS) and then
+//! SOLAR (−25% further; −72% / ~3× combined) roll out. The model combines
+//! per-stack performance — measured by this repository's own Fig. 6
+//! experiment — with logistic deployment curves.
+
+/// Deployment fractions of each stack in one quarter.
+#[derive(Debug, Clone, Copy)]
+pub struct QuarterMix {
+    /// Quarter label index (0 = 2019 Q1 .. 11 = 2021 Q4).
+    pub quarter: usize,
+    /// Fraction of fleet still on kernel TCP.
+    pub kernel: f64,
+    /// Fraction on LUNA.
+    pub luna: f64,
+    /// Fraction on SOLAR.
+    pub solar: f64,
+}
+
+/// Quarter labels of Fig. 7.
+pub const QUARTERS: [&str; 12] = [
+    "19Q1", "19Q2", "19Q3", "19Q4", "20Q1", "20Q2", "20Q3", "20Q4", "21Q1", "21Q2", "21Q3",
+    "21Q4",
+];
+
+fn logistic(x: f64) -> f64 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// The rollout timeline: LUNA ramps 2019→full by 2021 Q1; SOLAR ramps
+/// from 2020 and keeps growing through 2021 Q4 (§3.2, §4.7).
+pub fn rollout() -> Vec<QuarterMix> {
+    (0..12)
+        .map(|q| {
+            let t = q as f64;
+            // LUNA adoption: midpoint ~19Q4, saturating by 21Q1.
+            let luna_total = logistic((t - 3.0) * 1.1);
+            // SOLAR adoption (carves out of the LUNA share): midpoint 21Q2.
+            let solar = logistic((t - 9.0) * 1.0) * 0.75;
+            let luna = (luna_total - solar).max(0.0);
+            let kernel = (1.0 - luna - solar).max(0.0);
+            QuarterMix {
+                quarter: q,
+                kernel,
+                luna,
+                solar,
+            }
+        })
+        .collect()
+}
+
+/// Per-stack steady-state performance inputs (from the Fig. 6 experiment).
+#[derive(Debug, Clone, Copy)]
+pub struct StackPerf {
+    /// Mean I/O latency, µs.
+    pub latency_us: f64,
+    /// Achievable IOPS per server (normalized units are fine).
+    pub iops: f64,
+}
+
+/// One Fig. 7 output point.
+#[derive(Debug, Clone, Copy)]
+pub struct EvolutionPoint {
+    /// Quarter index.
+    pub quarter: usize,
+    /// Fleet-average latency normalized to 2019 Q1.
+    pub latency_norm: f64,
+    /// Fleet-average IOPS normalized to 2021 Q4.
+    pub iops_norm: f64,
+}
+
+/// Combine the rollout with measured per-stack performance.
+///
+/// IOPS per server also rides a hardware/demand growth trend (servers and
+/// SSDs got faster over the three years, independent of the stack); the
+/// paper's tripling is the *product* of stack efficiency and that trend.
+pub fn evolution(kernel: StackPerf, luna: StackPerf, solar: StackPerf) -> Vec<EvolutionPoint> {
+    let mix = rollout();
+    let growth_per_quarter: f64 = 1.01; // platform growth independent of stack
+    let lat = |m: &QuarterMix| {
+        m.kernel * kernel.latency_us + m.luna * luna.latency_us + m.solar * solar.latency_us
+    };
+    let iops = |m: &QuarterMix| {
+        (m.kernel * kernel.iops + m.luna * luna.iops + m.solar * solar.iops)
+            * growth_per_quarter.powi(m.quarter as i32)
+    };
+    let lat0 = lat(&mix[0]);
+    let iops_last = iops(&mix[11]);
+    mix.iter()
+        .map(|m| EvolutionPoint {
+            quarter: m.quarter,
+            latency_norm: lat(m) / lat0,
+            iops_norm: iops(m) / iops_last,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn perfs() -> (StackPerf, StackPerf, StackPerf) {
+        (
+            StackPerf { latency_us: 300.0, iops: 1.0 },
+            StackPerf { latency_us: 105.0, iops: 2.6 },
+            StackPerf { latency_us: 70.0, iops: 3.6 },
+        )
+    }
+
+    #[test]
+    fn fractions_always_sum_to_one() {
+        for m in rollout() {
+            let sum = m.kernel + m.luna + m.solar;
+            assert!((sum - 1.0).abs() < 1e-9, "{m:?}");
+            assert!(m.kernel >= 0.0 && m.luna >= 0.0 && m.solar >= 0.0);
+        }
+    }
+
+    #[test]
+    fn kernel_fades_solar_rises() {
+        let r = rollout();
+        assert!(r[0].kernel > 0.9);
+        assert!(r[8].luna > 0.5, "LUNA at scale by 21Q1: {:?}", r[8]);
+        assert!(r[11].solar > 0.4, "SOLAR at scale by 21Q4: {:?}", r[11]);
+        assert!(r[11].kernel < 0.05);
+    }
+
+    #[test]
+    fn latency_falls_by_roughly_72_percent() {
+        let (k, l, s) = perfs();
+        let e = evolution(k, l, s);
+        let final_latency = e[11].latency_norm;
+        assert!(
+            (0.22..0.36).contains(&final_latency),
+            "paper: −72%; got {:.0}%",
+            (1.0 - final_latency) * 100.0
+        );
+        // Monotone (weakly) decreasing.
+        for w in e.windows(2) {
+            assert!(w[1].latency_norm <= w[0].latency_norm + 1e-9);
+        }
+    }
+
+    #[test]
+    fn iops_roughly_triples() {
+        let (k, l, s) = perfs();
+        let e = evolution(k, l, s);
+        let gain = e[11].iops_norm / e[0].iops_norm;
+        assert!((2.5..4.5).contains(&gain), "paper ~3x; got {gain:.2}x");
+        assert!((e[11].iops_norm - 1.0).abs() < 1e-9, "normalized to 21Q4");
+    }
+}

@@ -1,0 +1,147 @@
+//! I/O size distribution (Fig. 5).
+//!
+//! Production EBS I/Os are small: ~40% are ≤ 4 KiB, typical sizes are
+//! 4/16/64 KiB, and FN RPCs stay under 128 KiB because guest applications
+//! (databases) issue small writes for integrity (§2.3). The default
+//! mixture reproduces those anchor points.
+
+use rand::Rng;
+
+/// A discrete mixture of I/O sizes.
+#[derive(Debug, Clone)]
+pub struct SizeMixture {
+    /// (bytes, weight) pairs; weights need not sum to 1.
+    entries: Vec<(u32, f64)>,
+    total: f64,
+}
+
+impl SizeMixture {
+    /// Build from (bytes, weight) pairs.
+    ///
+    /// # Panics
+    /// Panics if empty or total weight is non-positive.
+    pub fn new(entries: Vec<(u32, f64)>) -> Self {
+        assert!(!entries.is_empty());
+        let total: f64 = entries.iter().map(|(_, w)| w).sum();
+        assert!(total > 0.0);
+        SizeMixture { entries, total }
+    }
+
+    /// The production-calibrated mixture of Fig. 5 (I/O sizes).
+    pub fn fig5_io() -> Self {
+        SizeMixture::new(vec![
+            (4 * 1024, 0.40),
+            (8 * 1024, 0.10),
+            (16 * 1024, 0.22),
+            (32 * 1024, 0.08),
+            (64 * 1024, 0.13),
+            (128 * 1024, 0.04),
+            (256 * 1024, 0.02),
+            (1024 * 1024, 0.01),
+        ])
+    }
+
+    /// Sample one size.
+    pub fn sample(&self, rng: &mut impl Rng) -> u32 {
+        let mut x = rng.gen::<f64>() * self.total;
+        for &(bytes, w) in &self.entries {
+            if x < w {
+                return bytes;
+            }
+            x -= w;
+        }
+        self.entries.last().expect("non-empty").0
+    }
+
+    /// Exact CDF at `bytes` (fraction of I/Os ≤ bytes).
+    pub fn cdf(&self, bytes: u32) -> f64 {
+        self.entries
+            .iter()
+            .filter(|(b, _)| *b <= bytes)
+            .map(|(_, w)| w)
+            .sum::<f64>()
+            / self.total
+    }
+
+    /// The (x, F(x)) curve at each distinct size.
+    pub fn curve(&self) -> Vec<(u32, f64)> {
+        self.entries.iter().map(|&(b, _)| (b, self.cdf(b))).collect()
+    }
+}
+
+/// Read/write mix: production writes outnumber reads 3-4× (§2.3).
+#[derive(Debug, Clone, Copy)]
+pub struct RwMix {
+    /// Fraction of I/Os that are writes.
+    pub write_fraction: f64,
+}
+
+impl RwMix {
+    /// The production mix (write:read ≈ 3.5:1).
+    pub fn production() -> Self {
+        RwMix {
+            write_fraction: 0.78,
+        }
+    }
+
+    /// Sample: true = write.
+    pub fn sample_is_write(&self, rng: &mut impl Rng) -> bool {
+        rng.gen::<f64>() < self.write_fraction
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fig5_anchor_points() {
+        let m = SizeMixture::fig5_io();
+        // "about 40% RPCs are up to 4K bytes"
+        assert!((m.cdf(4096) - 0.40).abs() < 0.02);
+        // RPC size is (almost all) under 128K.
+        assert!(m.cdf(128 * 1024) > 0.95);
+        assert!((m.cdf(1024 * 1024) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sampling_matches_cdf() {
+        let m = SizeMixture::fig5_io();
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(3);
+        let n = 100_000;
+        let small = (0..n)
+            .filter(|_| m.sample(&mut rng) <= 4096)
+            .count() as f64
+            / n as f64;
+        assert!((small - 0.40).abs() < 0.01, "{small}");
+    }
+
+    #[test]
+    fn sizes_are_block_aligned() {
+        let m = SizeMixture::fig5_io();
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(4);
+        for _ in 0..1000 {
+            assert_eq!(m.sample(&mut rng) % 4096, 0);
+        }
+    }
+
+    #[test]
+    fn rw_mix_matches_production() {
+        let mix = RwMix::production();
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(5);
+        let n = 100_000;
+        let writes = (0..n).filter(|_| mix.sample_is_write(&mut rng)).count() as f64;
+        let ratio = writes / (n as f64 - writes);
+        assert!((3.0..4.2).contains(&ratio), "write:read {ratio}");
+    }
+
+    #[test]
+    fn curve_is_monotone() {
+        let m = SizeMixture::fig5_io();
+        let c = m.curve();
+        for w in c.windows(2) {
+            assert!(w[1].1 >= w[0].1);
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Failure recovery head-to-head: inject a silent ToR blackhole under
+//! live traffic and watch LUNA's single-path connections hang while
+//! SOLAR's multipath shifts traffic within milliseconds (§3.3 / §4.5 /
+//! Table 2).
+//!
+//! Run with: `cargo run --release --example failover`
+
+use luna_solar::net::{DeviceKind, FailureMode};
+use luna_solar::sim::{SimDuration, SimTime};
+use luna_solar::stack::{FioConfig, Testbed, TestbedConfig, Variant};
+
+fn run(variant: Variant) -> (usize, usize, f64) {
+    let n_compute = 6;
+    let mut tb = Testbed::new(TestbedConfig::small(variant, n_compute, 5));
+    for c in 0..n_compute {
+        tb.attach_fio(
+            SimTime::from_millis(1),
+            c,
+            FioConfig {
+                depth: 2,
+                bytes: 8192,
+                read_fraction: 0.25,
+            },
+        );
+    }
+    // Silent blackhole on the first ToR at t = 0.5 s: one broken ECMP
+    // bucket, invisible to routing.
+    let tor = tb.fabric().topology().devices_of_kind(DeviceKind::Tor)[0];
+    tb.schedule_failure(
+        SimTime::from_millis(500),
+        tor,
+        FailureMode::Blackhole {
+            fraction: 0.4,
+            salt: 99,
+        },
+    );
+    tb.run_until(SimTime::from_secs(5));
+    let total = tb.traces().len();
+    let hung = tb.hung_ios(SimDuration::from_secs(1));
+    // Throughput after the failure (completions per second, fleet-wide).
+    let done_after: usize = tb
+        .traces()
+        .iter()
+        .filter(|t| {
+            t.completed
+                .map_or(false, |c| c >= SimTime::from_millis(500))
+        })
+        .count();
+    (total, hung, done_after as f64 / 4.5)
+}
+
+fn main() {
+    println!("Injecting a silent 40% blackhole on a ToR at t=500ms under live fio load.\n");
+    for variant in [Variant::Luna, Variant::Solar] {
+        let (total, hung, rate) = run(variant);
+        println!(
+            "{:<6}  {total:>6} I/Os issued   {hung:>4} hung >=1s   {rate:>8.0} IO/s sustained after failure",
+            variant.label()
+        );
+    }
+    println!(
+        "\nLUNA's flows that hash into the dead bucket stall until operators
+intervene (the paper's production incidents took 42 minutes, §3.3);
+SOLAR detects consecutive per-packet timeouts, declares the path down,
+and reroutes onto healthy ECMP buckets — the I/O-hang count is zero."
+    );
+}

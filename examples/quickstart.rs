@@ -1,0 +1,52 @@
+//! Quickstart: stand up a small EBS deployment on the SOLAR stack, issue
+//! a few guest I/Os, and print the distributed-trace latency breakdown.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use luna_solar::sa::{IoKind, IoRequest};
+use luna_solar::sim::{SimDuration, SimTime};
+use luna_solar::stack::{Testbed, TestbedConfig, Variant};
+
+fn main() {
+    // 2 compute servers, 3 storage servers, SOLAR data path.
+    let mut tb = Testbed::new(TestbedConfig::small(Variant::Solar, 2, 3));
+
+    // A guest writes a 16 KiB database page, then reads it back, plus a
+    // few 4 KiB journal writes.
+    let mut t = SimTime::from_millis(1);
+    tb.schedule_io(t, 0, IoRequest { vd_id: 0, kind: IoKind::Write, offset: 0, len: 16384 });
+    t += SimDuration::from_millis(1);
+    tb.schedule_io(t, 0, IoRequest { vd_id: 0, kind: IoKind::Read, offset: 0, len: 16384 });
+    for i in 0..4u64 {
+        t += SimDuration::from_micros(250);
+        tb.schedule_io(
+            t,
+            1,
+            IoRequest {
+                vd_id: 1,
+                kind: IoKind::Write,
+                offset: 4096 * i,
+                len: 4096,
+            },
+        );
+    }
+    tb.run_until(SimTime::from_secs(1));
+
+    println!("compute  kind   size   latency      SA        FN        BN        SSD");
+    println!("----------------------------------------------------------------------");
+    for tr in tb.traces() {
+        println!(
+            "{:^7}  {:<5}  {:>5}  {:>9}  {:>8}  {:>8}  {:>8}  {:>8}",
+            tr.compute,
+            format!("{:?}", tr.kind),
+            format!("{}K", tr.bytes / 1024),
+            format!("{}", tr.latency().expect("completed")),
+            format!("{}", tr.sa),
+            format!("{}", tr.fn_),
+            format!("{}", tr.bn),
+            format!("{}", tr.ssd),
+        );
+    }
+    let done = tb.traces().iter().filter(|t| t.completed.is_some()).count();
+    println!("\n{done}/{} I/Os completed", tb.traces().len());
+}

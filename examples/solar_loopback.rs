@@ -1,0 +1,220 @@
+//! The SOLAR state machines on **real UDP sockets**: a block server and a
+//! compute-side initiator exchanging genuine one-block-one-packet
+//! datagrams over loopback, with real payloads, real ChaCha20 encryption
+//! and the real CRC aggregation check.
+//!
+//! This demonstrates that the sans-io engines in `ebs-solar` are not
+//! simulator-only: the same `SolarClient`/`SolarResponder` that drive the
+//! discrete-event experiments here push actual packets through the
+//! kernel's UDP stack.
+//!
+//! Run with: `cargo run --release --example solar_loopback`
+
+use std::collections::HashMap;
+use std::net::UdpSocket;
+use std::time::{Duration, Instant};
+
+use bytes::{Bytes, BytesMut};
+use luna_solar::crc::{block_crc_raw, SegmentChecker, SegmentVerdict};
+use luna_solar::crypto::SecEngine;
+use luna_solar::sim::SimTime;
+use luna_solar::solar::{
+    InPacket, OutPacket, ReadBlock, ServerAction, SolarClient, SolarConfig, SolarEvent,
+    SolarResponder, WriteBlock,
+};
+use luna_solar::wire::EbsHeader;
+
+const BLOCK: usize = 4096;
+
+fn encode(pkt: &OutPacket) -> Vec<u8> {
+    let mut buf = BytesMut::with_capacity(EbsHeader::LEN + pkt.payload.len());
+    pkt.hdr.encode(&mut buf);
+    buf.extend_from_slice(&pkt.payload);
+    buf.to_vec()
+}
+
+fn decode(datagram: &[u8]) -> Option<InPacket> {
+    let mut cursor = datagram;
+    let hdr = EbsHeader::decode(&mut cursor).ok()?;
+    Some(InPacket {
+        hdr,
+        payload: Bytes::copy_from_slice(cursor),
+        int: None,
+    })
+}
+
+/// The block server: receives one-block packets, stores them, answers
+/// per packet. Runs until the main thread drops the socket pair.
+fn server(socket: UdpSocket) {
+    let mut responder = SolarResponder::new();
+    let mut disk: HashMap<u64, (Vec<u8>, u32)> = HashMap::new();
+    let mut buf = [0u8; 16 * 1024];
+    socket
+        .set_read_timeout(Some(Duration::from_millis(200)))
+        .expect("timeout");
+    loop {
+        let (len, peer) = match socket.recv_from(&mut buf) {
+            Ok(x) => x,
+            Err(_) => return, // idle timeout: done
+        };
+        let Some(pkt) = decode(&buf[..len]) else { continue };
+        match responder.on_packet(pkt) {
+            ServerAction::StoreBlock { hdr, data, int } => {
+                // Verify the block's CRC before persisting (the storage
+                // side's own integrity gate).
+                assert_eq!(block_crc_raw(&data, BLOCK), hdr.payload_crc, "wire corruption");
+                disk.insert(hdr.block_addr, (data.to_vec(), hdr.payload_crc));
+                let (ack, _) = responder.write_ack(&hdr, int);
+                socket.send_to(&encode(&ack), peer).expect("send ack");
+            }
+            ServerAction::FetchBlock { hdr } => {
+                let (data, crc) = disk
+                    .get(&hdr.block_addr)
+                    .cloned()
+                    .unwrap_or((vec![0; BLOCK], block_crc_raw(&vec![0; BLOCK], BLOCK)));
+                let resp = responder.read_resp(&hdr, Bytes::from(data), crc);
+                socket.send_to(&encode(&resp), peer).expect("send resp");
+            }
+            ServerAction::Reply(p) => {
+                socket.send_to(&encode(&p), peer).expect("send probe ack");
+            }
+            ServerAction::None => {}
+        }
+        // Receiver-side loss reports (per-path arrival gaps).
+        while let Some(n) = responder.poll_gap_nack() {
+            socket.send_to(&encode(&n), peer).expect("send gap nack");
+        }
+    }
+}
+
+fn main() {
+    let server_sock = UdpSocket::bind("127.0.0.1:0").expect("bind server");
+    let server_addr = server_sock.local_addr().unwrap();
+    let handle = std::thread::spawn(move || server(server_sock));
+
+    let client_sock = UdpSocket::bind("127.0.0.1:0").expect("bind client");
+    client_sock.connect(server_addr).expect("connect");
+    client_sock
+        .set_read_timeout(Some(Duration::from_micros(300)))
+        .expect("timeout");
+
+    let mut client = SolarClient::new(SolarConfig::default());
+    let sec = SecEngine::new([0x42; 32]);
+    let epoch = Instant::now();
+    let now = || SimTime::from_nanos(epoch.elapsed().as_nanos() as u64);
+
+    // --- WRITE: 32 encrypted blocks, one packet each -------------------
+    let n_blocks = 32u64;
+    let vd = 1u64;
+    let mut plain: Vec<Vec<u8>> = Vec::new();
+    let blocks: Vec<WriteBlock> = (0..n_blocks)
+        .map(|i| {
+            let mut data = vec![(i * 7 + 13) as u8; BLOCK];
+            plain.push(data.clone());
+            // SEC stage: encrypt; CRC stage: checksum the ciphertext as
+            // shipped (the FPGA order is CRC-then-SEC; over loopback we
+            // checksum what's on the wire so the server can verify).
+            sec.encrypt_block(vd, i, &mut data);
+            let crc = block_crc_raw(&data, BLOCK);
+            WriteBlock {
+                block_addr: i,
+                payload: Bytes::from(data),
+                crc,
+            }
+        })
+        .collect();
+    client.submit_write(now(), 1, vd, 100, blocks);
+
+    let mut rx = [0u8; 16 * 1024];
+    let t0 = Instant::now();
+    let mut write_done = false;
+    while !write_done {
+        while let Some(out) = client.poll_transmit(now()) {
+            client_sock.send(&encode(&out)).expect("send");
+        }
+        if let Ok(len) = client_sock.recv(&mut rx) {
+            if let Some(pkt) = decode(&rx[..len]) {
+                client.on_packet(now(), pkt);
+            }
+        }
+        if let Some(t) = client.poll_timer() {
+            if t <= now() {
+                client.on_timer(now());
+            }
+        }
+        while let Some(ev) = client.poll_event() {
+            if matches!(ev, SolarEvent::RpcCompleted { rpc_id: 1, .. }) {
+                write_done = true;
+            }
+        }
+        assert!(t0.elapsed() < Duration::from_secs(10), "write stalled");
+    }
+    println!(
+        "WRITE: {n_blocks} x 4KiB blocks over real UDP in {:?} ({} pkts, {} retransmits)",
+        t0.elapsed(),
+        client.stats().pkts_sent,
+        client.stats().retransmits
+    );
+
+    // --- READ them back, verify decryption + CRC aggregation ------------
+    let reads: Vec<ReadBlock> = (0..n_blocks)
+        .map(|i| ReadBlock {
+            block_addr: i,
+            guest_addr: i * BLOCK as u64,
+        })
+        .collect();
+    client.submit_read(now(), 2, vd, 100, reads);
+    let mut got: HashMap<u64, (Vec<u8>, u32)> = HashMap::new();
+    let t0 = Instant::now();
+    let mut read_done = false;
+    while !read_done {
+        while let Some(out) = client.poll_transmit(now()) {
+            client_sock.send(&encode(&out)).expect("send");
+        }
+        if let Ok(len) = client_sock.recv(&mut rx) {
+            if let Some(pkt) = decode(&rx[..len]) {
+                client.on_packet(now(), pkt);
+            }
+        }
+        if let Some(t) = client.poll_timer() {
+            if t <= now() {
+                client.on_timer(now());
+            }
+        }
+        while let Some(ev) = client.poll_event() {
+            match ev {
+                SolarEvent::BlockReceived {
+                    block_addr, data, crc, ..
+                } => {
+                    got.insert(block_addr, (data.to_vec(), crc));
+                }
+                SolarEvent::RpcCompleted { rpc_id: 2, .. } => read_done = true,
+                _ => {}
+            }
+        }
+        assert!(t0.elapsed() < Duration::from_secs(10), "read stalled");
+    }
+
+    // Software CRC aggregation over the whole segment (§4.5): one XOR
+    // accumulation + one CRC instead of 32 CRCs.
+    let mut checker = SegmentChecker::new(BLOCK);
+    for i in 0..n_blocks {
+        let (data, crc) = &got[&i];
+        checker.add_block(data, *crc);
+    }
+    assert_eq!(checker.verify_and_reset(), SegmentVerdict::Ok);
+
+    // Decrypt and compare with the original plaintext.
+    for i in 0..n_blocks {
+        let (mut data, _) = got[&i].clone();
+        sec.decrypt_block(vd, i, &mut data);
+        assert_eq!(data, plain[i as usize], "block {i} roundtrip");
+    }
+    println!(
+        "READ:  {n_blocks} blocks verified (segment CRC aggregate OK, ChaCha20 roundtrip OK) in {:?}",
+        t0.elapsed()
+    );
+    drop(client_sock);
+    let _ = handle.join();
+    println!("\nThe same sans-io state machines drive both this socket loop and the simulator.");
+}

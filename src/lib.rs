@@ -1,0 +1,65 @@
+//! # luna-solar — a from-scratch reproduction of "From Luna to Solar:
+//! The Evolutions of the Compute-to-Storage Networks in Alibaba Cloud"
+//! (SIGCOMM 2022)
+//!
+//! This crate re-exports the whole workspace as one coherent API. The two
+//! protagonists:
+//!
+//! * [`luna`] — the user-space TCP stack (run-to-complete, zero-copy,
+//!   share-nothing) over the shared sans-io [`tcp`] engine;
+//! * [`solar`] — the storage-oriented reliable UDP transport where **one
+//!   packet is one 4 KiB block**: stateless receive path, multipath with
+//!   sub-second failover, HPCC-from-INT congestion control.
+//!
+//! Everything they stand on is here too: the discrete-event kernel
+//! ([`sim`]), the Clos fabric with failure injection ([`net`]), wire
+//! formats ([`wire`]), CRC and the segment-aggregation integrity check
+//! ([`crc`]), the SEC cipher ([`crypto`]), the storage agent ([`sa`]),
+//! the ALI-DPU model with its P4-style pipeline ([`dpu`]), the storage
+//! cluster ([`storage`]), RDMA baselines ([`rdma`]), workload generators
+//! ([`workload`]), the composed end-to-end testbed ([`stack`]), and the
+//! experiment harness ([`bench`]) that regenerates every figure and
+//! table of the paper's evaluation.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use luna_solar::stack::{Testbed, TestbedConfig, Variant};
+//! use luna_solar::sa::{IoKind, IoRequest};
+//! use luna_solar::sim::SimTime;
+//!
+//! let mut tb = Testbed::new(TestbedConfig::small(Variant::Solar, 2, 3));
+//! tb.schedule_io(SimTime::from_millis(1), 0, IoRequest {
+//!     vd_id: 0,
+//!     kind: IoKind::Write,
+//!     offset: 0,
+//!     len: 4096,
+//! });
+//! tb.run_until(SimTime::from_secs(1));
+//! let trace = tb.traces()[0];
+//! assert!(trace.completed.is_some());
+//! println!("4K write latency: {}", trace.latency().unwrap());
+//! ```
+//!
+//! See `examples/` for runnable scenarios and `DESIGN.md` /
+//! `EXPERIMENTS.md` for the experiment inventory.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use ebs_bench as bench;
+pub use ebs_crc as crc;
+pub use ebs_crypto as crypto;
+pub use ebs_dpu as dpu;
+pub use ebs_luna as luna;
+pub use ebs_net as net;
+pub use ebs_rdma as rdma;
+pub use ebs_sa as sa;
+pub use ebs_sim as sim;
+pub use ebs_solar as solar;
+pub use ebs_stack as stack;
+pub use ebs_stats as stats;
+pub use ebs_storage as storage;
+pub use ebs_tcp as tcp;
+pub use ebs_wire as wire;
+pub use ebs_workload as workload;

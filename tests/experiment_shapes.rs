@@ -1,0 +1,128 @@
+//! Shape assertions on the reproduced figures: we don't chase absolute
+//! numbers (our substrate is a simulator, the paper's is a testbed), but
+//! who wins, by roughly what factor, and where ceilings bind must match.
+
+use luna_solar::bench::performance;
+use luna_solar::stack::Variant;
+
+#[test]
+fn fig14_shapes() {
+    let (_, nums) = performance::fig14(true);
+    let tput = |v: Variant, c: usize| {
+        nums.throughput
+            .iter()
+            .find(|(vv, cc, _)| *vv == v && *cc == c)
+            .map(|(_, _, x)| *x)
+            .expect("measured")
+    };
+    let iops = |v: Variant, c: usize| {
+        nums.iops
+            .iter()
+            .find(|(vv, cc, _)| *vv == v && *cc == c)
+            .map(|(_, _, x)| *x)
+            .expect("measured")
+    };
+
+    // (1) Single-core 64K throughput: Solar ≈ +78% over Luna.
+    let gain = tput(Variant::Solar, 1) / tput(Variant::Luna, 1);
+    assert!(
+        (1.4..2.3).contains(&gain),
+        "solar/luna 1-core throughput gain {gain:.2} (paper 1.78)"
+    );
+
+    // (2) Single-core 4K IOPS: Solar ≈ +46% over Luna; ~150K/core.
+    let gain = iops(Variant::Solar, 1) / iops(Variant::Luna, 1);
+    assert!(
+        (1.2..1.9).contains(&gain),
+        "solar/luna 1-core IOPS gain {gain:.2} (paper 1.46)"
+    );
+    let solar_1core = iops(Variant::Solar, 1);
+    assert!(
+        (110_000.0..190_000.0).contains(&solar_1core),
+        "solar {solar_1core:.0} IOPS/core (paper ~150K)"
+    );
+
+    // (3) The PCIe ceiling binds the hairpinning paths at 3 cores but not
+    // Solar: Luna/RDMA 3-core 64K throughput pins near the ~4000 MB/s
+    // internal-PCIe goodput ceiling; Solar exceeds it.
+    let ceiling = 4000.0;
+    for v in [Variant::Luna, Variant::Rdma] {
+        let t3 = tput(v, 3);
+        assert!(
+            t3 < ceiling * 1.15,
+            "{v:?} 3-core {t3:.0} MB/s must sit at/below the PCIe ceiling"
+        );
+    }
+    assert!(
+        tput(Variant::Solar, 3) > ceiling * 1.1,
+        "solar 3-core {:.0} MB/s must exceed the hairpin ceiling",
+        tput(Variant::Solar, 3)
+    );
+
+    // (4) CPU-bound scaling: Luna throughput grows with cores until the
+    // ceiling binds.
+    assert!(tput(Variant::Luna, 2) > 1.5 * tput(Variant::Luna, 1));
+}
+
+#[test]
+fn fig15_shapes() {
+    let (_, nums) = performance::fig15(true);
+    let point = |v: Variant, heavy: bool| {
+        nums.points
+            .iter()
+            .find(|(vv, h, _, _)| *vv == v && *h == heavy)
+            .map(|(_, _, med, p99)| (*med, *p99))
+            .expect("measured")
+    };
+    // Light load: Solar close to RDMA; both well under Luna.
+    let (luna, _) = point(Variant::Luna, false);
+    let (rdma, _) = point(Variant::Rdma, false);
+    let (solar, _) = point(Variant::Solar, false);
+    assert!(luna > rdma, "light: luna {luna} > rdma {rdma}");
+    assert!(solar < rdma * 1.4, "light: solar {solar} ~ rdma {rdma}");
+
+    // Heavy load: everything inflates, Luna by much more than Solar.
+    let (luna_h, luna_h99) = point(Variant::Luna, true);
+    let (solar_h, solar_h99) = point(Variant::Solar, true);
+    assert!(luna_h > luna, "background load must hurt luna");
+    assert!(
+        luna_h > 1.5 * solar_h,
+        "heavy: luna median {luna_h} vs solar {solar_h}"
+    );
+    assert!(
+        luna_h99 > 1.5 * solar_h99,
+        "heavy: luna p99 {luna_h99} vs solar {solar_h99}"
+    );
+}
+
+#[test]
+fn fig6_shapes() {
+    let (out, nums) = performance::fig6(true);
+    // Kernel > Luna > Solar in median 4K write latency (writes dominate
+    // production 3.5:1; reads share the NAND floor across stacks).
+    let [k, l, s] = nums.write_median_us;
+    assert!(k > 1.4 * l, "kernel {k} vs luna {l}");
+    assert!(l > 1.25 * s, "luna {l} vs solar {s} (paper: 20-69% cut)");
+    // Combined write-latency reduction approaching the paper's fleet-wide
+    // -72% (which also includes IOPS-driven load relief we don't model).
+    let reduction = 1.0 - s / k;
+    assert!(
+        (0.4..0.9).contains(&reduction),
+        "kernel->solar write reduction {:.0}% (paper 72% fleet-wide)",
+        reduction * 100.0
+    );
+    // Reads: ordering holds even with the common SSD floor.
+    let [kr, lr, sr] = nums.read_median_us;
+    assert!(kr > lr && lr > sr, "reads ordered: {kr} {lr} {sr}");
+    // The rendered output contains all four table views.
+    assert_eq!(out.tables.len(), 4);
+}
+
+#[test]
+fn tab1_renders_all_rows() {
+    let out = performance::tab1(true);
+    assert_eq!(out.tables.len(), 2);
+    for (_, t) in &out.tables {
+        assert_eq!(t.len(), 4, "single+stress x kernel+luna");
+    }
+}

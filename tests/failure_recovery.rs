@@ -1,0 +1,50 @@
+//! Reliability integration tests: the Table 2 scenario harness must show
+//! the paper's qualitative asymmetry — SOLAR rides through every failure
+//! class, LUNA hangs on anything silent or slowly-converging.
+
+use luna_solar::bench::reliability::{run_scenario, Scenario};
+use luna_solar::stack::Variant;
+
+#[test]
+fn solar_has_zero_hangs_in_every_scenario() {
+    for s in Scenario::ALL {
+        let hung = run_scenario(s, Variant::Solar, true);
+        assert_eq!(hung, 0, "{s:?}: Solar must never hang an I/O (paper Table 2)");
+    }
+}
+
+#[test]
+fn luna_hangs_on_tor_fail_stop() {
+    let hung = run_scenario(Scenario::TorSwitchFailure, Variant::Luna, true);
+    assert!(hung > 0, "paper: 216 hangs at full scale");
+}
+
+#[test]
+fn luna_hangs_on_blackholes() {
+    let tor = run_scenario(Scenario::BlackholeTor, Variant::Luna, true);
+    let spine = run_scenario(Scenario::BlackholeSpine, Variant::Luna, true);
+    assert!(tor > 0, "paper: 611 at full scale");
+    assert!(spine > 0, "paper: 1043 at full scale");
+}
+
+#[test]
+fn luna_survives_benign_scenarios() {
+    // Port flaps and fast-converging spine fail-stops recover within TCP
+    // retransmission timescales — the paper reports 0 for these rows.
+    let port = run_scenario(Scenario::TorPortFailure, Variant::Luna, true);
+    assert_eq!(port, 0, "1% transient loss is absorbed by fast retransmit");
+    let spine = run_scenario(Scenario::SpineSwitchFailure, Variant::Luna, true);
+    assert_eq!(spine, 0, "50ms convergence beats the 1s hang threshold");
+}
+
+#[test]
+fn luna_hangs_on_heavy_loss() {
+    let hung = run_scenario(Scenario::PacketDrop75, Variant::Luna, true);
+    assert!(hung > 0, "75% loss stalls TCP (paper: 10 hangs per second)");
+}
+
+#[test]
+fn luna_hangs_on_reboot_but_recovers_after_heal() {
+    let hung = run_scenario(Scenario::TorRebootIsolation, Variant::Luna, true);
+    assert!(hung > 0, "paper: 123 at full scale");
+}
