@@ -3,14 +3,37 @@
 //! rows. This is a plain binary (harness = false): the "benchmark" is the
 //! experiment suite itself, not a statistical timing loop — Criterion
 //! micro-benchmarks live in `micro.rs`.
+//!
+//! Flags:
+//! * `--quick` (or the bench-harness's `--test` flag that `cargo test
+//!   --benches` passes) shrinks run lengths;
+//! * `--serial` disables the multi-threaded harness (the printed output
+//!   is byte-identical either way; only the wall-clock differs).
+//!
+//! Each run writes `BENCH_RESULTS.json` at the repository root with
+//! per-experiment wall-clock and headline numbers.
 
 fn main() {
-    // `--quick` (or the bench-harness's `--test` flag that `cargo test
-    // --benches` passes) shrinks run lengths.
-    let quick = std::env::args().any(|a| a == "--quick" || a == "--test");
-    let t0 = std::time::Instant::now();
-    for exp in ebs_bench::run_all(quick) {
-        println!("{}", exp.render());
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick" || a == "--test");
+    let serial = args.iter().any(|a| a == "--serial");
+    let report = ebs_bench::run_report(quick, !serial);
+    for exp in &report.experiments {
+        println!("{}", exp.output.render());
     }
-    eprintln!("all experiments regenerated in {:.1}s", t0.elapsed().as_secs_f64());
+    let json = report.to_json();
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_RESULTS.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => eprintln!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+    eprintln!(
+        "all experiments regenerated in {:.1}s ({} harness)",
+        report.total_wall_s,
+        if report.parallel {
+            "parallel"
+        } else {
+            "serial"
+        }
+    );
 }

@@ -119,11 +119,14 @@ fn bench_transports(c: &mut Criterion) {
                     })
                 {
                     let (ack, _) = resp.write_ack(&hdr, int);
-                    client.on_packet(now, ebs_solar::InPacket {
-                        hdr: ack.hdr,
-                        payload: Bytes::new(),
-                        int: None,
-                    });
+                    client.on_packet(
+                        now,
+                        ebs_solar::InPacket {
+                            hdr: ack.hdr,
+                            payload: Bytes::new(),
+                            int: None,
+                        },
+                    );
                 }
             }
             client.stats().rpcs_completed
@@ -145,7 +148,7 @@ fn bench_transports(c: &mut Criterion) {
             }
             a.send(Bytes::from(vec![0u8; 65536]));
             for _ in 0..64 {
-                now = now + ebs_sim::SimDuration::from_micros(10);
+                now += ebs_sim::SimDuration::from_micros(10);
                 while let Some(seg) = a.poll_segment(now) {
                     s.on_segment(now, seg);
                 }
@@ -172,7 +175,9 @@ fn bench_pipeline(c: &mut Criterion) {
         Box::new(ebs_dpu::QosStage::new(qos)),
         Box::new(ebs_dpu::BlockStage::new(seg)),
         Box::new(ebs_dpu::CrcStage::new(4096, None)),
-        Box::new(ebs_dpu::SecStage::encryptor(ebs_crypto::SecEngine::new([1; 32]))),
+        Box::new(ebs_dpu::SecStage::encryptor(ebs_crypto::SecEngine::new(
+            [1; 32],
+        ))),
     ]);
     let hdr = ebs_wire::EbsHeader {
         version: 1,
@@ -192,8 +197,7 @@ fn bench_pipeline(c: &mut Criterion) {
     g.throughput(Throughput::Bytes(4096));
     g.bench_function("write_path_4k_block", |b| {
         b.iter(|| {
-            let mut ctx =
-                ebs_dpu::PacketCtx::new(hdr, Bytes::from(vec![0x5Au8; 4096]));
+            let mut ctx = ebs_dpu::PacketCtx::new(hdr, Bytes::from(vec![0x5Au8; 4096]));
             pipeline.process(SimTime::ZERO, &mut ctx)
         })
     });
@@ -209,7 +213,9 @@ fn bench_ecmp(c: &mut Criterion) {
         dst_port: 9000,
         proto: 17,
     };
-    g.bench_function("ecmp_flow_hash", |b| b.iter(|| std::hint::black_box(flow).hash64()));
+    g.bench_function("ecmp_flow_hash", |b| {
+        b.iter(|| std::hint::black_box(flow).hash64())
+    });
     for paths in [1usize, 4, 8] {
         g.bench_with_input(
             BenchmarkId::new("solar_spray_pick", paths),
@@ -239,6 +245,192 @@ fn bench_ecmp(c: &mut Criterion) {
     g.finish();
 }
 
+/// The seed's event queue (`BinaryHeap` + `HashSet` tombstones), kept here
+/// as the measured baseline for the timer-wheel rework in `ebs-sim`.
+mod naive_queue {
+    use ebs_sim::SimTime;
+    use std::cmp::Ordering;
+    use std::collections::{BinaryHeap, HashSet};
+
+    struct Entry<E> {
+        at: SimTime,
+        seq: u64,
+        event: E,
+    }
+    impl<E> PartialEq for Entry<E> {
+        fn eq(&self, o: &Self) -> bool {
+            self.at == o.at && self.seq == o.seq
+        }
+    }
+    impl<E> Eq for Entry<E> {}
+    impl<E> PartialOrd for Entry<E> {
+        fn partial_cmp(&self, o: &Self) -> Option<Ordering> {
+            Some(self.cmp(o))
+        }
+    }
+    impl<E> Ord for Entry<E> {
+        fn cmp(&self, o: &Self) -> Ordering {
+            o.at.cmp(&self.at).then_with(|| o.seq.cmp(&self.seq))
+        }
+    }
+
+    pub struct NaiveQueue<E> {
+        heap: BinaryHeap<Entry<E>>,
+        cancelled: HashSet<u64>,
+        seq: u64,
+        now: SimTime,
+    }
+
+    impl<E> NaiveQueue<E> {
+        pub fn new() -> Self {
+            NaiveQueue {
+                heap: BinaryHeap::new(),
+                cancelled: HashSet::new(),
+                seq: 0,
+                now: SimTime::ZERO,
+            }
+        }
+        pub fn now(&self) -> SimTime {
+            self.now
+        }
+        pub fn schedule_at(&mut self, at: SimTime, event: E) -> u64 {
+            let seq = self.seq;
+            self.seq += 1;
+            self.heap.push(Entry { at, seq, event });
+            seq
+        }
+        pub fn cancel(&mut self, id: u64) {
+            self.cancelled.insert(id);
+        }
+        pub fn pop(&mut self) -> Option<(SimTime, E)> {
+            while let Some(e) = self.heap.pop() {
+                if self.cancelled.remove(&e.seq) {
+                    continue;
+                }
+                self.now = e.at;
+                return Some((e.at, e.event));
+            }
+            None
+        }
+    }
+}
+
+/// Deterministic pseudo-random deltas for the queue workload (no RNG state
+/// shared between the two queue variants).
+fn lcg(x: &mut u64) -> u64 {
+    *x = x
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *x >> 33
+}
+
+/// The event-queue hot loop of the simulator: a steady-state population of
+/// pending events, each pop scheduling a successor; every 4th event gets
+/// cancelled and rescheduled (RTO-timer churn). Deltas span same-bucket
+/// (sub-µs), in-window (µs-ms) and overflow (>34 ms) horizons in the mix
+/// the testbed produces (mostly near-future TxDone/Arrive, some RTOs).
+fn bench_event_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_queue_schedule_pop");
+    const POP: usize = 256; // events handled per iteration
+    fn delta_ns(r: u64) -> u64 {
+        match r % 8 {
+            0..=4 => 100 + r % 30_000,       // TxDone/Arrive: sub-bucket .. tens of µs
+            5 | 6 => 50_000 + r % 5_000_000, // host timers: µs .. ms, in-window
+            _ => 10_000_000 + r % 30_000_000, // RTO-class: 10-40 ms, often overflow
+        }
+    }
+    g.throughput(Throughput::Elements(POP as u64));
+    g.bench_function("timer_wheel", |b| {
+        let mut q = ebs_sim::EventQueue::new();
+        let mut x = 7u64;
+        for i in 0..1024u64 {
+            q.schedule_at(SimTime::from_nanos(100 + delta_ns(lcg(&mut x))), i);
+        }
+        let mut pending_cancel = None;
+        b.iter(|| {
+            for _ in 0..POP {
+                let (t, v) = q.pop().expect("steady state");
+                let r = lcg(&mut x);
+                let id = q.schedule_at(t + ebs_sim::SimDuration::from_nanos(delta_ns(r)), v);
+                if r.is_multiple_of(4) {
+                    if let Some(old) = pending_cancel.replace(id) {
+                        q.cancel(old);
+                        let rr = lcg(&mut x);
+                        q.schedule_at(t + ebs_sim::SimDuration::from_nanos(delta_ns(rr)), v);
+                        q.pop();
+                    }
+                }
+            }
+            q.now()
+        })
+    });
+    g.bench_function("binary_heap_baseline", |b| {
+        let mut q = naive_queue::NaiveQueue::new();
+        let mut x = 7u64;
+        for i in 0..1024u64 {
+            q.schedule_at(SimTime::from_nanos(100 + delta_ns(lcg(&mut x))), i);
+        }
+        let mut pending_cancel = None;
+        b.iter(|| {
+            for _ in 0..POP {
+                let (t, v) = q.pop().expect("steady state");
+                let r = lcg(&mut x);
+                let id = q.schedule_at(t + ebs_sim::SimDuration::from_nanos(delta_ns(r)), v);
+                if r.is_multiple_of(4) {
+                    if let Some(old) = pending_cancel.replace(id) {
+                        q.cancel(old);
+                        let rr = lcg(&mut x);
+                        q.schedule_at(t + ebs_sim::SimDuration::from_nanos(delta_ns(rr)), v);
+                        q.pop();
+                    }
+                }
+            }
+            q.now()
+        })
+    });
+    g.finish();
+}
+
+/// A full cross-pod packet traversal: server → ToR → spine → core → spine
+/// → ToR → server, with INT stamping at every switch egress. Exercises the
+/// per-hop ECMP (cached flow hash), the pre-sized port queues and the
+/// move-only packet plumbing.
+fn bench_fabric_forward(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fabric_forward_3tier");
+    let topo = ebs_net::Topology::build(ebs_net::ClosConfig::testbed(2, 2, 2));
+    let servers = topo.servers();
+    let (src, dst) = (servers[0], servers[5]);
+    let mut f: ebs_net::Fabric<u32> = ebs_net::Fabric::new(topo, ebs_net::FabricConfig::default());
+    let mut q = ebs_sim::EventQueue::new();
+    let mut sport = 0u16;
+    g.bench_function("cross_pod_packet_with_int", |b| {
+        b.iter(|| {
+            sport = sport.wrapping_add(1);
+            let pkt = ebs_net::FabricPacket::new(
+                ebs_net::FlowLabel {
+                    src,
+                    dst,
+                    src_port: sport,
+                    dst_port: 9000,
+                    proto: 17,
+                },
+                4096,
+                Some(ebs_wire::IntStack::with_path_capacity()),
+                sport as u32,
+            );
+            f.send(q.now(), pkt, &mut q);
+            let mut delivered = 0u32;
+            while let Some((t, ev)) = q.pop() {
+                if f.handle(t, ev, &mut q).is_some() {
+                    delivered += 1;
+                }
+            }
+            delivered
+        })
+    });
+    g.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default()
@@ -251,6 +443,8 @@ criterion_group! {
         bench_tables,
         bench_transports,
         bench_pipeline,
-        bench_ecmp
+        bench_ecmp,
+        bench_event_queue,
+        bench_fabric_forward
 }
 criterion_main!(benches);

@@ -4,8 +4,8 @@
 
 use ebs_net::{DeviceKind, FailureMode};
 use ebs_sim::{SimDuration, SimTime};
-use ebs_stats::{f1, TextTable};
 use ebs_stack::{FioConfig, Testbed, TestbedConfig, Variant};
+use ebs_stats::{f1, TextTable};
 
 use crate::output::ExperimentOutput;
 
@@ -252,7 +252,10 @@ pub fn state_ablation() -> ExperimentOutput {
     let mut table = TextTable::new(["receive path", "state held under reordering"]);
     table.row([
         "TCP (kernel/LUNA): reassembly buffer".to_string(),
-        format!("{} KB buffered for ONE dropped segment", tcp_buffered / 1024),
+        format!(
+            "{} KB buffered for ONE dropped segment",
+            tcp_buffered / 1024
+        ),
     ]);
     table.row([
         "SOLAR responder: total struct size".to_string(),

@@ -17,7 +17,13 @@ pub fn fig3() -> ExperimentOutput {
     let traffic = model.traffic(168, 3);
     let rates = model.io_rates(168, 3);
 
-    let mut t1 = TextTable::new(["hour", "EBS RX (GB)", "EBS TX (GB)", "All RX (GB)", "All TX (GB)"]);
+    let mut t1 = TextTable::new([
+        "hour",
+        "EBS RX (GB)",
+        "EBS TX (GB)",
+        "All RX (GB)",
+        "All TX (GB)",
+    ]);
     for s in traffic.iter().step_by(12) {
         t1.row([
             s.hour.to_string(),
@@ -34,8 +40,16 @@ pub fn fig3() -> ExperimentOutput {
         txs += s.ebs_tx / s.all_tx;
     }
     let mut t2 = TextTable::new(["metric", "measured", "paper"]);
-    t2.row(["EBS share of TX traffic".to_string(), f2(txs / 168.0), "0.63".into()]);
-    t2.row(["EBS share of all traffic".to_string(), f2(ebs / all), "0.51".into()]);
+    t2.row([
+        "EBS share of TX traffic".to_string(),
+        f2(txs / 168.0),
+        "0.63".into(),
+    ]);
+    t2.row([
+        "EBS share of all traffic".to_string(),
+        f2(ebs / all),
+        "0.51".into(),
+    ]);
 
     let mut t3 = TextTable::new(["hour", "read kI/O-req/s", "write kI/O-req/s", "w:r"]);
     for s in rates.iter().step_by(12) {
@@ -65,7 +79,10 @@ pub fn fig4() -> ExperimentOutput {
     let series = hot_server_iops(4);
     let mut table = TextTable::new(["hour", "mean kIOPS", "min kIOPS", "max kIOPS"]);
     for h in 0..24 {
-        let window: Vec<f64> = series[h * 60..(h + 1) * 60].iter().map(|(_, v)| *v / 1e3).collect();
+        let window: Vec<f64> = series[h * 60..(h + 1) * 60]
+            .iter()
+            .map(|(_, v)| *v / 1e3)
+            .collect();
         let mean = window.iter().sum::<f64>() / 60.0;
         let min = window.iter().cloned().fold(f64::MAX, f64::min);
         let max = window.iter().cloned().fold(0.0, f64::max);
@@ -152,7 +169,11 @@ pub fn fig7(kernel: StackPerf, luna: StackPerf, solar: StackPerf) -> ExperimentO
     let points = evolution(kernel, luna, solar);
     let mut table = TextTable::new(["quarter", "latency (norm to 19Q1)", "IOPS (norm to 21Q4)"]);
     for p in &points {
-        table.row([QUARTERS[p.quarter].to_string(), f2(p.latency_norm), f2(p.iops_norm)]);
+        table.row([
+            QUARTERS[p.quarter].to_string(),
+            f2(p.latency_norm),
+            f2(p.iops_norm),
+        ]);
     }
     let reduction = (1.0 - points[11].latency_norm) * 100.0;
     let iops_gain = points[11].iops_norm / points[0].iops_norm;
@@ -177,7 +198,12 @@ pub fn fig8() -> ExperimentOutput {
             e.vms_hung.to_string(),
         ]);
     }
-    let mut summary = TextTable::new(["tier", "incidents", "median duration (min)", "median VMs hung"]);
+    let mut summary = TextTable::new([
+        "tier",
+        "incidents",
+        "median duration (min)",
+        "median VMs hung",
+    ]);
     for tier in [
         ebs_workload::FailureTier::Tor,
         ebs_workload::FailureTier::Spine,

@@ -106,7 +106,13 @@ pub fn fig11() -> ExperimentOutput {
 pub fn tab3() -> ExperimentOutput {
     let dev = FpgaDevice::default();
     let usages = estimate(&SolarGeometry::default());
-    let mut table = TextTable::new(["module", "LUT (%)", "BRAM (%)", "paper LUT (%)", "paper BRAM (%)"]);
+    let mut table = TextTable::new([
+        "module",
+        "LUT (%)",
+        "BRAM (%)",
+        "paper LUT (%)",
+        "paper BRAM (%)",
+    ]);
     let paper = [
         ("Addr", 5.1, 8.1),
         ("Block", 0.2, 8.6),
@@ -116,13 +122,7 @@ pub fn tab3() -> ExperimentOutput {
     ];
     for (u, (name, pl, pb)) in usages.iter().zip(paper.iter()) {
         let (l, b) = u.percent(&dev);
-        table.row([
-            name.to_string(),
-            f1(l),
-            f1(b),
-            f1(*pl),
-            f1(*pb),
-        ]);
+        table.row([name.to_string(), f1(l), f1(b), f1(*pl), f1(*pb)]);
     }
     let t = total(&usages);
     let (l, b) = t.percent(&dev);

@@ -2,8 +2,8 @@
 //!
 //! One function per figure/table of the paper's evaluation; each returns
 //! an [`ExperimentOutput`] the bench target prints and integration tests
-//! assert on. `quick = true` shrinks run lengths for CI-grade tests;
-//! `cargo bench` runs the full sizes.
+//! assert on. `quick = true` shrinks run lengths; `cargo bench` runs the
+//! full sizes.
 //!
 //! | id | content | module |
 //! |----|---------|--------|
@@ -12,9 +12,20 @@
 //! | tab2 | failure scenarios, Luna vs Solar | [`reliability`] |
 //! | fig11/tab3 | FPGA faults & resources | [`hardware`] |
 //! | ablate-* | design-choice ablations | [`ablations`] |
+//!
+//! # Parallel harness
+//!
+//! Every experiment (and every inner sweep point of fig6/fig14/fig15/tab2)
+//! is an independent simulation with its own seed, so [`run_report`] runs
+//! them on scoped threads and joins the results back in paper order. The
+//! rendered output is byte-identical to a serial run — determinism comes
+//! from per-run seeds, never from execution order. `fig7` is derived from
+//! fig6 + fig14 numbers and is computed after both join.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+use std::time::Instant;
 
 pub mod ablations;
 pub mod characterization;
@@ -25,24 +36,249 @@ pub mod reliability;
 
 pub use output::ExperimentOutput;
 
-/// Run every experiment in paper order, printing each.
+/// One experiment's output plus its measured cost and headline numbers.
+pub struct ExperimentReport {
+    /// The rendered figure/table.
+    pub output: ExperimentOutput,
+    /// Wall-clock seconds this experiment took (its own thread's time).
+    pub wall_s: f64,
+    /// Headline numbers for `BENCH_RESULTS.json` (name → value).
+    pub metrics: Vec<(String, f64)>,
+}
+
+/// A full harness run: every experiment in paper order plus wall-clock
+/// accounting, serializable to `BENCH_RESULTS.json`.
+pub struct RunReport {
+    /// Quick (CI) sizes or full paper sizes.
+    pub quick: bool,
+    /// Whether the multi-threaded harness was used.
+    pub parallel: bool,
+    /// End-to-end wall-clock seconds for the whole suite.
+    pub total_wall_s: f64,
+    /// Per-experiment reports, paper order.
+    pub experiments: Vec<ExperimentReport>,
+}
+
+impl RunReport {
+    /// Serialize to JSON (hand-rolled: the build is offline and vendors no
+    /// serde). Metric names and experiment ids are ASCII identifiers.
+    pub fn to_json(&self) -> String {
+        fn num(v: f64) -> String {
+            if v.is_finite() {
+                format!("{v:.4}")
+            } else {
+                "null".to_string()
+            }
+        }
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str(&format!("  \"quick\": {},\n", self.quick));
+        s.push_str(&format!("  \"parallel\": {},\n", self.parallel));
+        s.push_str(&format!(
+            "  \"total_wall_s\": {},\n",
+            num(self.total_wall_s)
+        ));
+        s.push_str("  \"experiments\": [\n");
+        for (i, e) in self.experiments.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"id\": \"{}\", \"wall_s\": {}, \"metrics\": {{",
+                e.output.id,
+                num(e.wall_s)
+            ));
+            for (j, (k, v)) in e.metrics.iter().enumerate() {
+                if j > 0 {
+                    s.push_str(", ");
+                }
+                s.push_str(&format!("\"{}\": {}", k, num(*v)));
+            }
+            s.push_str("}}");
+            if i + 1 < self.experiments.len() {
+                s.push(',');
+            }
+            s.push('\n');
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+fn timed(f: impl FnOnce() -> (ExperimentOutput, Vec<(String, f64)>)) -> ExperimentReport {
+    let t = Instant::now();
+    let (output, metrics) = f();
+    ExperimentReport {
+        output,
+        metrics,
+        wall_s: t.elapsed().as_secs_f64(),
+    }
+}
+
+fn variant_key(v: ebs_stack::Variant) -> &'static str {
+    match v {
+        ebs_stack::Variant::Kernel => "kernel",
+        ebs_stack::Variant::Luna => "luna",
+        ebs_stack::Variant::Rdma => "rdma",
+        ebs_stack::Variant::SolarStar => "solar_star",
+        ebs_stack::Variant::Solar => "solar",
+    }
+}
+
+fn exp_fig6(quick: bool) -> (ExperimentReport, performance::Fig6Numbers) {
+    let t = Instant::now();
+    let (output, nums) = performance::fig6(quick);
+    let mut metrics = Vec::new();
+    for (i, key) in ["kernel", "luna", "solar"].iter().enumerate() {
+        metrics.push((format!("{key}_write_median_us"), nums.write_median_us[i]));
+        metrics.push((format!("{key}_read_median_us"), nums.read_median_us[i]));
+    }
+    let report = ExperimentReport {
+        output,
+        metrics,
+        wall_s: t.elapsed().as_secs_f64(),
+    };
+    (report, nums)
+}
+
+fn exp_fig14(quick: bool) -> (ExperimentReport, performance::Fig14Numbers) {
+    let t = Instant::now();
+    let (output, nums) = performance::fig14(quick);
+    let mut metrics = Vec::new();
+    for &(v, c, mbps) in &nums.throughput {
+        metrics.push((format!("{}_{}core_mbps", variant_key(v), c), mbps));
+    }
+    for &(v, c, iops) in &nums.iops {
+        metrics.push((format!("{}_{}core_iops", variant_key(v), c), iops));
+    }
+    let report = ExperimentReport {
+        output,
+        metrics,
+        wall_s: t.elapsed().as_secs_f64(),
+    };
+    (report, nums)
+}
+
+fn exp_fig15(quick: bool) -> ExperimentReport {
+    let t = Instant::now();
+    let (output, nums) = performance::fig15(quick);
+    let mut metrics = Vec::new();
+    for &(v, heavy, median, p99) in &nums.points {
+        let load = if heavy { "heavy" } else { "light" };
+        metrics.push((format!("{}_{load}_median_us", variant_key(v)), median));
+        metrics.push((format!("{}_{load}_p99_us", variant_key(v)), p99));
+    }
+    ExperimentReport {
+        output,
+        metrics,
+        wall_s: t.elapsed().as_secs_f64(),
+    }
+}
+
+fn exp_tab2(quick: bool) -> ExperimentReport {
+    let t = Instant::now();
+    let counts = reliability::tab2_counts(&reliability::Scenario::ALL, quick);
+    let mut metrics = Vec::new();
+    let mut luna_total = 0usize;
+    let mut solar_total = 0usize;
+    for &(_, luna, solar) in &counts {
+        luna_total += luna;
+        solar_total += solar;
+    }
+    metrics.push(("luna_hung_total".to_string(), luna_total as f64));
+    metrics.push(("solar_hung_total".to_string(), solar_total as f64));
+    ExperimentReport {
+        // Rebuilding the table re-runs nothing: tab2_with would, so
+        // render from the counts we already have.
+        output: reliability::tab2_render(&counts, quick),
+        metrics,
+        wall_s: t.elapsed().as_secs_f64(),
+    }
+}
+
+fn exp_fig7(
+    fig6: &performance::Fig6Numbers,
+    fig14: &performance::Fig14Numbers,
+) -> ExperimentReport {
+    let t = Instant::now();
+    let (k, l, s) = performance::stack_perfs(fig6, fig14);
+    let metrics = vec![
+        ("kernel_weighted_us".to_string(), k.latency_us),
+        ("luna_weighted_us".to_string(), l.latency_us),
+        ("solar_weighted_us".to_string(), s.latency_us),
+        ("solar_iops".to_string(), s.iops),
+    ];
+    ExperimentReport {
+        output: characterization::fig7(k, l, s),
+        metrics,
+        wall_s: t.elapsed().as_secs_f64(),
+    }
+}
+
+/// Run every experiment, timing each; `parallel` selects the scoped-thread
+/// harness (the output is byte-identical either way).
+pub fn run_report(quick: bool, parallel: bool) -> RunReport {
+    let t0 = Instant::now();
+    let mut experiments: Vec<ExperimentReport> = Vec::with_capacity(12);
+    let (fig6_nums, fig14_nums);
+    if parallel {
+        (experiments, fig6_nums, fig14_nums) = std::thread::scope(|s| {
+            let fig3 = s.spawn(|| timed(|| (characterization::fig3(), vec![])));
+            let fig4 = s.spawn(|| timed(|| (characterization::fig4(), vec![])));
+            let fig5 = s.spawn(|| timed(|| (characterization::fig5(), vec![])));
+            let fig6 = s.spawn(move || exp_fig6(quick));
+            let tab1 = s.spawn(move || timed(|| (performance::tab1(quick), vec![])));
+            let fig8 = s.spawn(|| timed(|| (characterization::fig8(), vec![])));
+            let fig11 = s.spawn(|| timed(|| (hardware::fig11(), vec![])));
+            let fig14 = s.spawn(move || exp_fig14(quick));
+            let fig15 = s.spawn(move || exp_fig15(quick));
+            let tab2 = s.spawn(move || exp_tab2(quick));
+            let tab3 = s.spawn(|| timed(|| (hardware::tab3(), vec![])));
+            let mut out = Vec::with_capacity(12);
+            out.push(fig3.join().expect("fig3 panicked"));
+            out.push(fig4.join().expect("fig4 panicked"));
+            out.push(fig5.join().expect("fig5 panicked"));
+            let (fig6_r, f6) = fig6.join().expect("fig6 panicked");
+            out.push(fig6_r);
+            out.push(tab1.join().expect("tab1 panicked"));
+            out.push(fig8.join().expect("fig8 panicked"));
+            out.push(fig11.join().expect("fig11 panicked"));
+            let (fig14_r, f14) = fig14.join().expect("fig14 panicked");
+            out.push(fig14_r);
+            out.push(fig15.join().expect("fig15 panicked"));
+            out.push(tab2.join().expect("tab2 panicked"));
+            out.push(tab3.join().expect("tab3 panicked"));
+            (out, f6, f14)
+        });
+    } else {
+        experiments.push(timed(|| (characterization::fig3(), vec![])));
+        experiments.push(timed(|| (characterization::fig4(), vec![])));
+        experiments.push(timed(|| (characterization::fig5(), vec![])));
+        let (fig6_r, f6) = exp_fig6(quick);
+        experiments.push(fig6_r);
+        experiments.push(timed(|| (performance::tab1(quick), vec![])));
+        experiments.push(timed(|| (characterization::fig8(), vec![])));
+        experiments.push(timed(|| (hardware::fig11(), vec![])));
+        let (fig14_r, f14) = exp_fig14(quick);
+        experiments.push(fig14_r);
+        experiments.push(exp_fig15(quick));
+        experiments.push(exp_tab2(quick));
+        experiments.push(timed(|| (hardware::tab3(), vec![])));
+        fig6_nums = f6;
+        fig14_nums = f14;
+    }
+    experiments.push(exp_fig7(&fig6_nums, &fig14_nums));
+    RunReport {
+        quick,
+        parallel,
+        total_wall_s: t0.elapsed().as_secs_f64(),
+        experiments,
+    }
+}
+
+/// Run every experiment in paper order (parallel harness), returning just
+/// the printable outputs.
 pub fn run_all(quick: bool) -> Vec<ExperimentOutput> {
-    let mut out = Vec::new();
-    out.push(characterization::fig3());
-    out.push(characterization::fig4());
-    out.push(characterization::fig5());
-    let (fig6, fig6_nums) = performance::fig6(quick);
-    out.push(fig6);
-    out.push(performance::tab1(quick));
-    out.push(characterization::fig8());
-    out.push(hardware::fig11());
-    let (fig14, fig14_nums) = performance::fig14(quick);
-    out.push(fig14);
-    let (fig15, _) = performance::fig15(quick);
-    out.push(fig15);
-    out.push(reliability::tab2(quick));
-    out.push(hardware::tab3());
-    let (k, l, s) = performance::stack_perfs(&fig6_nums, &fig14_nums);
-    out.push(characterization::fig7(k, l, s));
-    out
+    run_report(quick, true)
+        .experiments
+        .into_iter()
+        .map(|e| e.output)
+        .collect()
 }

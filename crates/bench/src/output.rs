@@ -20,7 +20,10 @@ impl ExperimentOutput {
     /// Render the whole experiment as text.
     pub fn render(&self) -> String {
         let mut out = String::new();
-        out.push_str(&format!("================ {} — {} ================\n", self.id, self.title));
+        out.push_str(&format!(
+            "================ {} — {} ================\n",
+            self.id, self.title
+        ));
         for (caption, table) in &self.tables {
             if !caption.is_empty() {
                 out.push_str(&format!("\n-- {caption}\n"));

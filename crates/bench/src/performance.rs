@@ -4,9 +4,9 @@
 
 use ebs_sa::{IoKind, IoRequest, BLOCK_SIZE};
 use ebs_sim::{Bandwidth, SimDuration, SimTime};
+use ebs_stack::{Breakdown, FioConfig, Testbed, TestbedConfig, Variant};
 use ebs_stats::{f1, TextTable};
 use ebs_storage::{BnConfig, SsdConfig};
-use ebs_stack::{Breakdown, FioConfig, Testbed, TestbedConfig, Variant};
 use ebs_workload::StackPerf;
 use rand::Rng;
 
@@ -53,7 +53,11 @@ fn light_load_run(variant: Variant, n: usize, seed: u64) -> Testbed {
     let mut t = SimTime::from_millis(1);
     let vd_blocks = 16 * ebs_sa::SEGMENT_BLOCKS;
     for i in 0..n * 2 {
-        let kind = if i % 2 == 0 { IoKind::Write } else { IoKind::Read };
+        let kind = if i % 2 == 0 {
+            IoKind::Write
+        } else {
+            IoKind::Read
+        };
         let offset = rng.gen_range(0..vd_blocks - 1) * BLOCK_SIZE as u64;
         tb.schedule_io(
             t,
@@ -79,12 +83,19 @@ pub fn fig6(quick: bool) -> (ExperimentOutput, Fig6Numbers) {
     let mut tables = Vec::new();
     let mut nums = Fig6Numbers::default();
 
-    // One run per variant, reused across all four table views.
-    let runs: Vec<Testbed> = variants
-        .iter()
-        .enumerate()
-        .map(|(vi, &v)| light_load_run(v, n, 60 + vi as u64))
-        .collect();
+    // One run per variant, reused across all four table views; the three
+    // runs are seed-independent, so they execute concurrently.
+    let runs: Vec<Testbed> = std::thread::scope(|s| {
+        let handles: Vec<_> = variants
+            .iter()
+            .enumerate()
+            .map(|(vi, &v)| s.spawn(move || light_load_run(v, n, 60 + vi as u64)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("fig6 run panicked"))
+            .collect()
+    });
     for (kind, label) in [(IoKind::Read, "4KB Read"), (IoKind::Write, "4KB Write")] {
         for (q, qlabel) in [(0.5, "median"), (0.95, "95th percentile")] {
             let mut table = TextTable::new(["stack", "SA", "FN", "BN", "SSD", "total (us)"]);
@@ -225,7 +236,7 @@ pub fn tab1(quick: bool) -> ExperimentOutput {
             let lat: Vec<f64> = tb
                 .traces()
                 .iter()
-                .filter(|t| t.completed.map_or(false, |c| c >= warmup))
+                .filter(|t| t.completed.is_some_and(|c| c >= warmup))
                 .filter_map(|t| t.latency())
                 .map(|l| l.as_micros_f64())
                 .collect();
@@ -288,8 +299,17 @@ fn fio_rate(variant: Variant, cores: usize, bytes: u32, quick: bool, seed: u64) 
 }
 
 /// Fig. 14: fio read, 32 I/O depth, under 1-3 cores.
+///
+/// The 24 sweep points (4 variants × 3 core counts × {throughput, IOPS})
+/// are independent simulations with per-point seeds; they run on scoped
+/// threads and are assembled back in the figure's fixed order.
 pub fn fig14(quick: bool) -> (ExperimentOutput, Fig14Numbers) {
-    let variants = [Variant::Luna, Variant::Rdma, Variant::SolarStar, Variant::Solar];
+    let variants = [
+        Variant::Luna,
+        Variant::Rdma,
+        Variant::SolarStar,
+        Variant::Solar,
+    ];
     let cores_sweep = [1usize, 2, 3];
     let mut tput = TextTable::new(["stack", "1-core", "2-core", "3-core (MB/s)"]);
     let mut iops_t = TextTable::new(["stack", "1-core", "2-core", "3-core (IOPS)"]);
@@ -297,14 +317,38 @@ pub fn fig14(quick: bool) -> (ExperimentOutput, Fig14Numbers) {
         throughput: Vec::new(),
         iops: Vec::new(),
     };
+    let points: Vec<(Variant, usize, f64, f64)> = std::thread::scope(|s| {
+        let handles: Vec<_> = variants
+            .iter()
+            .flat_map(|&v| cores_sweep.iter().map(move |&c| (v, c)))
+            .map(|(v, c)| {
+                let mbps = s.spawn(move || fio_rate(v, c, 64 * 1024, quick, 140 + c as u64).0);
+                let iops = s.spawn(move || fio_rate(v, c, 4096, quick, 150 + c as u64).1);
+                (v, c, mbps, iops)
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|(v, c, mbps, iops)| {
+                (
+                    v,
+                    c,
+                    mbps.join().expect("fig14 throughput point panicked"),
+                    iops.join().expect("fig14 iops point panicked"),
+                )
+            })
+            .collect()
+    });
     for &v in &variants {
         let mut row_t = vec![v.label().to_string()];
         let mut row_i = vec![v.label().to_string()];
         for &c in &cores_sweep {
-            let (mbps, _) = fio_rate(v, c, 64 * 1024, quick, 140 + c as u64);
+            let &(_, _, mbps, iops) = points
+                .iter()
+                .find(|&&(pv, pc, _, _)| pv == v && pc == c)
+                .expect("all sweep points computed");
             numbers.throughput.push((v, c, mbps));
             row_t.push(format!("{mbps:.0}"));
-            let (_, iops) = fio_rate(v, c, 4096, quick, 150 + c as u64);
             numbers.iops.push((v, c, iops));
             row_i.push(format!("{iops:.0}"));
         }
@@ -334,68 +378,103 @@ pub struct Fig15Numbers {
     pub points: Vec<(Variant, bool, f64, f64)>,
 }
 
+/// One fig15 point: (median, p99) µs of the 4KB-write probe for one
+/// variant under light or heavy background load.
+fn fig15_point(v: Variant, heavy: bool, quick: bool) -> (f64, f64) {
+    let mut cfg = TestbedConfig::small(v, 1, 4);
+    cfg.seed = 15;
+    let mut tb = Testbed::new(cfg);
+    // Heavy load = bulk writes on the *same server* as the probe:
+    // they contend for the DPU CPU and the PCIe channels, which is
+    // exactly what the offloaded data path isolates the probe from.
+    if heavy {
+        // Production "heavy" is IOPS-heavy (the 4K-dominated mix
+        // of Fig. 5): it stresses the per-I/O CPU path, which is
+        // what the offloaded data plane shields the probe from.
+        tb.attach_fio(
+            SimTime::from_millis(1),
+            0,
+            FioConfig {
+                depth: 96,
+                bytes: 4096,
+                read_fraction: 0.0,
+            },
+        );
+    }
+    // The probe: open-loop single 4KB writes.
+    let n = if quick { 200 } else { 800 };
+    let mut t = SimTime::from_millis(5);
+    let mut rng = ebs_sim::rng::stream(15, "fig15-probe");
+    for _ in 0..n {
+        let offset = rng.gen_range(0..1000u64) * BLOCK_SIZE as u64;
+        tb.schedule_io(
+            t,
+            0,
+            IoRequest {
+                vd_id: 0,
+                kind: IoKind::Write,
+                offset,
+                len: 4096,
+            },
+        );
+        t += SimDuration::from_micros(rng.gen_range(300..600));
+    }
+    tb.run_until(t + SimDuration::from_millis(120));
+    let mut lats: Vec<f64> = tb
+        .traces()
+        .iter()
+        .filter(|tr| tr.compute == 0 && tr.bytes == 4096)
+        .filter_map(|tr| tr.latency())
+        .map(|l| l.as_micros_f64())
+        .collect();
+    lats.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = lats[lats.len() / 2];
+    let p99 = lats[(lats.len() as f64 * 0.99) as usize];
+    (median, p99)
+}
+
 /// Fig. 15: single 4KB write latency under light vs heavy background load.
+/// The 8 (load, variant) points run concurrently, each with its own
+/// deterministic seed and probe RNG stream.
 pub fn fig15(quick: bool) -> (ExperimentOutput, Fig15Numbers) {
-    let variants = [Variant::Luna, Variant::Rdma, Variant::SolarStar, Variant::Solar];
+    let variants = [
+        Variant::Luna,
+        Variant::Rdma,
+        Variant::SolarStar,
+        Variant::Solar,
+    ];
     let mut tables = Vec::new();
     let mut numbers = Fig15Numbers { points: Vec::new() };
+    let points: Vec<(Variant, bool, f64, f64)> = std::thread::scope(|s| {
+        let handles: Vec<_> = [false, true]
+            .into_iter()
+            .flat_map(|heavy| variants.iter().map(move |&v| (v, heavy)))
+            .map(|(v, heavy)| (v, heavy, s.spawn(move || fig15_point(v, heavy, quick))))
+            .collect();
+        handles
+            .into_iter()
+            .map(|(v, heavy, h)| {
+                let (median, p99) = h.join().expect("fig15 point panicked");
+                (v, heavy, median, p99)
+            })
+            .collect()
+    });
     for heavy in [false, true] {
         let mut table = TextTable::new(["stack", "median (us)", "99th (us)"]);
         for &v in &variants {
-            let mut cfg = TestbedConfig::small(v, 1, 4);
-            cfg.seed = 15;
-            let mut tb = Testbed::new(cfg);
-            // Heavy load = bulk writes on the *same server* as the probe:
-            // they contend for the DPU CPU and the PCIe channels, which is
-            // exactly what the offloaded data path isolates the probe from.
-            if heavy {
-                // Production "heavy" is IOPS-heavy (the 4K-dominated mix
-                // of Fig. 5): it stresses the per-I/O CPU path, which is
-                // what the offloaded data plane shields the probe from.
-                tb.attach_fio(
-                    SimTime::from_millis(1),
-                    0,
-                    FioConfig {
-                        depth: 96,
-                        bytes: 4096,
-                        read_fraction: 0.0,
-                    },
-                );
-            }
-            // The probe: open-loop single 4KB writes.
-            let n = if quick { 200 } else { 800 };
-            let mut t = SimTime::from_millis(5);
-            let mut rng = ebs_sim::rng::stream(15, "fig15-probe");
-            for _ in 0..n {
-                let offset = rng.gen_range(0..1000u64) * BLOCK_SIZE as u64;
-                tb.schedule_io(
-                    t,
-                    0,
-                    IoRequest {
-                        vd_id: 0,
-                        kind: IoKind::Write,
-                        offset,
-                        len: 4096,
-                    },
-                );
-                t += SimDuration::from_micros(rng.gen_range(300..600));
-            }
-            tb.run_until(t + SimDuration::from_millis(120));
-            let mut lats: Vec<f64> = tb
-                .traces()
+            let &(_, _, median, p99) = points
                 .iter()
-                .filter(|tr| tr.compute == 0 && tr.bytes == 4096)
-                .filter_map(|tr| tr.latency())
-                .map(|l| l.as_micros_f64())
-                .collect();
-            lats.sort_by(|a, b| a.partial_cmp(b).unwrap());
-            let median = lats[lats.len() / 2];
-            let p99 = lats[(lats.len() as f64 * 0.99) as usize];
+                .find(|&&(pv, ph, _, _)| pv == v && ph == heavy)
+                .expect("all fig15 points computed");
             numbers.points.push((v, heavy, median, p99));
             table.row([v.label().to_string(), f1(median), f1(p99)]);
         }
         tables.push((
-            if heavy { "(b) Heavy load".to_string() } else { "(a) Light load".to_string() },
+            if heavy {
+                "(b) Heavy load".to_string()
+            } else {
+                "(a) Light load".to_string()
+            },
             table,
         ));
     }

@@ -10,8 +10,8 @@
 
 use ebs_net::{DeviceKind, FailureMode};
 use ebs_sim::{SimDuration, SimTime};
-use ebs_stats::TextTable;
 use ebs_stack::{FioConfig, Testbed, TestbedConfig, Variant};
+use ebs_stats::TextTable;
 
 use crate::output::ExperimentOutput;
 
@@ -87,7 +87,7 @@ pub fn run_scenario(scenario: Scenario, variant: Variant, quick: bool) -> usize 
             c,
             FioConfig {
                 depth: 2,
-                bytes: 16 * 1024, // mid of the 4-32 KiB band
+                bytes: 16 * 1024,   // mid of the 4-32 KiB band
                 read_fraction: 0.2, // read:write 1:4
             },
         );
@@ -150,12 +150,54 @@ pub fn run_scenario(scenario: Scenario, variant: Variant, quick: bool) -> usize 
     tb.hung_ios(SimDuration::from_secs(1))
 }
 
-/// Table 2 in full.
-pub fn tab2(quick: bool) -> ExperimentOutput {
-    let mut table = TextTable::new(["failure scenario", "Luna", "Solar", "paper Luna", "paper Solar"]);
-    for s in Scenario::ALL {
-        let luna = run_scenario(s, Variant::Luna, quick);
-        let solar = run_scenario(s, Variant::Solar, quick);
+/// Hung-I/O counts for the given scenarios, Luna and Solar.
+///
+/// Every (scenario, variant) cell is an independent simulation with its
+/// own seed, so the cells run on scoped threads and are joined back in
+/// the caller's order — results are byte-identical to a serial loop (see
+/// the `tab2_determinism` integration test).
+pub fn tab2_counts(scenarios: &[Scenario], quick: bool) -> Vec<(Scenario, usize, usize)> {
+    std::thread::scope(|s| {
+        let handles: Vec<_> = scenarios
+            .iter()
+            .map(|&sc| {
+                (
+                    sc,
+                    s.spawn(move || run_scenario(sc, Variant::Luna, quick)),
+                    s.spawn(move || run_scenario(sc, Variant::Solar, quick)),
+                )
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|(sc, luna, solar)| {
+                (
+                    sc,
+                    luna.join().expect("luna scenario panicked"),
+                    solar.join().expect("solar scenario panicked"),
+                )
+            })
+            .collect()
+    })
+}
+
+/// Table 2 over an arbitrary scenario subset (the determinism test uses a
+/// cheap subset; [`tab2`] uses all seven rows).
+pub fn tab2_with(scenarios: &[Scenario], quick: bool) -> ExperimentOutput {
+    tab2_render(&tab2_counts(scenarios, quick), quick)
+}
+
+/// Render already-computed Table 2 counts (so a harness that timed the
+/// runs itself doesn't re-run them to build the table).
+pub fn tab2_render(counts: &[(Scenario, usize, usize)], quick: bool) -> ExperimentOutput {
+    let mut table = TextTable::new([
+        "failure scenario",
+        "Luna",
+        "Solar",
+        "paper Luna",
+        "paper Solar",
+    ]);
+    for &(s, luna, solar) in counts {
         table.row([
             s.label().to_string(),
             luna.to_string(),
@@ -178,4 +220,9 @@ pub fn tab2(quick: bool) -> ExperimentOutput {
             "Absolute counts scale with testbed size and load; the paper's qualitative result is Solar = 0 in every row.".into(),
         ],
     }
+}
+
+/// Table 2 in full.
+pub fn tab2(quick: bool) -> ExperimentOutput {
+    tab2_with(&Scenario::ALL, quick)
 }

@@ -1,0 +1,39 @@
+//! The parallel experiment harness must be a pure wall-clock optimization:
+//! same seeds → byte-identical outputs, regardless of thread scheduling.
+//! This pins Table 2 (the experiment the parallel harness fans out the
+//! widest — scenario × variant) against a hand-rolled serial loop.
+//!
+//! A two-scenario subset keeps the test affordable; the subset exercises
+//! both a healing transient (port flap) and a converging fail-stop.
+
+use ebs_bench::reliability::{run_scenario, tab2_counts, tab2_render, Scenario};
+use ebs_stack::Variant;
+
+const SUBSET: [Scenario; 2] = [Scenario::TorPortFailure, Scenario::SpineSwitchFailure];
+
+#[test]
+fn tab2_parallel_matches_serial_byte_for_byte() {
+    // Parallel harness, twice: identical across invocations.
+    let par1 = tab2_counts(&SUBSET, true);
+    let par2 = tab2_counts(&SUBSET, true);
+    assert_eq!(par1, par2, "parallel tab2 not reproducible");
+
+    // Serial reference: the pre-parallelization loop, inlined.
+    let serial: Vec<(Scenario, usize, usize)> = SUBSET
+        .iter()
+        .map(|&s| {
+            (
+                s,
+                run_scenario(s, Variant::Luna, true),
+                run_scenario(s, Variant::Solar, true),
+            )
+        })
+        .collect();
+    assert_eq!(par1, serial, "parallel tab2 diverged from serial run");
+
+    // And the rendered table is byte-identical.
+    let a = tab2_render(&par1, true).render();
+    let b = tab2_render(&serial, true).render();
+    assert_eq!(a, b);
+    assert!(a.contains("ToR switch port failure"));
+}

@@ -55,7 +55,10 @@ fn pcie_ceiling_binds_hairpin_paths_not_solar() {
         (3000.0..4400.0).contains(&luna3),
         "luna 3-core {luna3:.0} MB/s vs ~4000 ceiling"
     );
-    assert!(solar3 > 5200.0, "solar 3-core {solar3:.0} MB/s beats the ceiling");
+    assert!(
+        solar3 > 5200.0,
+        "solar 3-core {solar3:.0} MB/s beats the ceiling"
+    );
 }
 
 #[test]

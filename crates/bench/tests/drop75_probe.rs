@@ -13,11 +13,22 @@ fn drop75_solar_zero_hangs() {
     cfg.seed = 2 + 3;
     let mut tb = Testbed::new(cfg);
     for c in 0..n_compute {
-        tb.attach_fio(SimTime::from_millis(1), c, FioConfig {
-            depth: 2, bytes: 16*1024, read_fraction: 0.2 });
+        tb.attach_fio(
+            SimTime::from_millis(1),
+            c,
+            FioConfig {
+                depth: 2,
+                bytes: 16 * 1024,
+                read_fraction: 0.2,
+            },
+        );
     }
     let spine = tb.fabric().topology().devices_of_kind(DeviceKind::Spine)[0];
-    tb.schedule_failure(SimTime::from_secs(1), spine, FailureMode::RandomLoss { rate: 0.75 });
+    tb.schedule_failure(
+        SimTime::from_secs(1),
+        spine,
+        FailureMode::RandomLoss { rate: 0.75 },
+    );
     tb.run_until(SimTime::from_secs(3));
     let hung = tb.hung_ios(SimDuration::from_secs(1));
     if hung > 0 {
@@ -28,5 +39,8 @@ fn drop75_solar_zero_hangs() {
         }
     }
     assert_eq!(hung, 0, "solar must ride through 75% loss (paper Table 2)");
-    assert!(tb.fabric().drops().random_loss > 500, "the loss actually happened");
+    assert!(
+        tb.fabric().drops().random_loss > 500,
+        "the loss actually happened"
+    );
 }

@@ -50,7 +50,11 @@ impl Crc32 {
                 table[k][n] = (prev >> 8) ^ table[0][(prev & 0xFF) as usize];
             }
         }
-        Crc32 { table, init, xorout }
+        Crc32 {
+            table,
+            init,
+            xorout,
+        }
     }
 
     /// The standard IEEE CRC32 (init = xorout = 0xFFFFFFFF), as used on the
@@ -369,7 +373,9 @@ mod tests {
     fn segment_checker_accepts_good_blocks() {
         let mut chk = SegmentChecker::new(64);
         for seed in 0..8u8 {
-            let block: Vec<u8> = (0..64u32).map(|i| (i as u8).wrapping_mul(seed + 1)).collect();
+            let block: Vec<u8> = (0..64u32)
+                .map(|i| (i as u8).wrapping_mul(seed + 1))
+                .collect();
             chk.add_block(&block, crc32_raw(&block));
         }
         assert_eq!(chk.verify_and_reset(), SegmentVerdict::Ok);

@@ -97,7 +97,11 @@ mod tests {
         let work = SimDuration::from_micros(10);
         assert_eq!(cpu.run(now, work), SimTime::from_micros(10));
         assert_eq!(cpu.run(now, work), SimTime::from_micros(10));
-        assert_eq!(cpu.run(now, work), SimTime::from_micros(20), "third job queues");
+        assert_eq!(
+            cpu.run(now, work),
+            SimTime::from_micros(20),
+            "third job queues"
+        );
         assert!(cpu.backlog(now) > SimDuration::ZERO);
     }
 

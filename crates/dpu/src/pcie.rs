@@ -67,7 +67,10 @@ impl DataPath {
                 internal: 2,
                 host: 1,
             },
-            DataPath::Solar => Traversals { internal: 0, host: 1 },
+            DataPath::Solar => Traversals {
+                internal: 0,
+                host: 1,
+            },
         }
     }
 }
@@ -132,9 +135,27 @@ mod tests {
 
     #[test]
     fn traversal_counts_match_figure_10() {
-        assert_eq!(DataPath::Luna.traversals(), Traversals { internal: 2, host: 1 });
-        assert_eq!(DataPath::Rdma.traversals(), Traversals { internal: 2, host: 1 });
-        assert_eq!(DataPath::Solar.traversals(), Traversals { internal: 0, host: 1 });
+        assert_eq!(
+            DataPath::Luna.traversals(),
+            Traversals {
+                internal: 2,
+                host: 1
+            }
+        );
+        assert_eq!(
+            DataPath::Rdma.traversals(),
+            Traversals {
+                internal: 2,
+                host: 1
+            }
+        );
+        assert_eq!(
+            DataPath::Solar.traversals(),
+            Traversals {
+                internal: 0,
+                host: 1
+            }
+        );
     }
 
     #[test]
@@ -163,11 +184,11 @@ mod tests {
         }
         // bits moved over 1 ms: Gbps = bits / 1e6.
         let gbps = blocks as f64 * 4096.0 * 8.0 / 1e6;
-        assert!((gbps - 32.0).abs() < 1.0, "expected ~32 Gbps ceiling, got {gbps}");
-        assert_eq!(
-            pcie.internal_goodput_ceiling(),
-            Bandwidth::from_gbps(32)
+        assert!(
+            (gbps - 32.0).abs() < 1.0,
+            "expected ~32 Gbps ceiling, got {gbps}"
         );
+        assert_eq!(pcie.internal_goodput_ceiling(), Bandwidth::from_gbps(32));
     }
 
     #[test]

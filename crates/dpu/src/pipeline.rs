@@ -90,9 +90,7 @@ impl Stage for QosStage {
         self.latency
     }
     fn process(&mut self, now: SimTime, ctx: &mut PacketCtx) -> StageVerdict {
-        ctx.qos_delay = self
-            .table
-            .admit(now, ctx.hdr.vd_id, ctx.hdr.len as usize);
+        ctx.qos_delay = self.table.admit(now, ctx.hdr.vd_id, ctx.hdr.len as usize);
         StageVerdict::Forward
     }
     fn p4_summary(&self) -> String {
@@ -387,7 +385,8 @@ impl Pipeline {
     /// demonstration that the SA data path fits the DPU's programmable
     /// pipeline).
     pub fn describe_p4(&self, control_name: &str) -> String {
-        let mut out = format!("control {control_name}(inout headers hdr, inout payload_t payload) {{\n");
+        let mut out =
+            format!("control {control_name}(inout headers hdr, inout payload_t payload) {{\n");
         for s in &self.stages {
             out.push_str("    ");
             out.push_str(&s.p4_summary());
@@ -448,7 +447,10 @@ mod tests {
         assert_ne!(ctx.hdr.segment_id, 0, "block stage resolved the segment");
         assert_ne!(ctx.hdr.payload_crc, 0, "crc stage stamped the checksum");
         assert_ne!(ctx.payload, payload, "sec stage encrypted");
-        assert_eq!(ctx.hdr.flags & ebs_wire::FLAG_ENCRYPTED, ebs_wire::FLAG_ENCRYPTED);
+        assert_eq!(
+            ctx.hdr.flags & ebs_wire::FLAG_ENCRYPTED,
+            ebs_wire::FLAG_ENCRYPTED
+        );
     }
 
     #[test]

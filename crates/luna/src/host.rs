@@ -67,7 +67,10 @@ mod tests {
         let base_rtt = SimDuration::from_micros_f64(8.3);
         let kernel = (StackCosts::kernel().rpc_added_latency() + base_rtt).as_micros_f64();
         let luna = (StackCosts::luna().rpc_added_latency() + base_rtt).as_micros_f64();
-        assert!((65.0..76.0).contains(&kernel), "kernel {kernel}us vs paper 70.1");
+        assert!(
+            (65.0..76.0).contains(&kernel),
+            "kernel {kernel}us vs paper 70.1"
+        );
         assert!((12.0..14.5).contains(&luna), "luna {luna}us vs paper 13.1");
     }
 
@@ -75,18 +78,22 @@ mod tests {
     fn stress_core_counts_match_table1() {
         // 50 Gbps of 32 KiB RPCs (stress test uses concurrent bulk RPCs).
         let rps = 50e9 / 8.0 / 32768.0;
-        let kernel_cores =
-            rps * StackCosts::kernel().cpu_for_rpc(32768).as_secs_f64();
+        let kernel_cores = rps * StackCosts::kernel().cpu_for_rpc(32768).as_secs_f64();
         let luna_cores = rps * StackCosts::luna().cpu_for_rpc(32768).as_secs_f64();
-        assert!((3.0..5.0).contains(&kernel_cores), "kernel {kernel_cores} cores vs 4");
+        assert!(
+            (3.0..5.0).contains(&kernel_cores),
+            "kernel {kernel_cores} cores vs 4"
+        );
         assert!(luna_cores <= 1.1, "luna {luna_cores} cores vs 1");
 
         // 200 Gbps.
         let rps = 200e9 / 8.0 / 32768.0;
-        let kernel_cores =
-            rps * StackCosts::kernel().cpu_for_rpc(32768).as_secs_f64();
+        let kernel_cores = rps * StackCosts::kernel().cpu_for_rpc(32768).as_secs_f64();
         let luna_cores = rps * StackCosts::luna().cpu_for_rpc(32768).as_secs_f64();
-        assert!((10.0..15.0).contains(&kernel_cores), "kernel {kernel_cores} vs 12");
+        assert!(
+            (10.0..15.0).contains(&kernel_cores),
+            "kernel {kernel_cores} vs 12"
+        );
         assert!((2.5..5.0).contains(&luna_cores), "luna {luna_cores} vs 4");
     }
 

@@ -271,7 +271,10 @@ mod tests {
         let mut s = RpcServer::listen(TcpConfig::default());
         let now = run(&mut c, &mut s, SimTime::ZERO, true);
         assert!(c.is_established());
-        c.call(now, &write_request(1, 7, 4096, Bytes::from(vec![1u8; 4096])));
+        c.call(
+            now,
+            &write_request(1, 7, 4096, Bytes::from(vec![1u8; 4096])),
+        );
         run(&mut c, &mut s, now, true);
         let done = c.poll_completion().expect("completed");
         assert_eq!(done.rpc_id, 1);
@@ -286,7 +289,10 @@ mod tests {
         let mut s = RpcServer::listen(TcpConfig::default());
         let now = run(&mut c, &mut s, SimTime::ZERO, true);
         for i in 0..32 {
-            c.call(now, &write_request(i, 7, i * 4096, Bytes::from(vec![0u8; 4096])));
+            c.call(
+                now,
+                &write_request(i, 7, i * 4096, Bytes::from(vec![0u8; 4096])),
+            );
         }
         run(&mut c, &mut s, now, true);
         let mut done = 0;

@@ -50,7 +50,13 @@ impl FlowLabel {
 }
 
 /// A packet travelling through the fabric.
-#[derive(Debug, Clone)]
+///
+/// Deliberately *not* `Clone`: a packet is moved from queue to queue along
+/// its path, and the type system guarantees no hop accidentally deep-copies
+/// the payload or INT stack. The flow hash is computed once at
+/// construction and carried along, so per-hop ECMP and blackhole checks
+/// don't re-run FNV over the 5-tuple.
+#[derive(Debug)]
 pub struct FabricPacket<P> {
     /// Flow label (includes src/dst endpoints).
     pub flow: FlowLabel,
@@ -60,6 +66,26 @@ pub struct FabricPacket<P> {
     pub int: Option<IntStack>,
     /// Opaque payload delivered to the destination endpoint.
     pub payload: P,
+    /// `flow.hash64()`, cached at construction.
+    flow_hash: u64,
+}
+
+impl<P> FabricPacket<P> {
+    /// Build a packet, hashing the flow label once.
+    pub fn new(flow: FlowLabel, size: usize, int: Option<IntStack>, payload: P) -> Self {
+        FabricPacket {
+            flow_hash: flow.hash64(),
+            flow,
+            size,
+            int,
+            payload,
+        }
+    }
+
+    /// The cached flow hash.
+    pub fn flow_hash(&self) -> u64 {
+        self.flow_hash
+    }
 }
 
 /// Fabric events; wrap them into the world's event enum via
@@ -182,6 +208,9 @@ pub struct Fabric<P> {
     loss_rng: SmallRng,
     drops: DropStats,
     delivered: u64,
+    /// Scratch buffer for per-packet ECMP candidate ports; reused so the
+    /// forwarding hot path does not allocate.
+    route_buf: Vec<usize>,
 }
 
 impl<P> Fabric<P> {
@@ -201,7 +230,11 @@ impl<P> Fabric<P> {
                         rate: p.link.rate,
                         delay: p.link.delay,
                         cap_bytes: p.link.queue_bytes,
-                        queue: VecDeque::new(),
+                        // Pre-size for the full-MTU packet count the
+                        // buffer can hold; avoids growth reallocations on
+                        // the enqueue hot path (tiny-packet bursts may
+                        // still grow it once, amortized).
+                        queue: VecDeque::with_capacity((p.link.queue_bytes / 4096).clamp(16, 512)),
                         queued_bytes: 0,
                         in_flight: false,
                         tx_bytes: 0,
@@ -218,6 +251,7 @@ impl<P> Fabric<P> {
             loss_rng,
             drops: DropStats::default(),
             delivered: 0,
+            route_buf: Vec::with_capacity(8),
         }
     }
 
@@ -341,7 +375,7 @@ impl<P> Fabric<P> {
                     return None;
                 }
                 FailureMode::Blackhole { fraction, salt } => {
-                    let h = pkt.flow.hash64() ^ salt.wrapping_mul(0x9E3779B97F4A7C15);
+                    let h = pkt.flow_hash ^ salt.wrapping_mul(0x9E3779B97F4A7C15);
                     // Map hash to [0,1) and compare.
                     if ((h >> 11) as f64 / (1u64 << 53) as f64) < fraction {
                         self.drops.blackhole += 1;
@@ -362,22 +396,39 @@ impl<P> Fabric<P> {
             return Some(pkt);
         }
 
-        // Forwarding decision.
-        let candidates = self.topo.next_hop_ports(device, pkt.flow.dst);
-        let usable: Vec<usize> = candidates
-            .into_iter()
-            .filter(|&p| {
-                let to = self.devices[device.0 as usize].ports[p].to;
-                !self.devices[to.0 as usize].excluded
-            })
-            .collect();
-        if usable.is_empty() {
+        // Forwarding decision, into the reusable scratch buffer.
+        let Fabric {
+            topo,
+            devices,
+            route_buf,
+            ..
+        } = self;
+        topo.next_hop_ports_into(device, pkt.flow.dst, route_buf);
+        route_buf.retain(|&p| {
+            let to = devices[device.0 as usize].ports[p].to;
+            !devices[to.0 as usize].excluded
+        });
+        if route_buf.is_empty() {
             self.drops.no_route += 1;
             return None;
         }
-        // ECMP: consistent hash of flow ⊕ device salt.
+        // ECMP: consistent hash of flow ⊕ device salt, re-mixed per hop.
+        // The finalizer matters: `(hash ^ salt) % 2` consumes only the low
+        // bit, and since an odd salt multiplier preserves device-id
+        // parity, successive 2-way fan-outs (server→ToR-pair, ToR→spines)
+        // become perfectly correlated — e.g. every flow of an even-id
+        // server crosses spine[0] *regardless of its ports*, so no amount
+        // of source-port remapping can steer around a bad spine. Mixing
+        // through a splitmix64 finalizer decorrelates the per-hop choices
+        // while staying deterministic per (flow, device).
         let salt = (device.0 as u64).wrapping_mul(0xA24BAED4963EE407);
-        let choice = usable[(pkt.flow.hash64() ^ salt) as usize % usable.len()];
+        let mut x = pkt.flow_hash ^ salt;
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xBF58476D1CE4E5B9);
+        x ^= x >> 27;
+        x = x.wrapping_mul(0x94D049BB133111EB);
+        x ^= x >> 31;
+        let choice = self.route_buf[(x % self.route_buf.len() as u64) as usize];
         self.enqueue(now, device, choice, pkt, sched);
         None
     }
@@ -413,7 +464,9 @@ impl<P> Fabric<P> {
         port.queue.push_back(pkt);
         if !port.in_flight {
             port.in_flight = true;
-            let ser = port.rate.transmit_time(port.queue.front().expect("just pushed").size);
+            let ser = port
+                .rate
+                .transmit_time(port.queue.front().expect("just pushed").size);
             sched.at(
                 now + ser,
                 NetEvent::TxDone {
@@ -483,18 +536,18 @@ mod tests {
     }
 
     fn pkt(f: &Fabric<u32>, s: usize, d: usize, sport: u16, tag: u32) -> FabricPacket<u32> {
-        FabricPacket {
-            flow: FlowLabel {
+        FabricPacket::new(
+            FlowLabel {
                 src: f.topology().servers()[s],
                 dst: f.topology().servers()[d],
                 src_port: sport,
                 dst_port: 9000,
                 proto: 17,
             },
-            size: 4096,
-            int: None,
-            payload: tag,
-        }
+            4096,
+            None,
+            tag,
+        )
     }
 
     #[test]
@@ -638,7 +691,7 @@ mod tests {
     fn int_stack_collects_switch_hops() {
         let (mut f, mut q) = fabric();
         let mut p = pkt(&f, 0, 5, 1, 1);
-        p.int = Some(IntStack::new());
+        p.int = Some(IntStack::with_path_capacity());
         f.send(SimTime::ZERO, p, &mut q);
         let got = run_to_end(&mut f, &mut q);
         let int = got[0].1.int.as_ref().unwrap();
@@ -657,7 +710,10 @@ mod tests {
             f.send(SimTime::ZERO, p, &mut q);
         }
         let got = run_to_end(&mut f, &mut q);
-        assert!(f.drops().queue_overflow > 0, "shallow buffer must tail-drop");
+        assert!(
+            f.drops().queue_overflow > 0,
+            "shallow buffer must tail-drop"
+        );
         assert!(got.len() < 1000);
         assert!(got.len() > 50);
     }

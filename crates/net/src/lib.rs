@@ -20,4 +20,6 @@ mod fabric;
 mod topology;
 
 pub use fabric::{DropStats, Fabric, FabricConfig, FabricPacket, FailureMode, FlowLabel, NetEvent};
-pub use topology::{ClosConfig, Coord, DeviceId, DeviceKind, DeviceSpec, LinkSpec, PortSpec, Topology};
+pub use topology::{
+    ClosConfig, Coord, DeviceId, DeviceKind, DeviceSpec, LinkSpec, PortSpec, Topology,
+};

@@ -360,6 +360,16 @@ impl Topology {
     /// Returns an empty list only if `dst` is unreachable from `at` (which
     /// cannot happen in a healthy fabric).
     pub fn next_hop_ports(&self, at: DeviceId, dst: DeviceId) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.next_hop_ports_into(at, dst, &mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`Topology::next_hop_ports`]: clears
+    /// `out` and fills it with the candidate port indices. The fabric's
+    /// per-packet forwarding path reuses one scratch buffer through this.
+    pub fn next_hop_ports_into(&self, at: DeviceId, dst: DeviceId, out: &mut Vec<usize>) {
+        out.clear();
         let here = self.coord(at);
         let to = self.coord(dst);
         debug_assert_eq!(to.kind, DeviceKind::Server, "destinations are servers");
@@ -367,13 +377,14 @@ impl Topology {
         let homes = self.home_tor_indices(to);
         let is_home = |idx: u32| homes.iter().flatten().any(|&h| h == idx);
 
-        let port_filter = |f: &dyn Fn(Coord, DeviceId) -> bool| -> Vec<usize> {
-            dev.ports
-                .iter()
-                .enumerate()
-                .filter(|(_, p)| f(self.coord(p.to), p.to))
-                .map(|(i, _)| i)
-                .collect()
+        let mut port_filter = |f: &dyn Fn(Coord, DeviceId) -> bool| {
+            out.extend(
+                dev.ports
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, p)| f(self.coord(p.to), p.to))
+                    .map(|(i, _)| i),
+            );
         };
 
         match here.kind {
@@ -537,10 +548,14 @@ mod tests {
         // Full reachability with dual homing.
         for &a in t.servers() {
             for &b in t.servers() {
-                if a == b { continue; }
+                if a == b {
+                    continue;
+                }
                 let mut at = a;
                 for _ in 0..10 {
-                    if at == b { break; }
+                    if at == b {
+                        break;
+                    }
                     let ports = t.next_hop_ports(at, b);
                     assert!(!ports.is_empty());
                     at = t.devices()[at.0 as usize].ports[ports[0]].to;

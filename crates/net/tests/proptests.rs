@@ -42,8 +42,8 @@ proptest! {
             if src == dst {
                 continue;
             }
-            let pkt = FabricPacket {
-                flow: FlowLabel {
+            let pkt = FabricPacket::new(
+                FlowLabel {
                     src: f.topology().servers()[src],
                     dst: f.topology().servers()[dst],
                     src_port: sport,
@@ -51,9 +51,9 @@ proptest! {
                     proto: 17,
                 },
                 size,
-                int: None,
-                payload: i as u32,
-            };
+                None,
+                i as u32,
+            );
             // Space arrivals to avoid tail-drop from a synthetic burst.
             let at = SimTime::from_micros(i as u64 * 40);
             q.schedule_at(at, NetEvent::Arrive { device: pkt.flow.src, pkt });
@@ -76,18 +76,18 @@ proptest! {
         let run = || {
             let mut f = fabric(true);
             let mut q = EventQueue::new();
-            let pkt = FabricPacket {
-                flow: FlowLabel {
+            let pkt = FabricPacket::new(
+                FlowLabel {
                     src: f.topology().servers()[src],
                     dst: f.topology().servers()[dst],
                     src_port: sport,
                     dst_port: 9000,
                     proto: 17,
                 },
-                size: 4096,
-                int: None,
-                payload: 1u32,
-            };
+                4096,
+                None,
+                1u32,
+            );
             q.schedule_at(SimTime::ZERO, NetEvent::Arrive { device: pkt.flow.src, pkt });
             let mut at = None;
             while let Some((t, ev)) = q.pop() {
@@ -109,18 +109,18 @@ fn ecmp_balances_over_source_ports() {
     let mut q: EventQueue<NetEvent<u32>> = EventQueue::new();
     // Cross-pod traffic from server 0 to server 5 over 256 source ports.
     for sport in 0..256u16 {
-        let pkt = FabricPacket {
-            flow: FlowLabel {
+        let pkt = FabricPacket::new(
+            FlowLabel {
                 src: f.topology().servers()[0],
                 dst: f.topology().servers()[5],
                 src_port: sport,
                 dst_port: 9000,
                 proto: 17,
             },
-            size: 512,
-            int: Some(ebs_wire::IntStack::new()),
-            payload: sport as u32,
-        };
+            512,
+            Some(ebs_wire::IntStack::with_path_capacity()),
+            sport as u32,
+        );
         q.schedule_at(
             SimTime::from_micros(sport as u64 * 20),
             NetEvent::Arrive {

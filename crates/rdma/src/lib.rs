@@ -276,11 +276,7 @@ impl RdmaQp {
                 }
             }
             PacketKind::Ack => {
-                let acked: Vec<u64> = self
-                    .inflight
-                    .range(..pkt.psn)
-                    .map(|(&p, _)| p)
-                    .collect();
+                let acked: Vec<u64> = self.inflight.range(..pkt.psn).map(|(&p, _)| p).collect();
                 for p in acked {
                     self.inflight.remove(&p);
                 }
@@ -376,10 +372,7 @@ mod tests {
             }
             if !progressed {
                 // Idle: jump to the earliest timer deadline, if any.
-                let next = [a.poll_timer(), b.poll_timer()]
-                    .into_iter()
-                    .flatten()
-                    .min();
+                let next = [a.poll_timer(), b.poll_timer()].into_iter().flatten().min();
                 match next {
                     Some(t) => {
                         now = t;

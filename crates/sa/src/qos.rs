@@ -198,6 +198,10 @@ mod tests {
         for _ in 0..30 {
             q.admit(now, 1, 4096); // hammer disk 1
         }
-        assert_eq!(q.admit(now, 2, 4096), SimDuration::ZERO, "disk 2 unaffected");
+        assert_eq!(
+            q.admit(now, 2, 4096),
+            SimDuration::ZERO,
+            "disk 2 unaffected"
+        );
     }
 }

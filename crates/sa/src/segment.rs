@@ -72,12 +72,7 @@ impl SegmentTable {
     /// Provision a virtual disk of `size_blocks`, placing each segment on
     /// the block server chosen by `place(segment_index)` (the management
     /// plane's placement policy).
-    pub fn provision(
-        &mut self,
-        vd_id: u64,
-        size_blocks: u64,
-        mut place: impl FnMut(u64) -> u32,
-    ) {
+    pub fn provision(&mut self, vd_id: u64, size_blocks: u64, mut place: impl FnMut(u64) -> u32) {
         let n_segs = size_blocks.div_ceil(self.segment_blocks);
         let entries = (0..n_segs)
             .map(|i| {

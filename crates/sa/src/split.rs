@@ -74,7 +74,7 @@ pub fn split_io(
     if req.len == 0 {
         return Err(SplitError::Empty);
     }
-    if req.offset % block_size as u64 != 0 || req.len % block_size != 0 {
+    if !req.offset.is_multiple_of(block_size as u64) || !req.len.is_multiple_of(block_size) {
         return Err(SplitError::Misaligned);
     }
     let first = req.offset / block_size as u64;

@@ -25,8 +25,8 @@
 
 mod queue;
 mod rate;
-pub mod rng;
 mod resource;
+pub mod rng;
 mod time;
 
 pub use queue::{EventId, EventQueue, MapScheduler, Scheduler};

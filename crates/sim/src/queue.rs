@@ -9,34 +9,92 @@
 //! Determinism: ties in time are broken by a monotonically increasing
 //! sequence number, so two runs with the same inputs pop events in exactly
 //! the same order.
+//!
+//! # Structure
+//!
+//! Events live in a generation-indexed slab; the ordering structures hold
+//! lightweight keys `(at, seq, slot, generation)`:
+//!
+//! * a **timer wheel** of [`WHEEL_SLOTS`] buckets, each covering
+//!   2^[`SLOT_NS_SHIFT`] ns (≈33 µs; the wheel spans ≈34 ms — beyond the
+//!   longest transport RTO), holding near-future events unsorted;
+//! * an **active heap** with the events of the bucket currently being
+//!   drained (plus anything scheduled directly into the already-activated
+//!   past of the window), ordered by `(at, seq)`;
+//! * an **overflow heap** for events beyond the wheel horizon, re-anchored
+//!   into the wheel when the near future empties out.
+//!
+//! This makes `schedule_*` amortized O(1) for near-future events (a `Vec`
+//! push) and `pop` a small-heap operation, instead of O(log n) on one big
+//! heap for both. Cancellation frees the slab slot immediately and bumps
+//! its generation — the queued key becomes *stale* and is skipped when its
+//! time comes. Cancelling an event that already fired is a pure no-op
+//! (the generation no longer matches), so no tombstone state can ever
+//! accumulate across fire/cancel races.
+//!
+//! The wheel window slides only after a bucket is drained and spans
+//! exactly [`WHEEL_SLOTS`] buckets, so two distinct in-window bucket
+//! numbers can never share a ring index: buckets never mix "rounds" and
+//! activation is a straight drain, no per-key round filtering.
 
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::BinaryHeap;
 
 use crate::time::{SimDuration, SimTime};
 
-/// Identifies a scheduled event, for cancellation.
+/// Buckets in the timer wheel (power of two).
+const WHEEL_SLOTS: usize = 1024;
+/// log2 of the nanoseconds each bucket covers (2^15 ≈ 33 µs).
+const SLOT_NS_SHIFT: u32 = 15;
+/// Words in the bucket-occupancy bitset.
+const WHEEL_WORDS: usize = WHEEL_SLOTS / 64;
+
+/// Identifies a scheduled event, for cancellation. Encodes a slab slot and
+/// the slot's generation at scheduling time, so a stale id (event fired or
+/// already cancelled) can never alias a newer event reusing the slot.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct EventId(u64);
 
-struct Entry<E> {
-    at: SimTime,
-    seq: u64,
-    event: E,
+impl EventId {
+    fn new(slot: u32, generation: u32) -> Self {
+        EventId(((generation as u64) << 32) | slot as u64)
+    }
+    fn slot(self) -> u32 {
+        self.0 as u32
+    }
+    fn generation(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
 }
 
-impl<E> PartialEq for Entry<E> {
+/// Ordering key for a scheduled event; the payload stays in the slab.
+#[derive(Debug, Clone, Copy)]
+struct Key {
+    at: SimTime,
+    seq: u64,
+    slot: u32,
+    generation: u32,
+}
+
+impl Key {
+    /// Absolute wheel-bucket number of this key's timestamp.
+    fn bucket(&self) -> u64 {
+        self.at.as_nanos() >> SLOT_NS_SHIFT
+    }
+}
+
+impl PartialEq for Key {
     fn eq(&self, other: &Self) -> bool {
         self.at == other.at && self.seq == other.seq
     }
 }
-impl<E> Eq for Entry<E> {}
-impl<E> PartialOrd for Entry<E> {
+impl Eq for Key {}
+impl PartialOrd for Key {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
-impl<E> Ord for Entry<E> {
+impl Ord for Key {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; invert so the earliest event pops first.
         other
@@ -46,13 +104,38 @@ impl<E> Ord for Entry<E> {
     }
 }
 
+struct SlabSlot<E> {
+    generation: u32,
+    event: Option<E>,
+}
+
 /// A deterministic priority queue of timestamped events.
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
-    cancelled: HashSet<u64>,
+    /// Event storage; `Key`s and `EventId`s index into it by (slot, gen).
+    slab: Vec<SlabSlot<E>>,
+    free: Vec<u32>,
+    /// Near-future buckets (unsorted). Bucket `b` maps to ring index
+    /// `b % WHEEL_SLOTS`; drained buckets keep their capacity, so steady
+    /// state scheduling is allocation-free.
+    wheel: Vec<Vec<Key>>,
+    /// One bit per non-empty ring slot, for O(1)-ish bucket scans.
+    occupied: [u64; WHEEL_WORDS],
+    /// Keys in buckets (live + stale), to skip scans when the wheel is dry.
+    wheel_keys: usize,
+    /// Events of already-activated buckets, ordered by `(at, seq)`.
+    active: BinaryHeap<Key>,
+    /// Events beyond the wheel horizon.
+    overflow: BinaryHeap<Key>,
+    /// Every bucket `< activated` has been drained into `active`; the
+    /// wheel window is `[activated, activated + WHEEL_SLOTS)`.
+    activated: u64,
     seq: u64,
     now: SimTime,
     popped: u64,
+    /// Keys in any ordering structure (live + stale).
+    queued: usize,
+    /// Stale keys (cancelled while queued) awaiting skip.
+    tombstones: usize,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -65,11 +148,19 @@ impl<E> EventQueue<E> {
     /// An empty queue with the clock at [`SimTime::ZERO`].
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
-            cancelled: HashSet::new(),
+            slab: Vec::new(),
+            free: Vec::new(),
+            wheel: (0..WHEEL_SLOTS).map(|_| Vec::new()).collect(),
+            occupied: [0; WHEEL_WORDS],
+            wheel_keys: 0,
+            active: BinaryHeap::new(),
+            overflow: BinaryHeap::new(),
+            activated: 0,
             seq: 0,
             now: SimTime::ZERO,
             popped: 0,
+            queued: 0,
+            tombstones: 0,
         }
     }
 
@@ -84,14 +175,72 @@ impl<E> EventQueue<E> {
         self.popped
     }
 
-    /// Number of events still pending (including cancelled tombstones).
+    /// Number of events still queued (including cancelled entries whose
+    /// keys have not been skipped yet).
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.queued
     }
 
     /// True if no events remain.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.queued == 0
+    }
+
+    /// Cancelled-but-still-queued keys. Each is a fixed-size key (not a
+    /// retained event payload — that is dropped at cancellation) and is
+    /// reclaimed no later than when its timestamp is reached. Cancelling
+    /// an already-fired event contributes nothing here.
+    pub fn tombstone_count(&self) -> usize {
+        self.tombstones
+    }
+
+    /// Slab slots ever allocated (diagnostics: bounded by the peak number
+    /// of simultaneously scheduled events, not by throughput).
+    pub fn arena_slots(&self) -> usize {
+        self.slab.len()
+    }
+
+    fn alloc(&mut self, event: E) -> (u32, u32) {
+        if let Some(slot) = self.free.pop() {
+            let s = &mut self.slab[slot as usize];
+            debug_assert!(s.event.is_none());
+            s.event = Some(event);
+            (slot, s.generation)
+        } else {
+            let slot = u32::try_from(self.slab.len()).expect("slab overflow");
+            self.slab.push(SlabSlot {
+                generation: 0,
+                event: Some(event),
+            });
+            (slot, 0)
+        }
+    }
+
+    /// Take the event out of (slot, generation) if still live, freeing the
+    /// slot. Returns `None` for stale keys/ids.
+    fn take(&mut self, slot: u32, generation: u32) -> Option<E> {
+        let s = &mut self.slab[slot as usize];
+        if s.generation != generation {
+            return None;
+        }
+        let ev = s.event.take()?;
+        s.generation = s.generation.wrapping_add(1);
+        self.free.push(slot);
+        Some(ev)
+    }
+
+    fn place(&mut self, key: Key) {
+        let b = key.bucket();
+        if b < self.activated {
+            self.active.push(key);
+        } else if b < self.activated + WHEEL_SLOTS as u64 {
+            let idx = b as usize & (WHEEL_SLOTS - 1);
+            self.wheel[idx].push(key);
+            self.occupied[idx / 64] |= 1 << (idx % 64);
+            self.wheel_keys += 1;
+        } else {
+            self.overflow.push(key);
+        }
     }
 
     /// Schedule `event` at absolute time `at`.
@@ -103,8 +252,15 @@ impl<E> EventQueue<E> {
         debug_assert!(at >= self.now, "scheduling into the past");
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Entry { at, seq, event });
-        EventId(seq)
+        let (slot, generation) = self.alloc(event);
+        self.queued += 1;
+        self.place(Key {
+            at,
+            seq,
+            slot,
+            generation,
+        });
+        EventId::new(slot, generation)
     }
 
     /// Schedule `event` to fire `after` from the current time.
@@ -112,40 +268,124 @@ impl<E> EventQueue<E> {
         self.schedule_at(self.now + after, event)
     }
 
-    /// Cancel a previously scheduled event. Cancelling an event that has
-    /// already fired (or was already cancelled) is a no-op.
+    /// Cancel a previously scheduled event. O(1): the slab slot is freed
+    /// (dropping the event payload) and its generation bumped, turning the
+    /// queued key stale. Cancelling an event that has already fired (or
+    /// was already cancelled) is a no-op.
     pub fn cancel(&mut self, id: EventId) {
-        self.cancelled.insert(id.0);
+        if self.take(id.slot(), id.generation()).is_some() {
+            self.tombstones += 1;
+        }
+    }
+
+    /// First occupied bucket in the window, if any. Word-wise bitset scan;
+    /// only set bits of in-window buckets exist (see module docs).
+    fn next_occupied_bucket(&self) -> Option<u64> {
+        let start = self.activated;
+        let end = start + WHEEL_SLOTS as u64;
+        let mut b = start;
+        while b < end {
+            let idx = b as usize & (WHEEL_SLOTS - 1);
+            let bit = idx % 64;
+            let word = self.occupied[idx / 64] >> bit;
+            if word != 0 {
+                let cand = b + word.trailing_zeros() as u64;
+                if cand < end {
+                    return Some(cand);
+                }
+            }
+            b += (64 - bit) as u64;
+        }
+        None
+    }
+
+    /// Feed the active heap from the wheel or the overflow heap. Returns
+    /// `false` when no events remain anywhere.
+    fn advance(&mut self) -> bool {
+        if self.wheel_keys == 0 {
+            match self.overflow.peek() {
+                // Wheel dry: jump the window straight to the earliest far
+                // event (its bucket is ≥ `activated` by the overflow
+                // invariant, but be defensive about it).
+                Some(top) => self.activated = self.activated.max(top.bucket()),
+                None => return false,
+            }
+        }
+        // Cascade: as the window slides forward, far-future events whose
+        // buckets it now covers must migrate into the wheel before a
+        // bucket is chosen, or a later wheel event could overtake them.
+        // Each overflow event migrates at most once (the horizon is
+        // monotone between re-anchors), so this is amortized O(log n)
+        // per event.
+        let horizon = self.activated + WHEEL_SLOTS as u64;
+        while let Some(k) = self.overflow.peek() {
+            if k.bucket() >= horizon {
+                break;
+            }
+            let k = self.overflow.pop().expect("peeked");
+            self.place(k);
+        }
+        let b = self
+            .next_occupied_bucket()
+            .expect("advance with keys but no occupied bucket");
+        let idx = b as usize & (WHEEL_SLOTS - 1);
+        self.wheel_keys -= self.wheel[idx].len();
+        // drain(..) keeps the bucket's capacity for reuse.
+        let bucket = &mut self.wheel[idx];
+        for key in bucket.drain(..) {
+            self.active.push(key);
+        }
+        self.occupied[idx / 64] &= !(1 << (idx % 64));
+        self.activated = b + 1;
+        true
     }
 
     /// Pop the next event, advancing the clock to its timestamp.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        while let Some(entry) = self.heap.pop() {
-            if self.cancelled.remove(&entry.seq) {
-                continue;
+        loop {
+            if let Some(key) = self.active.pop() {
+                self.queued -= 1;
+                match self.take(key.slot, key.generation) {
+                    Some(event) => {
+                        debug_assert!(key.at >= self.now, "time went backwards");
+                        self.now = key.at;
+                        self.popped += 1;
+                        return Some((key.at, event));
+                    }
+                    None => {
+                        self.tombstones -= 1;
+                        continue;
+                    }
+                }
             }
-            debug_assert!(entry.at >= self.now, "time went backwards");
-            self.now = entry.at;
-            self.popped += 1;
-            return Some((entry.at, entry.event));
+            if !self.advance() {
+                return None;
+            }
         }
-        None
     }
 
     /// Timestamp of the next pending (non-cancelled) event without popping.
     ///
-    /// This needs to skip tombstones, so it may pop-and-discard cancelled
-    /// entries internally.
+    /// This needs to skip stale keys, so it may discard cancelled entries
+    /// internally.
     pub fn peek_time(&mut self) -> Option<SimTime> {
-        while let Some(entry) = self.heap.peek() {
-            if self.cancelled.contains(&entry.seq) {
-                let e = self.heap.pop().unwrap();
-                self.cancelled.remove(&e.seq);
-                continue;
+        loop {
+            while let Some(key) = self.active.peek() {
+                let live = {
+                    let s = &self.slab[key.slot as usize];
+                    s.generation == key.generation && s.event.is_some()
+                };
+                if live {
+                    return Some(key.at);
+                }
+                self.active.pop();
+                self.queued -= 1;
+                self.tombstones -= 1;
             }
-            return Some(entry.at);
+            if !self.advance() {
+                return None;
+            }
         }
-        None
     }
 }
 
@@ -286,5 +526,98 @@ mod tests {
             m.at(SimTime::from_micros(1), 42u8);
         }
         assert_eq!(q.pop().map(|(_, e)| e), Some(Big::Net(42)));
+    }
+
+    #[test]
+    fn far_future_events_cross_the_wheel_horizon() {
+        let mut q = EventQueue::new();
+        // Mix of near (same bucket), mid (in-window) and far (overflow,
+        // several horizons out) events, interleaved with pops.
+        q.schedule_at(SimTime::from_secs(10), "far");
+        q.schedule_at(SimTime::from_nanos(10), "near");
+        q.schedule_at(SimTime::from_millis(20), "rto");
+        q.schedule_at(SimTime::from_millis(500), "mid-far");
+        assert_eq!(q.pop().map(|(_, e)| e), Some("near"));
+        q.schedule_at(SimTime::from_millis(1), "mid");
+        let rest: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(rest, vec!["mid", "rto", "mid-far", "far"]);
+        assert_eq!(q.now(), SimTime::from_secs(10));
+    }
+
+    #[test]
+    fn ties_across_horizon_still_fifo() {
+        // Same timestamp scheduled while it was beyond the horizon and
+        // again after re-anchoring must still pop in insertion order.
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1);
+        q.schedule_at(t, 0u32); // goes to overflow
+        q.schedule_at(SimTime::from_micros(1), 99);
+        q.pop(); // activates near bucket
+        q.schedule_at(t, 1u32); // still overflow
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec![0, 1]);
+    }
+
+    #[test]
+    fn cancel_after_fire_does_not_leak() {
+        // Regression: the pre-slab implementation kept a tombstone per
+        // cancel-after-fire forever. Now a stale id is a no-op.
+        let mut q = EventQueue::new();
+        let mut ids = Vec::with_capacity(100_000);
+        for i in 0..100_000u64 {
+            ids.push(q.schedule_at(SimTime::from_nanos(i * 100), i));
+            q.pop().expect("just scheduled");
+        }
+        for id in ids {
+            q.cancel(id);
+        }
+        assert_eq!(q.tombstone_count(), 0, "cancel after fire left tombstones");
+        assert!(q.is_empty());
+        assert_eq!(
+            q.arena_slots(),
+            1,
+            "slab bounded by peak outstanding events, not throughput"
+        );
+    }
+
+    #[test]
+    fn tombstones_are_reclaimed_by_time() {
+        let mut q = EventQueue::new();
+        let mut ids = Vec::new();
+        for i in 0..1000u64 {
+            ids.push(q.schedule_at(SimTime::from_micros(i), i));
+        }
+        for id in &ids[..500] {
+            q.cancel(*id);
+        }
+        assert_eq!(q.tombstone_count(), 500);
+        let survivors: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(survivors, (500..1000).collect::<Vec<_>>());
+        assert_eq!(q.tombstone_count(), 0, "stale keys reclaimed on pop");
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn event_ids_do_not_alias_across_slot_reuse() {
+        let mut q = EventQueue::new();
+        let a = q.schedule_at(SimTime::from_micros(1), "a");
+        q.pop();
+        // The slot is reused with a bumped generation; the old id must
+        // not cancel the new event.
+        let _b = q.schedule_at(SimTime::from_micros(2), "b");
+        q.cancel(a);
+        assert_eq!(q.pop().map(|(_, e)| e), Some("b"));
+    }
+
+    #[test]
+    fn len_counts_live_and_stale_keys() {
+        let mut q = EventQueue::new();
+        let a = q.schedule_at(SimTime::from_micros(1), 1);
+        q.schedule_at(SimTime::from_micros(2), 2);
+        assert_eq!(q.len(), 2);
+        q.cancel(a);
+        assert_eq!(q.len(), 2, "stale key still queued");
+        q.pop();
+        assert_eq!(q.len(), 0, "pop skimmed the stale key too");
     }
 }

@@ -96,7 +96,7 @@ mod tests {
         // 1 byte = 8 bits at 3 bps = 2.66.. s -> ceil.
         assert_eq!(
             bw.transmit_time(1),
-            SimDuration::from_nanos((8_000_000_000u64 + 2) / 3)
+            SimDuration::from_nanos(8_000_000_000u64.div_ceil(3))
         );
     }
 

@@ -169,7 +169,10 @@ mod tests {
         let d = SimDuration::from_micros(10);
         assert_eq!(r.admit(t0, d), SimTime::from_micros(10));
         assert_eq!(r.admit(t0, d), SimTime::from_micros(20));
-        assert_eq!(r.admit(SimTime::from_micros(50), d), SimTime::from_micros(60));
+        assert_eq!(
+            r.admit(SimTime::from_micros(50), d),
+            SimTime::from_micros(60)
+        );
     }
 
     #[test]
@@ -187,7 +190,10 @@ mod tests {
         let mut r = FifoResource::new(1);
         r.admit(SimTime::ZERO, SimDuration::from_micros(10));
         assert_eq!(r.backlog(SimTime::ZERO), SimDuration::from_micros(10));
-        assert_eq!(r.backlog(SimTime::from_micros(4)), SimDuration::from_micros(6));
+        assert_eq!(
+            r.backlog(SimTime::from_micros(4)),
+            SimDuration::from_micros(6)
+        );
         assert_eq!(r.backlog(SimTime::from_micros(30)), SimDuration::ZERO);
     }
 

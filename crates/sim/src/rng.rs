@@ -100,7 +100,9 @@ mod tests {
     #[test]
     fn lognormal_median_is_close() {
         let mut rng = stream(1, "logn");
-        let mut draws: Vec<f64> = (0..20_001).map(|_| lognormal(&mut rng, 10.0, 0.5)).collect();
+        let mut draws: Vec<f64> = (0..20_001)
+            .map(|_| lognormal(&mut rng, 10.0, 0.5))
+            .collect();
         draws.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let median = draws[draws.len() / 2];
         assert!((median - 10.0).abs() < 0.5, "median {median}");

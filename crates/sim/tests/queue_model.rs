@@ -1,0 +1,127 @@
+//! Model-based property test for the event queue: random interleavings of
+//! schedule / cancel / pop must match a naive sorted-vec reference model
+//! event for event — same values, same timestamps, same tie order. This
+//! pins the determinism contract of the timer-wheel implementation (FIFO
+//! at equal timestamps, exact-once delivery, cancellation semantics
+//! including cancel-after-fire) against an implementation simple enough
+//! to be obviously correct.
+
+use ebs_sim::{EventQueue, SimTime};
+use proptest::prelude::*;
+
+/// One scripted operation, pre-resolved from the raw random tuple.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Schedule at `now + delta_ns`.
+    Schedule { delta_ns: u64 },
+    /// Cancel the id returned by the `k`-th schedule so far (mod count);
+    /// may target an event that already fired — must be a no-op.
+    Cancel { k: usize },
+    /// Pop the next event.
+    Pop,
+}
+
+/// Naive reference: a vec of (at, seq, value, live) scanned linearly.
+#[derive(Default)]
+struct Model {
+    entries: Vec<(u64, u64, u32, bool)>,
+    now_ns: u64,
+    next_seq: u64,
+}
+
+impl Model {
+    fn schedule(&mut self, at_ns: u64, value: u32) -> usize {
+        let idx = self.entries.len();
+        self.entries.push((at_ns, self.next_seq, value, true));
+        self.next_seq += 1;
+        idx
+    }
+
+    fn cancel(&mut self, idx: usize) {
+        self.entries[idx].3 = false;
+    }
+
+    fn pop(&mut self) -> Option<(u64, u32)> {
+        let best = self
+            .entries
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.3)
+            .min_by_key(|(_, e)| (e.0, e.1))?;
+        let (idx, &(at, _, value, _)) = best;
+        self.entries[idx].3 = false;
+        self.now_ns = at;
+        Some((at, value))
+    }
+
+    fn live(&self) -> usize {
+        self.entries.iter().filter(|e| e.3).count()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Impl and model agree on every popped (time, value) pair across a
+    /// random op sequence, and drain identically at the end.
+    #[test]
+    fn matches_naive_model(
+        ops in proptest::collection::vec(
+            // (kind, delta_ns, pick): kind 0-3 schedule (biased), 4 cancel, 5 pop.
+            // Deltas span same-bucket, in-window and far-overflow distances.
+            (0u8..6, 0u64..60_000_000, any::<proptest::sample::Index>()),
+            1..400,
+        ),
+    ) {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        let mut model = Model::default();
+        let mut ids = Vec::new();
+        let mut next_value = 0u32;
+
+        let script: Vec<Op> = ops
+            .iter()
+            .map(|&(kind, delta_ns, pick)| match kind {
+                0..=3 => Op::Schedule { delta_ns },
+                4 => Op::Cancel { k: pick.index(4096) },
+                _ => Op::Pop,
+            })
+            .collect();
+
+        for op in script {
+            match op {
+                Op::Schedule { delta_ns } => {
+                    let at_ns = model.now_ns + delta_ns;
+                    let id = q.schedule_at(SimTime::from_nanos(at_ns), next_value);
+                    let midx = model.schedule(at_ns, next_value);
+                    ids.push((id, midx));
+                    next_value += 1;
+                }
+                Op::Cancel { k } => {
+                    if !ids.is_empty() {
+                        let (id, midx) = ids[k % ids.len()];
+                        q.cancel(id);
+                        model.cancel(midx);
+                    }
+                }
+                Op::Pop => {
+                    let got = q.pop().map(|(t, v)| (t.as_nanos(), v));
+                    let want = model.pop();
+                    assert_eq!(got, want, "pop diverged from model");
+                }
+            }
+        }
+
+        // Drain both to the end: identical order, then both empty.
+        loop {
+            let got = q.pop().map(|(t, v)| (t.as_nanos(), v));
+            let want = model.pop();
+            assert_eq!(got, want, "drain diverged from model");
+            if want.is_none() {
+                break;
+            }
+        }
+        assert!(q.is_empty());
+        assert_eq!(model.live(), 0);
+        assert_eq!(q.tombstone_count(), 0, "all stale keys reclaimed");
+    }
+}

@@ -142,6 +142,8 @@ struct Outstanding {
     sent_at: SimTime,
     path: u8,
     path_seq: u32,
+    /// Route epoch of `path` at transmit time (see [`Path::epoch`]).
+    path_epoch: u32,
     retries: u32,
     generation: u64,
     retransmitted: bool,
@@ -307,7 +309,11 @@ impl SolarClient {
             let hdr = EbsHeader {
                 version: EbsHeader::VERSION,
                 op: EbsOp::WriteBlock,
-                flags: if self.cfg.int_enabled { FLAG_INT_REQUEST } else { 0 },
+                flags: if self.cfg.int_enabled {
+                    FLAG_INT_REQUEST
+                } else {
+                    0
+                },
                 path_id: 0,
                 vd_id,
                 rpc_id,
@@ -328,6 +334,7 @@ impl SolarClient {
                     sent_at: now,
                     path: 0,
                     path_seq: 0,
+                    path_epoch: 0,
                     retries: 0,
                     generation: 0,
                     retransmitted: false,
@@ -376,7 +383,11 @@ impl SolarClient {
             let hdr = EbsHeader {
                 version: EbsHeader::VERSION,
                 op: EbsOp::ReadReq,
-                flags: if self.cfg.int_enabled { FLAG_INT_REQUEST } else { 0 },
+                flags: if self.cfg.int_enabled {
+                    FLAG_INT_REQUEST
+                } else {
+                    0
+                },
                 path_id: 0,
                 vd_id,
                 rpc_id,
@@ -401,6 +412,7 @@ impl SolarClient {
                     sent_at: now,
                     path: 0,
                     path_seq: 0,
+                    path_epoch: 0,
                     retries: 0,
                     generation: 0,
                     retransmitted: false,
@@ -421,11 +433,7 @@ impl SolarClient {
     /// Earliest instant `on_timer` must run (packet RTOs and path probes).
     pub fn poll_timer(&self) -> Option<SimTime> {
         let t1 = self.timers.peek().map(|e| SimTime::from_nanos(e.at_ns));
-        let t2 = self
-            .paths
-            .iter()
-            .filter_map(|p| p.next_probe())
-            .min();
+        let t2 = self.paths.iter().filter_map(|p| p.next_probe()).min();
         match (t1, t2) {
             (Some(a), Some(b)) => Some(a.min(b)),
             (a, b) => a.or(b),
@@ -440,7 +448,9 @@ impl SolarClient {
             if top.at_ns > now.as_nanos() {
                 break;
             }
-            let TimerEntry { key, generation, .. } = self.timers.pop().expect("peeked");
+            let TimerEntry {
+                key, generation, ..
+            } = self.timers.pop().expect("peeked");
             let Some(o) = self.outstanding.get(&key) else {
                 continue; // already completed
             };
@@ -458,6 +468,7 @@ impl SolarClient {
         let o = self.outstanding.get_mut(&key).expect("checked");
         let old_path = o.path;
         let old_seq = o.path_seq;
+        let old_epoch = o.path_epoch;
         let credit = o.credit_bytes;
         o.in_flight = false;
         o.retransmitted = true;
@@ -466,10 +477,11 @@ impl SolarClient {
         let out_of_budget = o.retries > self.cfg.max_pkt_retries;
         let rpc_id = o.hdr.rpc_id;
         self.paths[old_path as usize].release(old_seq, credit);
-        let failed_now = self.paths[old_path as usize].on_timeout(now, &self.cfg);
+        let failed_now = self.paths[old_path as usize].on_timeout(now, old_epoch, &self.cfg);
         if failed_now {
             self.stats.path_failovers += 1;
-            self.events.push_back(SolarEvent::PathDown { path_id: old_path });
+            self.events
+                .push_back(SolarEvent::PathDown { path_id: old_path });
         }
         if out_of_budget {
             self.fail_rpc(rpc_id);
@@ -511,9 +523,29 @@ impl SolarClient {
     /// unknown-RTT paths tried round-robin so all get measured. Falls back
     /// to *any* up path (ignoring window) only for retransmissions, and to
     /// the least-bad failed path if everything is down.
+    ///
+    /// Retransmissions rotate cyclically from the path that just timed the
+    /// packet out rather than re-running the sRTT-greedy choice: with two
+    /// low-RTT paths that both cross a lossy device, greedy selection
+    /// ping-pongs between them forever (each retry avoids only the *last*
+    /// failure) while a healthy higher-RTT path is never tried. Cyclic
+    /// rotation guarantees every up path is attempted within `n_paths`
+    /// retries.
     fn pick_path(&self, bytes: u64, ignore_window: bool, avoid: Option<u8>) -> Option<u8> {
-        let mut best: Option<(u8, f64)> = None;
         let n = self.paths.len();
+        if ignore_window {
+            if let Some(avoid_id) = avoid {
+                for k in 1..=n {
+                    let p = &self.paths[(avoid_id as usize + k) % n];
+                    if p.id != avoid_id && p.is_up() {
+                        return Some(p.id);
+                    }
+                }
+                // No other up path: fall through to the shared last-resort
+                // logic below (lone healthy path, then failed-path probe).
+            }
+        }
+        let mut best: Option<(u8, f64)> = None;
         // Pass 1 honors the avoid-hint; if nothing qualifies, retry
         // without it (a lone healthy path is better than none).
         for honor_avoid in [true, false] {
@@ -529,10 +561,7 @@ impl SolarClient {
                 if !ignore_window && p.available_window() < bytes {
                     continue;
                 }
-                let rtt = p
-                    .srtt()
-                    .map(|d| d.as_nanos() as f64)
-                    .unwrap_or(0.0); // unmeasured paths look fastest → get sampled
+                let rtt = p.srtt().map(|d| d.as_nanos() as f64).unwrap_or(0.0); // unmeasured paths look fastest → get sampled
                 match best {
                     None => best = Some((p.id, rtt)),
                     Some((_, b)) if rtt < b => best = Some((p.id, rtt)),
@@ -556,7 +585,6 @@ impl SolarClient {
         }
         best.map(|(id, _)| id)
     }
-
 
     /// Produce the next packet to put on the wire, if any. Call repeatedly
     /// until `None` after submissions, ACKs and timer fires.
@@ -619,6 +647,7 @@ impl SolarClient {
         let seq = self.paths[path_id as usize].register_tx(key, bytes);
         o.path = path_id;
         o.path_seq = seq;
+        o.path_epoch = self.paths[path_id as usize].epoch();
         o.sent_at = now;
         o.generation = generation;
         o.in_flight = true;
@@ -784,8 +813,14 @@ impl SolarClient {
             .map(|(k, o)| {
                 format!(
                     "rpc={} pkt={} retries={} in_flight={} path={} seq={} sent_at={} avoid={:?}",
-                    k.rpc_id, k.pkt_id, o.retries, o.in_flight, o.path, o.path_seq,
-                    o.sent_at, o.avoid_path
+                    k.rpc_id,
+                    k.pkt_id,
+                    o.retries,
+                    o.in_flight,
+                    o.path,
+                    o.path_seq,
+                    o.sent_at,
+                    o.avoid_path
                 )
             })
             .collect()

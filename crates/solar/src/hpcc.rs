@@ -75,14 +75,13 @@ impl Hpcc {
         let w_max = 4.0 * self.cfg.bdp_bytes();
         if u >= eta || self.inc_stage >= self.cfg.max_stage {
             // Multiplicative move toward target utilization.
-            self.window = (self.wc / (u / eta) + self.cfg.wai_bytes)
-                .clamp(self.cfg.min_window, w_max);
+            self.window =
+                (self.wc / (u / eta) + self.cfg.wai_bytes).clamp(self.cfg.min_window, w_max);
             self.inc_stage = 0;
             self.wc = self.window;
             self.last_wc_update = now;
         } else {
-            self.window = (self.wc + self.cfg.wai_bytes)
-                .clamp(self.cfg.min_window, w_max);
+            self.window = (self.wc + self.cfg.wai_bytes).clamp(self.cfg.min_window, w_max);
             self.inc_stage += 1;
             // Update the reference once per base RTT.
             if now.saturating_since(self.last_wc_update) >= self.cfg.base_rtt {
@@ -160,7 +159,10 @@ mod tests {
         let w0 = h.window();
         // Empty queue, negligible tx rate.
         h.on_ack(SimTime::from_micros(10), &stack(vec![hop(1, 0, 0, 10_000)]));
-        h.on_ack(SimTime::from_micros(25), &stack(vec![hop(1, 0, 100, 25_000)]));
+        h.on_ack(
+            SimTime::from_micros(25),
+            &stack(vec![hop(1, 0, 100, 25_000)]),
+        );
         assert!(h.window() > w0, "{} !> {}", h.window(), w0);
     }
 
@@ -170,7 +172,10 @@ mod tests {
         let w0 = h.window();
         // Deep queue and line-rate tx: U >> eta.
         // 25G = 3.125 bytes/ns: in 10_000 ns, 31_250 bytes at line rate.
-        h.on_ack(SimTime::from_micros(10), &stack(vec![hop(1, 200_000, 0, 10_000)]));
+        h.on_ack(
+            SimTime::from_micros(10),
+            &stack(vec![hop(1, 200_000, 0, 10_000)]),
+        );
         h.on_ack(
             SimTime::from_micros(25),
             &stack(vec![hop(1, 200_000, 46_875, 25_000)]),
@@ -188,7 +193,10 @@ mod tests {
         );
         h.on_ack(
             SimTime::from_micros(25),
-            &stack(vec![hop(1, 0, 100, 25_000), hop(2, 500_000, 46_875, 25_000)]),
+            &stack(vec![
+                hop(1, 0, 100, 25_000),
+                hop(2, 500_000, 46_875, 25_000),
+            ]),
         );
         assert!(h.last_utilization() > 1.0, "congested hop 2 must dominate");
     }

@@ -90,9 +90,7 @@ mod tests {
                     int: None,
                 });
                 let reply = match action {
-                    ServerAction::StoreBlock { hdr, int, .. } => {
-                        Some(resp.write_ack(&hdr, int).0)
-                    }
+                    ServerAction::StoreBlock { hdr, int, .. } => Some(resp.write_ack(&hdr, int).0),
                     ServerAction::FetchBlock { hdr } => {
                         Some(resp.read_resp(&hdr, Bytes::from(vec![9u8; 64]), 0x42))
                     }
@@ -168,8 +166,14 @@ mod tests {
         let mut c = SolarClient::new(cfg());
         let mut r = SolarResponder::new();
         let blocks = vec![
-            ReadBlock { block_addr: 5, guest_addr: 0x1000 },
-            ReadBlock { block_addr: 6, guest_addr: 0x2000 },
+            ReadBlock {
+                block_addr: 5,
+                guest_addr: 0x1000,
+            },
+            ReadBlock {
+                block_addr: 6,
+                guest_addr: 0x2000,
+            },
         ];
         c.submit_read(SimTime::ZERO, 2, 10, 100, blocks);
         assert_eq!(c.addr_table_entries(), 2);
@@ -190,9 +194,14 @@ mod tests {
             .collect();
         guest_addrs.sort();
         assert_eq!(guest_addrs, vec![0x1000, 0x2000]);
-        assert!(events
-            .iter()
-            .any(|e| matches!(e, SolarEvent::RpcCompleted { rpc_id: 2, kind: RpcKind::Read, .. })));
+        assert!(events.iter().any(|e| matches!(
+            e,
+            SolarEvent::RpcCompleted {
+                rpc_id: 2,
+                kind: RpcKind::Read,
+                ..
+            }
+        )));
         assert_eq!(c.addr_table_entries(), 0, "Addr entries cleaned after use");
     }
 
@@ -204,7 +213,10 @@ mod tests {
         while let Some(out) = c.poll_transmit(SimTime::ZERO) {
             used.insert(out.hdr.path_id);
         }
-        assert!(used.len() >= 2, "32 blocks must use multiple paths: {used:?}");
+        assert!(
+            used.len() >= 2,
+            "32 blocks must use multiple paths: {used:?}"
+        );
     }
 
     #[test]
@@ -250,7 +262,9 @@ mod tests {
             |_, out| out.hdr.path_id == 0, // probes die too: path stays dark
         );
         assert!(
-            events.iter().any(|e| matches!(e, SolarEvent::PathDown { path_id: 0 })),
+            events
+                .iter()
+                .any(|e| matches!(e, SolarEvent::PathDown { path_id: 0 })),
             "path 0 must be declared down: {events:?}"
         );
         assert!(events
@@ -283,9 +297,13 @@ mod tests {
             SimTime::from_secs(3),
             |_, out| out.hdr.path_id == 0 && out.hdr.op == EbsOp::WriteBlock,
         );
-        assert!(events.iter().any(|e| matches!(e, SolarEvent::PathDown { path_id: 0 })));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, SolarEvent::PathDown { path_id: 0 })));
         assert!(
-            events.iter().any(|e| matches!(e, SolarEvent::PathUp { path_id: 0 })),
+            events
+                .iter()
+                .any(|e| matches!(e, SolarEvent::PathUp { path_id: 0 })),
             "probe must revive the path: {events:?}"
         );
         assert!(c.stats().probes_sent >= 1);
@@ -308,7 +326,9 @@ mod tests {
             SimTime::from_secs(30),
             |_, _| true, // everything dies
         );
-        assert!(events.iter().any(|e| matches!(e, SolarEvent::RpcFailed { rpc_id: 1 })));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, SolarEvent::RpcFailed { rpc_id: 1 })));
         assert_eq!(c.inflight_rpcs(), 0);
         assert_eq!(c.outstanding_packets(), 0);
     }
@@ -328,7 +348,11 @@ mod tests {
             .iter()
             .map(|o| {
                 let (a, _) = r.write_ack(&o.hdr, None);
-                InPacket { hdr: a.hdr, payload: Bytes::new(), int: None }
+                InPacket {
+                    hdr: a.hdr,
+                    payload: Bytes::new(),
+                    int: None,
+                }
             })
             .collect();
         acks.reverse(); // fully reversed delivery
@@ -368,7 +392,11 @@ mod tests {
         let now = SimTime::from_micros(30);
         for o in &outs {
             let (a, _) = r.write_ack(&o.hdr, None);
-            let pkt = InPacket { hdr: a.hdr, payload: Bytes::new(), int: None };
+            let pkt = InPacket {
+                hdr: a.hdr,
+                payload: Bytes::new(),
+                int: None,
+            };
             c.on_packet(now, pkt.clone());
             c.on_packet(now, pkt); // duplicate
         }

@@ -56,6 +56,14 @@ pub struct Path {
     /// How many times this path has been re-hashed onto a new source
     /// port after persistent probe failures.
     remap_generation: u16,
+    /// Route epoch: bumped whenever the path's effective route changes
+    /// (remap) or its liveness is re-established (revival). Timeouts of
+    /// packets sent in an older epoch say nothing about the *current*
+    /// route and must not count toward failing it — the liveness analogue
+    /// of Karn's rule. Without this, a freshly revived path is instantly
+    /// re-failed by the timeout wave of packets that flew on the old,
+    /// bad route, and a client whose paths are all down can never escape.
+    epoch: u32,
 }
 
 impl Path {
@@ -75,6 +83,7 @@ impl Path {
             next_probe: SimTime::ZERO,
             probes_unanswered: 0,
             remap_generation: 0,
+            epoch: 0,
         }
     }
 
@@ -82,14 +91,18 @@ impl Path {
     /// port by `n_paths` so the flow hashes onto a different ECMP bucket
     /// while the path id on the wire stays stable.
     pub fn src_port(&self, cfg: &SolarConfig) -> u16 {
-        cfg.base_port
-            + self.id as u16
-            + self.remap_generation.wrapping_mul(cfg.n_paths as u16)
+        cfg.base_port + self.id as u16 + self.remap_generation.wrapping_mul(cfg.n_paths as u16)
     }
 
     /// Times this path has been remapped (diagnostics).
     pub fn remap_generation(&self) -> u16 {
         self.remap_generation
+    }
+
+    /// Current route epoch (see the field docs). Recorded per packet at
+    /// transmit time; [`Path::on_timeout`] ignores stale-epoch timeouts.
+    pub fn epoch(&self) -> u32 {
+        self.epoch
     }
 
     /// Liveness.
@@ -195,12 +208,19 @@ impl Path {
         }
     }
 
-    /// Record a timeout; returns `true` if this crossed the failure
-    /// threshold and the path was just declared down.
-    pub fn on_timeout(&mut self, now: SimTime, cfg: &SolarConfig) -> bool {
-        self.consecutive_timeouts += 1;
+    /// Record a timeout of a packet sent in epoch `sent_epoch`; returns
+    /// `true` if this crossed the failure threshold and the path was just
+    /// declared down. A timeout from an older epoch flew on a route this
+    /// path no longer uses (it has since remapped and/or revived): it
+    /// still backs off the RTO — the *packet* is in trouble either way —
+    /// but carries no evidence about the current route's liveness.
+    pub fn on_timeout(&mut self, now: SimTime, sent_epoch: u32, cfg: &SolarConfig) -> bool {
         self.hpcc.on_timeout();
         self.rto = self.rto.mul_f64(2.0).min(cfg.rto_max);
+        if sent_epoch != self.epoch {
+            return false;
+        }
+        self.consecutive_timeouts += 1;
         if self.consecutive_timeouts >= cfg.path_fail_threshold && self.is_up() {
             self.status = PathStatus::Failed { since: now };
             self.next_probe = now + cfg.probe_interval;
@@ -227,6 +247,7 @@ impl Path {
         if self.probes_unanswered >= cfg.remap_after_probes {
             self.remap_generation = self.remap_generation.wrapping_add(1);
             self.probes_unanswered = 0;
+            self.epoch = self.epoch.wrapping_add(1);
         }
     }
 
@@ -235,6 +256,7 @@ impl Path {
         self.status = PathStatus::Up;
         self.consecutive_timeouts = 0;
         self.probes_unanswered = 0;
+        self.epoch = self.epoch.wrapping_add(1);
     }
 }
 
@@ -250,9 +272,18 @@ mod tests {
     fn tx_accounting() {
         let c = cfg();
         let mut p = Path::new(0, &c);
-        let k = PktKey { rpc_id: 1, pkt_id: 0 };
+        let k = PktKey {
+            rpc_id: 1,
+            pkt_id: 0,
+        };
         let s0 = p.register_tx(k, 4096);
-        let s1 = p.register_tx(PktKey { rpc_id: 1, pkt_id: 1 }, 4096);
+        let s1 = p.register_tx(
+            PktKey {
+                rpc_id: 1,
+                pkt_id: 1,
+            },
+            4096,
+        );
         assert_eq!(s1, s0 + 1);
         assert_eq!(p.inflight_bytes(), 8192);
         p.release(s0, 4096);
@@ -265,7 +296,12 @@ mod tests {
         let c = cfg();
         let mut p = Path::new(0, &c);
         for _ in 0..16 {
-            p.on_ack(SimTime::from_micros(100), Some(SimDuration::from_micros(20)), None, &c);
+            p.on_ack(
+                SimTime::from_micros(100),
+                Some(SimDuration::from_micros(20)),
+                None,
+                &c,
+            );
         }
         let rto = p.rto();
         // Converged rttvar makes srtt+4*var small; the floor clamps it.
@@ -277,23 +313,26 @@ mod tests {
     fn consecutive_timeouts_fail_path() {
         let c = cfg();
         let mut p = Path::new(0, &c);
-        assert!(!p.on_timeout(SimTime::from_micros(1), &c));
-        assert!(!p.on_timeout(SimTime::from_micros(2), &c));
-        assert!(p.on_timeout(SimTime::from_micros(3), &c), "third timeout fails path");
+        assert!(!p.on_timeout(SimTime::from_micros(1), p.epoch(), &c));
+        assert!(!p.on_timeout(SimTime::from_micros(2), p.epoch(), &c));
+        assert!(
+            p.on_timeout(SimTime::from_micros(3), p.epoch(), &c),
+            "third timeout fails path"
+        );
         assert!(!p.is_up());
         // Further timeouts do not re-fail.
-        assert!(!p.on_timeout(SimTime::from_micros(4), &c));
+        assert!(!p.on_timeout(SimTime::from_micros(4), p.epoch(), &c));
     }
 
     #[test]
     fn ack_resets_timeout_streak() {
         let c = cfg();
         let mut p = Path::new(0, &c);
-        p.on_timeout(SimTime::from_micros(1), &c);
-        p.on_timeout(SimTime::from_micros(2), &c);
+        p.on_timeout(SimTime::from_micros(1), p.epoch(), &c);
+        p.on_timeout(SimTime::from_micros(2), p.epoch(), &c);
         p.on_ack(SimTime::from_micros(3), None, None, &c);
         assert_eq!(p.consecutive_timeouts(), 0);
-        assert!(!p.on_timeout(SimTime::from_micros(4), &c));
+        assert!(!p.on_timeout(SimTime::from_micros(4), p.epoch(), &c));
         assert!(p.is_up());
     }
 
@@ -302,7 +341,7 @@ mod tests {
         let c = cfg();
         let mut p = Path::new(0, &c);
         for i in 0..3 {
-            p.on_timeout(SimTime::from_micros(i), &c);
+            p.on_timeout(SimTime::from_micros(i), p.epoch(), &c);
         }
         let probe_at = p.next_probe().expect("failed paths probe");
         assert!(probe_at > SimTime::from_micros(2));
@@ -318,7 +357,7 @@ mod tests {
         let c = cfg();
         let mut p = Path::new(0, &c);
         let r0 = p.rto();
-        p.on_timeout(SimTime::from_micros(1), &c);
+        p.on_timeout(SimTime::from_micros(1), p.epoch(), &c);
         assert_eq!(p.rto(), r0.mul_f64(2.0));
     }
 }

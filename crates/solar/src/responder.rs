@@ -133,7 +133,11 @@ impl SolarResponder {
 
     /// Build the per-packet WRITE acknowledgment, echoing the request's
     /// INT stack for the initiator's congestion control.
-    pub fn write_ack(&mut self, req: &EbsHeader, int: Option<IntStack>) -> (OutPacket, Option<IntStack>) {
+    pub fn write_ack(
+        &mut self,
+        req: &EbsHeader,
+        int: Option<IntStack>,
+    ) -> (OutPacket, Option<IntStack>) {
         let mut hdr = *req;
         hdr.op = EbsOp::WriteAck;
         hdr.len = 0;

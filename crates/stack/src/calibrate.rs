@@ -141,17 +141,18 @@ mod tests {
         let luna = ebs_luna::StackCosts::luna();
         let solar = SolarCosts::offloaded();
         let blocks_64k = 16u64;
-        let luna_io_cpu = (sa.cpu_for(16)
-            + luna.cpu_for_rpc(65536)
-            + luna.cpu_per_rpc)
-            .as_secs_f64();
+        let luna_io_cpu =
+            (sa.cpu_for(16) + luna.cpu_for_rpc(65536) + luna.cpu_per_rpc).as_secs_f64();
         let solar_io_cpu = (solar.cpu_per_rpc
             + solar.cpu_doorbell
             + solar.cpu_cc_per_completion
             + solar.cpu_cc_per_ack.saturating_mul(blocks_64k))
         .as_secs_f64();
         let gain = luna_io_cpu / solar_io_cpu; // throughput ∝ 1/cpu
-        assert!((1.5..2.1).contains(&gain), "64K throughput gain {gain:.2} vs 1.78");
+        assert!(
+            (1.5..2.1).contains(&gain),
+            "64K throughput gain {gain:.2} vs 1.78"
+        );
 
         let luna_4k = (sa.cpu_for(1) + luna.cpu_for_rpc(4096) + luna.cpu_per_rpc).as_secs_f64();
         let solar_4k = (solar.cpu_per_rpc
@@ -160,6 +161,9 @@ mod tests {
             + solar.cpu_cc_per_ack)
             .as_secs_f64();
         let gain = luna_4k / solar_4k;
-        assert!((1.25..1.75).contains(&gain), "4K IOPS gain {gain:.2} vs 1.46");
+        assert!(
+            (1.25..1.75).contains(&gain),
+            "4K IOPS gain {gain:.2} vs 1.46"
+        );
     }
 }

@@ -39,7 +39,10 @@ mod tests {
         );
         tb.run_until(SimTime::from_secs(1));
         let t = tb.traces()[0];
-        assert!(t.completed.is_some(), "{variant:?} {kind:?} io must complete");
+        assert!(
+            t.completed.is_some(),
+            "{variant:?} {kind:?} io must complete"
+        );
         t
     }
 
@@ -67,7 +70,9 @@ mod tests {
         let k = one_io(Variant::Kernel, IoKind::Write, 4096)
             .latency()
             .unwrap();
-        let l = one_io(Variant::Luna, IoKind::Write, 4096).latency().unwrap();
+        let l = one_io(Variant::Luna, IoKind::Write, 4096)
+            .latency()
+            .unwrap();
         let s = one_io(Variant::Solar, IoKind::Write, 4096)
             .latency()
             .unwrap();
@@ -168,7 +173,10 @@ mod tests {
                 );
             }
             // Blackhole half the flows through the first ToR at t=100ms.
-            let tor = tb.fabric().topology().devices_of_kind(ebs_net::DeviceKind::Tor)[0];
+            let tor = tb
+                .fabric()
+                .topology()
+                .devices_of_kind(ebs_net::DeviceKind::Tor)[0];
             tb.schedule_failure(
                 SimTime::from_millis(100),
                 tor,

@@ -101,7 +101,6 @@ pub enum Msg {
         /// INT stack echoed in an ACK (as opposed to collected en route).
         echo_int: Option<IntStack>,
     },
-
 }
 
 /// Closed-loop fio-style driver configuration (Fig. 14/15, Table 2).
@@ -599,8 +598,14 @@ impl Testbed {
 
     /// Schedule a fabric failure injection.
     pub fn schedule_failure(&mut self, at: SimTime, device: DeviceId, mode: FailureMode) {
-        self.q
-            .schedule_at(at, Event::InjectFailure { device, mode, convergence: None });
+        self.q.schedule_at(
+            at,
+            Event::InjectFailure {
+                device,
+                mode,
+                convergence: None,
+            },
+        );
     }
 
     /// Schedule a fail-stop whose routing convergence differs from the
@@ -643,7 +648,10 @@ impl Testbed {
     /// metric with threshold = 1 s).
     pub fn hung_ios(&self, threshold: SimDuration) -> usize {
         let now = self.q.now();
-        self.traces.iter().filter(|t| t.hung(now, threshold)).count()
+        self.traces
+            .iter()
+            .filter(|t| t.hung(now, threshold))
+            .count()
     }
 
     fn dispatch(&mut self, now: SimTime, ev: Event) {
@@ -713,28 +721,28 @@ impl Testbed {
             c.cpu.run(start, SimDuration::from_nanos(200))
         } else {
             match self.cfg.variant {
-            Variant::Kernel | Variant::Luna | Variant::Rdma => c
-                .cpu
-                .run(start, self.sa_costs.cpu_for(blocks))
-                .max(start + self.sa_costs.latency_per_io),
-            Variant::SolarStar => {
-                let extra = SolarCosts::star_extra_per_block().saturating_mul(blocks as u64);
-                c.cpu.run(
-                    start,
-                    self.solar_costs
-                        .cpu_per_rpc
-                        .saturating_mul(subs.len() as u64)
-                        + extra,
-                ) + self.solar_costs.pipeline
-            }
-            Variant::Solar => {
-                c.cpu.run(
-                    start,
-                    self.solar_costs
-                        .cpu_per_rpc
-                        .saturating_mul(subs.len() as u64),
-                ) + self.solar_costs.pipeline
-            }
+                Variant::Kernel | Variant::Luna | Variant::Rdma => c
+                    .cpu
+                    .run(start, self.sa_costs.cpu_for(blocks))
+                    .max(start + self.sa_costs.latency_per_io),
+                Variant::SolarStar => {
+                    let extra = SolarCosts::star_extra_per_block().saturating_mul(blocks as u64);
+                    c.cpu.run(
+                        start,
+                        self.solar_costs
+                            .cpu_per_rpc
+                            .saturating_mul(subs.len() as u64)
+                            + extra,
+                    ) + self.solar_costs.pipeline
+                }
+                Variant::Solar => {
+                    c.cpu.run(
+                        start,
+                        self.solar_costs
+                            .cpu_per_rpc
+                            .saturating_mul(subs.len() as u64),
+                    ) + self.solar_costs.pipeline
+                }
             }
         };
         // Data crossings: writes move the payload before transmission.
@@ -823,14 +831,17 @@ impl Testbed {
                     };
                     // Stack cost: CPU for the tx side plus crossing latency.
                     let cpu_cost = costs.cpu_for_rpc(bytes);
-                    let t = c.cpu.run(now, cpu_cost)
-                        + costs.crossing_latency.saturating_sub(cpu_cost);
+                    let t =
+                        c.cpu.run(now, cpu_cost) + costs.crossing_latency.saturating_sub(cpu_cost);
                     // The engine is sans-io: submission is immediate; the
                     // latency shows up by delaying the pump via a timer.
                     conn.call(t.max(now), &frame);
-                    bump_timer(&mut c.timer_at, &mut self.q, t.max(now), Event::ComputeTimer {
-                        compute,
-                    });
+                    bump_timer(
+                        &mut c.timer_at,
+                        &mut self.q,
+                        t.max(now),
+                        Event::ComputeTimer { compute },
+                    );
                 }
                 ComputeTransport::Rdma { costs, conns } => {
                     let conn = conns
@@ -855,14 +866,17 @@ impl Testbed {
                     };
                     let t = c.cpu.run(now, costs.cpu_per_rpc) + costs.crossing_latency;
                     conn.post_send(frame.to_bytes());
-                    bump_timer(&mut c.timer_at, &mut self.q, t.max(now), Event::ComputeTimer {
-                        compute,
-                    });
+                    bump_timer(
+                        &mut c.timer_at,
+                        &mut self.q,
+                        t.max(now),
+                        Event::ComputeTimer { compute },
+                    );
                 }
                 ComputeTransport::Solar { clients } => {
-                    let client = clients.entry(storage).or_insert_with(|| {
-                        SolarClient::new(self.cfg.solar.clone())
-                    });
+                    let client = clients
+                        .entry(storage)
+                        .or_insert_with(|| SolarClient::new(self.cfg.solar.clone()));
                     match kind {
                         IoKind::Write => {
                             let blocks = sub
@@ -928,7 +942,9 @@ impl Testbed {
                 }
                 self.pump_storage(now, storage);
             }
-            Msg::Rdma { compute, pkt: qpkt, .. } => {
+            Msg::Rdma {
+                compute, pkt: qpkt, ..
+            } => {
                 let node = &mut self.storages[storage];
                 let qp = node
                     .rdma
@@ -952,10 +968,7 @@ impl Testbed {
                 let reply_port = pkt.flow.src_port;
                 let (action, gap_nacks) = {
                     let node = &mut self.storages[storage];
-                    let resp = node
-                        .solar
-                        .entry(compute)
-                        .or_insert_with(SolarResponder::new);
+                    let resp = node.solar.entry(compute).or_default();
                     let action = resp.on_packet(InPacket {
                         hdr,
                         payload: Bytes::new(),
@@ -1143,8 +1156,7 @@ impl Testbed {
                 let size = if is_data {
                     ebs_wire::SOLAR_OVERHEAD + out.hdr.len as usize
                 } else {
-                    ebs_wire::SOLAR_OVERHEAD
-                        + echo_int.as_ref().map_or(0, |i| i.wire_len())
+                    ebs_wire::SOLAR_OVERHEAD + echo_int.as_ref().map_or(0, |i| i.wire_len())
                 };
                 let hdr = out.hdr;
                 let sdev = self.storages[storage].device;
@@ -1162,7 +1174,7 @@ impl Testbed {
                     },
                     size,
                     // Read responses collect fresh INT on the reverse path.
-                    is_data.then(IntStack::new),
+                    is_data.then(IntStack::with_path_capacity),
                     Msg::Solar {
                         compute,
                         storage: storage as u32,
@@ -1187,7 +1199,9 @@ impl Testbed {
                 self.drain_completions(now, compute);
                 self.pump_compute(now, compute);
             }
-            Msg::Rdma { storage, pkt: qpkt, .. } => {
+            Msg::Rdma {
+                storage, pkt: qpkt, ..
+            } => {
                 let c = &mut self.computes[compute];
                 if let ComputeTransport::Rdma { conns, .. } = &mut c.transport {
                     if let Some(qp) = conns.get_mut(&storage) {
@@ -1217,11 +1231,14 @@ impl Testbed {
                         } else {
                             now
                         };
-                        client.on_packet(at.max(now), InPacket {
-                            hdr,
-                            payload: Bytes::new(),
-                            int,
-                        });
+                        client.on_packet(
+                            at.max(now),
+                            InPacket {
+                                hdr,
+                                payload: Bytes::new(),
+                                int,
+                            },
+                        );
                     }
                 }
                 self.drain_completions(now, compute);
@@ -1243,8 +1260,8 @@ impl Testbed {
                     let path = self.cfg.variant.pcie_path();
                     for conn in conns.values_mut() {
                         while let Some(done) = conn.poll_completion() {
-                            let mut t = c.cpu.run(now, cpu_cost)
-                                + crossing.saturating_sub(cpu_cost);
+                            let mut t =
+                                c.cpu.run(now, cpu_cost) + crossing.saturating_sub(cpu_cost);
                             // Read data crosses the DPU's PCIe on its way
                             // to guest memory (Fig. 10a).
                             let bytes = done.response.payload.len();
@@ -1262,8 +1279,8 @@ impl Testbed {
                             let mut dec = ebs_wire::FrameDecoder::new();
                             dec.extend(&msg);
                             if let Ok(Some(frame)) = dec.next_frame() {
-                                let mut t = c.cpu.run(now, costs.cpu_per_rpc)
-                                    + costs.crossing_latency;
+                                let mut t =
+                                    c.cpu.run(now, costs.cpu_per_rpc) + costs.crossing_latency;
                                 let bytes = frame.payload.len();
                                 if bytes > 0 {
                                     t = t.max(c.pcie.transfer_block(now, path, bytes));
@@ -1283,9 +1300,7 @@ impl Testbed {
                         while let Some(ev) = client.poll_event() {
                             match ev {
                                 SolarEvent::RpcCompleted { rpc_id, .. } => {
-                                    let blocks = rpc_blocks
-                                        .get(&rpc_id)
-                                        .map_or(1, |&(_, b)| b);
+                                    let blocks = rpc_blocks.get(&rpc_id).map_or(1, |&(_, b)| b);
                                     jobs.push((rpc_id, blocks));
                                 }
                                 SolarEvent::RpcFailed { rpc_id } => {
@@ -1304,19 +1319,14 @@ impl Testbed {
                         // is exactly how §4.7's SA tail arises under
                         // intensive I/O: CC backlog delays doorbells.
                         let t = c.cpu.run(now, doorbell);
-                        c.cpu.run(
-                            now,
-                            cc_completion + cc_ack.saturating_mul(blocks as u64),
-                        );
+                        c.cpu
+                            .run(now, cc_completion + cc_ack.saturating_mul(blocks as u64));
                         done_rpcs.push((rpc_id, t.max(now)));
                     }
                 }
             }
         }
-        let is_solar = matches!(
-            self.cfg.variant,
-            Variant::Solar | Variant::SolarStar
-        );
+        let is_solar = matches!(self.cfg.variant, Variant::Solar | Variant::SolarStar);
         for (rpc_id, t_done) in done_rpcs {
             let overhead = if is_solar {
                 t_done.saturating_since(now)
@@ -1362,7 +1372,10 @@ impl Testbed {
             trace.sa += completion_sa;
             let transport_total = transport_total.saturating_sub(completion_sa);
             trace.bn = p.max_storage.bn.min(transport_total);
-            trace.ssd = p.max_storage.ssd.min(transport_total.saturating_sub(trace.bn));
+            trace.ssd = p
+                .max_storage
+                .ssd
+                .min(transport_total.saturating_sub(trace.bn));
             trace.fn_ = transport_total
                 .saturating_sub(trace.bn)
                 .saturating_sub(trace.ssd);
@@ -1498,7 +1511,7 @@ impl Testbed {
                                 } else {
                                     0
                                 };
-                            let int = out.int_request.then(IntStack::new);
+                            let int = out.int_request.then(IntStack::with_path_capacity);
                             outgoing.push((
                                 FlowLabel {
                                     src: cdev,
@@ -1528,7 +1541,7 @@ impl Testbed {
         // (Re)arm the host timer.
         if let Some(t) = min_timer {
             let c = &mut self.computes[compute];
-            if c.timer_at.map_or(true, |cur| t < cur) {
+            if c.timer_at.is_none_or(|cur| t < cur) {
                 c.timer_at = Some(t);
                 self.q
                     .schedule_at(t.max(now), Event::ComputeTimer { compute });
@@ -1592,7 +1605,7 @@ impl Testbed {
         }
         if let Some(t) = min_timer {
             let node = &mut self.storages[storage];
-            if node.timer_at.map_or(true, |cur| t < cur) {
+            if node.timer_at.is_none_or(|cur| t < cur) {
                 node.timer_at = Some(t);
                 self.q
                     .schedule_at(t.max(now), Event::StorageTimer { storage });
@@ -1610,16 +1623,7 @@ impl Testbed {
     ) {
         let Testbed { q, fabric, .. } = self;
         let mut sched = MapScheduler::new(q, Event::Net);
-        let delivered = fabric.send(
-            now,
-            FabricPacket {
-                flow,
-                size,
-                int,
-                payload: msg,
-            },
-            &mut sched,
-        );
+        let delivered = fabric.send(now, FabricPacket::new(flow, size, int, msg), &mut sched);
         if let Some(pkt) = delivered {
             self.deliver(now, pkt);
         }
@@ -1643,13 +1647,8 @@ fn at_plus(t: SimTime, ns: u64) -> SimTime {
     t + SimDuration::from_nanos(ns)
 }
 
-fn bump_timer(
-    timer_at: &mut Option<SimTime>,
-    q: &mut EventQueue<Event>,
-    at: SimTime,
-    ev: Event,
-) {
-    if timer_at.map_or(true, |cur| at < cur) {
+fn bump_timer(timer_at: &mut Option<SimTime>, q: &mut EventQueue<Event>, at: SimTime, ev: Event) {
+    if timer_at.is_none_or(|cur| at < cur) {
         *timer_at = Some(at);
         q.schedule_at(at, ev);
     }

@@ -38,8 +38,10 @@ pub struct IoTrace {
 impl IoTrace {
     /// End-to-end latency excluding QoS policy delay.
     pub fn latency(&self) -> Option<SimDuration> {
-        self.completed
-            .map(|c| c.saturating_since(self.submitted).saturating_sub(self.qos_delay))
+        self.completed.map(|c| {
+            c.saturating_since(self.submitted)
+                .saturating_sub(self.qos_delay)
+        })
     }
 
     /// True if unanswered for at least `threshold` at observation time
@@ -91,7 +93,8 @@ impl Breakdown {
             b.fn_.record_ns(t.fn_.as_nanos());
             b.bn.record_ns(t.bn.as_nanos());
             b.ssd.record_ns(t.ssd.as_nanos());
-            b.total.record_ns(t.latency().expect("completed").as_nanos());
+            b.total
+                .record_ns(t.latency().expect("completed").as_nanos());
         }
         b
     }
@@ -99,7 +102,13 @@ impl Breakdown {
     /// (sa, fn, bn, ssd, total) at quantile `q`, in microseconds.
     pub fn at(&self, q: f64) -> (f64, f64, f64, f64, f64) {
         let us = |h: &Histogram| h.quantile(q) as f64 / 1000.0;
-        (us(&self.sa), us(&self.fn_), us(&self.bn), us(&self.ssd), us(&self.total))
+        (
+            us(&self.sa),
+            us(&self.fn_),
+            us(&self.bn),
+            us(&self.ssd),
+            us(&self.total),
+        )
     }
 }
 

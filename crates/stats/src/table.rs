@@ -130,7 +130,7 @@ mod tests {
     #[test]
     fn formats() {
         assert_eq!(us(70_100), "70.1");
-        assert_eq!(f1(3.14159), "3.1");
-        assert_eq!(f2(3.14159), "3.14");
+        assert_eq!(f1(3.15159), "3.2");
+        assert_eq!(f2(3.15159), "3.15");
     }
 }

@@ -1,8 +1,8 @@
 //! Property tests on the measurement plumbing: quantile error bounds and
 //! accumulator correctness, checked against exact computations.
 
-use ebs_stats::{BinnedSeries, Ecdf, Histogram, OnlineStats};
 use ebs_sim::{SimDuration, SimTime};
+use ebs_stats::{BinnedSeries, Ecdf, Histogram, OnlineStats};
 use proptest::prelude::*;
 
 proptest! {

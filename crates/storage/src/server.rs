@@ -59,13 +59,7 @@ impl StorageServer {
     /// Build server `index` of a cluster with the given SSD/BN parameters.
     pub fn new(index: usize, ssd_cfg: SsdConfig, bn: BnConfig, seed: u64) -> Self {
         let chunks = (0..REPLICAS)
-            .map(|r| {
-                Ssd::new(
-                    ssd_cfg,
-                    seed,
-                    &format!("storage-{index}-chunk-{r}"),
-                )
-            })
+            .map(|r| Ssd::new(ssd_cfg, seed, &format!("storage-{index}-chunk-{r}")))
             .collect();
         StorageServer {
             bn,

@@ -110,7 +110,10 @@ mod tests {
         let rmean = rsum / n as f64;
         assert!((10.0..25.0).contains(&wmean), "write mean {wmean}us");
         assert!((55.0..110.0).contains(&rmean), "read mean {rmean}us");
-        assert!(rmean > 3.0 * wmean, "reads are much slower than cached writes");
+        assert!(
+            rmean > 3.0 * wmean,
+            "reads are much slower than cached writes"
+        );
     }
 
     #[test]

@@ -537,11 +537,7 @@ impl TcpEngine {
                 // RTT sample from the newest fully-acked, never
                 // retransmitted segment (Karn's rule).
                 let mut sample: Option<SimDuration> = None;
-                let acked: Vec<u64> = self
-                    .inflight
-                    .range(..ack_off)
-                    .map(|(&o, _)| o)
-                    .collect();
+                let acked: Vec<u64> = self.inflight.range(..ack_off).map(|(&o, _)| o).collect();
                 for off in acked {
                     let s = self.inflight.remove(&off).expect("present");
                     if !s.retransmitted && off + s.payload.len() as u64 <= ack_off {
@@ -565,8 +561,8 @@ impl TcpEngine {
                 } else if self.cwnd < self.ssthresh {
                     self.cwnd += newly as f64; // slow start
                 } else {
-                    self.cwnd +=
-                        (self.cfg.mss as f64 * self.cfg.mss as f64) / self.cwnd; // CA
+                    self.cwnd += (self.cfg.mss as f64 * self.cfg.mss as f64) / self.cwnd;
+                    // CA
                 }
                 // Timer: restart if data remains, else disarm.
                 if self.inflight.is_empty() {
@@ -595,10 +591,7 @@ impl TcpEngine {
 
         // --- data processing ---
         if !seg.payload.is_empty() {
-            let off = unwrap_seq(
-                seg.seq.wrapping_sub(self.irs).wrapping_sub(1),
-                self.rcv_nxt,
-            );
+            let off = unwrap_seq(seg.seq.wrapping_sub(self.irs).wrapping_sub(1), self.rcv_nxt);
             self.ack_pending = true;
             let len = seg.payload.len() as i64;
             if off == self.rcv_nxt as i64 {

@@ -87,7 +87,13 @@ mod tests {
     #[test]
     fn handshake_establishes_both_ends() {
         let (mut c, mut s) = pair();
-        run_lossless(&mut c, &mut s, SimTime::ZERO, SimDuration::from_micros(5), 50);
+        run_lossless(
+            &mut c,
+            &mut s,
+            SimTime::ZERO,
+            SimDuration::from_micros(5),
+            50,
+        );
         assert!(c.is_established());
         assert!(s.is_established());
     }
@@ -97,7 +103,13 @@ mod tests {
         let (mut c, mut s) = pair();
         let data: Vec<u8> = (0..20_000u32).map(|i| (i % 251) as u8).collect();
         c.send(Bytes::from(data.clone()));
-        run_lossless(&mut c, &mut s, SimTime::ZERO, SimDuration::from_micros(5), 500);
+        run_lossless(
+            &mut c,
+            &mut s,
+            SimTime::ZERO,
+            SimDuration::from_micros(5),
+            500,
+        );
         assert_eq!(drain(&mut s), data);
         assert_eq!(c.bytes_in_flight(), 0);
         assert_eq!(c.stats().retransmits, 0);
@@ -110,7 +122,13 @@ mod tests {
         let down: Vec<u8> = vec![2; 7000];
         c.send(Bytes::from(up.clone()));
         s.send(Bytes::from(down.clone()));
-        run_lossless(&mut c, &mut s, SimTime::ZERO, SimDuration::from_micros(5), 500);
+        run_lossless(
+            &mut c,
+            &mut s,
+            SimTime::ZERO,
+            SimDuration::from_micros(5),
+            500,
+        );
         assert_eq!(drain(&mut s), up);
         assert_eq!(drain(&mut c), down);
     }
@@ -118,7 +136,13 @@ mod tests {
     #[test]
     fn segments_respect_mss() {
         let (mut c, mut s) = pair();
-        run_lossless(&mut c, &mut s, SimTime::ZERO, SimDuration::from_micros(5), 50);
+        run_lossless(
+            &mut c,
+            &mut s,
+            SimTime::ZERO,
+            SimDuration::from_micros(5),
+            50,
+        );
         c.send(Bytes::from(vec![0u8; 10_000]));
         let now = SimTime::from_millis(1);
         let mut n = 0;
@@ -133,7 +157,13 @@ mod tests {
     #[test]
     fn lost_segment_recovers_via_fast_retransmit() {
         let (mut c, mut s) = pair();
-        run_lossless(&mut c, &mut s, SimTime::ZERO, SimDuration::from_micros(5), 50);
+        run_lossless(
+            &mut c,
+            &mut s,
+            SimTime::ZERO,
+            SimDuration::from_micros(5),
+            50,
+        );
         let data: Vec<u8> = (0..8000u32).map(|i| i as u8).collect();
         c.send(Bytes::from(data.clone()));
         let mut now = SimTime::from_millis(1);
@@ -166,7 +196,13 @@ mod tests {
     #[test]
     fn lone_lost_segment_recovers_via_rto() {
         let (mut c, mut s) = pair();
-        run_lossless(&mut c, &mut s, SimTime::ZERO, SimDuration::from_micros(5), 50);
+        run_lossless(
+            &mut c,
+            &mut s,
+            SimTime::ZERO,
+            SimDuration::from_micros(5),
+            50,
+        );
         c.send(Bytes::from(vec![7u8; 100])); // single small segment
         let mut now = SimTime::from_millis(1);
         // Drop it.
@@ -183,7 +219,13 @@ mod tests {
     #[test]
     fn reordered_segments_reassemble() {
         let (mut c, mut s) = pair();
-        run_lossless(&mut c, &mut s, SimTime::ZERO, SimDuration::from_micros(5), 50);
+        run_lossless(
+            &mut c,
+            &mut s,
+            SimTime::ZERO,
+            SimDuration::from_micros(5),
+            50,
+        );
         let data: Vec<u8> = (0..4000u32).map(|i| i as u8).collect();
         c.send(Bytes::from(data.clone()));
         let now = SimTime::from_millis(1);
@@ -201,7 +243,13 @@ mod tests {
     #[test]
     fn duplicate_segments_are_idempotent() {
         let (mut c, mut s) = pair();
-        run_lossless(&mut c, &mut s, SimTime::ZERO, SimDuration::from_micros(5), 50);
+        run_lossless(
+            &mut c,
+            &mut s,
+            SimTime::ZERO,
+            SimDuration::from_micros(5),
+            50,
+        );
         let data: Vec<u8> = (0..3000u32).map(|i| i as u8).collect();
         c.send(Bytes::from(data.clone()));
         let now = SimTime::from_millis(1);
@@ -219,18 +267,41 @@ mod tests {
     #[test]
     fn cwnd_grows_in_slow_start() {
         let (mut c, mut s) = pair();
-        run_lossless(&mut c, &mut s, SimTime::ZERO, SimDuration::from_micros(5), 50);
+        run_lossless(
+            &mut c,
+            &mut s,
+            SimTime::ZERO,
+            SimDuration::from_micros(5),
+            50,
+        );
         let before = c.cwnd();
         c.send(Bytes::from(vec![0u8; 100_000]));
-        run_lossless(&mut c, &mut s, SimTime::from_millis(1), SimDuration::from_micros(5), 2000);
-        assert!(c.cwnd() > before, "cwnd should grow: {} -> {}", before, c.cwnd());
+        run_lossless(
+            &mut c,
+            &mut s,
+            SimTime::from_millis(1),
+            SimDuration::from_micros(5),
+            2000,
+        );
+        assert!(
+            c.cwnd() > before,
+            "cwnd should grow: {} -> {}",
+            before,
+            c.cwnd()
+        );
         assert_eq!(drain(&mut s).len(), 100_000);
     }
 
     #[test]
     fn timeout_collapses_cwnd() {
         let (mut c, mut s) = pair();
-        run_lossless(&mut c, &mut s, SimTime::ZERO, SimDuration::from_micros(5), 50);
+        run_lossless(
+            &mut c,
+            &mut s,
+            SimTime::ZERO,
+            SimDuration::from_micros(5),
+            50,
+        );
         c.send(Bytes::from(vec![0u8; 50_000]));
         let now = SimTime::from_millis(1);
         while c.poll_segment(now).is_some() {} // drop everything

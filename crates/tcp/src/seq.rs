@@ -68,7 +68,10 @@ mod tests {
         let reference = 10_000_000_000u64;
         let wire = wrap_seq(reference, 0);
         assert_eq!(unwrap_seq(wire, reference), reference as i64);
-        assert_eq!(unwrap_seq(wire.wrapping_add(1460), reference), reference as i64 + 1460);
+        assert_eq!(
+            unwrap_seq(wire.wrapping_add(1460), reference),
+            reference as i64 + 1460
+        );
     }
 
     #[test]
@@ -77,9 +80,6 @@ mod tests {
         let offset = 5_000_000_123u64;
         let wire = wrap_seq(offset, iss);
         // Unwrap relative to the same offset recovers it (mod iss shift).
-        assert_eq!(
-            unwrap_seq(wire.wrapping_sub(iss), offset),
-            offset as i64
-        );
+        assert_eq!(unwrap_seq(wire.wrapping_sub(iss), offset), offset as i64);
     }
 }

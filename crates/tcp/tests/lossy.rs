@@ -43,7 +43,10 @@ fn chaos_transfer(data: &[u8], seed: u64, loss: f64, dup: f64) -> Vec<u8> {
         rto_min: SimDuration::from_millis(2),
         ..TcpConfig::default()
     };
-    let mut client = TcpEngine::connect(TcpConfig { iss: 77, ..cfg.clone() });
+    let mut client = TcpEngine::connect(TcpConfig {
+        iss: 77,
+        ..cfg.clone()
+    });
     let mut server = TcpEngine::listen(TcpConfig { iss: 909, ..cfg });
     let mut chaos = Chaos {
         rng: SmallRng::seed_from_u64(seed),

@@ -220,7 +220,10 @@ mod tests {
         let mut buf = BytesMut::new();
         sample().encode(&mut buf);
         buf[0] = 9;
-        assert_eq!(EbsHeader::decode(&mut buf.freeze()), Err(WireError::Malformed));
+        assert_eq!(
+            EbsHeader::decode(&mut buf.freeze()),
+            Err(WireError::Malformed)
+        );
     }
 
     #[test]
@@ -228,7 +231,10 @@ mod tests {
         let mut buf = BytesMut::new();
         sample().encode(&mut buf);
         buf[1] = 0xEE;
-        assert_eq!(EbsHeader::decode(&mut buf.freeze()), Err(WireError::Malformed));
+        assert_eq!(
+            EbsHeader::decode(&mut buf.freeze()),
+            Err(WireError::Malformed)
+        );
     }
 
     #[test]
@@ -236,7 +242,10 @@ mod tests {
         let mut buf = BytesMut::new();
         sample().encode(&mut buf);
         let short = buf.freeze().slice(..EbsHeader::LEN - 1);
-        assert_eq!(EbsHeader::decode(&mut &short[..]), Err(WireError::Truncated));
+        assert_eq!(
+            EbsHeader::decode(&mut &short[..]),
+            Err(WireError::Truncated)
+        );
     }
 
     #[test]

@@ -46,6 +46,16 @@ impl IntStack {
         IntStack::default()
     }
 
+    /// An empty stack with room for a full fabric path ([`MAX_INT_HOPS`]
+    /// records) already reserved, so per-hop stamping during traversal
+    /// never reallocates. Prefer this when attaching a stack to a packet
+    /// about to be injected into the fabric.
+    pub fn with_path_capacity() -> Self {
+        IntStack {
+            hops: Vec::with_capacity(MAX_INT_HOPS),
+        }
+    }
+
     /// Append a hop record (drops silently beyond [`MAX_INT_HOPS`], like
     /// real INT implementations that cap the stack).
     pub fn push(&mut self, hop: IntHop) {
@@ -157,6 +167,9 @@ mod tests {
     fn rejects_hop_count_overflow() {
         let mut buf = BytesMut::new();
         buf.put_u8(200);
-        assert_eq!(IntStack::decode(&mut buf.freeze()), Err(WireError::Malformed));
+        assert_eq!(
+            IntStack::decode(&mut buf.freeze()),
+            Err(WireError::Malformed)
+        );
     }
 }

@@ -334,7 +334,10 @@ mod tests {
             len: 4,
         }
         .encode(&mut buf);
-        assert_eq!(UdpHeader::decode(&mut buf.freeze()), Err(WireError::Malformed));
+        assert_eq!(
+            UdpHeader::decode(&mut buf.freeze()),
+            Err(WireError::Malformed)
+        );
     }
 
     #[test]
@@ -369,7 +372,13 @@ mod tests {
             Ipv4Header::decode(&mut &short[..]),
             Err(WireError::Truncated)
         );
-        assert_eq!(TcpHeader::decode(&mut &short[..]), Err(WireError::Truncated));
-        assert_eq!(UdpHeader::decode(&mut &short[..]), Err(WireError::Truncated));
+        assert_eq!(
+            TcpHeader::decode(&mut &short[..]),
+            Err(WireError::Truncated)
+        );
+        assert_eq!(
+            UdpHeader::decode(&mut &short[..]),
+            Err(WireError::Truncated)
+        );
     }
 }

@@ -48,13 +48,13 @@ mod tests {
     #[test]
     fn one_block_fits_one_jumbo_frame() {
         // The invariant the whole SOLAR design rests on.
-        assert!(BLOCK_SIZE + SOLAR_OVERHEAD <= JUMBO_MTU);
+        const { assert!(BLOCK_SIZE + SOLAR_OVERHEAD <= JUMBO_MTU) }
     }
 
     #[test]
     fn two_blocks_do_not_fit_standard_mtu() {
         // ...and it genuinely requires jumbo frames: a block + overhead
         // exceeds the standard 1500-byte MTU.
-        assert!(BLOCK_SIZE + SOLAR_OVERHEAD > 1500);
+        const { assert!(BLOCK_SIZE + SOLAR_OVERHEAD > 1500) }
     }
 }

@@ -2,7 +2,10 @@
 //! and decoders never panic on arbitrary bytes.
 
 use bytes::BytesMut;
-use ebs_wire::{EbsHeader, EbsOp, IntHop, IntStack, Ipv4Header, RpcFrame, RpcMethod, TcpFlags, TcpHeader, UdpHeader};
+use ebs_wire::{
+    EbsHeader, EbsOp, IntHop, IntStack, Ipv4Header, RpcFrame, RpcMethod, TcpFlags, TcpHeader,
+    UdpHeader,
+};
 use proptest::prelude::*;
 
 fn op_strategy() -> impl Strategy<Value = EbsOp> {

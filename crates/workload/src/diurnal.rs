@@ -6,8 +6,8 @@
 //! reproduces their anchor numbers: EBS ≈ 63% of TX / 51% of overall
 //! traffic, write I/O rate 3-4× read, ~200K IOPS peaks (§2.3).
 
-use rand::Rng;
 use rand::rngs::SmallRng;
+use rand::Rng;
 
 /// One hourly sample of per-server traffic (GB transferred that hour).
 #[derive(Debug, Clone, Copy)]
@@ -153,7 +153,10 @@ mod tests {
         let total_share = ebs / all;
         let tx_share = tx_share_acc / samples.len() as f64;
         assert!((tx_share - 0.63).abs() < 0.02, "tx share {tx_share}");
-        assert!((total_share - 0.51).abs() < 0.03, "total share {total_share}");
+        assert!(
+            (total_share - 0.51).abs() < 0.03,
+            "total share {total_share}"
+        );
     }
 
     #[test]

@@ -46,9 +46,7 @@ pub fn generate(n: usize, seed: u64) -> Vec<Incident> {
                 FailureTier::Core => (300.0, 6000.0),
                 FailureTier::DcRouter => (800.0, 12000.0),
             };
-            let vms_hung = 10f64
-                .powf(rng.gen_range(lo.log10()..hi.log10()))
-                .round() as u64;
+            let vms_hung = 10f64.powf(rng.gen_range(lo.log10()..hi.log10())).round() as u64;
             Incident {
                 tier,
                 duration_min,
@@ -77,16 +75,21 @@ mod tests {
         let spine = mean(FailureTier::Spine);
         let core = mean(FailureTier::Core);
         let router = mean(FailureTier::DcRouter);
-        assert!(tor < spine && spine < core && core < router,
-            "blast radius must grow with tier: {tor} {spine} {core} {router}");
+        assert!(
+            tor < spine && spine < core && core < router,
+            "blast radius must grow with tier: {tor} {spine} {core} {router}"
+        );
     }
 
     #[test]
     fn durations_span_the_figure_range() {
         let incidents = generate(100, 2);
-        let min = incidents.iter().map(|i| i.duration_min).fold(f64::MAX, f64::min);
+        let min = incidents
+            .iter()
+            .map(|i| i.duration_min)
+            .fold(f64::MAX, f64::min);
         let max = incidents.iter().map(|i| i.duration_min).fold(0.0, f64::max);
-        assert!(min >= 1.0 && min < 10.0);
+        assert!((1.0..10.0).contains(&min));
         assert!(max > 40.0 && max <= 100.0);
     }
 

@@ -21,8 +21,7 @@ pub struct QuarterMix {
 
 /// Quarter labels of Fig. 7.
 pub const QUARTERS: [&str; 12] = [
-    "19Q1", "19Q2", "19Q3", "19Q4", "20Q1", "20Q2", "20Q3", "20Q4", "21Q1", "21Q2", "21Q3",
-    "21Q4",
+    "19Q1", "19Q2", "19Q3", "19Q4", "20Q1", "20Q2", "20Q3", "20Q4", "21Q1", "21Q2", "21Q3", "21Q4",
 ];
 
 fn logistic(x: f64) -> f64 {
@@ -103,9 +102,18 @@ mod tests {
 
     fn perfs() -> (StackPerf, StackPerf, StackPerf) {
         (
-            StackPerf { latency_us: 300.0, iops: 1.0 },
-            StackPerf { latency_us: 105.0, iops: 2.6 },
-            StackPerf { latency_us: 70.0, iops: 3.6 },
+            StackPerf {
+                latency_us: 300.0,
+                iops: 1.0,
+            },
+            StackPerf {
+                latency_us: 105.0,
+                iops: 2.6,
+            },
+            StackPerf {
+                latency_us: 70.0,
+                iops: 3.6,
+            },
         )
     }
 

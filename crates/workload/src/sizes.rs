@@ -65,7 +65,10 @@ impl SizeMixture {
 
     /// The (x, F(x)) curve at each distinct size.
     pub fn curve(&self) -> Vec<(u32, f64)> {
-        self.entries.iter().map(|&(b, _)| (b, self.cdf(b))).collect()
+        self.entries
+            .iter()
+            .map(|&(b, _)| (b, self.cdf(b)))
+            .collect()
     }
 }
 
@@ -110,10 +113,7 @@ mod tests {
         let m = SizeMixture::fig5_io();
         let mut rng = rand::rngs::SmallRng::seed_from_u64(3);
         let n = 100_000;
-        let small = (0..n)
-            .filter(|_| m.sample(&mut rng) <= 4096)
-            .count() as f64
-            / n as f64;
+        let small = (0..n).filter(|_| m.sample(&mut rng) <= 4096).count() as f64 / n as f64;
         assert!((small - 0.40).abs() < 0.01, "{small}");
     }
 

@@ -42,7 +42,7 @@ fn run(variant: Variant) -> (Histogram, Histogram) {
                 IoRequest {
                     vd_id: 0,
                     kind: IoKind::Write,
-                    offset: 8 << 20 | page_no * PAGE as u64,
+                    offset: (8 << 20) | (page_no * PAGE as u64),
                     len: PAGE,
                 },
             );

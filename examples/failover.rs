@@ -41,10 +41,7 @@ fn run(variant: Variant) -> (usize, usize, f64) {
     let done_after: usize = tb
         .traces()
         .iter()
-        .filter(|t| {
-            t.completed
-                .map_or(false, |c| c >= SimTime::from_millis(500))
-        })
+        .filter(|t| t.completed.is_some_and(|c| c >= SimTime::from_millis(500)))
         .count();
     (total, hung, done_after as f64 / 4.5)
 }

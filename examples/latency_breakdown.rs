@@ -10,7 +10,13 @@ use rand::Rng;
 
 fn main() {
     println!("4KB write latency breakdown (median), light load, per stack generation\n");
-    let variants = [Variant::Kernel, Variant::Luna, Variant::Rdma, Variant::SolarStar, Variant::Solar];
+    let variants = [
+        Variant::Kernel,
+        Variant::Luna,
+        Variant::Rdma,
+        Variant::SolarStar,
+        Variant::Solar,
+    ];
     println!(
         "{:<8} {:>8} {:>8} {:>8} {:>8} {:>9}   bar (1 char ≈ 4us)",
         "stack", "SA", "FN", "BN", "SSD", "total"

@@ -57,7 +57,10 @@ fn main() {
     println!("  pipeline latency : {latency}");
     println!("  segment resolved : {}", ctx.hdr.segment_id);
     println!("  payload CRC      : {:#010x}", ctx.hdr.payload_crc);
-    println!("  encrypted        : {}\n", ctx.hdr.flags & luna_solar::wire::FLAG_ENCRYPTED != 0);
+    println!(
+        "  encrypted        : {}\n",
+        ctx.hdr.flags & luna_solar::wire::FLAG_ENCRYPTED != 0
+    );
 
     let mut resp = PacketCtx::new(
         EbsHeader {
@@ -68,7 +71,10 @@ fn main() {
     );
     read_path.process(SimTime::ZERO, &mut resp).expect("hit");
     println!("one READ response through the Addr stage:");
-    println!("  DMA address      : {:#x}\n", resp.dma_addr.expect("addr entry"));
+    println!(
+        "  DMA address      : {:#x}\n",
+        resp.dma_addr.expect("addr entry")
+    );
 
     println!("// ---- P4 rendering (what a commodity DPU would compile) ----\n");
     println!("{}", write_path.describe_p4("SolarWritePath"));

@@ -14,9 +14,27 @@ fn main() {
     // A guest writes a 16 KiB database page, then reads it back, plus a
     // few 4 KiB journal writes.
     let mut t = SimTime::from_millis(1);
-    tb.schedule_io(t, 0, IoRequest { vd_id: 0, kind: IoKind::Write, offset: 0, len: 16384 });
+    tb.schedule_io(
+        t,
+        0,
+        IoRequest {
+            vd_id: 0,
+            kind: IoKind::Write,
+            offset: 0,
+            len: 16384,
+        },
+    );
     t += SimDuration::from_millis(1);
-    tb.schedule_io(t, 0, IoRequest { vd_id: 0, kind: IoKind::Read, offset: 0, len: 16384 });
+    tb.schedule_io(
+        t,
+        0,
+        IoRequest {
+            vd_id: 0,
+            kind: IoKind::Read,
+            offset: 0,
+            len: 16384,
+        },
+    );
     for i in 0..4u64 {
         t += SimDuration::from_micros(250);
         tb.schedule_io(

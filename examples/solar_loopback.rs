@@ -57,12 +57,18 @@ fn server(socket: UdpSocket) {
             Ok(x) => x,
             Err(_) => return, // idle timeout: done
         };
-        let Some(pkt) = decode(&buf[..len]) else { continue };
+        let Some(pkt) = decode(&buf[..len]) else {
+            continue;
+        };
         match responder.on_packet(pkt) {
             ServerAction::StoreBlock { hdr, data, int } => {
                 // Verify the block's CRC before persisting (the storage
                 // side's own integrity gate).
-                assert_eq!(block_crc_raw(&data, BLOCK), hdr.payload_crc, "wire corruption");
+                assert_eq!(
+                    block_crc_raw(&data, BLOCK),
+                    hdr.payload_crc,
+                    "wire corruption"
+                );
                 disk.insert(hdr.block_addr, (data.to_vec(), hdr.payload_crc));
                 let (ack, _) = responder.write_ack(&hdr, int);
                 socket.send_to(&encode(&ack), peer).expect("send ack");
@@ -184,7 +190,10 @@ fn main() {
         while let Some(ev) = client.poll_event() {
             match ev {
                 SolarEvent::BlockReceived {
-                    block_addr, data, crc, ..
+                    block_addr,
+                    data,
+                    crc,
+                    ..
                 } => {
                     got.insert(block_addr, (data.to_vec(), crc));
                 }

@@ -9,7 +9,10 @@ use luna_solar::stack::Variant;
 fn solar_has_zero_hangs_in_every_scenario() {
     for s in Scenario::ALL {
         let hung = run_scenario(s, Variant::Solar, true);
-        assert_eq!(hung, 0, "{s:?}: Solar must never hang an I/O (paper Table 2)");
+        assert_eq!(
+            hung, 0,
+            "{s:?}: Solar must never hang an I/O (paper Table 2)"
+        );
     }
 }
 

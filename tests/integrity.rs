@@ -31,10 +31,7 @@ fn hdr(addr: u64) -> EbsHeader {
 
 /// Push `blocks` through a CRC(+SEC) TX pipeline; returns what would go
 /// on the wire: (header, ciphertext) pairs.
-fn tx_pipeline(
-    blocks: &[Vec<u8>],
-    injector: Option<BitFlipInjector>,
-) -> Vec<(EbsHeader, Bytes)> {
+fn tx_pipeline(blocks: &[Vec<u8>], injector: Option<BitFlipInjector>) -> Vec<(EbsHeader, Bytes)> {
     let engine = SecEngine::new([7; 32]);
     let mut pipeline = Pipeline::new(vec![
         Box::new(CrcStage::new(BLOCK, injector)) as Box<dyn Stage>,
@@ -45,7 +42,9 @@ fn tx_pipeline(
         .enumerate()
         .map(|(i, b)| {
             let mut ctx = PacketCtx::new(hdr(i as u64), Bytes::from(b.clone()));
-            pipeline.process(SimTime::ZERO, &mut ctx).expect("forwarded");
+            pipeline
+                .process(SimTime::ZERO, &mut ctx)
+                .expect("forwarded");
             (ctx.hdr, ctx.payload)
         })
         .collect()

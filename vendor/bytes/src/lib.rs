@@ -1,0 +1,508 @@
+//! Offline vendored subset of the [`bytes`](https://crates.io/crates/bytes)
+//! crate: just the API surface this workspace uses, with the same
+//! semantics (reference-counted immutable [`Bytes`], growable
+//! [`BytesMut`], and big-endian [`Buf`]/[`BufMut`] cursors).
+//!
+//! The container this repo builds in has no crates.io access, so the
+//! handful of external dependencies are vendored as small, semantically
+//! faithful local crates. Nothing here is performance-exotic: `Bytes` is
+//! an `Arc<Vec<u8>>` plus a window, which preserves the O(1) `clone` /
+//! `slice` / `split_to` contract the simulator's zero-copy paths rely on.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Bound, Deref, RangeBounds};
+use std::sync::Arc;
+
+/// A cheaply cloneable, immutable, contiguous slice of memory.
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Arc<Vec<u8>>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Bytes::default()
+    }
+
+    /// A buffer borrowing a `'static` slice (copied here; the real crate
+    /// points at it, but the observable behavior is identical).
+    pub fn from_static(s: &'static [u8]) -> Self {
+        Bytes::from(s.to_vec())
+    }
+
+    /// Copy `s` into a new buffer.
+    pub fn copy_from_slice(s: &[u8]) -> Self {
+        Bytes::from(s.to_vec())
+    }
+
+    /// Bytes in the current view.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True if the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+
+    /// O(1) sub-view of the current view.
+    ///
+    /// # Panics
+    /// Panics if the range is out of bounds.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let lo = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len(),
+        };
+        assert!(lo <= hi && hi <= self.len(), "slice out of bounds");
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + lo,
+            end: self.start + hi,
+        }
+    }
+
+    /// Split off and return the first `at` bytes, leaving the rest.
+    ///
+    /// # Panics
+    /// Panics if `at > len`.
+    pub fn split_to(&mut self, at: usize) -> Bytes {
+        assert!(at <= self.len(), "split_to out of bounds");
+        let head = Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start,
+            end: self.start + at,
+        };
+        self.start += at;
+        head
+    }
+
+    /// Split off and return the bytes from `at` onward, keeping the head.
+    ///
+    /// # Panics
+    /// Panics if `at > len`.
+    pub fn split_off(&mut self, at: usize) -> Bytes {
+        assert!(at <= self.len(), "split_off out of bounds");
+        let tail = Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + at,
+            end: self.end,
+        };
+        self.end = self.start + at;
+        tail
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let end = v.len();
+        Bytes {
+            data: Arc::new(v),
+            start: 0,
+            end,
+        }
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(s: &'static [u8]) -> Self {
+        Bytes::from(s.to_vec())
+    }
+}
+
+impl From<&'static str> for Bytes {
+    fn from(s: &'static str) -> Self {
+        Bytes::from(s.as_bytes().to_vec())
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.as_slice() {
+            for e in std::ascii::escape_default(b) {
+                write!(f, "{}", e as char)?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+impl PartialEq<&[u8]> for Bytes {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.as_slice() == *other
+    }
+}
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+/// A growable byte buffer with an efficient consumed-front window.
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+    /// Bytes logically consumed from the front (`split_to` / `advance`).
+    start: usize,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// An empty buffer with `cap` bytes of capacity reserved.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+            start: 0,
+        }
+    }
+
+    /// Bytes in the current view.
+    pub fn len(&self) -> usize {
+        self.data.len() - self.start
+    }
+
+    /// True if the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Reserve capacity for at least `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.data.reserve(additional);
+    }
+
+    /// Usable capacity beyond the consumed front.
+    pub fn capacity(&self) -> usize {
+        self.data.capacity() - self.start
+    }
+
+    /// Empty the view, keeping capacity.
+    pub fn clear(&mut self) {
+        self.data.clear();
+        self.start = 0;
+    }
+
+    /// Append `other`.
+    pub fn extend_from_slice(&mut self, other: &[u8]) {
+        self.data.extend_from_slice(other);
+    }
+
+    /// Resize the view to `new_len`, filling with `value` when growing.
+    pub fn resize(&mut self, new_len: usize, value: u8) {
+        self.data.resize(self.start + new_len, value);
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..]
+    }
+
+    /// Split off and return the first `at` bytes, leaving the rest.
+    ///
+    /// # Panics
+    /// Panics if `at > len`.
+    pub fn split_to(&mut self, at: usize) -> BytesMut {
+        assert!(at <= self.len(), "split_to out of bounds");
+        let head = self.data[self.start..self.start + at].to_vec();
+        self.start += at;
+        // Periodically reclaim the consumed prefix so a long-lived stream
+        // decoder doesn't grow without bound.
+        if self.start > 4096 && self.start * 2 > self.data.len() {
+            self.data.drain(..self.start);
+            self.start = 0;
+        }
+        BytesMut {
+            data: head,
+            start: 0,
+        }
+    }
+
+    /// Freeze into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        if self.start == 0 {
+            Bytes::from(self.data)
+        } else {
+            Bytes::from(self.data[self.start..].to_vec())
+        }
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(s: &[u8]) -> Self {
+        BytesMut {
+            data: s.to_vec(),
+            start: 0,
+        }
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl std::ops::DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        let start = self.start;
+        &mut self.data[start..]
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl std::fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        Bytes::from(self.as_slice().to_vec()).fmt(f)
+    }
+}
+
+/// Read cursor over a byte source. All multi-byte getters are big-endian,
+/// matching the real crate's defaults.
+pub trait Buf {
+    /// Bytes remaining to read.
+    fn remaining(&self) -> usize;
+    /// The contiguous unread slice.
+    fn chunk(&self) -> &[u8];
+    /// Consume `cnt` bytes.
+    fn advance(&mut self, cnt: usize);
+
+    /// True if any bytes remain.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Copy `dst.len()` bytes out, advancing.
+    ///
+    /// # Panics
+    /// Panics if fewer than `dst.len()` bytes remain.
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(self.remaining() >= dst.len(), "buffer underflow");
+        dst.copy_from_slice(&self.chunk()[..dst.len()]);
+        self.advance(dst.len());
+    }
+
+    /// Read one byte.
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+
+    /// Read a big-endian u16.
+    fn get_u16(&mut self) -> u16 {
+        let mut b = [0u8; 2];
+        self.copy_to_slice(&mut b);
+        u16::from_be_bytes(b)
+    }
+
+    /// Read a big-endian u32.
+    fn get_u32(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_be_bytes(b)
+    }
+
+    /// Read a big-endian u64.
+    fn get_u64(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_be_bytes(b)
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn chunk(&self) -> &[u8] {
+        self.as_slice()
+    }
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance out of bounds");
+        self.start += cnt;
+    }
+}
+
+impl Buf for BytesMut {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn chunk(&self) -> &[u8] {
+        self.as_slice()
+    }
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance out of bounds");
+        self.start += cnt;
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance out of bounds");
+        *self = &self[cnt..];
+    }
+}
+
+impl<T: Buf + ?Sized> Buf for &mut T {
+    fn remaining(&self) -> usize {
+        (**self).remaining()
+    }
+    fn chunk(&self) -> &[u8] {
+        (**self).chunk()
+    }
+    fn advance(&mut self, cnt: usize) {
+        (**self).advance(cnt)
+    }
+}
+
+/// Write cursor. All multi-byte putters are big-endian, matching the real
+/// crate's defaults.
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+    /// Append a big-endian u16.
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+    /// Append a big-endian u32.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+    /// Append a big-endian u64.
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+impl<T: BufMut + ?Sized> BufMut for &mut T {
+    fn put_slice(&mut self, src: &[u8]) {
+        (**self).put_slice(src)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_be() {
+        let mut b = BytesMut::new();
+        b.put_u8(1);
+        b.put_u16(0x0203);
+        b.put_u32(0x04050607);
+        b.put_u64(0x08090a0b0c0d0e0f);
+        assert_eq!(b.len(), 15);
+        let mut r = b.freeze();
+        assert_eq!(r.get_u8(), 1);
+        assert_eq!(r.get_u16(), 0x0203);
+        assert_eq!(r.get_u32(), 0x04050607);
+        assert_eq!(r.get_u64(), 0x08090a0b0c0d0e0f);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn slice_and_split_share_storage() {
+        let b = Bytes::from(vec![0, 1, 2, 3, 4, 5]);
+        let mid = b.slice(2..5);
+        assert_eq!(&mid[..], &[2, 3, 4]);
+        let mut c = b.clone();
+        let head = c.split_to(2);
+        assert_eq!(&head[..], &[0, 1]);
+        assert_eq!(&c[..], &[2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn bytes_mut_split_to_consumes_front() {
+        let mut b = BytesMut::new();
+        b.extend_from_slice(b"hello world");
+        let head = b.split_to(6);
+        assert_eq!(&head[..], b"hello ");
+        assert_eq!(&b[..], b"world");
+        assert_eq!(b.freeze(), Bytes::from_static(b"world"));
+    }
+
+    #[test]
+    fn slice_buf_advances() {
+        let mut s: &[u8] = &[1, 2, 3, 4];
+        assert_eq!(s.get_u16(), 0x0102);
+        assert_eq!(s.remaining(), 2);
+    }
+}

@@ -1,0 +1,353 @@
+//! Offline vendored micro-benchmark harness with the
+//! [`criterion`](https://crates.io/crates/criterion) API subset this
+//! workspace uses. The build container has no crates.io access, so the
+//! external dev-dependencies are vendored as small local crates.
+//!
+//! Measurement model: per benchmark, a calibration run sizes the batch so
+//! one sample takes roughly `measurement_time / sample_size`, then
+//! `sample_size` timed batches are taken and the per-iteration mean,
+//! median and min are reported, plus derived throughput when configured.
+//! Passing `--test` (as `cargo test --benches` does) runs every benchmark
+//! for a single iteration, exactly like real criterion's test mode.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export of the measured-value blinder (real criterion has its own;
+/// the std one is equivalent for our purposes).
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group: turns per-iteration time
+/// into a rate in the report.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A parameterised benchmark name, rendered as `function/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            full: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+/// The timing loop handle passed to benchmark closures.
+pub struct Bencher<'a> {
+    cfg: &'a Config,
+    /// Collected per-iteration nanoseconds for each sample.
+    result_ns: Option<Samples>,
+}
+
+struct Samples {
+    mean_ns: f64,
+    median_ns: f64,
+    min_ns: f64,
+}
+
+impl Bencher<'_> {
+    /// Time `routine`, keeping its output alive so the optimizer can't
+    /// delete the work.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.cfg.test_mode {
+            black_box(routine());
+            self.result_ns = Some(Samples {
+                mean_ns: 0.0,
+                median_ns: 0.0,
+                min_ns: 0.0,
+            });
+            return;
+        }
+        // Calibrate: how many iterations fit one sample slot?
+        let slot = self.cfg.measurement_time.as_secs_f64() / self.cfg.sample_size as f64;
+        let t0 = Instant::now();
+        black_box(routine());
+        let one = t0.elapsed().as_secs_f64().max(1e-9);
+        let iters_per_sample = ((slot / one).ceil() as u64).clamp(1, 100_000_000);
+        // Warm-up.
+        let warm_until = Instant::now() + self.cfg.warm_up_time;
+        while Instant::now() < warm_until {
+            black_box(routine());
+        }
+        // Measure.
+        let mut per_iter: Vec<f64> = Vec::with_capacity(self.cfg.sample_size);
+        for _ in 0..self.cfg.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            per_iter.push(t0.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+        }
+        per_iter.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+        self.result_ns = Some(Samples {
+            mean_ns: mean,
+            median_ns: per_iter[per_iter.len() / 2],
+            min_ns: per_iter[0],
+        });
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Config {
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    sample_size: usize,
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(500),
+            sample_size: 30,
+            test_mode: false,
+            filter: None,
+        }
+    }
+}
+
+/// The benchmark manager: owns configuration and prints the report.
+#[derive(Default)]
+pub struct Criterion {
+    cfg: Config,
+}
+
+impl Criterion {
+    /// Target cumulative measurement time per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.cfg.measurement_time = d;
+        self
+    }
+
+    /// Warm-up time per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.cfg.warm_up_time = d;
+        self
+    }
+
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.cfg.sample_size = n;
+        self
+    }
+
+    /// Apply CLI args (`--test` runs one iteration per bench; any bare
+    /// token is a substring filter). Called by [`criterion_main!`].
+    pub fn configure_from_args(mut self) -> Self {
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" | "--quick" => self.cfg.test_mode = true,
+                "--bench" | "--verbose" | "-n" | "--noplot" => {}
+                s if s.starts_with('-') => {}
+                s => self.cfg.filter = Some(s.to_string()),
+            }
+        }
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Benchmark a single function outside a group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let mut g = self.benchmark_group("");
+        g.bench_function(id, f);
+        g.finish();
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(
+        &mut self,
+        group: &str,
+        id: &str,
+        throughput: Option<Throughput>,
+        mut f: F,
+    ) {
+        let full = if group.is_empty() {
+            id.to_string()
+        } else {
+            format!("{group}/{id}")
+        };
+        if let Some(filter) = &self.cfg.filter {
+            if !full.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut b = Bencher {
+            cfg: &self.cfg,
+            result_ns: None,
+        };
+        f(&mut b);
+        let Some(s) = b.result_ns else {
+            println!("{full:<44} (no measurement: closure never called iter)");
+            return;
+        };
+        if self.cfg.test_mode {
+            println!("{full:<44} ok (test mode)");
+            return;
+        }
+        let rate = throughput.map(|t| match t {
+            Throughput::Bytes(n) => format!(
+                "  {:>10.1} MiB/s",
+                n as f64 / (s.median_ns / 1e9) / (1024.0 * 1024.0)
+            ),
+            Throughput::Elements(n) => {
+                format!("  {:>10.0} elem/s", n as f64 / (s.median_ns / 1e9))
+            }
+        });
+        println!(
+            "{full:<44} median {:>12} mean {:>12} min {:>12}{}",
+            fmt_ns(s.median_ns),
+            fmt_ns(s.mean_ns),
+            fmt_ns(s.min_ns),
+            rate.unwrap_or_default()
+        );
+    }
+
+    /// Print the trailing summary line (no-op placeholder, for API
+    /// compatibility).
+    pub fn final_summary(&self) {}
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} us", ns / 1e3)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput
+/// annotation.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the per-iteration throughput used in the report.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl AsRef<str>,
+        f: F,
+    ) -> &mut Self {
+        let (name, tp) = (self.name.clone(), self.throughput);
+        self.criterion.run_one(&name, id.as_ref(), tp, f);
+        self
+    }
+
+    /// Run one parameterised benchmark in this group.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let (name, tp) = (self.name.clone(), self.throughput);
+        self.criterion.run_one(&name, &id.full, tp, |b| f(b, input));
+        self
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+/// Define a benchmark group fn. Both the `name/config/targets` form and
+/// the positional form are supported.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config.configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Define the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smoke(c: &mut Criterion) {
+        let mut g = c.benchmark_group("grp");
+        g.throughput(Throughput::Bytes(64));
+        g.bench_function("add", |b| {
+            let mut x = 0u64;
+            b.iter(|| {
+                x = x.wrapping_add(black_box(3));
+                x
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("param", 7), &7u64, |b, &p| {
+            b.iter(|| black_box(p) * 2)
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn runs_quickly_in_test_mode() {
+        let mut c = Criterion::default()
+            .measurement_time(Duration::from_millis(10))
+            .warm_up_time(Duration::from_millis(1))
+            .sample_size(5);
+        c.cfg.test_mode = true;
+        smoke(&mut c);
+    }
+
+    #[test]
+    fn measures_without_test_mode() {
+        let mut c = Criterion::default()
+            .measurement_time(Duration::from_millis(20))
+            .warm_up_time(Duration::from_millis(2))
+            .sample_size(5);
+        smoke(&mut c);
+    }
+}
