@@ -30,6 +30,61 @@ fn bench_crc(c: &mut Criterion) {
     g.finish();
 }
 
+/// The ISSUE-2 kernel shoot-out: slice-by-8 (the seed's engine), the
+/// portable slice-by-16 fallback, and the runtime-dispatched hardware
+/// kernels (PCLMULQDQ folding for IEEE, SSE4.2 `crc32` for Castagnoli)
+/// — all over the canonical 4 KiB block.
+fn bench_crc_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("crc32_4k");
+    let block = vec![0xA5u8; 4096];
+    g.throughput(Throughput::Bytes(4096));
+    let ieee = ebs_crc::Crc32::ieee();
+    let ieee_portable = ebs_crc::Crc32::ieee().force_portable();
+    g.bench_function("ieee_slice8", |b| {
+        b.iter(|| {
+            let s = ieee_portable.start();
+            let s = ieee_portable.update_slice8(s, std::hint::black_box(&block));
+            ieee_portable.finish(s)
+        })
+    });
+    g.bench_function("ieee_slice16", |b| {
+        b.iter(|| ieee_portable.checksum(std::hint::black_box(&block)))
+    });
+    g.bench_function(format!("ieee_dispatch_{}", ieee.kernel_name()), |b| {
+        b.iter(|| ieee.checksum(std::hint::black_box(&block)))
+    });
+    let c32c = ebs_crc::Crc32::castagnoli();
+    g.bench_function(format!("crc32c_dispatch_{}", c32c.kernel_name()), |b| {
+        b.iter(|| c32c.checksum(std::hint::black_box(&block)))
+    });
+    g.finish();
+}
+
+/// Steady-state packet payload churn: grab a 4 KiB buffer, fill it,
+/// freeze it into `Bytes`, drop the handle — the pool recycles the block
+/// so the loop is allocation-free, versus the seed's `vec![] → Bytes`
+/// which hits the global allocator every iteration.
+fn bench_block_pool(c: &mut Criterion) {
+    let mut g = c.benchmark_group("block_pool_churn");
+    g.throughput(Throughput::Bytes(4096));
+    let pool = ebs_wire::BlockPool::new(4096, 64);
+    g.bench_function("pooled_take_freeze_drop", |b| {
+        b.iter(|| {
+            let mut buf = pool.take();
+            buf.resize(4096, 0x5A);
+            let bytes: Bytes = buf.freeze().into_bytes();
+            std::hint::black_box(bytes.len())
+        })
+    });
+    g.bench_function("vec_alloc_freeze_drop", |b| {
+        b.iter(|| {
+            let bytes = Bytes::from(vec![0x5Au8; 4096]);
+            std::hint::black_box(bytes.len())
+        })
+    });
+    g.finish();
+}
+
 fn bench_crypto(c: &mut Criterion) {
     let mut g = c.benchmark_group("sec");
     g.throughput(Throughput::Bytes(4096));
@@ -438,6 +493,8 @@ criterion_group! {
         .warm_up_time(std::time::Duration::from_millis(500))
         .sample_size(30);
     targets = bench_crc,
+        bench_crc_kernels,
+        bench_block_pool,
         bench_crypto,
         bench_wire,
         bench_tables,

@@ -1,9 +1,95 @@
-//! Property tests for the CRC invariants SOLAR's integrity design rests on.
+//! Property tests for the CRC invariants SOLAR's integrity design rests on,
+//! plus the differential suite pinning every dispatched kernel (slice-by-16
+//! portable, SSE4.2 crc32, PCLMULQDQ folding) to the slice-by-8 reference.
 
-use ebs_crc::{block_crc_raw, combine, crc32, crc32_raw, SegmentChecker, SegmentVerdict};
+use ebs_crc::{
+    block_crc_raw, combine, crc32, crc32_raw, Crc32, SegmentChecker, SegmentVerdict,
+    POLY_CASTAGNOLI, POLY_IEEE,
+};
 use proptest::prelude::*;
 
+/// Engines covering both polynomials and both conditionings, so the
+/// dispatched kernels (which depend on the polynomial) are all exercised.
+fn engines() -> Vec<(&'static str, Crc32)> {
+    vec![
+        ("ieee", Crc32::ieee()),
+        ("ieee_raw", Crc32::ieee_raw()),
+        ("castagnoli", Crc32::castagnoli()),
+        ("castagnoli_raw", Crc32::with_params(POLY_CASTAGNOLI, 0, 0)),
+        (
+            "ieee_odd_params",
+            Crc32::with_params(POLY_IEEE, 0x1234_5678, 0x0F0F_0F0F),
+        ),
+    ]
+}
+
 proptest! {
+    /// Differential: dispatched kernel == slice-by-16 == slice-by-8 for
+    /// every engine, over random lengths, contents and starting states.
+    #[test]
+    fn kernels_match_reference(
+        data in proptest::collection::vec(any::<u8>(), 0..4500),
+        state in any::<u32>(),
+    ) {
+        for (name, e) in engines() {
+            let want = e.update_slice8(state, &data);
+            prop_assert_eq!(e.update(state, &data), want, "dispatch {} ({})", name, e.kernel_name());
+            prop_assert_eq!(e.update_slice16(state, &data), want, "slice16 {}", name);
+        }
+    }
+
+    /// Differential at unaligned starting offsets: hardware kernels must
+    /// not care where in an allocation the data begins. Exercises every
+    /// alignment 0..16 around the exact 4096-byte fast path.
+    #[test]
+    fn kernels_match_reference_unaligned(
+        seed in any::<u64>(),
+        offset in 0usize..16,
+        len in prop::sample::select(vec![0usize, 1, 15, 16, 63, 64, 65, 255, 4095, 4096, 4097]),
+    ) {
+        let backing: Vec<u8> = (0..(offset + len))
+            .map(|i| (seed.wrapping_mul(i as u64 + 1) >> 13) as u8)
+            .collect();
+        let data = &backing[offset..];
+        for (name, e) in engines() {
+            prop_assert_eq!(
+                e.update(0, data),
+                e.update_slice8(0, data),
+                "{} len={} offset={}", name, len, offset
+            );
+        }
+    }
+
+    /// The checksum (conditioned) path agrees across kernels too, and
+    /// incremental dispatch at arbitrary splits equals one-shot.
+    #[test]
+    fn dispatched_checksum_incremental(
+        data in proptest::collection::vec(any::<u8>(), 0..2048),
+        split in any::<prop::sample::Index>(),
+    ) {
+        for (name, e) in engines() {
+            let k = split.index(data.len() + 1);
+            let mut st = e.start();
+            st = e.update(st, &data[..k]);
+            st = e.update(st, &data[k..]);
+            prop_assert_eq!(e.finish(st), e.finish(e.update_slice8(e.start(), &data)),
+                "split {}", name);
+        }
+    }
+
+    /// Aggregation laws hold with hardware kernels live: raw linearity
+    /// `CRC(A ⊕ B) = CRC(A) ⊕ CRC(B)` on full 4 KiB blocks (the dispatch
+    /// fast path) and `combine` against concatenation.
+    #[test]
+    fn aggregation_laws_survive_dispatch(seed in any::<u64>()) {
+        let a: Vec<u8> = (0..4096u64).map(|i| (seed.wrapping_mul(i + 3) >> 11) as u8).collect();
+        let b: Vec<u8> = (0..4096u64).map(|i| (seed.wrapping_mul(i + 7) >> 17) as u8).collect();
+        let x: Vec<u8> = a.iter().zip(&b).map(|(p, q)| p ^ q).collect();
+        prop_assert_eq!(crc32_raw(&x), crc32_raw(&a) ^ crc32_raw(&b));
+        let whole: Vec<u8> = a.iter().chain(b.iter()).copied().collect();
+        prop_assert_eq!(combine(crc32(&a), crc32(&b), b.len() as u64), crc32(&whole));
+    }
+
     /// Raw CRC is linear over XOR for equal-length inputs — the exact
     /// property the paper's divide-and-conquer aggregation exploits.
     #[test]

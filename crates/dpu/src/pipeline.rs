@@ -261,9 +261,11 @@ impl Stage for CrcStage {
             if let Some(flip) = inj.maybe_flip_u32() {
                 crc ^= flip;
             } else if let Some((byte, bit)) = inj.maybe_flip_payload(ctx.payload.len()) {
-                let mut data = ctx.payload.to_vec();
+                // Copy-on-corrupt through the block pool: no fresh heap
+                // allocation on the recycled path.
+                let mut data = ebs_wire::pool::with_default_pool(|p| p.take_copy(&ctx.payload));
                 data[byte] ^= 1 << bit;
-                ctx.payload = Bytes::from(data);
+                ctx.payload = data.freeze().into_bytes();
             }
         }
         ctx.hdr.payload_crc = crc;
@@ -313,7 +315,10 @@ impl Stage for SecStage {
         if !self.engine.is_enabled() || ctx.payload.is_empty() {
             return StageVerdict::Forward;
         }
-        let mut data = ctx.payload.to_vec();
+        // Cipher in place inside a pooled buffer: the old payload handle is
+        // released (recycling its block if this stage held the last clone)
+        // and the transformed block recycles in turn downstream.
+        let mut data = ebs_wire::pool::with_default_pool(|p| p.take_copy(&ctx.payload));
         if self.decrypt {
             self.engine
                 .decrypt_block(ctx.hdr.vd_id, ctx.hdr.block_addr, &mut data);
@@ -322,7 +327,7 @@ impl Stage for SecStage {
                 .encrypt_block(ctx.hdr.vd_id, ctx.hdr.block_addr, &mut data);
             ctx.hdr.flags |= ebs_wire::FLAG_ENCRYPTED;
         }
-        ctx.payload = Bytes::from(data);
+        ctx.payload = data.freeze().into_bytes();
         StageVerdict::Forward
     }
     fn p4_summary(&self) -> String {

@@ -2,20 +2,19 @@
 //!
 //! LUNA's first big win over kernel TCP is a zero-copy design *across SA
 //! and RPC*: buffers are recycled and shared between layers instead of
-//! copied at each boundary (§3.2). This pool hands out fixed-size buffers
-//! and takes them back; the hit-rate counter shows how quickly a steady
-//! workload stops allocating entirely.
+//! copied at each boundary (§3.2). This pool is a LUNA-flavoured front for
+//! the workspace-wide [`ebs_wire::BlockPool`]: it hands out writable
+//! buffers whose storage keeps recycling even after they are frozen into
+//! [`bytes::Bytes`] and shipped through the RPC layer — the freeze that
+//! used to leak a buffer out of the pool now rides the pooled storage all
+//! the way around the loop.
 
-use bytes::BytesMut;
+use ebs_wire::{BlockPool, PooledBuf};
 
 /// A recycling pool of fixed-size buffers.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct BufferPool {
-    buf_size: usize,
-    free: Vec<BytesMut>,
-    max_free: usize,
-    allocations: u64,
-    reuses: u64,
+    pool: BlockPool,
 }
 
 impl BufferPool {
@@ -25,52 +24,37 @@ impl BufferPool {
     /// # Panics
     /// Panics if `buf_size` is zero.
     pub fn new(buf_size: usize, max_free: usize) -> Self {
-        assert!(buf_size > 0);
         BufferPool {
-            buf_size,
-            free: Vec::new(),
-            max_free,
-            allocations: 0,
-            reuses: 0,
+            pool: BlockPool::new(buf_size, max_free),
         }
     }
 
-    /// Take a cleared buffer (recycled when possible).
-    pub fn take(&mut self) -> BytesMut {
-        match self.free.pop() {
-            Some(mut b) => {
-                self.reuses += 1;
-                b.clear();
-                b
-            }
-            None => {
-                self.allocations += 1;
-                BytesMut::with_capacity(self.buf_size)
-            }
-        }
+    /// Take an empty buffer (recycled when possible). Freeze it into
+    /// [`bytes::Bytes`] with [`PooledBuf::freeze`] for the RPC layer;
+    /// dropping either form returns the storage here.
+    pub fn take(&self) -> PooledBuf {
+        self.pool.take()
     }
 
-    /// Return a buffer to the pool. Foreign or undersized buffers are
-    /// dropped rather than pooled.
-    pub fn put(&mut self, b: BytesMut) {
-        if b.capacity() >= self.buf_size && self.free.len() < self.max_free {
-            self.free.push(b);
-        }
+    /// Take a buffer pre-filled with a copy of `data` (oversized data
+    /// falls back to a plain allocation that will not recycle).
+    pub fn take_copy(&self, data: &[u8]) -> PooledBuf {
+        self.pool.take_copy(data)
     }
 
     /// Fresh allocations performed.
     pub fn allocations(&self) -> u64 {
-        self.allocations
+        self.pool.stats().misses
     }
 
     /// Buffers served from the free list.
     pub fn reuses(&self) -> u64 {
-        self.reuses
+        self.pool.stats().hits
     }
 
     /// Spares currently pooled.
     pub fn free_buffers(&self) -> usize {
-        self.free.len()
+        self.pool.free_blocks()
     }
 }
 
@@ -80,16 +64,14 @@ mod tests {
 
     #[test]
     fn steady_state_stops_allocating() {
-        let mut pool = BufferPool::new(4096, 64);
+        let pool = BufferPool::new(4096, 64);
         // Simulate a queue depth of 8 in steady state.
         let mut live = Vec::new();
         for round in 0..100 {
             for _ in 0..8 {
                 live.push(pool.take());
             }
-            for b in live.drain(..) {
-                pool.put(b);
-            }
+            live.clear(); // drop returns the storage
             if round == 0 {
                 assert_eq!(pool.allocations(), 8);
             }
@@ -99,11 +81,32 @@ mod tests {
     }
 
     #[test]
-    fn recycled_buffers_are_cleared() {
-        let mut pool = BufferPool::new(64, 4);
-        let mut b = pool.take();
-        b.extend_from_slice(b"dirty");
-        pool.put(b);
+    fn recycling_survives_freeze_into_bytes() {
+        // The property the old Vec<BytesMut> pool lacked: a buffer frozen
+        // and shipped as `Bytes` still comes home when the last clone
+        // drops.
+        let pool = BufferPool::new(4096, 64);
+        for round in 0..50 {
+            let mut b = pool.take();
+            b.resize(4096, 0xA5);
+            let frozen: bytes::Bytes = b.freeze().into_bytes();
+            let clone = frozen.clone();
+            drop(frozen);
+            assert_eq!(clone.len(), 4096);
+            drop(clone);
+            if round > 0 {
+                assert_eq!(pool.allocations(), 1, "round {round} allocated");
+            }
+        }
+    }
+
+    #[test]
+    fn recycled_buffers_start_empty() {
+        let pool = BufferPool::new(64, 4);
+        {
+            let mut b = pool.take();
+            b.resize(5, b'x');
+        }
         let b2 = pool.take();
         assert!(b2.is_empty());
         assert!(b2.capacity() >= 64);
@@ -111,18 +114,18 @@ mod tests {
 
     #[test]
     fn free_list_is_bounded() {
-        let mut pool = BufferPool::new(64, 2);
-        let bufs: Vec<BytesMut> = (0..5).map(|_| pool.take()).collect();
-        for b in bufs {
-            pool.put(b);
-        }
+        let pool = BufferPool::new(64, 2);
+        let bufs: Vec<PooledBuf> = (0..5).map(|_| pool.take()).collect();
+        drop(bufs);
         assert_eq!(pool.free_buffers(), 2);
     }
 
     #[test]
-    fn undersized_foreign_buffers_rejected() {
-        let mut pool = BufferPool::new(4096, 4);
-        pool.put(BytesMut::with_capacity(16));
+    fn oversized_copies_do_not_pollute_the_pool() {
+        let pool = BufferPool::new(16, 4);
+        let big = pool.take_copy(&[1u8; 64]);
+        assert_eq!(big.len(), 64);
+        drop(big);
         assert_eq!(pool.free_buffers(), 0);
     }
 }

@@ -11,7 +11,9 @@
 //! * [`QosTable`] — per-disk dual token buckets (IOPS + bandwidth) for
 //!   admission control;
 //! * [`split_io`] — decompose a guest I/O into per-block, per-segment
-//!   sub-I/Os (one RPC each).
+//!   sub-I/Os (one RPC each);
+//! * [`stage_sub_io`] — carve the guest payload into pooled, CRC-stamped
+//!   per-block packet payloads (zero allocations in steady state).
 //!
 //! CRC and encryption — the other two heavy SA stages — live in `ebs-crc`
 //! and `ebs-crypto`.
@@ -22,10 +24,12 @@
 mod qos;
 mod segment;
 mod split;
+mod stage;
 
 pub use qos::{QosSpec, QosTable};
 pub use segment::{SegmentEntry, SegmentError, SegmentTable, SEGMENT_BLOCKS};
 pub use split::{split_io, IoKind, IoRequest, SplitError, SubIo};
+pub use stage::{stage_sub_io, StagedBlock};
 
 /// The EBS block size in bytes (4 KiB, matching SSD sectors).
 pub const BLOCK_SIZE: u32 = 4096;

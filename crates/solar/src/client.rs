@@ -666,6 +666,8 @@ impl SolarClient {
         let src_port = self.paths[path_id as usize].src_port(&self.cfg);
         Some(OutPacket {
             hdr: o.hdr,
+            // O(1) handle clone of the (possibly pooled) block — first
+            // transmission and every retransmission share one buffer.
             payload: o.payload.clone(),
             src_port,
             int_request: self.cfg.int_enabled,

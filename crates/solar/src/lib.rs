@@ -76,6 +76,9 @@ mod tests {
         let mut pkt_no = 0u64;
         let mut pending: std::collections::BTreeMap<u64, Vec<InPacket>> =
             std::collections::BTreeMap::new();
+        // One pooled block serves every read response: O(1) handle clones
+        // instead of a fresh Vec per reply.
+        let read_payload = ebs_wire::pool::block_from(&[9u8; 64]);
         loop {
             // Transmit everything currently allowed.
             while let Some(out) = client.poll_transmit(now) {
@@ -92,7 +95,7 @@ mod tests {
                 let reply = match action {
                     ServerAction::StoreBlock { hdr, int, .. } => Some(resp.write_ack(&hdr, int).0),
                     ServerAction::FetchBlock { hdr } => {
-                        Some(resp.read_resp(&hdr, Bytes::from(vec![9u8; 64]), 0x42))
+                        Some(resp.read_resp(&hdr, read_payload.clone(), 0x42))
                     }
                     ServerAction::Reply(p) => Some(p),
                     ServerAction::None => None,

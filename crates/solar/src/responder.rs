@@ -250,7 +250,13 @@ mod tests {
     #[test]
     fn read_resp_carries_block_and_crc() {
         let mut r = SolarResponder::new();
-        let resp = r.read_resp(&req(EbsOp::ReadReq), Bytes::from(vec![7u8; 4096]), 0x1234);
+        // Pooled payload: proves the block-pool storage flows through the
+        // responder as ordinary `Bytes`.
+        let resp = r.read_resp(
+            &req(EbsOp::ReadReq),
+            ebs_wire::pool::block_from(&[7u8; 4096]),
+            0x1234,
+        );
         assert_eq!(resp.hdr.op, EbsOp::ReadResp);
         assert_eq!(resp.hdr.payload_crc, 0x1234);
         assert_eq!(resp.payload.len(), 4096);

@@ -818,7 +818,11 @@ impl Testbed {
                             vd_id,
                             offset: sub.blocks[0] * BLOCK_SIZE as u64,
                             len: bytes as u32,
-                            payload: Bytes::from(vec![0u8; bytes]),
+                            // Shared zero region: the simulator only
+                            // cares about payload *length*, so every frame
+                            // views one immutable zero slab (no per-RPC
+                            // allocation).
+                            payload: ebs_wire::pool::zero_payload(bytes),
                         },
                         IoKind::Read => RpcFrame {
                             rpc_id,
@@ -859,7 +863,7 @@ impl Testbed {
                         offset: sub.blocks[0] * BLOCK_SIZE as u64,
                         len: bytes as u32,
                         payload: if kind == IoKind::Write {
-                            Bytes::from(vec![0u8; bytes])
+                            ebs_wire::pool::zero_payload(bytes)
                         } else {
                             Bytes::new()
                         },
@@ -1107,7 +1111,7 @@ impl Testbed {
                         vd_id: req.vd_id,
                         offset: req.offset,
                         len: req.len,
-                        payload: Bytes::from(vec![0u8; req.len as usize]),
+                        payload: ebs_wire::pool::zero_payload(req.len as usize),
                     },
                 )
             }

@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Compare a fresh quick-mode BENCH_RESULTS.json against the committed baseline.
+
+Guards the experiment harness against performance and fidelity regressions:
+
+* **wall-clock**: any experiment more than WALL_TOL (10%) slower than the
+  baseline fails the comparison (total wall time too);
+* **metrics**: any simulation metric (latency medians, throughput, hung-I/O
+  counts, ...) that drifts more than METRIC_TOL (1%) relative fails — the
+  simulator is deterministic, so metric drift means behaviour changed, not
+  noise.
+
+Usage:
+    cargo bench -p ebs-bench --bench experiments -- --quick
+    python3 scripts/bench_compare.py [fresh.json] [baseline.json]
+
+Defaults: fresh = ./BENCH_RESULTS.json (just regenerated, working tree),
+baseline = `git show HEAD:BENCH_RESULTS.json` (the committed one).
+Exit code 0 = within tolerance, 1 = regression, 2 = usage/parse error.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+WALL_TOL = 0.10  # >10% slower wall-clock = regression
+METRIC_TOL = 0.01  # >1% relative metric drift = regression
+# Sub-second wall times are scheduler noise, not signal.
+WALL_FLOOR_S = 1.0
+
+
+def load_fresh(path):
+    try:
+        return json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_compare: cannot read fresh results {path}: {e}")
+        sys.exit(2)
+
+
+def load_baseline(arg):
+    if arg is not None:
+        return load_fresh(arg)
+    try:
+        blob = subprocess.run(
+            ["git", "show", "HEAD:BENCH_RESULTS.json"],
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout
+        return json.loads(blob)
+    except (subprocess.CalledProcessError, json.JSONDecodeError) as e:
+        print(f"bench_compare: cannot read committed baseline: {e}")
+        sys.exit(2)
+
+
+def by_id(doc):
+    return {e["id"]: e for e in doc.get("experiments", [])}
+
+
+def main():
+    fresh_path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_RESULTS.json"
+    base_arg = sys.argv[2] if len(sys.argv) > 2 else None
+    fresh = load_fresh(fresh_path)
+    base = load_baseline(base_arg)
+
+    if fresh.get("quick") != base.get("quick"):
+        print(
+            "bench_compare: quick-mode mismatch "
+            f"(fresh quick={fresh.get('quick')}, baseline quick={base.get('quick')}) "
+            "— compare like with like"
+        )
+        sys.exit(2)
+
+    failures = []
+    fresh_exps, base_exps = by_id(fresh), by_id(base)
+
+    for exp_id, b in sorted(base_exps.items()):
+        f = fresh_exps.get(exp_id)
+        if f is None:
+            failures.append(f"{exp_id}: missing from fresh results")
+            continue
+
+        bw, fw = b.get("wall_s", 0.0), f.get("wall_s", 0.0)
+        if bw >= WALL_FLOOR_S and fw > bw * (1 + WALL_TOL):
+            failures.append(
+                f"{exp_id}: wall-clock {fw:.2f}s vs baseline {bw:.2f}s "
+                f"(+{(fw / bw - 1) * 100:.1f}% > {WALL_TOL * 100:.0f}%)"
+            )
+
+        for name, bv in b.get("metrics", {}).items():
+            fv = f.get("metrics", {}).get(name)
+            if fv is None:
+                failures.append(f"{exp_id}.{name}: metric missing from fresh results")
+                continue
+            if bv == 0.0:
+                drift_ok = fv == 0.0
+                rel = float("inf") if not drift_ok else 0.0
+            else:
+                rel = abs(fv - bv) / abs(bv)
+                drift_ok = rel <= METRIC_TOL
+            if not drift_ok:
+                failures.append(
+                    f"{exp_id}.{name}: {fv:.4f} vs baseline {bv:.4f} "
+                    f"(drift {rel * 100:.2f}% > {METRIC_TOL * 100:.0f}%)"
+                )
+
+    bt, ft = base.get("total_wall_s", 0.0), fresh.get("total_wall_s", 0.0)
+    if bt >= WALL_FLOOR_S and ft > bt * (1 + WALL_TOL):
+        failures.append(
+            f"total: wall-clock {ft:.2f}s vs baseline {bt:.2f}s "
+            f"(+{(ft / bt - 1) * 100:.1f}% > {WALL_TOL * 100:.0f}%)"
+        )
+
+    if failures:
+        print(f"bench_compare: {len(failures)} regression(s) vs baseline:")
+        for line in failures:
+            print(f"  FAIL {line}")
+        sys.exit(1)
+
+    delta = (ft / bt - 1) * 100 if bt else 0.0
+    print(
+        f"bench_compare: OK — {len(base_exps)} experiments within tolerance, "
+        f"total wall {ft:.2f}s vs {bt:.2f}s ({delta:+.1f}%)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -6,26 +6,76 @@
 //! The container this repo builds in has no crates.io access, so the
 //! handful of external dependencies are vendored as small, semantically
 //! faithful local crates. Nothing here is performance-exotic: `Bytes` is
-//! an `Arc<Vec<u8>>` plus a window, which preserves the O(1) `clone` /
-//! `slice` / `split_to` contract the simulator's zero-copy paths rely on.
+//! a window over either an `Arc<Vec<u8>>` (the common case, read with a
+//! direct slice access) or an `Arc<dyn ByteStorage>` (caller-provided
+//! storage such as pooled blocks, read through one virtual call), which
+//! preserves the O(1) `clone` / `slice` / `split_to` contract the
+//! simulator's zero-copy paths rely on.
 
 #![forbid(unsafe_code)]
 
 use std::ops::{Bound, Deref, RangeBounds};
 use std::sync::Arc;
 
+/// Backing storage a [`Bytes`] handle can wrap.
+///
+/// The default backing is a plain `Vec<u8>`, but callers can provide their
+/// own storage (e.g. a pooled block whose `Drop` recycles the buffer into a
+/// free list). `Bytes` only ever reads through [`ByteStorage::as_slice`],
+/// so the storage is free to carry whatever ownership or drop behaviour it
+/// wants — the last `Bytes` clone dropping the `Arc` triggers it.
+pub trait ByteStorage: Send + Sync {
+    /// The stored bytes. Must return the same slice for the lifetime of
+    /// the storage (views index into it).
+    fn as_slice(&self) -> &[u8];
+}
+
+impl ByteStorage for Vec<u8> {
+    fn as_slice(&self) -> &[u8] {
+        self
+    }
+}
+
+/// The backing of a [`Bytes`] handle.
+///
+/// The `Vec` case is kept separate from the general trait object so the
+/// overwhelmingly common plain-vector reads compile to a direct slice
+/// access — only pooled/custom storage pays a virtual call.
+#[derive(Clone, Default)]
+enum Repr {
+    /// Empty: `Bytes::new()` performs no allocation.
+    #[default]
+    Empty,
+    /// Plain vector storage (the `From<Vec<u8>>` path).
+    Vec(Arc<Vec<u8>>),
+    /// Caller-provided storage (pooled blocks, shared slabs).
+    Shared(Arc<dyn ByteStorage>),
+}
+
 /// A cheaply cloneable, immutable, contiguous slice of memory.
 #[derive(Clone, Default)]
 pub struct Bytes {
-    data: Arc<Vec<u8>>,
+    data: Repr,
     start: usize,
     end: usize,
 }
 
 impl Bytes {
-    /// An empty buffer.
+    /// An empty buffer. Does not allocate.
     pub fn new() -> Self {
         Bytes::default()
+    }
+
+    /// Wrap caller-provided shared storage (whole range). The storage's
+    /// own `Drop` runs when the last view is dropped, which is how pooled
+    /// buffers find their way back to their pool.
+    pub fn from_shared(storage: Arc<dyn ByteStorage>) -> Self {
+        let end = storage.as_slice().len();
+        Bytes {
+            data: Repr::Shared(storage),
+            start: 0,
+            end,
+        }
     }
 
     /// A buffer borrowing a `'static` slice (copied here; the real crate
@@ -40,17 +90,24 @@ impl Bytes {
     }
 
     /// Bytes in the current view.
+    #[inline]
     pub fn len(&self) -> usize {
         self.end - self.start
     }
 
     /// True if the view is empty.
+    #[inline]
     pub fn is_empty(&self) -> bool {
         self.start == self.end
     }
 
+    #[inline]
     fn as_slice(&self) -> &[u8] {
-        &self.data[self.start..self.end]
+        match &self.data {
+            Repr::Empty => &[],
+            Repr::Vec(v) => &v[self.start..self.end],
+            Repr::Shared(d) => &d.as_slice()[self.start..self.end],
+        }
     }
 
     /// O(1) sub-view of the current view.
@@ -70,7 +127,7 @@ impl Bytes {
         };
         assert!(lo <= hi && hi <= self.len(), "slice out of bounds");
         Bytes {
-            data: Arc::clone(&self.data),
+            data: self.data.clone(),
             start: self.start + lo,
             end: self.start + hi,
         }
@@ -83,7 +140,7 @@ impl Bytes {
     pub fn split_to(&mut self, at: usize) -> Bytes {
         assert!(at <= self.len(), "split_to out of bounds");
         let head = Bytes {
-            data: Arc::clone(&self.data),
+            data: self.data.clone(),
             start: self.start,
             end: self.start + at,
         };
@@ -98,7 +155,7 @@ impl Bytes {
     pub fn split_off(&mut self, at: usize) -> Bytes {
         assert!(at <= self.len(), "split_off out of bounds");
         let tail = Bytes {
-            data: Arc::clone(&self.data),
+            data: self.data.clone(),
             start: self.start + at,
             end: self.end,
         };
@@ -109,9 +166,12 @@ impl Bytes {
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
+        if v.is_empty() {
+            return Bytes::new();
+        }
         let end = v.len();
         Bytes {
-            data: Arc::new(v),
+            data: Repr::Vec(Arc::new(v)),
             start: 0,
             end,
         }
@@ -132,12 +192,14 @@ impl From<&'static str> for Bytes {
 
 impl Deref for Bytes {
     type Target = [u8];
+    #[inline]
     fn deref(&self) -> &[u8] {
         self.as_slice()
     }
 }
 
 impl AsRef<[u8]> for Bytes {
+    #[inline]
     fn as_ref(&self) -> &[u8] {
         self.as_slice()
     }
@@ -207,11 +269,13 @@ impl BytesMut {
     }
 
     /// Bytes in the current view.
+    #[inline]
     pub fn len(&self) -> usize {
         self.data.len() - self.start
     }
 
     /// True if the view is empty.
+    #[inline]
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
@@ -233,6 +297,7 @@ impl BytesMut {
     }
 
     /// Append `other`.
+    #[inline]
     pub fn extend_from_slice(&mut self, other: &[u8]) {
         self.data.extend_from_slice(other);
     }
@@ -242,6 +307,7 @@ impl BytesMut {
         self.data.resize(self.start + new_len, value);
     }
 
+    #[inline]
     fn as_slice(&self) -> &[u8] {
         &self.data[self.start..]
     }
@@ -287,12 +353,14 @@ impl From<&[u8]> for BytesMut {
 
 impl Deref for BytesMut {
     type Target = [u8];
+    #[inline]
     fn deref(&self) -> &[u8] {
         self.as_slice()
     }
 }
 
 impl std::ops::DerefMut for BytesMut {
+    #[inline]
     fn deref_mut(&mut self) -> &mut [u8] {
         let start = self.start;
         &mut self.data[start..]
@@ -366,12 +434,15 @@ pub trait Buf {
 }
 
 impl Buf for Bytes {
+    #[inline]
     fn remaining(&self) -> usize {
         self.len()
     }
+    #[inline]
     fn chunk(&self) -> &[u8] {
         self.as_slice()
     }
+    #[inline]
     fn advance(&mut self, cnt: usize) {
         assert!(cnt <= self.len(), "advance out of bounds");
         self.start += cnt;
@@ -379,12 +450,15 @@ impl Buf for Bytes {
 }
 
 impl Buf for BytesMut {
+    #[inline]
     fn remaining(&self) -> usize {
         self.len()
     }
+    #[inline]
     fn chunk(&self) -> &[u8] {
         self.as_slice()
     }
+    #[inline]
     fn advance(&mut self, cnt: usize) {
         assert!(cnt <= self.len(), "advance out of bounds");
         self.start += cnt;
@@ -441,12 +515,14 @@ pub trait BufMut {
 }
 
 impl BufMut for BytesMut {
+    #[inline]
     fn put_slice(&mut self, src: &[u8]) {
         self.extend_from_slice(src);
     }
 }
 
 impl BufMut for Vec<u8> {
+    #[inline]
     fn put_slice(&mut self, src: &[u8]) {
         self.extend_from_slice(src);
     }
@@ -497,6 +573,30 @@ mod tests {
         assert_eq!(&head[..], b"hello ");
         assert_eq!(&b[..], b"world");
         assert_eq!(b.freeze(), Bytes::from_static(b"world"));
+    }
+
+    #[test]
+    fn from_shared_runs_storage_drop_on_last_view() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct Tracked(Vec<u8>);
+        impl ByteStorage for Tracked {
+            fn as_slice(&self) -> &[u8] {
+                &self.0
+            }
+        }
+        impl Drop for Tracked {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let b = Bytes::from_shared(Arc::new(Tracked(vec![1, 2, 3, 4])));
+        let view = b.slice(1..3);
+        assert_eq!(&view[..], &[2, 3]);
+        drop(b);
+        assert_eq!(DROPS.load(Ordering::SeqCst), 0, "view still live");
+        drop(view);
+        assert_eq!(DROPS.load(Ordering::SeqCst), 1, "last view frees storage");
     }
 
     #[test]
