@@ -260,6 +260,9 @@ mod hw {
         unsafe { crc32c_sse42(state, data) }
     }
 
+    // SAFETY contract: caller must ensure SSE4.2 is available (the safe
+    // wrapper asserts it). The body itself only uses slice-bounded reads —
+    // `chunks_exact(8)` guarantees every `try_into` sees exactly 8 bytes.
     #[target_feature(enable = "sse4.2")]
     unsafe fn crc32c_sse42(state: u32, data: &[u8]) -> u32 {
         let mut chunks = data.chunks_exact(8);
@@ -292,6 +295,10 @@ mod hw {
         (crc, tail)
     }
 
+    // SAFETY contract: caller must ensure PCLMULQDQ+SSE4.1 are available
+    // (the safe wrapper asserts both) and pass `data` of ≥ 64 bytes, a
+    // multiple of 16 — every unaligned `load(off)` below stays in bounds
+    // because `off + 16 <= data.len()` at each call site.
     #[target_feature(enable = "pclmulqdq", enable = "sse4.1")]
     unsafe fn ieee_clmul(crc: u32, data: &[u8]) -> u32 {
         debug_assert!(data.len() >= 64 && data.len().is_multiple_of(16));

@@ -1,0 +1,252 @@
+//! `lint.toml` loading.
+//!
+//! The build is fully offline, so rather than depending on a TOML crate the
+//! lint parses the small subset it needs itself: `[section]` headers,
+//! `key = "string"`, `key = true/false`, and `key = [ "a", "b" ]` arrays
+//! (single- or multi-line), with `#` comments. Anything outside that subset
+//! is a hard error — the config is checked in, so failing loudly beats
+//! guessing.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parse error with the offending `lint.toml` line.
+#[derive(Debug)]
+pub struct ConfigError {
+    /// 1-based line in `lint.toml`.
+    pub line: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lint.toml:{}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// A parsed value: everything the lint config needs is strings or lists.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Value {
+    /// `key = "…"`.
+    Str(String),
+    /// `key = [ "…", … ]`.
+    List(Vec<String>),
+    /// `key = true` / `false`.
+    Bool(bool),
+}
+
+/// Raw section → key → value mapping (BTreeMap so iteration — and thus
+/// diagnostics and the JSON report — is deterministic).
+pub type Sections = BTreeMap<String, BTreeMap<String, Value>>;
+
+/// The lint configuration, shaped for the rules.
+#[derive(Debug, Clone, Default)]
+pub struct Config {
+    /// Crate directory names under `crates/` bound by the sans-io rule.
+    pub sans_io_crates: Vec<String>,
+    /// Fully-spelled API paths those crates may not reference.
+    pub sans_io_forbidden: Vec<String>,
+    /// Crate directory names bound by the determinism rule.
+    pub determinism_crates: Vec<String>,
+    /// Wall-clock / ambient-randomness APIs denied there.
+    pub determinism_forbidden: Vec<String>,
+    /// Default-hasher collections denied there.
+    pub determinism_hash_collections: Vec<String>,
+    /// Repo-relative `.rs` files allowed to contain `unsafe` (each still
+    /// needs a `// SAFETY:` comment per occurrence).
+    pub unsafe_allow_files: Vec<String>,
+    /// Crate directory names whose roots may skip `#![forbid(unsafe_code)]`
+    /// (they must justify it, e.g. `#![deny]` + a scoped module allow).
+    pub unsafe_allow_crates: Vec<String>,
+    /// Crate directory names bound by the panic-discipline rule.
+    pub panic_crates: Vec<String>,
+    /// Call patterns denied on the data path (`.unwrap()`, `panic!`, …).
+    pub panic_deny: Vec<String>,
+    /// Repo-relative path prefixes never linted (fixtures, target).
+    pub exclude: Vec<String>,
+}
+
+impl Config {
+    /// Parse a `lint.toml` string.
+    pub fn parse(src: &str) -> Result<Config, ConfigError> {
+        let sections = parse_sections(src)?;
+        let mut cfg = Config::default();
+        let list = |sec: &str, key: &str| -> Vec<String> {
+            match sections.get(sec).and_then(|s| s.get(key)) {
+                Some(Value::List(v)) => v.clone(),
+                Some(Value::Str(s)) => vec![s.clone()],
+                _ => Vec::new(),
+            }
+        };
+        cfg.sans_io_crates = list("sans_io", "crates");
+        cfg.sans_io_forbidden = list("sans_io", "forbidden");
+        cfg.determinism_crates = list("determinism", "crates");
+        cfg.determinism_forbidden = list("determinism", "forbidden");
+        cfg.determinism_hash_collections = list("determinism", "hash_collections");
+        cfg.unsafe_allow_files = list("unsafe_hygiene", "allow_files");
+        cfg.unsafe_allow_crates = list("unsafe_hygiene", "allow_crates");
+        cfg.panic_crates = list("panic_discipline", "crates");
+        cfg.panic_deny = list("panic_discipline", "deny");
+        cfg.exclude = list("lint", "exclude");
+        Ok(cfg)
+    }
+}
+
+fn parse_sections(src: &str) -> Result<Sections, ConfigError> {
+    let mut out: Sections = BTreeMap::new();
+    let mut current = String::new();
+    let mut lines = src.lines().enumerate().peekable();
+
+    while let Some((n, raw)) = lines.next() {
+        let line = strip_comment(raw).trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+            current = name.trim().to_string();
+            out.entry(current.clone()).or_default();
+            continue;
+        }
+        let Some((key, val)) = line.split_once('=') else {
+            return Err(err(n, "expected `key = value` or `[section]`"));
+        };
+        let key = key.trim().to_string();
+        let mut val = val.trim().to_string();
+        // Multi-line array: keep consuming until the closing bracket.
+        while val.starts_with('[') && !balanced(&val) {
+            let Some((_, cont)) = lines.next() else {
+                return Err(err(n, "unterminated array"));
+            };
+            val.push(' ');
+            val.push_str(strip_comment(cont).trim());
+        }
+        let parsed = parse_value(&val).map_err(|m| err(n, &m))?;
+        if current.is_empty() {
+            return Err(err(n, "key outside a [section]"));
+        }
+        out.entry(current.clone()).or_default().insert(key, parsed);
+    }
+    Ok(out)
+}
+
+fn err(n: usize, msg: &str) -> ConfigError {
+    ConfigError {
+        line: n + 1,
+        msg: msg.to_string(),
+    }
+}
+
+/// Strip a `#` comment, respecting `"…"` strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// True when the `[` of an inline array is closed on the same logical line.
+fn balanced(val: &str) -> bool {
+    let mut in_str = false;
+    let mut depth = 0i32;
+    for c in val.chars() {
+        match c {
+            '"' => in_str = !in_str,
+            '[' if !in_str => depth += 1,
+            ']' if !in_str => depth -= 1,
+            _ => {}
+        }
+    }
+    depth == 0
+}
+
+fn parse_value(val: &str) -> Result<Value, String> {
+    if val == "true" {
+        return Ok(Value::Bool(true));
+    }
+    if val == "false" {
+        return Ok(Value::Bool(false));
+    }
+    if let Some(s) = parse_str(val) {
+        return Ok(Value::Str(s));
+    }
+    if let Some(body) = val.strip_prefix('[').and_then(|v| v.strip_suffix(']')) {
+        let mut items = Vec::new();
+        for part in split_top(body) {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            items.push(
+                parse_str(part).ok_or_else(|| format!("expected string in array, got `{part}`"))?,
+            );
+        }
+        return Ok(Value::List(items));
+    }
+    Err(format!("unsupported value `{val}`"))
+}
+
+fn parse_str(val: &str) -> Option<String> {
+    let inner = val.strip_prefix('"')?.strip_suffix('"')?;
+    // The config never needs escapes; reject rather than mis-parse.
+    if inner.contains('"') || inner.contains('\\') {
+        return None;
+    }
+    Some(inner.to_string())
+}
+
+/// Split an array body on commas outside strings.
+fn split_top(body: &str) -> Vec<String> {
+    let mut parts = Vec::new();
+    let mut cur = String::new();
+    let mut in_str = false;
+    for c in body.chars() {
+        match c {
+            '"' => {
+                in_str = !in_str;
+                cur.push(c);
+            }
+            ',' if !in_str => {
+                parts.push(std::mem::take(&mut cur));
+            }
+            _ => cur.push(c),
+        }
+    }
+    parts.push(cur);
+    parts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_sections_and_arrays() {
+        let cfg = Config::parse(
+            "# top comment\n[sans_io]\ncrates = [\"tcp\", \"luna\"] # trailing\nforbidden = [\n  \"std::net\", # why\n  \"Instant::now\",\n]\n\n[panic_discipline]\ncrates = [\"tcp\"]\ndeny = [\".unwrap()\"]\n",
+        )
+        .expect("parses");
+        assert_eq!(cfg.sans_io_crates, ["tcp", "luna"]);
+        assert_eq!(cfg.sans_io_forbidden, ["std::net", "Instant::now"]);
+        assert_eq!(cfg.panic_deny, [".unwrap()"]);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Config::parse("not toml at all").is_err());
+        assert!(Config::parse("[s]\nkey = {inline = 1}").is_err());
+    }
+
+    #[test]
+    fn hash_in_string_is_not_comment() {
+        let cfg = Config::parse("[lint]\nexclude = [\"a#b\"]\n").expect("parses");
+        assert_eq!(cfg.exclude, ["a#b"]);
+    }
+}

@@ -1,0 +1,340 @@
+//! A minimal Rust lexer: just enough to separate *code* from *non-code*.
+//!
+//! The lint rules are substring matchers over source text, so the one thing
+//! the lexer must get right is never confusing the two channels:
+//!
+//! * **code** — everything the compiler sees, with the *contents* of string,
+//!   raw-string, byte-string and char literals blanked out (the delimiting
+//!   quotes survive so token boundaries stay intact). A forbidden API name
+//!   inside `"a string"` therefore can never fire a rule.
+//! * **comments** — the text of `//`, `///`, `//!` and `/* … */` comments,
+//!   attributed to every line they touch. Rules read these for `// SAFETY:`
+//!   annotations and `// lint: allow(...)` waivers; they never match
+//!   forbidden APIs against them, so doc comments can't fire rules either.
+//!
+//! The tricky cases a naive scanner gets wrong and this one handles:
+//! nested block comments, raw strings with arbitrarily many `#`s
+//! (`r##"…"##`), escaped quotes in strings, and the `'a` lifetime vs `'a'`
+//! char-literal ambiguity.
+
+/// One source line, split into its code and comment channels.
+#[derive(Debug, Clone, Default)]
+pub struct Line {
+    /// Compiler-visible text with literal contents blanked out.
+    pub code: String,
+    /// Concatenated text of comments touching this line (without the
+    /// `//` / `/*` markers, trimmed). Empty when the line has no comment.
+    pub comment: String,
+}
+
+impl Line {
+    /// True when the line carries no compiler-visible tokens.
+    pub fn is_code_blank(&self) -> bool {
+        self.code.trim().is_empty()
+    }
+}
+
+/// Lex `src` into per-line code/comment channels.
+pub fn lex(src: &str) -> Vec<Line> {
+    let chars: Vec<char> = src.chars().collect();
+    let mut lines: Vec<Line> = vec![Line::default()];
+    let mut i = 0;
+
+    // Appends to the current line's channels, starting fresh lines on '\n'.
+    fn push(lines: &mut Vec<Line>, c: char, comment: bool) {
+        if c == '\n' {
+            lines.push(Line::default());
+        } else if comment {
+            lines.last_mut().expect("non-empty").comment.push(c);
+        } else {
+            lines.last_mut().expect("non-empty").code.push(c);
+        }
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+
+        // Line comment (also covers /// and //! doc comments).
+        if c == '/' && next == Some('/') {
+            i += 2;
+            while i < chars.len() && chars[i] != '\n' {
+                push(&mut lines, chars[i], true);
+                i += 1;
+            }
+            continue;
+        }
+
+        // Block comment, possibly nested, possibly spanning lines.
+        if c == '/' && next == Some('*') {
+            i += 2;
+            let mut depth = 1usize;
+            while i < chars.len() && depth > 0 {
+                if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    i += 2;
+                } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    push(&mut lines, chars[i], true);
+                    i += 1;
+                }
+            }
+            continue;
+        }
+
+        // Raw (and raw-byte / raw-C) strings: r"…", r#"…"#, br##"…"##.
+        // Only when the prefix is not glued to a preceding identifier.
+        if (c == 'r' || c == 'b' || c == 'c') && !prev_is_ident(&chars, i) {
+            if let Some(consumed) = try_raw_string(&chars, i) {
+                // Emit the prefix and quotes so token boundaries survive.
+                push(&mut lines, '"', false);
+                for &ch in &chars[i..i + consumed] {
+                    if ch == '\n' {
+                        push(&mut lines, '\n', false);
+                    }
+                }
+                push(&mut lines, '"', false);
+                i += consumed;
+                continue;
+            }
+            // b"…" / b'…' fall through: the quote itself is handled below.
+        }
+
+        // Ordinary string literal.
+        if c == '"' {
+            push(&mut lines, '"', false);
+            i += 1;
+            while i < chars.len() {
+                match chars[i] {
+                    '\\' => i += 2,
+                    '"' => {
+                        push(&mut lines, '"', false);
+                        i += 1;
+                        break;
+                    }
+                    '\n' => {
+                        push(&mut lines, '\n', false);
+                        i += 1;
+                    }
+                    _ => i += 1,
+                }
+            }
+            continue;
+        }
+
+        // Char literal vs lifetime. `'\…'` and `'x'` are literals; `'ident`
+        // (no closing quote right after one char) is a lifetime and stays
+        // in the code channel.
+        if c == '\''
+            && !prev_is_ident(&chars, i)
+            && (next == Some('\\') || (chars.get(i + 2) == Some(&'\'') && next != Some('\'')))
+        {
+            push(&mut lines, '\'', false);
+            i += 1;
+            while i < chars.len() {
+                match chars[i] {
+                    '\\' => i += 2,
+                    '\'' => {
+                        push(&mut lines, '\'', false);
+                        i += 1;
+                        break;
+                    }
+                    _ => i += 1,
+                }
+            }
+            continue;
+        }
+
+        push(&mut lines, c, false);
+        i += 1;
+    }
+    lines
+}
+
+/// True when `chars[i - 1]` continues an identifier — used to keep the
+/// `r`/`b` raw-string prefixes and `'` lifetimes from firing mid-word
+/// (e.g. the `r` of `attr"x"` is not a raw-string prefix, and the quote in
+/// `isn't` inside code can't occur, but `foo'` in macros can).
+fn prev_is_ident(chars: &[char], i: usize) -> bool {
+    i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_')
+}
+
+/// If `chars[i..]` starts a raw string (`r`, `br`, `cr` + `#…#"`), return
+/// the total char length of the literal including prefix and delimiters.
+fn try_raw_string(chars: &[char], i: usize) -> Option<usize> {
+    let mut j = i;
+    // Optional b/c before r.
+    if chars[j] == 'b' || chars[j] == 'c' {
+        j += 1;
+    }
+    if chars.get(j) != Some(&'r') {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0usize;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if chars.get(j) != Some(&'"') {
+        return None;
+    }
+    j += 1;
+    // Scan for `"` followed by `hashes` hashes.
+    while j < chars.len() {
+        if chars[j] == '"' {
+            let mut k = j + 1;
+            let mut seen = 0usize;
+            while seen < hashes && chars.get(k) == Some(&'#') {
+                seen += 1;
+                k += 1;
+            }
+            if seen == hashes {
+                return Some(k - i);
+            }
+        }
+        j += 1;
+    }
+    Some(chars.len() - i) // unterminated: consume the rest
+}
+
+/// Per-line classification of `#[cfg(test)]`-gated regions.
+///
+/// Tracks brace depth through the code channel; when a `#[cfg(test)]`
+/// attribute is followed by an item that opens a brace (the ubiquitous
+/// `#[cfg(test)] mod tests { … }` pattern), every line until the matching
+/// close brace is marked as test code. A `#[cfg(test)]` attached to a
+/// braceless item (e.g. a `use`) is cleared at the terminating `;`.
+pub fn test_regions(lines: &[Line]) -> Vec<bool> {
+    let mut in_test = vec![false; lines.len()];
+    let mut depth: i64 = 0;
+    // Depths at which a cfg(test) region closes (stack for nested mods).
+    let mut region_close: Vec<i64> = Vec::new();
+    let mut pending_attr = false;
+
+    for (n, line) in lines.iter().enumerate() {
+        let active = !region_close.is_empty();
+        in_test[n] = active;
+        let code = squash(&line.code);
+        if code.contains("#[cfg(test)]") || code.contains("#[cfg(all(test") {
+            pending_attr = true;
+        }
+        for ch in line.code.chars() {
+            match ch {
+                '{' => {
+                    depth += 1;
+                    if pending_attr {
+                        region_close.push(depth);
+                        pending_attr = false;
+                        in_test[n] = true;
+                    }
+                }
+                '}' => {
+                    if region_close.last() == Some(&depth) {
+                        region_close.pop();
+                    }
+                    depth -= 1;
+                }
+                ';' if pending_attr && region_close.is_empty() => pending_attr = false,
+                _ => {}
+            }
+        }
+    }
+    in_test
+}
+
+/// Remove all whitespace — lets attribute detection survive any formatting
+/// (`#[cfg(test)]` vs `# [ cfg ( test ) ]`).
+fn squash(code: &str) -> String {
+    code.chars().filter(|c| !c.is_whitespace()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn code_of(src: &str) -> Vec<String> {
+        lex(src).into_iter().map(|l| l.code).collect()
+    }
+
+    #[test]
+    fn strings_are_blanked() {
+        let c = code_of("let x = \"Instant::now()\";");
+        assert_eq!(c[0], "let x = \"\";");
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let c = code_of("let x = r#\"std::net \" still inside\"#; y()");
+        assert_eq!(c[0], "let x = \"\"; y()");
+    }
+
+    #[test]
+    fn byte_and_nested_raw_strings() {
+        let c = code_of("f(br##\"panic!(\"#\")\"##); g(b\"unwrap()\")");
+        // The harmless `b` prefix stays in the code channel; the literal
+        // contents are gone either way.
+        assert_eq!(c[0], "f(\"\"); g(b\"\")");
+    }
+
+    #[test]
+    fn line_and_doc_comments_split_off() {
+        let lines = lex("foo(); // call Instant::now() later\n/// docs say panic!\nbar();");
+        assert_eq!(lines[0].code, "foo(); ");
+        assert!(lines[0].comment.contains("Instant::now"));
+        assert_eq!(lines[1].code, "");
+        assert!(lines[1].comment.contains("docs say panic!"));
+        assert_eq!(lines[2].code, "bar();");
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let c = code_of("a(); /* one /* two */ still comment */ b();");
+        assert_eq!(c[0], "a();  b();");
+    }
+
+    #[test]
+    fn block_comment_spans_lines() {
+        let c = code_of("a(); /* panic!\n unwrap() \n*/ b();");
+        assert_eq!(
+            c,
+            vec!["a(); ".to_string(), String::new(), " b();".to_string()]
+        );
+    }
+
+    #[test]
+    fn lifetimes_survive_char_literals_blank() {
+        let c = code_of("fn f<'a>(x: &'a str) { let c = 'x'; let nl = '\\n'; }");
+        assert_eq!(c[0], "fn f<'a>(x: &'a str) { let c = ''; let nl = ''; }");
+    }
+
+    #[test]
+    fn escaped_quote_in_string() {
+        let c = code_of(r#"let s = "a\"b; unwrap()"; t();"#);
+        assert_eq!(c[0], "let s = \"\"; t();");
+    }
+
+    #[test]
+    fn multiline_string_keeps_line_count() {
+        let lines = lex("let s = \"one\ntwo\"; done();");
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[1].code, "\"; done();");
+    }
+
+    #[test]
+    fn cfg_test_region_tracking() {
+        let src = "fn real() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn after() {}\n";
+        let lines = lex(src);
+        let t = test_regions(&lines);
+        assert_eq!(t, vec![false, false, true, true, true, false, false]);
+    }
+
+    #[test]
+    fn cfg_test_on_use_does_not_open_region() {
+        let src = "#[cfg(test)]\nuse foo::bar;\nfn real() { y(); }\n";
+        let t = test_regions(&lex(src));
+        assert!(!t[2]);
+    }
+}

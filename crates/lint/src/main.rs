@@ -1,0 +1,93 @@
+//! `ebs-lint` CLI.
+//!
+//! ```text
+//! cargo run -p ebs-lint -- --check            # gate: nonzero exit on violations
+//! cargo run -p ebs-lint --                    # report only (always exit 0)
+//! cargo run -p ebs-lint -- --json out.json    # also write the JSON report there
+//! ```
+//!
+//! The workspace root is located by walking up from the current directory
+//! to the nearest `lint.toml` (override with `--root`); the config path
+//! defaults to `<root>/lint.toml` (override with `--config`).
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use ebs_lint::{config::Config, find_root, lint_tree, report};
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("ebs-lint: error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run() -> Result<ExitCode, Box<dyn std::error::Error>> {
+    let mut check = false;
+    let mut json: Option<PathBuf> = None;
+    let mut root: Option<PathBuf> = None;
+    let mut config: Option<PathBuf> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => check = true,
+            "--json" => json = Some(args.next().ok_or("--json needs a path")?.into()),
+            "--root" => root = Some(args.next().ok_or("--root needs a path")?.into()),
+            "--config" => config = Some(args.next().ok_or("--config needs a path")?.into()),
+            "--help" | "-h" => {
+                println!(
+                    "ebs-lint: sans-io / determinism / unsafe-hygiene / panic-discipline checks\n\
+                     usage: ebs-lint [--check] [--json PATH] [--root DIR] [--config PATH]"
+                );
+                return Ok(ExitCode::SUCCESS);
+            }
+            other => return Err(format!("unknown argument `{other}` (see --help)").into()),
+        }
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => find_root(&std::env::current_dir()?)
+            .ok_or("no lint.toml found walking up from the current directory")?,
+    };
+    let config_path = config.unwrap_or_else(|| root.join("lint.toml"));
+    let cfg = Config::parse(&std::fs::read_to_string(&config_path)?)?;
+
+    let outcome = lint_tree(&root, &cfg)?;
+    for d in &outcome.diagnostics {
+        println!("{d}");
+    }
+
+    let json_path = json.unwrap_or_else(|| root.join("target").join("ebs-lint.json"));
+    if let Some(dir) = json_path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    std::fs::write(
+        &json_path,
+        report::to_json(&outcome.diagnostics, outcome.files_scanned),
+    )?;
+
+    println!(
+        "ebs-lint: {} violation{} across {} file{} scanned (report: {})",
+        outcome.diagnostics.len(),
+        if outcome.diagnostics.len() == 1 {
+            ""
+        } else {
+            "s"
+        },
+        outcome.files_scanned,
+        if outcome.files_scanned == 1 { "" } else { "s" },
+        json_path.display(),
+    );
+
+    if check && !outcome.diagnostics.is_empty() {
+        return Ok(ExitCode::FAILURE);
+    }
+    Ok(ExitCode::SUCCESS)
+}

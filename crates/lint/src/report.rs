@@ -1,0 +1,91 @@
+//! Machine-readable output: a small hand-rolled JSON serializer (the
+//! workspace is offline; no serde) emitting a stable, sorted report that
+//! CI and `scripts/` tooling can diff across runs.
+
+use crate::rules::Diagnostic;
+
+/// Render the full report: summary counts plus every diagnostic.
+pub fn to_json(diags: &[Diagnostic], files_scanned: usize) -> String {
+    let mut by_rule: Vec<(&str, usize)> = Vec::new();
+    for d in diags {
+        match by_rule.iter_mut().find(|(r, _)| *r == d.rule.name()) {
+            Some((_, c)) => *c += 1,
+            None => by_rule.push((d.rule.name(), 1)),
+        }
+    }
+    by_rule.sort();
+
+    let mut out = String::with_capacity(4096);
+    out.push_str("{\n");
+    out.push_str(&format!("  \"files_scanned\": {files_scanned},\n"));
+    out.push_str(&format!("  \"violations\": {},\n", diags.len()));
+    out.push_str("  \"by_rule\": {");
+    for (i, (rule, count)) in by_rule.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(" \"{rule}\": {count}"));
+    }
+    out.push_str(" },\n");
+    out.push_str("  \"diagnostics\": [\n");
+    for (i, d) in diags.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{ \"file\": {}, \"line\": {}, \"rule\": {}, \"message\": {} }}{}\n",
+            json_str(&d.path),
+            d.line,
+            json_str(d.rule.name()),
+            json_str(&d.msg),
+            if i + 1 < diags.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// JSON string escaping per RFC 8259 (the two-char escapes plus \uXXXX for
+/// other control characters).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Rule;
+
+    #[test]
+    fn report_shape_and_escaping() {
+        let diags = vec![Diagnostic {
+            path: "crates/x/src/lib.rs".into(),
+            line: 3,
+            rule: Rule::PanicDiscipline,
+            msg: "`panic!` with \"quotes\"".into(),
+        }];
+        let j = to_json(&diags, 10);
+        assert!(j.contains("\"files_scanned\": 10"));
+        assert!(j.contains("\"violations\": 1"));
+        assert!(j.contains("\"panic_discipline\": 1"));
+        assert!(j.contains("\\\"quotes\\\""));
+    }
+
+    #[test]
+    fn empty_report() {
+        let j = to_json(&[], 5);
+        assert!(j.contains("\"violations\": 0"));
+        assert!(j.contains("\"by_rule\": { }"));
+    }
+}

@@ -1,0 +1,470 @@
+//! The four rule tiers, evaluated over lexed source.
+//!
+//! Every rule reports `file:line` diagnostics; every rule (except the
+//! allowlist itself) can be waived per-line with an inline
+//! `// lint: allow(<rule>) — <reason>` comment on the offending line or the
+//! line directly above it. A waiver without a reason does not count — the
+//! reason is the reviewable artifact.
+
+use crate::config::Config;
+use crate::lexer::{lex, test_regions, Line};
+
+/// Which tier produced a diagnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// Protocol engines must stay sans-io.
+    SansIo,
+    /// The simulator must stay deterministic.
+    Determinism,
+    /// `unsafe` only where allowlisted, always with a `// SAFETY:` comment.
+    UnsafeHygiene,
+    /// No `unwrap`/`expect`/`panic!` on the data path without a waiver.
+    PanicDiscipline,
+}
+
+impl Rule {
+    /// The name used in diagnostics, the JSON report and waiver comments.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::SansIo => "sans_io",
+            Rule::Determinism => "determinism",
+            Rule::UnsafeHygiene => "unsafe_hygiene",
+            Rule::PanicDiscipline => "panic_discipline",
+        }
+    }
+}
+
+/// One violation.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Diagnostic {
+    /// Repo-relative path with `/` separators.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Offending tier.
+    pub rule: Rule,
+    /// Human-readable explanation.
+    pub msg: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path,
+            self.line,
+            self.rule.name(),
+            self.msg
+        )
+    }
+}
+
+/// Where a file sits in the workspace, derived from its repo-relative path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileClass {
+    /// Crate directory name (`tcp` for `crates/tcp/…`, `bytes` for
+    /// `vendor/bytes/…`, `.` for the root crate's `src/…`). `None` for
+    /// paths outside any crate (root `tests/`, `examples/`).
+    pub crate_name: Option<String>,
+    /// Inside the crate's `src/` tree (rules about engine purity only
+    /// bind here — a crate's own `tests/` and `benches/` are host code).
+    pub in_src: bool,
+    /// Whole file is test/bench/example code by location.
+    pub test_by_path: bool,
+}
+
+/// Classify a repo-relative path like `crates/tcp/src/engine.rs`.
+pub fn classify(path: &str) -> FileClass {
+    let parts: Vec<&str> = path.split('/').collect();
+    let (crate_name, rest): (Option<String>, &[&str]) = match parts.first().copied() {
+        Some("crates") | Some("vendor") if parts.len() > 2 => {
+            (Some(parts[1].to_string()), &parts[2..])
+        }
+        Some("src") => (Some(".".to_string()), &parts[..]),
+        _ => (None, &parts[..]),
+    };
+    let in_src = rest.first() == Some(&"src");
+    let test_by_path = rest
+        .iter()
+        .any(|p| *p == "tests" || *p == "benches" || *p == "examples" || *p == "fixtures");
+    FileClass {
+        crate_name,
+        in_src,
+        test_by_path,
+    }
+}
+
+/// Lint one file's source text. `path` must be repo-relative.
+pub fn lint_file(path: &str, src: &str, cfg: &Config) -> Vec<Diagnostic> {
+    let lines = lex(src);
+    let in_test = test_regions(&lines);
+    let class = classify(path);
+    let mut diags = Vec::new();
+
+    let in_crate = |list: &[String]| {
+        class
+            .crate_name
+            .as_deref()
+            .is_some_and(|c| list.iter().any(|l| l == c))
+    };
+
+    // --- Tier 1: sans-io purity -----------------------------------------
+    if class.in_src && in_crate(&cfg.sans_io_crates) {
+        for pat in &cfg.sans_io_forbidden {
+            scan_pattern(&lines, pat, |n| {
+                if !waived(&lines, n, Rule::SansIo) {
+                    diags.push(diag(path, n, Rule::SansIo, format!(
+                        "`{pat}` referenced in a sans-io protocol crate — the host must inject time, io and randomness"
+                    )));
+                }
+            });
+        }
+    }
+
+    // --- Tier 2: determinism --------------------------------------------
+    if class.in_src && in_crate(&cfg.determinism_crates) {
+        for pat in &cfg.determinism_forbidden {
+            scan_pattern(&lines, pat, |n| {
+                if !waived(&lines, n, Rule::Determinism) {
+                    diags.push(diag(
+                        path,
+                        n,
+                        Rule::Determinism,
+                        format!("`{pat}` breaks byte-identical replay in a determinism-tier crate"),
+                    ));
+                }
+            });
+        }
+        for pat in &cfg.determinism_hash_collections {
+            scan_pattern(&lines, pat, |n| {
+                if !in_test[n] && !waived(&lines, n, Rule::Determinism) {
+                    diags.push(diag(path, n, Rule::Determinism, format!(
+                        "`{pat}` uses a randomly-seeded default hasher — iteration order varies run to run; use BTreeMap/BTreeSet or a fixed-seed hasher"
+                    )));
+                }
+            });
+        }
+    }
+
+    // --- Tier 3: unsafe hygiene -----------------------------------------
+    let unsafe_allowed = cfg.unsafe_allow_files.iter().any(|f| f == path);
+    scan_pattern(&lines, "unsafe", |n| {
+        if !unsafe_allowed {
+            diags.push(diag(path, n, Rule::UnsafeHygiene, format!(
+                "`unsafe` outside the allowlist — add `{path}` to [unsafe_hygiene] allow_files in lint.toml and justify it in review"
+            )));
+        } else if !has_safety_comment(&lines, n) {
+            diags.push(diag(
+                path,
+                n,
+                Rule::UnsafeHygiene,
+                "`unsafe` without an immediately preceding `// SAFETY:` comment".to_string(),
+            ));
+        }
+    });
+
+    // --- Tier 4: panic discipline ---------------------------------------
+    if class.in_src && in_crate(&cfg.panic_crates) && !class.test_by_path {
+        for pat in &cfg.panic_deny {
+            scan_pattern(&lines, pat, |n| {
+                if in_test[n] {
+                    return;
+                }
+                match waiver_state(&lines, n, Rule::PanicDiscipline) {
+                    Waiver::Valid => {}
+                    Waiver::MissingReason => diags.push(diag(path, n, Rule::PanicDiscipline, format!(
+                        "`{pat}` waiver is missing its reason — write `// lint: allow(panic_discipline) — <why this cannot fire>`"
+                    ))),
+                    Waiver::None => diags.push(diag(path, n, Rule::PanicDiscipline, format!(
+                        "`{pat}` on the data path — return an error, or waive with `// lint: allow(panic_discipline) — <reason>`"
+                    ))),
+                }
+            });
+        }
+    }
+
+    diags
+}
+
+/// Check a crate root for `#![forbid(unsafe_code)]`. Returns a diagnostic
+/// when it is missing and the crate is not allowlisted.
+pub fn check_crate_root(
+    path: &str,
+    src: &str,
+    crate_name: &str,
+    cfg: &Config,
+) -> Option<Diagnostic> {
+    if cfg.unsafe_allow_crates.iter().any(|c| c == crate_name) {
+        return None;
+    }
+    let lines = lex(src);
+    let found = lines
+        .iter()
+        .any(|l| squash(&l.code).contains("#![forbid(unsafe_code)]"));
+    if found {
+        None
+    } else {
+        Some(diag(path, 0, Rule::UnsafeHygiene, format!(
+            "crate root of `{crate_name}` lacks `#![forbid(unsafe_code)]` (allowlist the crate in lint.toml [unsafe_hygiene] allow_crates if unsafe is intentional)"
+        )))
+    }
+}
+
+fn diag(path: &str, n: usize, rule: Rule, msg: String) -> Diagnostic {
+    Diagnostic {
+        path: path.to_string(),
+        line: n + 1,
+        rule,
+        msg,
+    }
+}
+
+/// Invoke `hit(line_index)` for every identifier-bounded occurrence of
+/// `pat` in the code channel.
+fn scan_pattern(lines: &[Line], pat: &str, mut hit: impl FnMut(usize)) {
+    for (n, line) in lines.iter().enumerate() {
+        if find_bounded(&line.code, pat) {
+            hit(n);
+        }
+    }
+}
+
+/// Substring search with identifier-boundary checks on whichever ends of
+/// the pattern are identifier characters (so `thread_rng` never matches
+/// `my_thread_rng_shim`, while `.unwrap()` needs no left boundary).
+fn find_bounded(code: &str, pat: &str) -> bool {
+    if pat.is_empty() {
+        return false;
+    }
+    let first_ident = pat.chars().next().is_some_and(is_ident);
+    let last_ident = pat.chars().last().is_some_and(is_ident);
+    let bytes = code.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = code[from..].find(pat) {
+        let start = from + pos;
+        let end = start + pat.len();
+        let left_ok = !first_ident || start == 0 || !is_ident(bytes[start - 1] as char);
+        let right_ok = !last_ident || end >= bytes.len() || !is_ident(bytes[end] as char);
+        if left_ok && right_ok {
+            return true;
+        }
+        from = start + 1;
+    }
+    false
+}
+
+fn is_ident(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+fn squash(code: &str) -> String {
+    code.chars().filter(|c| !c.is_whitespace()).collect()
+}
+
+/// Whether an `unsafe` on line `n` is covered by a SAFETY comment: either
+/// trailing on the same line, or in the contiguous block of comment-only /
+/// attribute-only lines directly above (attributes like `#[target_feature]`
+/// may sit between the comment and the `unsafe fn`).
+fn has_safety_comment(lines: &[Line], n: usize) -> bool {
+    if lines[n].comment.trim_start().starts_with("SAFETY") {
+        return true;
+    }
+    let mut k = n;
+    let mut budget = 12usize;
+    while k > 0 && budget > 0 {
+        k -= 1;
+        budget -= 1;
+        let l = &lines[k];
+        let code = l.code.trim();
+        let is_attr = code.starts_with("#[") && code.ends_with(']');
+        if !code.is_empty() && !is_attr {
+            return false; // hit real code before any SAFETY comment
+        }
+        if l.comment.trim_start().starts_with("SAFETY") {
+            return true;
+        }
+        if code.is_empty() && l.comment.is_empty() {
+            return false; // blank line terminates the block
+        }
+    }
+    false
+}
+
+enum Waiver {
+    None,
+    MissingReason,
+    Valid,
+}
+
+/// Look for `lint: allow(<rule>)` on line `n` or the line directly above.
+fn waiver_state(lines: &[Line], n: usize, rule: Rule) -> Waiver {
+    let mut best = Waiver::None;
+    for idx in [Some(n), n.checked_sub(1)].into_iter().flatten() {
+        // The waiver above must be a comment-only line — a waiver trailing
+        // some other statement does not leak downward.
+        if idx != n && !lines[idx].is_code_blank() {
+            continue;
+        }
+        match waiver_on(&lines[idx].comment, rule) {
+            Waiver::Valid => return Waiver::Valid,
+            Waiver::MissingReason => best = Waiver::MissingReason,
+            Waiver::None => {}
+        }
+    }
+    best
+}
+
+fn waiver_on(comment: &str, rule: Rule) -> Waiver {
+    let needle = format!("lint: allow({})", rule.name());
+    let Some(pos) = comment.find(&needle) else {
+        return Waiver::None;
+    };
+    let rest = comment[pos + needle.len()..].trim_start();
+    let rest = rest.trim_start_matches(['—', '-', ':', ' ']).trim();
+    if rest.is_empty() {
+        Waiver::MissingReason
+    } else {
+        Waiver::Valid
+    }
+}
+
+/// True when waived (used by rules without a reason requirement).
+fn waived(lines: &[Line], n: usize, rule: Rule) -> bool {
+    matches!(waiver_state(lines, n, rule), Waiver::Valid)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> Config {
+        Config::parse(
+            r#"
+[sans_io]
+crates = ["tcp"]
+forbidden = ["Instant::now", "std::net", "thread_rng"]
+
+[determinism]
+crates = ["sim"]
+forbidden = ["Instant::now"]
+hash_collections = ["HashMap"]
+
+[unsafe_hygiene]
+allow_files = ["crates/crc/src/lib.rs"]
+allow_crates = ["crc"]
+
+[panic_discipline]
+crates = ["tcp"]
+deny = [".unwrap()", "panic!"]
+"#,
+        )
+        .expect("test config parses")
+    }
+
+    #[test]
+    fn sans_io_fires_in_code_not_strings() {
+        let d = lint_file(
+            "crates/tcp/src/engine.rs",
+            "fn f() { let t = Instant::now(); }\nfn g() { let s = \"Instant::now\"; }\n",
+            &cfg(),
+        );
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].line, 1);
+        assert_eq!(d[0].rule, Rule::SansIo);
+    }
+
+    #[test]
+    fn sans_io_ignores_other_crates() {
+        let d = lint_file(
+            "crates/sim/src/lib.rs",
+            "fn f() { std::net::lookup(); }",
+            &cfg(),
+        );
+        assert!(d.iter().all(|d| d.rule != Rule::SansIo));
+    }
+
+    #[test]
+    fn determinism_flags_hashmap_outside_tests() {
+        let src = "use std::collections::HashMap;\n#[cfg(test)]\nmod tests {\n  fn t() { let m: HashMap<u8,u8> = HashMap::new(); }\n}\n";
+        let d = lint_file("crates/sim/src/lib.rs", src, &cfg());
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].line, 1);
+    }
+
+    #[test]
+    fn unsafe_needs_allowlist_and_safety() {
+        let d = lint_file(
+            "crates/tcp/src/engine.rs",
+            "fn f() { unsafe { g() } }",
+            &cfg(),
+        );
+        assert!(d.iter().any(|d| d.rule == Rule::UnsafeHygiene));
+        let ok = lint_file(
+            "crates/crc/src/lib.rs",
+            "// SAFETY: checked above.\nunsafe { g() }\n",
+            &cfg(),
+        );
+        assert!(ok.is_empty(), "{ok:?}");
+        let missing = lint_file("crates/crc/src/lib.rs", "unsafe { g() }\n", &cfg());
+        assert_eq!(missing.len(), 1);
+    }
+
+    #[test]
+    fn safety_comment_skips_attributes() {
+        let src = "// SAFETY contract: caller checked cpu features.\n#[target_feature(enable = \"sse4.2\")]\nunsafe fn k() {}\n";
+        assert!(lint_file("crates/crc/src/lib.rs", src, &cfg()).is_empty());
+    }
+
+    #[test]
+    fn panic_discipline_waivers() {
+        let base = "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n";
+        let d = lint_file("crates/tcp/src/engine.rs", base, &cfg());
+        assert_eq!(d.len(), 1);
+        let waived = "fn f(x: Option<u8>) -> u8 { x.unwrap() } // lint: allow(panic_discipline) — x proven Some above\n";
+        assert!(lint_file("crates/tcp/src/engine.rs", waived, &cfg()).is_empty());
+        let missing = "fn f(x: Option<u8>) -> u8 { x.unwrap() } // lint: allow(panic_discipline)\n";
+        let d = lint_file("crates/tcp/src/engine.rs", missing, &cfg());
+        assert_eq!(d.len(), 1);
+        assert!(d[0].msg.contains("missing its reason"));
+    }
+
+    #[test]
+    fn panic_ok_in_cfg_test_and_tests_dir() {
+        let src = "#[cfg(test)]\nmod tests {\n  #[test]\n  fn t() { panic!(\"boom\"); }\n}\n";
+        assert!(lint_file("crates/tcp/src/engine.rs", src, &cfg()).is_empty());
+        assert!(lint_file(
+            "crates/tcp/tests/lossy.rs",
+            "fn t() { x.unwrap(); }",
+            &cfg()
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn crate_root_forbid() {
+        assert!(check_crate_root(
+            "crates/tcp/src/lib.rs",
+            "#![forbid(unsafe_code)]\n",
+            "tcp",
+            &cfg()
+        )
+        .is_none());
+        assert!(check_crate_root("crates/tcp/src/lib.rs", "fn f() {}\n", "tcp", &cfg()).is_some());
+        assert!(check_crate_root(
+            "crates/crc/src/lib.rs",
+            "#![deny(unsafe_code)]\n",
+            "crc",
+            &cfg()
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn bounded_matching() {
+        assert!(find_bounded("thread_rng()", "thread_rng"));
+        assert!(!find_bounded("my_thread_rng_shim()", "thread_rng"));
+        assert!(find_bounded("rand::thread_rng()", "thread_rng"));
+        assert!(!find_bounded("unsafety", "unsafe"));
+    }
+}

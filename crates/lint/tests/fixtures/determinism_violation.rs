@@ -1,0 +1,27 @@
+// Fixture: determinism-tier violations, linted under crates/sim/src/.
+// `use` lines fire too — importing the type is already a tier breach.
+use std::collections::HashMap;
+use std::time::SystemTime;
+
+struct Engine {
+    flows: HashMap<u64, u64>, // fires: default-hasher map in engine state
+}
+
+fn stamp() -> u64 {
+    SystemTime::now() // fires: wall clock
+        .elapsed()
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashSet;
+
+    #[test]
+    fn hash_collections_are_fine_in_tests() {
+        let mut s: HashSet<u64> = HashSet::new();
+        s.insert(1);
+        assert!(s.contains(&1));
+    }
+}

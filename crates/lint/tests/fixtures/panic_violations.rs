@@ -1,0 +1,45 @@
+// Fixture: panic-discipline cases, linted under a data-path crate path.
+
+fn bare_unwrap(x: Option<u8>) -> u8 {
+    x.unwrap() // fires
+}
+
+fn bare_expect(x: Option<u8>) -> u8 {
+    x.expect("always here") // fires
+}
+
+fn explicit_panic(x: u8) {
+    if x > 250 {
+        panic!("overload"); // fires
+    }
+}
+
+fn waived_same_line(x: Option<u8>) -> u8 {
+    x.unwrap() // lint: allow(panic_discipline) — x is Some by construction in this fixture
+}
+
+fn waived_line_above(x: Option<u8>) -> u8 {
+    // lint: allow(panic_discipline) — fixture invariant: caller checked is_some()
+    x.unwrap()
+}
+
+fn waiver_without_reason(x: Option<u8>) -> u8 {
+    x.unwrap() // lint: allow(panic_discipline)
+}
+
+fn unwrap_or_is_fine(x: Option<u8>) -> u8 {
+    // unwrap_or / unwrap_or_else / unwrap_or_default carry no panic.
+    x.unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn panics_allowed_in_test_modules() {
+        let v: Option<u8> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+        if false {
+            panic!("test-only panic is fine");
+        }
+    }
+}

@@ -1,0 +1,8 @@
+//! Fixture: a crate root with no `#![forbid(unsafe_code)]` attribute.
+//! The text below mentions the attribute only in a doc comment and a
+//! string, which must not satisfy the check:
+//! `#![forbid(unsafe_code)]` — not real.
+
+fn not_the_attribute() {
+    let _ = "#![forbid(unsafe_code)]";
+}

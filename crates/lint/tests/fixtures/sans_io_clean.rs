@@ -1,0 +1,27 @@
+//! Fixture: every forbidden name below hides where the lexer must NOT look.
+//! Linting this file under a protocol-crate path must produce zero
+//! diagnostics — this is the tricky-lexing regression test.
+
+/// Doc comments may discuss Instant::now() and std::net freely.
+/// Even thread_rng() and panic! are fine here.
+fn doc_comment_mentions() {}
+
+fn in_strings() {
+    let a = "Instant::now() inside a plain string";
+    let b = r#"std::net::TcpStream inside a raw string, "quoted" too"#;
+    let c = r##"thread_rng() inside r##-delimited raw string: "#"##;
+    let d = b"SystemTime::now() in a byte string";
+    let e = concat!("panic!", "(\"not real\")");
+    let _ = (a, b, c, d, e);
+}
+
+/* Block comments mentioning std::thread::spawn and SystemTime are fine,
+   /* even nested ones with Instant::now() */ still a comment. */
+fn block_comment_mentions() {}
+
+fn lifetimes_not_char_literals<'a>(x: &'a str) -> &'a str {
+    // The 'a lifetimes above must not confuse the char-literal scanner
+    // into swallowing code as string contents.
+    let _marker = 'x';
+    x
+}

@@ -1,0 +1,17 @@
+// Fixture: every marked reference MUST fire the sans_io rule when linted
+// under a protocol-crate path. tests/rules.rs locates the expected lines
+// by searching for the code itself, so edits stay cheap.
+use std::time::Instant;
+
+fn engine_tick() -> u64 {
+    let t = Instant::now(); // fires: wall clock in an engine
+    t.elapsed().as_nanos() as u64
+}
+
+fn resolve() {
+    let _ = std::net::TcpStream::connect("127.0.0.1:80"); // fires: sockets
+}
+
+fn entropy() -> u64 {
+    rand::thread_rng().next_u64() // fires: ambient randomness
+}

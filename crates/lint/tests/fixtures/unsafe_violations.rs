@@ -1,0 +1,29 @@
+// Fixture: unsafe-hygiene cases. tests/rules.rs lints this twice — once
+// under a non-allowlisted path (every `unsafe` fires) and once under an
+// allowlisted path (only the SAFETY-comment-less one fires).
+
+fn missing_safety_comment(p: *const u8) -> u8 {
+    unsafe { *p } // fires even when allowlisted: no SAFETY comment
+}
+
+fn has_safety_comment(p: *const u8) -> u8 {
+    // SAFETY: caller guarantees `p` is valid for reads (fixture).
+    unsafe { *p }
+}
+
+// SAFETY contract: caller must pass a pointer valid for reads; the
+// attribute between this comment and the fn must not break coverage.
+#[inline(never)]
+unsafe fn covered_through_attribute(p: *const u8) -> u8 {
+    *p
+}
+
+fn mentions_unsafe_harmlessly() {
+    // The word unsafe in a comment, and "unsafe" in a string, never fire.
+    let _ = "unsafe { totally_fine() }";
+    let _ = unsafety_counter();
+}
+
+fn unsafety_counter() -> u32 {
+    0 // `unsafety` must not match the `unsafe` token (ident boundary)
+}

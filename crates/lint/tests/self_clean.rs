@@ -1,0 +1,34 @@
+//! The gate gates itself: `cargo test -p ebs-lint` fails if the workspace
+//! it lives in violates its own `lint.toml`. This is the same walk the
+//! `--check` CLI performs, so CI redundancy is intentional — a contributor
+//! running only the test suite still hits the lint.
+
+use std::path::Path;
+
+use ebs_lint::config::Config;
+use ebs_lint::{find_root, lint_tree};
+
+#[test]
+fn workspace_passes_its_own_lint() {
+    let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let root = find_root(here).expect("lint.toml above crates/lint");
+    let cfg =
+        Config::parse(&std::fs::read_to_string(root.join("lint.toml")).expect("read lint.toml"))
+            .expect("lint.toml parses");
+    let outcome = lint_tree(&root, &cfg).expect("walk workspace");
+    assert!(
+        outcome.files_scanned > 50,
+        "walk must cover the workspace, saw {}",
+        outcome.files_scanned
+    );
+    assert!(
+        outcome.diagnostics.is_empty(),
+        "workspace violates its own lint:\n{}",
+        outcome
+            .diagnostics
+            .iter()
+            .map(|d| format!("  {d}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -276,7 +276,7 @@ impl Topology {
                         let tc = devices[t.0 as usize].coord;
                         tc.dc == c.dc && tc.pod == c.pod && tc.index == home
                     })
-                    .expect("tor exists");
+                    .expect("tor exists"); // lint: allow(panic_discipline) — construction-time lookup; the loop above created a ToR for every (pod, index) pair searched here
                 connect(srv, tor, cfg.server_link, &mut devices);
             }
         }

@@ -207,6 +207,7 @@ impl<E> EventQueue<E> {
             s.event = Some(event);
             (slot, s.generation)
         } else {
+            // lint: allow(panic_discipline) — hard capacity ceiling: 2^32 simultaneously scheduled events exceeds any simulated workload by orders of magnitude, and there is no sane degraded mode
             let slot = u32::try_from(self.slab.len()).expect("slab overflow");
             self.slab.push(SlabSlot {
                 generation: 0,
@@ -318,15 +319,13 @@ impl<E> EventQueue<E> {
         // monotone between re-anchors), so this is amortized O(log n)
         // per event.
         let horizon = self.activated + WHEEL_SLOTS as u64;
-        while let Some(k) = self.overflow.peek() {
-            if k.bucket() >= horizon {
-                break;
-            }
-            let k = self.overflow.pop().expect("peeked");
+        while self.overflow.peek().is_some_and(|k| k.bucket() < horizon) {
+            let Some(k) = self.overflow.pop() else { break };
             self.place(k);
         }
         let b = self
             .next_occupied_bucket()
+            // lint: allow(panic_discipline) — wheel invariant (wheel_keys > 0 ⇒ an occupied bucket within the window), model-checked by tests/queue_model.rs; losing events silently would corrupt every downstream result
             .expect("advance with keys but no occupied bucket");
         let idx = b as usize & (WHEEL_SLOTS - 1);
         self.wheel_keys -= self.wheel[idx].len();

@@ -54,6 +54,7 @@ impl FifoResource {
     /// Returns the completion time; the job occupies the earliest-free
     /// server from `max(now, free)` to the returned instant.
     pub fn admit(&mut self, now: SimTime, service: SimDuration) -> SimTime {
+        // lint: allow(panic_discipline) — free_at always holds exactly `servers` (≥ 1) entries: the constructor fills it and every pop below is paired with a push
         let std::cmp::Reverse(free) = self.free_at.pop().expect("non-empty");
         let start = now.as_nanos().max(free);
         let done = start + service.as_nanos();
@@ -66,6 +67,7 @@ impl FifoResource {
     /// Queueing delay a job admitted at `now` would experience before
     /// starting service (without admitting it).
     pub fn backlog(&self, now: SimTime) -> SimDuration {
+        // lint: allow(panic_discipline) — same `servers`-entries invariant as admit() above
         let std::cmp::Reverse(free) = *self.free_at.peek().expect("non-empty");
         SimDuration::from_nanos(free.saturating_sub(now.as_nanos()))
     }

@@ -448,9 +448,12 @@ impl SolarClient {
             if top.at_ns > now.as_nanos() {
                 break;
             }
-            let TimerEntry {
+            let Some(TimerEntry {
                 key, generation, ..
-            } = self.timers.pop().expect("peeked");
+            }) = self.timers.pop()
+            else {
+                break;
+            };
             let Some(o) = self.outstanding.get(&key) else {
                 continue; // already completed
             };
@@ -464,8 +467,10 @@ impl SolarClient {
     }
 
     fn handle_timeout(&mut self, now: SimTime, key: PktKey) {
+        let Some(o) = self.outstanding.get_mut(&key) else {
+            return; // completed between the timer check and here
+        };
         self.stats.timeouts += 1;
-        let o = self.outstanding.get_mut(&key).expect("checked");
         let old_path = o.path;
         let old_seq = o.path_seq;
         let old_epoch = o.path_epoch;
@@ -641,7 +646,11 @@ impl SolarClient {
 
         let generation = self.next_generation;
         self.next_generation += 1;
-        let o = self.outstanding.get_mut(&key).expect("present");
+        let Some(o) = self.outstanding.get_mut(&key) else {
+            // Unreachable by construction — the txq scan above verified the
+            // key — but a lost entry must not take the whole client down.
+            return None;
+        };
         let bytes = o.credit_bytes;
         let is_retx = o.retries > 0;
         let seq = self.paths[path_id as usize].register_tx(key, bytes);
@@ -716,7 +725,9 @@ impl SolarClient {
         if !o.in_flight {
             return; // waiting in txq for retransmission: stale ack — accept it anyway
         }
-        let o = self.outstanding.remove(&key).expect("present");
+        let Some(o) = self.outstanding.remove(&key) else {
+            return; // just observed above; gone means nothing to release
+        };
         let path = &mut self.paths[o.path as usize];
         path.release(o.path_seq, o.credit_bytes);
         let sample = if o.retransmitted {

@@ -197,6 +197,7 @@ impl Path {
             // the *level* of RTT moves with queueing while the variance
             // estimator lags, and a timeout fired into genuine congestion
             // starts a flap-and-collapse spiral.
+            // lint: allow(panic_discipline) — srtt_ns was assigned Some in both match arms above
             let srtt = self.srtt_ns.unwrap();
             let rto_ns = (srtt + 4.0 * self.rttvar_ns.max(1000.0)).max(2.0 * srtt);
             self.rto = SimDuration::from_nanos(rto_ns as u64)

@@ -27,21 +27,31 @@ static PAYLOAD_ALLOCS: AtomicU64 = AtomicU64::new(0);
 // SAFETY: pure pass-through to `System`; the only extra work is two atomic
 // reads/writes, which allocate nothing.
 unsafe impl GlobalAlloc for PayloadAllocSpy {
+    // SAFETY contract: same as `System::alloc` — we forward the layout
+    // untouched, so the returned pointer obeys it.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         if layout.size() >= PAYLOAD_BYTES && ARMED.load(Ordering::Relaxed) {
             PAYLOAD_ALLOCS.fetch_add(1, Ordering::Relaxed);
         }
+        // SAFETY: `layout` is the caller's, forwarded verbatim.
         unsafe { System.alloc(layout) }
     }
 
+    // SAFETY contract: same as `System::dealloc` — pointer and layout are
+    // forwarded verbatim from a matching `alloc`.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: `ptr`/`layout` came from the matching `alloc` call.
         unsafe { System.dealloc(ptr, layout) }
     }
 
+    // SAFETY contract: same as `System::realloc` — arguments forwarded
+    // verbatim.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         if new_size >= PAYLOAD_BYTES && ARMED.load(Ordering::Relaxed) {
             PAYLOAD_ALLOCS.fetch_add(1, Ordering::Relaxed);
         }
+        // SAFETY: `ptr`/`layout`/`new_size` are the caller's, forwarded
+        // verbatim.
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }

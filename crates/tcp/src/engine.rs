@@ -315,10 +315,10 @@ impl TcpEngine {
             }
             return;
         }
-        if self.inflight.is_empty() {
+        let Some((&first, _)) = self.inflight.first_key_value() else {
             self.rto_deadline = None;
             return;
-        }
+        };
         // Timeout: retransmit the earliest unacked segment, collapse cwnd.
         self.stats.timeouts += 1;
         self.retries += 1;
@@ -327,7 +327,6 @@ impl TcpEngine {
             self.rto_deadline = None;
             return;
         }
-        let first = *self.inflight.keys().next().expect("non-empty");
         self.rtx_queue.insert(first);
         let flight = self.bytes_in_flight() as f64;
         self.ssthresh = (flight / 2.0).max(2.0 * self.cfg.mss as f64);
@@ -537,9 +536,9 @@ impl TcpEngine {
                 // RTT sample from the newest fully-acked, never
                 // retransmitted segment (Karn's rule).
                 let mut sample: Option<SimDuration> = None;
-                let acked: Vec<u64> = self.inflight.range(..ack_off).map(|(&o, _)| o).collect();
-                for off in acked {
-                    let s = self.inflight.remove(&off).expect("present");
+                let still_inflight = self.inflight.split_off(&ack_off);
+                let acked = std::mem::replace(&mut self.inflight, still_inflight);
+                for (off, s) in acked {
                     if !s.retransmitted && off + s.payload.len() as u64 <= ack_off {
                         sample = Some(now.saturating_since(s.sent_at));
                     }
@@ -624,11 +623,11 @@ impl TcpEngine {
     }
 
     fn drain_ooo(&mut self) {
-        while let Some((&off, _)) = self.ooo.iter().next() {
-            if off > self.rcv_nxt {
+        while let Some(entry) = self.ooo.first_entry() {
+            if *entry.key() > self.rcv_nxt {
                 break;
             }
-            let (off, data) = self.ooo.pop_first().expect("non-empty");
+            let (off, data) = entry.remove_entry();
             self.ooo_bytes -= data.len();
             if off + data.len() as u64 <= self.rcv_nxt {
                 continue; // fully duplicate
@@ -640,17 +639,18 @@ impl TcpEngine {
 
     fn update_rtt(&mut self, rtt: SimDuration) {
         let r = rtt.as_nanos() as f64;
-        match self.srtt_ns {
+        let srtt = match self.srtt_ns {
             None => {
-                self.srtt_ns = Some(r);
                 self.rttvar_ns = r / 2.0;
+                r
             }
             Some(srtt) => {
                 self.rttvar_ns = 0.75 * self.rttvar_ns + 0.25 * (srtt - r).abs();
-                self.srtt_ns = Some(0.875 * srtt + 0.125 * r);
+                0.875 * srtt + 0.125 * r
             }
-        }
-        let rto_ns = self.srtt_ns.unwrap() + 4.0 * self.rttvar_ns;
+        };
+        self.srtt_ns = Some(srtt);
+        let rto_ns = srtt + 4.0 * self.rttvar_ns;
         self.rto = SimDuration::from_nanos(rto_ns as u64)
             .max(self.cfg.rto_min)
             .min(self.cfg.rto_max);

@@ -100,11 +100,11 @@ impl Ipv4Header {
             return Err(WireError::BadChecksum);
         }
         Ok(Ipv4Header {
-            src: u32::from_be_bytes(hdr[12..16].try_into().unwrap()),
-            dst: u32::from_be_bytes(hdr[16..20].try_into().unwrap()),
+            src: u32::from_be_bytes([hdr[12], hdr[13], hdr[14], hdr[15]]),
+            dst: u32::from_be_bytes([hdr[16], hdr[17], hdr[18], hdr[19]]),
             protocol: hdr[9],
             ttl: hdr[8],
-            total_len: u16::from_be_bytes(hdr[2..4].try_into().unwrap()),
+            total_len: u16::from_be_bytes([hdr[2], hdr[3]]),
             tos: hdr[1],
         })
     }

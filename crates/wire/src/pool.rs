@@ -48,10 +48,20 @@ struct Shared {
 }
 
 impl Shared {
+    /// Lock the free list, recovering from poisoning: a poisoned mutex only
+    /// means some other thread panicked mid push/pop, and a `Vec` is valid
+    /// after any interrupted operation. This path runs inside `Drop` impls,
+    /// where a second panic would abort the process — so keep recycling.
+    fn free_list(&self) -> std::sync::MutexGuard<'_, Vec<Box<[u8]>>> {
+        self.free
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     /// Give `buf` back; called from buffer drops.
     fn put(&self, buf: Box<[u8]>) {
         if buf.len() == self.block_size {
-            let mut free = self.free.lock().unwrap();
+            let mut free = self.free_list();
             if free.len() < self.max_free {
                 free.push(buf);
                 self.recycled.fetch_add(1, Ordering::Relaxed);
@@ -108,7 +118,7 @@ impl BlockPool {
 
     /// Buffers currently parked on the free list.
     pub fn free_blocks(&self) -> usize {
-        self.shared.free.lock().unwrap().len()
+        self.shared.free_list().len()
     }
 
     /// Snapshot of the pool's counters.
@@ -124,7 +134,7 @@ impl BlockPool {
     /// Pop a recycled buffer or allocate a fresh one. Returns the raw
     /// storage plus whether it came from the allocator (fresh ⇒ zeroed).
     fn grab(&self) -> (Box<[u8]>, bool) {
-        if let Some(buf) = self.shared.free.lock().unwrap().pop() {
+        if let Some(buf) = self.shared.free_list().pop() {
             self.shared.hits.fetch_add(1, Ordering::Relaxed);
             (buf, false)
         } else {

@@ -118,7 +118,8 @@ impl FrameDecoder {
         if self.buf.len() < 4 {
             return Ok(None);
         }
-        let total = u32::from_be_bytes(self.buf[0..4].try_into().unwrap()) as usize;
+        let total =
+            u32::from_be_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]) as usize;
         if !(HEADER_LEN..=MAX_FRAME).contains(&total) {
             return Err(WireError::Malformed);
         }
