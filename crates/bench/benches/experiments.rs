@@ -36,4 +36,21 @@ fn main() {
             "serial"
         }
     );
+    // Diagnostic artifacts (Perfetto trace + metrics snapshot) from a
+    // representative SOLAR run — separate from BENCH_RESULTS.json so the
+    // headline metrics stay byte-identical with observability off.
+    if ebs_obs::ENABLED {
+        let (trace, metrics, slowest) = ebs_bench::obs::export_solar_run(quick);
+        let target = concat!(env!("CARGO_MANIFEST_DIR"), "/../../target");
+        for (file, body) in [("obs-trace.json", &trace), ("obs-metrics.json", &metrics)] {
+            let path = format!("{target}/{file}");
+            match std::fs::write(&path, body) {
+                Ok(()) => eprintln!("wrote {path}"),
+                Err(e) => eprintln!("could not write {path}: {e}"),
+            }
+        }
+        if !slowest.is_empty() {
+            eprint!("{slowest}");
+        }
+    }
 }

@@ -30,6 +30,7 @@ use std::time::Instant;
 pub mod ablations;
 pub mod characterization;
 pub mod hardware;
+pub mod obs;
 mod output;
 pub mod performance;
 pub mod reliability;

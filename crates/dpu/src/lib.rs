@@ -86,6 +86,18 @@ impl DpuCpu {
     }
 }
 
+impl ebs_obs::Sample for DpuCpu {
+    /// Component `dpu.cpu`: job throughput plus the saturation signals
+    /// (§4.7's long SA tail is backlog on these cores).
+    fn sample_into(&self, now: SimTime, m: &mut ebs_obs::Metrics) {
+        m.counter_add("dpu.cpu", "jobs", self.jobs());
+        m.counter_add("dpu.cpu", "busy_ns", self.busy_time().as_nanos());
+        m.gauge_set("dpu.cpu", "utilization", self.utilization(now));
+        m.gauge_set("dpu.cpu", "consumed_cores", self.consumed_cores(now));
+        m.gauge_set("dpu.cpu", "backlog_ns", self.backlog(now).as_nanos() as f64);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -129,6 +129,18 @@ impl DpuPcie {
     }
 }
 
+impl ebs_obs::Sample for DpuPcie {
+    /// Component `dpu.pcie`: the Fig. 10 internal-interconnect bottleneck.
+    fn sample_into(&self, now: SimTime, m: &mut ebs_obs::Metrics) {
+        m.counter_add("dpu.pcie", "internal_bytes", self.internal_bytes());
+        m.gauge_set(
+            "dpu.pcie",
+            "internal_utilization",
+            self.internal_utilization(now),
+        );
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -406,6 +406,14 @@ impl Pipeline {
     }
 }
 
+impl ebs_obs::Sample for Pipeline {
+    /// Component `dpu.pipeline`: match-action throughput and stage drops.
+    fn sample_into(&self, _now: SimTime, m: &mut ebs_obs::Metrics) {
+        m.counter_add("dpu.pipeline", "processed", self.processed);
+        m.counter_add("dpu.pipeline", "dropped", self.dropped);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,23 @@
+//! Fixture: an observability module that reaches for ambient time.
+//!
+//! The obs crate's contract is that every event timestamp is *injected*
+//! (SimTime from the host) — grabbing a wall clock here both breaks
+//! sans-io and makes traces non-replayable, so both tiers must fire.
+
+use std::time::Instant;
+
+pub struct LeakyJournal {
+    started: Instant,
+}
+
+impl LeakyJournal {
+    pub fn new() -> Self {
+        LeakyJournal {
+            started: Instant::now(),
+        }
+    }
+
+    pub fn elapsed_ns(&self) -> u128 {
+        self.started.elapsed().as_nanos()
+    }
+}

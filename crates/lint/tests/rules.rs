@@ -129,6 +129,26 @@ fn unsafe_in_allowlisted_file_needs_safety_comments() {
 }
 
 #[test]
+fn obs_crate_is_bound_to_sans_io_and_determinism() {
+    // The observability layer lives inside the deterministic core: a
+    // wall-clock call in crates/obs must fail `ebs-lint --check` under
+    // BOTH tiers (sans-io purity and replay determinism).
+    let src = fixture("obs_wall_clock.rs");
+    let diags = lint_file("crates/obs/src/fixture.rs", &src, &real_config());
+    let expected = vec![line_of(&src, "Instant::now()")];
+    assert_eq!(
+        lines_with_rule(&diags, Rule::SansIo),
+        expected,
+        "{diags:#?}"
+    );
+    assert_eq!(
+        lines_with_rule(&diags, Rule::Determinism),
+        expected,
+        "{diags:#?}"
+    );
+}
+
+#[test]
 fn panic_discipline_hits_waivers_and_test_modules() {
     let src = fixture("panic_violations.rs");
     let diags = lint_file("crates/solar/src/fixture.rs", &src, &real_config());

@@ -201,6 +201,24 @@ impl RpcServer {
     }
 }
 
+impl ebs_obs::Sample for RpcClient {
+    /// Component `luna.rpc` plus the underlying shared `tcp` engine.
+    fn sample_into(&self, now: SimTime, m: &mut ebs_obs::Metrics) {
+        m.gauge_set("luna.rpc", "inflight", self.inflight() as f64);
+        m.counter_add("luna.rpc", "decode_errors", self.decode_errors());
+        self.tcp().sample_into(now, m);
+    }
+}
+
+impl ebs_obs::Sample for RpcServer {
+    /// Component `luna.rpc` (server side shares the counter namespace:
+    /// counters accumulate across samplers by design).
+    fn sample_into(&self, now: SimTime, m: &mut ebs_obs::Metrics) {
+        m.counter_add("luna.rpc", "decode_errors", self.decode_errors());
+        self.tcp.sample_into(now, m);
+    }
+}
+
 /// Make a write request frame.
 pub fn write_request(rpc_id: u64, vd_id: u64, offset: u64, payload: bytes::Bytes) -> RpcFrame {
     RpcFrame {

@@ -509,6 +509,28 @@ impl<P> Fabric<P> {
     }
 }
 
+impl<P> ebs_obs::Sample for Fabric<P> {
+    /// Component `net`: delivery/drop counters plus per-link occupancy
+    /// histograms. Each egress port contributes one observation to the
+    /// `link_queue_bytes` / `link_tx_bytes` histograms, so ECMP imbalance
+    /// shows up as spread (p99 ≫ p50) rather than needing per-link keys.
+    fn sample_into(&self, _now: SimTime, m: &mut ebs_obs::Metrics) {
+        m.counter_add("net", "delivered", self.delivered);
+        m.counter_add("net", "drop_fail_stop", self.drops.fail_stop);
+        m.counter_add("net", "drop_blackhole", self.drops.blackhole);
+        m.counter_add("net", "drop_random_loss", self.drops.random_loss);
+        m.counter_add("net", "drop_queue_overflow", self.drops.queue_overflow);
+        m.counter_add("net", "drop_no_route", self.drops.no_route);
+        m.gauge_set("net", "max_queue_bytes", self.max_queue_bytes() as f64);
+        for dev in &self.devices {
+            for port in &dev.ports {
+                m.observe("net", "link_queue_bytes", port.queued_bytes as u64);
+                m.observe("net", "link_tx_bytes", port.tx_bytes);
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

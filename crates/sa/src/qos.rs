@@ -81,6 +81,10 @@ struct VdQos {
 #[derive(Debug, Default)]
 pub struct QosTable {
     disks: HashMap<u64, VdQos>,
+    admitted_ios: u64,
+    admitted_bytes: u64,
+    throttled_ios: u64,
+    total_delay: SimDuration,
 }
 
 impl QosTable {
@@ -111,12 +115,50 @@ impl QosTable {
     /// Unregistered disks are admitted immediately (fail-open, like a
     /// missing table entry in hardware).
     pub fn admit(&mut self, now: SimTime, vd_id: u64, bytes: usize) -> SimDuration {
+        self.admitted_ios += 1;
+        self.admitted_bytes += bytes as u64;
         let Some(vd) = self.disks.get_mut(&vd_id) else {
             return SimDuration::ZERO;
         };
         let d1 = vd.iops.take(now, 1.0);
         let d2 = vd.bytes.take(now, bytes as f64);
-        d1.max(d2)
+        let delay = d1.max(d2);
+        if delay > SimDuration::ZERO {
+            self.throttled_ios += 1;
+            self.total_delay += delay;
+        }
+        delay
+    }
+
+    /// I/Os that went through [`QosTable::admit`] (throttled or not).
+    pub fn admitted_ios(&self) -> u64 {
+        self.admitted_ios
+    }
+
+    /// Bytes that went through [`QosTable::admit`].
+    pub fn admitted_bytes(&self) -> u64 {
+        self.admitted_bytes
+    }
+
+    /// I/Os that got a non-zero policy delay.
+    pub fn throttled_ios(&self) -> u64 {
+        self.throttled_ios
+    }
+
+    /// Sum of policy delays handed out.
+    pub fn total_delay(&self) -> SimDuration {
+        self.total_delay
+    }
+}
+
+impl ebs_obs::Sample for QosTable {
+    /// Component `sa.qos`: admission counters and throttle pressure.
+    fn sample_into(&self, _now: SimTime, m: &mut ebs_obs::Metrics) {
+        m.gauge_set("sa.qos", "disks_registered", self.disks.len() as f64);
+        m.counter_add("sa.qos", "admitted_ios", self.admitted_ios);
+        m.counter_add("sa.qos", "admitted_bytes", self.admitted_bytes);
+        m.counter_add("sa.qos", "throttled_ios", self.throttled_ios);
+        m.counter_add("sa.qos", "total_delay_ns", self.total_delay.as_nanos());
     }
 }
 

@@ -134,6 +134,8 @@ pub struct EventQueue<E> {
     popped: u64,
     /// Keys in any ordering structure (live + stale).
     queued: usize,
+    /// High-water mark of `queued` (occupancy telemetry).
+    max_queued: usize,
     /// Stale keys (cancelled while queued) awaiting skip.
     tombstones: usize,
 }
@@ -160,6 +162,7 @@ impl<E> EventQueue<E> {
             now: SimTime::ZERO,
             popped: 0,
             queued: 0,
+            max_queued: 0,
             tombstones: 0,
         }
     }
@@ -184,6 +187,17 @@ impl<E> EventQueue<E> {
     /// True if no events remain.
     pub fn is_empty(&self) -> bool {
         self.queued == 0
+    }
+
+    /// Number of events ever scheduled (for run-length diagnostics).
+    pub fn events_scheduled(&self) -> u64 {
+        self.seq
+    }
+
+    /// Largest simultaneous occupancy seen (including stale keys) — the
+    /// queue-depth telemetry the observability layer samples.
+    pub fn max_queued(&self) -> usize {
+        self.max_queued
     }
 
     /// Cancelled-but-still-queued keys. Each is a fixed-size key (not a
@@ -255,6 +269,7 @@ impl<E> EventQueue<E> {
         self.seq += 1;
         let (slot, generation) = self.alloc(event);
         self.queued += 1;
+        self.max_queued = self.max_queued.max(self.queued);
         self.place(Key {
             at,
             seq,

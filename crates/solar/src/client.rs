@@ -844,3 +844,30 @@ impl SolarClient {
         self.txq.len()
     }
 }
+
+impl ebs_obs::Sample for SolarClient {
+    /// Component `solar`: transport counters, liveness, and per-path RTT /
+    /// occupancy distributions (one histogram observation per path, so
+    /// multipath skew is visible without dynamic metric keys).
+    fn sample_into(&self, _now: SimTime, m: &mut ebs_obs::Metrics) {
+        let s = self.stats;
+        m.counter_add("solar", "pkts_sent", s.pkts_sent);
+        m.counter_add("solar", "retransmits", s.retransmits);
+        m.counter_add("solar", "timeouts", s.timeouts);
+        m.counter_add("solar", "reorder_losses", s.reorder_losses);
+        m.counter_add("solar", "rpcs_completed", s.rpcs_completed);
+        m.counter_add("solar", "rpcs_failed", s.rpcs_failed);
+        m.counter_add("solar", "path_failovers", s.path_failovers);
+        m.counter_add("solar", "probes_sent", s.probes_sent);
+        let up = self.paths.iter().filter(|p| p.is_up()).count();
+        m.gauge_set("solar", "paths_up", up as f64);
+        m.gauge_set("solar", "inflight_rpcs", self.rpcs.len() as f64);
+        for p in &self.paths {
+            if let Some(srtt) = p.srtt() {
+                m.observe("solar", "path_srtt_ns", srtt.as_nanos());
+            }
+            m.observe("solar", "path_inflight_bytes", p.inflight_bytes());
+            m.observe("solar", "path_window_bytes", p.window());
+        }
+    }
+}

@@ -12,10 +12,12 @@
 #![warn(missing_docs)]
 
 pub mod calibrate;
+pub mod diag;
 mod testbed;
 mod trace;
 
 pub use calibrate::{RdmaCosts, SaCosts, SolarCosts};
+pub use diag::{HopSpan, IoExplanation};
 pub use testbed::{Event, FioConfig, Msg, Reply, Testbed, TestbedConfig, Variant};
 pub use trace::{Breakdown, IoTrace};
 
@@ -152,6 +154,136 @@ mod tests {
         tb.run_until(SimTime::from_millis(50));
         let cores = tb.consumed_cores(0);
         assert!(cores > 0.1, "kernel stack burns CPU: {cores}");
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn journal_breakdown_matches_iotrace_exactly() {
+        use ebs_obs::EventKind;
+        use std::collections::BTreeMap;
+
+        let mut tb = Testbed::new(TestbedConfig::small(Variant::Solar, 1, 3));
+        tb.attach_fio(
+            SimTime::from_millis(1),
+            0,
+            FioConfig {
+                depth: 4,
+                bytes: 4096,
+                read_fraction: 0.5,
+            },
+        );
+        tb.run_until(SimTime::from_millis(20));
+
+        // Per-I/O: the journal's component spans must sum to the exact
+        // IoTrace fields (same u64 nanosecond arithmetic, by construction).
+        let mut sums: BTreeMap<u64, BTreeMap<&str, u64>> = BTreeMap::new();
+        for ev in tb.journal().events() {
+            if let EventKind::Span { id, dur, .. } = ev.kind {
+                *sums.entry(id).or_default().entry(ev.track).or_insert(0) += dur.as_nanos();
+            }
+        }
+        let completed: Vec<(u64, &IoTrace)> = tb
+            .traces()
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.completed.is_some())
+            .map(|(i, t)| (i as u64, t))
+            .collect();
+        assert!(completed.len() > 20, "need a real sample");
+        for (id, t) in &completed {
+            let s = sums.get(id).expect("journal has this io");
+            let get = |track: &str| s.get(track).copied().unwrap_or(0);
+            assert_eq!(get("sa"), t.sa.as_nanos(), "sa split, io {id}");
+            assert_eq!(get("fn"), t.fn_.as_nanos(), "fn split, io {id}");
+            assert_eq!(get("bn"), t.bn.as_nanos(), "bn split, io {id}");
+            assert_eq!(get("ssd"), t.ssd.as_nanos(), "ssd split, io {id}");
+            assert_eq!(
+                get("io"),
+                t.latency().expect("completed").as_nanos(),
+                "total, io {id}"
+            );
+        }
+
+        // And in aggregate: the journal-derived Fig. 6 breakdown equals
+        // the trace-derived one at every probed quantile.
+        for kind in [ebs_sa::IoKind::Read, ebs_sa::IoKind::Write] {
+            let a = Breakdown::collect(tb.traces(), kind, 4096);
+            let b = Breakdown::from_journal(tb.journal(), kind, 4096);
+            assert_eq!(a.total.count(), b.total.count(), "{kind:?} count");
+            for q in [0.1, 0.5, 0.9, 0.99] {
+                assert_eq!(a.at(q), b.at(q), "{kind:?} quantile {q}");
+            }
+        }
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn explain_slowest_matches_trace() {
+        let mut tb = Testbed::new(TestbedConfig::small(Variant::Luna, 1, 3));
+        tb.attach_fio(
+            SimTime::from_millis(1),
+            0,
+            FioConfig {
+                depth: 2,
+                bytes: 16384,
+                read_fraction: 0.0,
+            },
+        );
+        tb.run_until(SimTime::from_millis(10));
+        let e = tb.explain_slowest_io().expect("completed I/Os exist");
+        let slowest = tb
+            .traces()
+            .iter()
+            .filter(|t| t.completed.is_some())
+            .max_by_key(|t| t.latency().expect("completed"))
+            .expect("completed");
+        assert_eq!(e.total, slowest.latency().expect("completed"));
+        assert_eq!(e.kind, slowest.kind);
+        assert_eq!(e.bytes, u64::from(slowest.bytes));
+        // The hop slices reproduce the trace's component attribution.
+        let sum_of = |track: &str| {
+            e.hops
+                .iter()
+                .filter(|h| h.component == track)
+                .fold(SimDuration::ZERO, |acc, h| acc + h.dur)
+        };
+        assert_eq!(sum_of("sa"), slowest.sa);
+        assert_eq!(sum_of("fn"), slowest.fn_);
+        assert_eq!(sum_of("bn"), slowest.bn);
+        assert_eq!(sum_of("ssd"), slowest.ssd);
+        assert!(e.render().contains("slowest io"));
+    }
+
+    #[cfg(feature = "obs")]
+    #[test]
+    fn sample_obs_populates_every_layer() {
+        let mut tb = Testbed::new(TestbedConfig::small(Variant::Solar, 1, 3));
+        tb.attach_fio(
+            SimTime::from_millis(1),
+            0,
+            FioConfig {
+                depth: 4,
+                bytes: 4096,
+                read_fraction: 0.5,
+            },
+        );
+        tb.run_until(SimTime::from_millis(20));
+        tb.sample_obs();
+        let m = tb.metrics();
+        assert!(m.counter("net", "delivered") > 0);
+        assert!(m.counter("solar", "rpcs_completed") > 0);
+        assert!(m.counter("sa.qos", "admitted_ios") > 0);
+        assert!(m.counter("dpu.cpu", "jobs") > 0);
+        // SOLAR's whole point (Fig. 10c): zero internal-PCIe crossings.
+        assert_eq!(m.counter("dpu.pcie", "internal_bytes"), 0);
+        assert!(m.gauge("dpu.pcie", "internal_utilization").is_some());
+        assert!(m.counter("storage", "reads") + m.counter("storage", "writes") > 0);
+        assert!(m.counter("sim", "events_scheduled") > 0);
+        assert!(m.histogram("solar", "path_srtt_ns").is_some());
+        // Sampling twice must not double-count (clear-first convention).
+        let delivered = m.counter("net", "delivered");
+        tb.sample_obs();
+        assert_eq!(tb.metrics().counter("net", "delivered"), delivered);
     }
 
     #[test]

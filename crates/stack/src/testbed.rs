@@ -28,7 +28,10 @@ use ebs_wire::{EbsHeader, IntStack, RpcFrame, RpcMethod};
 use rand::rngs::SmallRng;
 use rand::Rng;
 
+use ebs_obs::{Journal, Metrics, Sample};
+
 use crate::calibrate::{RdmaCosts, SaCosts, SolarCosts};
+use crate::diag::IoExplanation;
 use crate::trace::IoTrace;
 
 /// The five FN data-path variants of the paper.
@@ -354,6 +357,11 @@ pub struct Testbed {
     /// Storage-side stack latency per served request (rx + tx crossings
     /// of whatever stack the storage servers run for this variant).
     server_stack_latency: SimDuration,
+    /// Structured event journal: per-I/O component spans + transport
+    /// instants. Empty (and free) when `ebs-obs/enabled` is off.
+    journal: Journal,
+    /// Metrics registry refreshed by [`Testbed::sample_obs`].
+    metrics: Metrics,
 }
 
 impl Testbed {
@@ -464,6 +472,8 @@ impl Testbed {
             storage_of_device,
             traces: Vec::new(),
             breakdowns: HashMap::new(),
+            journal: Journal::new(),
+            metrics: Metrics::new(),
         }
     }
 
@@ -480,6 +490,72 @@ impl Testbed {
     /// All I/O traces so far.
     pub fn traces(&self) -> &[IoTrace] {
         &self.traces
+    }
+
+    /// The observability journal (empty when compiled out).
+    pub fn journal(&self) -> &Journal {
+        &self.journal
+    }
+
+    /// The metrics registry as of the last [`Testbed::sample_obs`].
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Refresh the metrics registry from every instrumented component.
+    /// The registry is cleared first, so gauges/histograms reflect *now*
+    /// and counters are totals-since-construction (the [`Sample`]
+    /// convention); a no-op when observability is compiled out.
+    pub fn sample_obs(&mut self) {
+        if !ebs_obs::ENABLED {
+            return;
+        }
+        let now = self.q.now();
+        self.metrics.clear();
+        self.fabric.sample_into(now, &mut self.metrics);
+        for c in &self.computes {
+            c.cpu.sample_into(now, &mut self.metrics);
+            c.pcie.sample_into(now, &mut self.metrics);
+            c.qos.sample_into(now, &mut self.metrics);
+            match &c.transport {
+                ComputeTransport::Tcp { conns, .. } => {
+                    for conn in conns.values() {
+                        conn.sample_into(now, &mut self.metrics);
+                    }
+                }
+                ComputeTransport::Rdma { .. } => {}
+                ComputeTransport::Solar { clients } => {
+                    for client in clients.values() {
+                        client.sample_into(now, &mut self.metrics);
+                    }
+                }
+            }
+        }
+        for s in &self.storages {
+            s.backend.sample_into(now, &mut self.metrics);
+            for srv in s.tcp.values() {
+                srv.sample_into(now, &mut self.metrics);
+            }
+        }
+        self.metrics
+            .counter_add("sim", "events_scheduled", self.q.events_scheduled());
+        self.metrics
+            .counter_add("sim", "events_processed", self.q.events_processed());
+        self.metrics
+            .gauge_set("sim", "queue_len", self.q.len() as f64);
+        self.metrics
+            .gauge_set("sim", "max_queued", self.q.max_queued() as f64);
+        self.metrics
+            .counter_add("obs", "journal_events", self.journal.len() as u64);
+        self.metrics
+            .counter_add("obs", "journal_dropped", self.journal.dropped());
+    }
+
+    /// Explain the slowest completed I/O recorded in the journal: its
+    /// hop-by-hop component timeline (None when observability is off or
+    /// nothing completed yet).
+    pub fn explain_slowest_io(&self) -> Option<IoExplanation> {
+        crate::diag::explain_slowest(&self.journal)
     }
 
     /// Current simulated time.
@@ -754,6 +830,17 @@ impl Testbed {
         };
 
         let trace_idx = self.traces.len();
+        if ebs_obs::ENABLED {
+            // arg encodes `bytes << 1 | is_write` (journal args are plain
+            // u64s; the consumers in `diag` decode this).
+            self.journal.instant(
+                now,
+                crate::diag::IO_TRACK,
+                "submit",
+                trace_idx as u64,
+                ((io.len as u64) << 1) | u64::from(io.kind == IoKind::Write),
+            );
+        }
         self.traces.push(IoTrace {
             compute,
             kind: io.kind,
@@ -1256,12 +1343,19 @@ impl Testbed {
     fn drain_completions(&mut self, now: SimTime, compute: usize) {
         let mut done_rpcs: Vec<(u64, SimTime)> = Vec::new();
         {
-            let c = &mut self.computes[compute];
+            let Testbed {
+                computes,
+                journal,
+                cfg,
+                solar_costs,
+                ..
+            } = self;
+            let c = &mut computes[compute];
             match &mut c.transport {
                 ComputeTransport::Tcp { costs, conns } => {
                     let crossing = costs.crossing_latency;
                     let cpu_cost = costs.cpu_per_rpc;
-                    let path = self.cfg.variant.pcie_path();
+                    let path = cfg.variant.pcie_path();
                     for conn in conns.values_mut() {
                         while let Some(done) = conn.poll_completion() {
                             let mut t =
@@ -1277,7 +1371,7 @@ impl Testbed {
                     }
                 }
                 ComputeTransport::Rdma { costs, conns } => {
-                    let path = self.cfg.variant.pcie_path();
+                    let path = cfg.variant.pcie_path();
                     for qp in conns.values_mut() {
                         while let Some(msg) = qp.poll_recv() {
                             let mut dec = ebs_wire::FrameDecoder::new();
@@ -1295,9 +1389,9 @@ impl Testbed {
                     }
                 }
                 ComputeTransport::Solar { clients, .. } => {
-                    let doorbell = self.solar_costs.cpu_doorbell;
-                    let cc_completion = self.solar_costs.cpu_cc_per_completion;
-                    let cc_ack = self.solar_costs.cpu_cc_per_ack;
+                    let doorbell = solar_costs.cpu_doorbell;
+                    let cc_completion = solar_costs.cpu_cc_per_completion;
+                    let cc_ack = solar_costs.cpu_cc_per_ack;
                     let rpc_blocks = &c.rpc_to_io;
                     let mut jobs: Vec<(u64, u32)> = Vec::new();
                     for client in clients.values_mut() {
@@ -1310,7 +1404,19 @@ impl Testbed {
                                 SolarEvent::RpcFailed { rpc_id } => {
                                     // Leave the I/O incomplete: it will show
                                     // up as a hang, like production.
-                                    let _ = rpc_id;
+                                    journal.instant(now, "solar", "rpc_failed", rpc_id, 0);
+                                }
+                                SolarEvent::PathDown { path_id } => {
+                                    journal.instant(
+                                        now,
+                                        "solar",
+                                        "path_down",
+                                        u64::from(path_id),
+                                        0,
+                                    );
+                                }
+                                SolarEvent::PathUp { path_id } => {
+                                    journal.instant(now, "solar", "path_up", u64::from(path_id), 0);
                                 }
                                 _ => {}
                             }
@@ -1383,6 +1489,36 @@ impl Testbed {
             trace.fn_ = transport_total
                 .saturating_sub(trace.bn)
                 .saturating_sub(trace.ssd);
+            if ebs_obs::ENABLED {
+                // Tile the I/O's interval with its component spans, in the
+                // same attribution order the stacked bars use (QoS → SA →
+                // FN → BN → SSD → completion-side SA). Durations match the
+                // IoTrace fields exactly, so `Breakdown::from_journal`
+                // reproduces `Breakdown::collect` bit for bit.
+                let id = p.trace_idx as u64;
+                let name = match trace.kind {
+                    IoKind::Write => "write",
+                    IoKind::Read => "read",
+                };
+                let start = trace.submitted + trace.qos_delay;
+                if trace.qos_delay > SimDuration::ZERO {
+                    self.journal
+                        .span("sa.qos", name, id, trace.submitted, start);
+                }
+                self.journal.span("sa", name, id, start, p.sa_ready);
+                let t1 = p.sa_ready + trace.fn_;
+                let t2 = t1 + trace.bn;
+                let t3 = t2 + trace.ssd;
+                self.journal.span("fn", name, id, p.sa_ready, t1);
+                self.journal.span("bn", name, id, t1, t2);
+                self.journal.span("ssd", name, id, t2, t3);
+                if p.done_at > t3 {
+                    // Completion-side SA work (SOLAR's doorbell path).
+                    self.journal.span("sa", name, id, t3, p.done_at);
+                }
+                self.journal
+                    .span(crate::diag::IO_TRACK, name, id, start, p.done_at);
+            }
             c.completed_ios += 1;
             c.completed_bytes += trace.bytes as u64;
             // Closed loop: only fio-originated completions resubmit, so

@@ -223,4 +223,70 @@ mod tests {
         assert_eq!(h.quantile(0.0), 1000);
         assert_eq!(h.quantile(1.0), 1000);
     }
+
+    #[test]
+    fn empty_percentiles_are_zero() {
+        let h = Histogram::new();
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 0, "q={q}");
+        }
+        assert_eq!(h.p95(), 0);
+        assert_eq!(h.p99(), 0);
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn single_sample_every_quantile() {
+        let mut h = Histogram::new();
+        h.record(42);
+        for q in [0.0, 0.25, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 42, "q={q}");
+        }
+        assert_eq!(h.mean(), 42.0);
+        assert_eq!((h.min(), h.max()), (42, 42));
+    }
+
+    #[test]
+    fn merge_disjoint_ranges_keeps_both_tails() {
+        // Low cluster in one histogram, high cluster (far beyond the
+        // exact sub-bucket range) in the other: min/mean/max and the
+        // extreme quantiles must reflect the union.
+        let mut lo = Histogram::new();
+        let mut hi = Histogram::new();
+        for v in 1..=100u64 {
+            lo.record(v);
+        }
+        for v in 1_000_000..1_000_100u64 {
+            hi.record(v);
+        }
+        lo.merge(&hi);
+        assert_eq!(lo.count(), 200);
+        assert_eq!(lo.min(), 1);
+        assert_eq!(lo.max(), 1_000_099);
+        assert_eq!(lo.quantile(0.0), 1);
+        assert_eq!(lo.quantile(1.0), 1_000_099);
+        // Median sits at the top of the low cluster, p99 in the high one.
+        assert!(lo.median() <= 101, "median {}", lo.median());
+        let p99 = lo.p99() as f64;
+        assert!((p99 - 1_000_050.0).abs() / 1_000_050.0 < 0.02, "p99 {p99}");
+        let expect_mean = (100 * 101 / 2 + (1_000_000u64..1_000_100).sum::<u64>()) as f64 / 200.0;
+        assert!((lo.mean() - expect_mean).abs() < 1e-6);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut h = Histogram::new();
+        for v in [5u64, 10, 20] {
+            h.record(v);
+        }
+        let before = (h.count(), h.min(), h.max(), h.median(), h.mean());
+        h.merge(&Histogram::new());
+        assert_eq!(before, (h.count(), h.min(), h.max(), h.median(), h.mean()));
+        // And merging *into* an empty one adopts the other side wholesale.
+        let mut empty = Histogram::new();
+        let mut other = Histogram::new();
+        other.record(7);
+        empty.merge(&other);
+        assert_eq!((empty.count(), empty.min(), empty.max()), (1, 7, 7));
+    }
 }

@@ -197,4 +197,30 @@ mod tests {
         let curve = e.curve(&[4.0, 16.0, 64.0]);
         assert_eq!(curve, vec![(4.0, 0.5), (16.0, 0.75), (64.0, 1.0)]);
     }
+
+    #[test]
+    fn online_stats_single_sample() {
+        let mut s = OnlineStats::new();
+        s.add(3.5);
+        assert_eq!(s.count(), 1);
+        assert_eq!(s.mean(), 3.5);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.stddev(), 0.0);
+        assert_eq!((s.min(), s.max()), (3.5, 3.5));
+    }
+
+    #[test]
+    fn ecdf_empty_and_single() {
+        let mut e = Ecdf::new();
+        assert_eq!(e.count(), 0);
+        assert_eq!(e.fraction_le(1.0), 0.0);
+        assert_eq!(e.quantile(0.5), 0.0);
+        e.add(9.0);
+        assert_eq!(e.count(), 1);
+        assert_eq!(e.fraction_le(8.9), 0.0);
+        assert_eq!(e.fraction_le(9.0), 1.0);
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(e.quantile(q), 9.0, "q={q}");
+        }
+    }
 }

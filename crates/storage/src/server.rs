@@ -136,6 +136,15 @@ impl StorageServer {
     }
 }
 
+impl ebs_obs::Sample for StorageServer {
+    /// Component `storage`: per-block-server op counters (they accumulate
+    /// across the cluster when every server samples into one registry).
+    fn sample_into(&self, _now: SimTime, m: &mut ebs_obs::Metrics) {
+        m.counter_add("storage", "reads", self.reads);
+        m.counter_add("storage", "writes", self.writes);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -656,3 +656,22 @@ impl TcpEngine {
             .min(self.cfg.rto_max);
     }
 }
+
+impl ebs_obs::Sample for TcpEngine {
+    /// Component `tcp`: shared engine counters plus the congestion state
+    /// (cwnd / inflight / srtt) the LUNA comparison plots read.
+    fn sample_into(&self, _now: SimTime, m: &mut ebs_obs::Metrics) {
+        let s = self.stats();
+        m.counter_add("tcp", "segs_sent", s.segs_sent);
+        m.counter_add("tcp", "acks_sent", s.acks_sent);
+        m.counter_add("tcp", "retransmits", s.retransmits);
+        m.counter_add("tcp", "timeouts", s.timeouts);
+        m.counter_add("tcp", "bytes_acked", s.bytes_acked);
+        m.gauge_set("tcp", "cwnd_bytes", self.cwnd() as f64);
+        m.gauge_set("tcp", "bytes_in_flight", self.bytes_in_flight() as f64);
+        m.gauge_set("tcp", "pending_bytes", self.pending_bytes() as f64);
+        if let Some(srtt) = self.srtt() {
+            m.observe("tcp", "srtt_ns", srtt.as_nanos());
+        }
+    }
+}

@@ -67,4 +67,10 @@ fn main() {
     }
     let done = tb.traces().iter().filter(|t| t.completed.is_some()).count();
     println!("\n{done}/{} I/Os completed", tb.traces().len());
+
+    // With the default `obs` feature on, the event journal can explain
+    // where the slowest I/O spent its time, hop by hop.
+    if let Some(explanation) = tb.explain_slowest_io() {
+        println!("\n{}", explanation.render());
+    }
 }

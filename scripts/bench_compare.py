@@ -54,8 +54,20 @@ def load_baseline(arg):
         sys.exit(2)
 
 
-def by_id(doc):
-    return {e["id"]: e for e in doc.get("experiments", [])}
+def by_id(doc, which):
+    """Index experiments by id, tolerating malformed entries.
+
+    An experiment record without an "id" (hand-edited baseline, truncated
+    write) would otherwise KeyError deep in the comparison; report it and
+    exit with the usage/parse code instead.
+    """
+    out = {}
+    for i, e in enumerate(doc.get("experiments", [])):
+        if not isinstance(e, dict) or "id" not in e:
+            print(f"bench_compare: {which} experiments[{i}] has no 'id' field")
+            sys.exit(2)
+        out[e["id"]] = e
+    return out
 
 
 def main():
@@ -73,7 +85,12 @@ def main():
         sys.exit(2)
 
     failures = []
-    fresh_exps, base_exps = by_id(fresh), by_id(base)
+    fresh_exps, base_exps = by_id(fresh, "fresh"), by_id(base, "baseline")
+
+    # Experiments only in the fresh run are new work, not regressions —
+    # report them so the baseline gets refreshed, but don't fail.
+    for exp_id in sorted(set(fresh_exps) - set(base_exps)):
+        print(f"bench_compare: NOTE {exp_id}: new experiment, not in baseline")
 
     for exp_id, b in sorted(base_exps.items()):
         f = fresh_exps.get(exp_id)

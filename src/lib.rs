@@ -53,6 +53,7 @@ pub use ebs_crypto as crypto;
 pub use ebs_dpu as dpu;
 pub use ebs_luna as luna;
 pub use ebs_net as net;
+pub use ebs_obs as obs;
 pub use ebs_rdma as rdma;
 pub use ebs_sa as sa;
 pub use ebs_sim as sim;
