@@ -1,0 +1,158 @@
+//! Chaos-search configuration: the sampling envelope schedules are drawn
+//! from. The config bounds *what can be generated*; the [`Schedule`]
+//! (crate::Schedule) is the concrete draw for one seed.
+
+use ebs_sim::SimDuration;
+use ebs_stack::Variant;
+
+/// Relative sampling weights per fault class. A zero weight disables the
+/// class; the distribution is the normalized weight vector. All-zero
+/// weights generate fault-free schedules (still useful as a conservation
+/// baseline).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultWeights {
+    /// Fabric device fail-stop, healed only by repair (routing converges
+    /// after the fabric's default delay — tens of seconds, §4.5).
+    pub fail_stop: u32,
+    /// Fail-stop with fast link-down detection (a reboot/upgrade whose
+    /// loss is announced): routing converges in tens of milliseconds.
+    pub reboot: u32,
+    /// Silent blackhole of a flow subset (broken ECMP bucket / line
+    /// card) — undetected by routing, the deadly case for Luna (Table 2).
+    pub blackhole: u32,
+    /// Random packet loss on one device.
+    pub random_loss: u32,
+    /// SA QoS throttle: the disk's purchased rate collapses, then
+    /// recovers (§2.2 admission control).
+    pub qos_throttle: u32,
+    /// Storage brown-out: the block server's service time stretches by a
+    /// factor (GC storm / failing drive), then heals.
+    pub storage_slowdown: u32,
+    /// DPU PCIe stall: every transfer pays extra latency (credit
+    /// starvation on the Fig. 10 internal interconnect), then heals.
+    pub pcie_stall: u32,
+    /// FPGA bit-flip campaign through the CRC pipeline (§4.7): flips must
+    /// never pass the segment-aggregation check undetected.
+    pub bit_flip: u32,
+}
+
+impl FaultWeights {
+    /// Every class equally likely.
+    pub fn uniform() -> Self {
+        FaultWeights {
+            fail_stop: 1,
+            reboot: 1,
+            blackhole: 1,
+            random_loss: 1,
+            qos_throttle: 1,
+            storage_slowdown: 1,
+            pcie_stall: 1,
+            bit_flip: 1,
+        }
+    }
+
+    /// Sum of all weights.
+    pub fn total(&self) -> u32 {
+        self.fail_stop
+            + self.reboot
+            + self.blackhole
+            + self.random_loss
+            + self.qos_throttle
+            + self.storage_slowdown
+            + self.pcie_stall
+            + self.bit_flip
+    }
+}
+
+/// The sampling envelope one seed is drawn from. `Schedule::generate`
+/// reads the RNG stream `(seed, "chaos-schedule")` in a fixed order, so
+/// equal `(seed, config)` pairs always produce byte-identical schedules.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Data-path variant under test.
+    pub variant: Variant,
+    /// Compute servers in the testbed.
+    pub n_compute: usize,
+    /// Storage servers in the testbed.
+    pub n_storage: usize,
+    /// fio queue depth is sampled from `1..=max_fio_depth`.
+    pub max_fio_depth: usize,
+    /// I/O sizes the workload may use (bytes, 4 KiB aligned).
+    pub io_bytes_choices: Vec<u32>,
+    /// Workload window: fio drives I/O from ~1 ms to `horizon`, then
+    /// detaches and the testbed drains.
+    pub horizon: SimDuration,
+    /// Fault count is sampled from `min_faults..=max_faults`.
+    pub min_faults: usize,
+    /// See [`ChaosConfig::min_faults`].
+    pub max_faults: usize,
+    /// Earliest fault injection instant.
+    pub fault_start: SimDuration,
+    /// Latest fault injection instant.
+    pub fault_end: SimDuration,
+    /// Minimum fault duration (injection to heal).
+    pub min_fault_duration: SimDuration,
+    /// Maximum fault duration. Keep this well below the transports' give
+    /// -up horizons (LUNA's TCP declares a connection dead after ~20 s of
+    /// consecutive RTOs) if the oracles are expected to stay green.
+    pub max_fault_duration: SimDuration,
+    /// Per-class sampling weights.
+    pub weights: FaultWeights,
+    /// Every I/O must complete within this much of `max(its submission,
+    /// the last heal)` — the Table 2 "unanswered ≥ 1 s" predicate
+    /// generalized to "recovered within the deadline once faults heal".
+    pub recovery_deadline: SimDuration,
+    /// Extra drain time after the recovery deadline before quiescence is
+    /// asserted.
+    pub quiesce_grace: SimDuration,
+    /// Upper bound on the sim event-queue length at quiescence (an idle
+    /// testbed holds only periodic timer/probe events).
+    pub max_idle_queue: usize,
+}
+
+impl ChaosConfig {
+    /// The `chaos_smoke` tier envelope: a 2×2 testbed, ≤3 short faults
+    /// inside a 60 ms workload window, 5 s recovery deadline. Runs in
+    /// milliseconds per seed; all oracles stay green on the current
+    /// stacks.
+    pub fn smoke(variant: Variant) -> Self {
+        ChaosConfig {
+            variant,
+            n_compute: 2,
+            n_storage: 2,
+            max_fio_depth: 2,
+            io_bytes_choices: vec![4096, 16384],
+            horizon: SimDuration::from_millis(60),
+            min_faults: 1,
+            max_faults: 3,
+            fault_start: SimDuration::from_millis(5),
+            fault_end: SimDuration::from_millis(40),
+            min_fault_duration: SimDuration::from_millis(10),
+            max_fault_duration: SimDuration::from_millis(50),
+            weights: FaultWeights::uniform(),
+            recovery_deadline: SimDuration::from_secs(5),
+            quiesce_grace: SimDuration::from_secs(1),
+            max_idle_queue: 1024,
+        }
+    }
+
+    /// The nightly soak envelope: a larger testbed, more and longer
+    /// faults, deeper queues. Each seed costs a noticeable fraction of a
+    /// second; the soak loops seeds until its wall budget expires.
+    pub fn soak(variant: Variant) -> Self {
+        ChaosConfig {
+            n_compute: 4,
+            n_storage: 3,
+            max_fio_depth: 4,
+            io_bytes_choices: vec![4096, 16384, 65536],
+            horizon: SimDuration::from_millis(150),
+            min_faults: 2,
+            max_faults: 6,
+            fault_start: SimDuration::from_millis(5),
+            fault_end: SimDuration::from_millis(120),
+            min_fault_duration: SimDuration::from_millis(10),
+            max_fault_duration: SimDuration::from_millis(120),
+            ..ChaosConfig::smoke(variant)
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! Invariant oracles: what must hold at quiesce for *any* schedule whose
+//! faults all heal.
+//!
+//! The oracles generalize the paper's evaluation predicates: Table 2's
+//! "unanswered I/O ≥ 1 s" becomes a recovery deadline measured from the
+//! last heal; §4.7's "no corruption passes the CRC aggregation" becomes
+//! an exact per-segment ground-truth comparison; and conservation ties
+//! the SA's admission counters, the completed-I/O counters, the trace
+//! table and the obs journal together so an I/O can neither vanish nor
+//! double-complete without tripping at least one check.
+
+use ebs_sim::SimTime;
+
+/// One invariant breach. Ordered fields are nanosecond timestamps so the
+/// rendering is stable across runs (replay determinism covers verdicts).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// A submitted I/O never completed by quiesce (lost / hung forever —
+    /// the production page that wakes someone up).
+    IoLost {
+        /// Trace index of the I/O.
+        trace: usize,
+        /// Compute server that submitted it.
+        compute: usize,
+        /// Submission instant (ns).
+        submitted_ns: u64,
+    },
+    /// An I/O completed, but only after its recovery deadline
+    /// (`max(submission, last heal) + recovery_deadline`).
+    RecoveryDeadline {
+        /// Trace index of the I/O.
+        trace: usize,
+        /// Compute server that submitted it.
+        compute: usize,
+        /// Completion instant (ns).
+        completed_ns: u64,
+        /// The deadline it missed (ns).
+        deadline_ns: u64,
+    },
+    /// Two counters that must agree do not: an I/O was lost or
+    /// double-counted somewhere between SA admission, the trace table,
+    /// completion counters and the obs journal.
+    Conservation {
+        /// Which conservation law broke (stable label).
+        counter: &'static str,
+        /// Expected value.
+        expected: u64,
+        /// Observed value.
+        got: u64,
+    },
+    /// A corrupted segment passed the CRC aggregation check undetected
+    /// (§4.7's disaster case).
+    UndetectedCorruption {
+        /// Index of the corrupted-but-accepted segment in the campaign.
+        segment: u64,
+    },
+    /// A clean segment was flagged corrupt (false positive — would cause
+    /// spurious retries/rejections in production).
+    CrcFalsePositive {
+        /// Index of the clean-but-flagged segment in the campaign.
+        segment: u64,
+    },
+    /// The testbed did not drain to quiescence: I/Os still outstanding
+    /// or the event queue holds more than idle housekeeping.
+    NotQuiescent {
+        /// I/Os still pending at quiesce.
+        outstanding: u64,
+        /// Sim event-queue length at quiesce.
+        queue_len: u64,
+        /// Configured idle bound.
+        limit: u64,
+    },
+}
+
+impl Violation {
+    /// Stable one-word category (JSON `kind` field).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Violation::IoLost { .. } => "io_lost",
+            Violation::RecoveryDeadline { .. } => "recovery_deadline",
+            Violation::Conservation { .. } => "conservation",
+            Violation::UndetectedCorruption { .. } => "undetected_corruption",
+            Violation::CrcFalsePositive { .. } => "crc_false_positive",
+            Violation::NotQuiescent { .. } => "not_quiescent",
+        }
+    }
+
+    /// Human-readable one-liner.
+    pub fn describe(&self) -> String {
+        match self {
+            Violation::IoLost {
+                trace,
+                compute,
+                submitted_ns,
+            } => format!(
+                "io #{trace} (compute {compute}) submitted at {}us never completed",
+                submitted_ns / 1000
+            ),
+            Violation::RecoveryDeadline {
+                trace,
+                compute,
+                completed_ns,
+                deadline_ns,
+            } => format!(
+                "io #{trace} (compute {compute}) completed at {}us, {}us past its recovery deadline",
+                completed_ns / 1000,
+                (completed_ns - deadline_ns) / 1000
+            ),
+            Violation::Conservation {
+                counter,
+                expected,
+                got,
+            } => format!("conservation broke: {counter} expected {expected}, got {got}"),
+            Violation::UndetectedCorruption { segment } => {
+                format!("corrupted segment {segment} passed the CRC aggregation check")
+            }
+            Violation::CrcFalsePositive { segment } => {
+                format!("clean segment {segment} was flagged corrupt")
+            }
+            Violation::NotQuiescent {
+                outstanding,
+                queue_len,
+                limit,
+            } => format!(
+                "not quiescent: {outstanding} outstanding ios, queue {queue_len} > limit {limit}"
+            ),
+        }
+    }
+
+    /// Canonical JSON rendering.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = format!("{{\"kind\":\"{}\"", self.kind());
+        match self {
+            Violation::IoLost {
+                trace,
+                compute,
+                submitted_ns,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"trace\":{trace},\"compute\":{compute},\"submitted_ns\":{submitted_ns}"
+                );
+            }
+            Violation::RecoveryDeadline {
+                trace,
+                compute,
+                completed_ns,
+                deadline_ns,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"trace\":{trace},\"compute\":{compute},\"completed_ns\":{completed_ns},\"deadline_ns\":{deadline_ns}"
+                );
+            }
+            Violation::Conservation {
+                counter,
+                expected,
+                got,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"counter\":\"{counter}\",\"expected\":{expected},\"got\":{got}"
+                );
+            }
+            Violation::UndetectedCorruption { segment }
+            | Violation::CrcFalsePositive { segment } => {
+                let _ = write!(s, ",\"segment\":{segment}");
+            }
+            Violation::NotQuiescent {
+                outstanding,
+                queue_len,
+                limit,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"outstanding\":{outstanding},\"queue_len\":{queue_len},\"limit\":{limit}"
+                );
+            }
+        }
+        s.push('}');
+        s
+    }
+}
+
+/// Check the per-I/O completion invariants over a finished run's traces.
+pub(crate) fn check_traces(
+    traces: &[ebs_stack::IoTrace],
+    last_heal: SimTime,
+    deadline: ebs_sim::SimDuration,
+    out: &mut Vec<Violation>,
+) {
+    for (i, t) in traces.iter().enumerate() {
+        match t.completed {
+            None => out.push(Violation::IoLost {
+                trace: i,
+                compute: t.compute,
+                submitted_ns: t.submitted.as_nanos(),
+            }),
+            Some(done) => {
+                let base = t.submitted.max(last_heal);
+                let dl = base + deadline;
+                if done > dl {
+                    out.push(Violation::RecoveryDeadline {
+                        trace: i,
+                        compute: t.compute,
+                        completed_ns: done.as_nanos(),
+                        deadline_ns: dl.as_nanos(),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Push a conservation check: `expected == got` or record a violation.
+pub(crate) fn conserve(counter: &'static str, expected: u64, got: u64, out: &mut Vec<Violation>) {
+    if expected != got {
+        out.push(Violation::Conservation {
+            counter,
+            expected,
+            got,
+        });
+    }
+}

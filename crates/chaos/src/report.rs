@@ -1,0 +1,88 @@
+//! Repro artifacts: everything needed to hand a violating seed to
+//! another engineer (or a CI log) and have them replay it.
+//!
+//! [`write_repro`] drops `chaos-repro-<seed>.json` — the minimal
+//! schedule, the verdicts and the hop diagnosis — plus, when the run
+//! carried an obs journal, `chaos-repro-<seed>-trace.json`, a Chrome
+//! trace loadable in Perfetto (see EXPERIMENTS.md, "Chaos soak").
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::runner::ChaosOutcome;
+use crate::schedule::Schedule;
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 8);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Canonical JSON body of a repro file: the schedule (replayable via
+/// `cargo bench --bench chaos -- --replay <seed>` or
+/// [`crate::run_schedule`]), the verdicts, and the slowest-I/O hop
+/// diagnosis when available.
+pub fn repro_json(schedule: &Schedule, outcome: &ChaosOutcome) -> String {
+    let mut s = String::new();
+    s.push_str("{\"schedule\":");
+    s.push_str(&schedule.to_json());
+    s.push_str(",\"outcome\":");
+    s.push_str(&outcome.verdicts_json());
+    s.push_str(",\"violations_text\":[");
+    for (i, v) in outcome.violations.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push('"');
+        s.push_str(&json_escape(&v.describe()));
+        s.push('"');
+    }
+    s.push(']');
+    match &outcome.diagnosis {
+        Some(d) => {
+            s.push_str(",\"diagnosis\":\"");
+            s.push_str(&json_escape(d));
+            s.push('"');
+        }
+        None => s.push_str(",\"diagnosis\":null"),
+    }
+    s.push_str(",\"metrics\":");
+    if outcome.metrics_json.is_empty() {
+        s.push_str("null");
+    } else {
+        s.push_str(&outcome.metrics_json);
+    }
+    s.push('}');
+    s
+}
+
+/// Write `chaos-repro-<seed>.json` (and `-trace.json` when the outcome
+/// captured a Chrome trace) under `dir`, creating it if needed. Returns
+/// the paths written.
+pub fn write_repro(
+    dir: &Path,
+    schedule: &Schedule,
+    outcome: &ChaosOutcome,
+) -> io::Result<Vec<PathBuf>> {
+    std::fs::create_dir_all(dir)?;
+    let mut written = Vec::new();
+    let repro = dir.join(format!("chaos-repro-{}.json", schedule.seed));
+    std::fs::write(&repro, repro_json(schedule, outcome))?;
+    written.push(repro);
+    if let Some(trace) = &outcome.trace_json {
+        let path = dir.join(format!("chaos-repro-{}-trace.json", schedule.seed));
+        std::fs::write(&path, trace)?;
+        written.push(path);
+    }
+    Ok(written)
+}

@@ -1,0 +1,388 @@
+//! Drive one [`Schedule`] through a fresh [`Testbed`] and evaluate the
+//! invariant oracles at quiesce.
+//!
+//! The runner is deterministic end to end: the testbed is seeded with
+//! the schedule's seed, fault events translate to testbed events at
+//! fixed instants, the workload detaches at the horizon, and the sim
+//! drains until `Schedule::quiesce_at`. Everything the caller might want
+//! to compare across replays (verdicts, metrics snapshot, schedule JSON)
+//! is captured as canonical strings.
+
+use bytes::Bytes;
+use ebs_crc::{block_crc_raw, SegmentChecker, SegmentVerdict};
+use ebs_dpu::{BitFlipInjector, CrcStage, PacketCtx, Pipeline, Stage};
+use ebs_net::{DeviceId, FailureMode};
+use ebs_sa::QosSpec;
+use ebs_sim::{rng, SimDuration, SimTime};
+use ebs_stack::{FioConfig, Testbed, TestbedConfig};
+use ebs_wire::{EbsHeader, EbsOp};
+use rand::Rng;
+
+use crate::oracle::{check_traces, conserve, Violation};
+use crate::schedule::{throttle_spec, DeviceTier, FaultKind, Schedule};
+
+/// Routing convergence used for [`FaultKind::Reboot`]: link-down is
+/// announced, so the fabric reroutes in tens of milliseconds (§4.5's
+/// fast case), unlike a silent fail-stop.
+const REBOOT_CONVERGENCE: SimDuration = SimDuration::from_millis(50);
+
+/// Blocks per segment in the bit-flip campaign's aggregation check (the
+/// §4.7 CRC granule; small enough that a handful of flips land in
+/// distinct segments).
+const CAMPAIGN_SEGMENT_BLOCKS: usize = 8;
+
+/// Everything one chaos run produced. Two runs of the same schedule are
+/// byte-identical across every field (the replay tests assert this).
+#[derive(Debug)]
+pub struct ChaosOutcome {
+    /// The generating seed.
+    pub seed: u64,
+    /// I/Os submitted (guest + fio) over the run.
+    pub submitted: u64,
+    /// I/Os completed by quiesce.
+    pub completed: u64,
+    /// Corrupted segments planted by the bit-flip campaign.
+    pub corrupt_planted: u64,
+    /// Corrupted segments the CRC aggregation check caught.
+    pub corrupt_caught: u64,
+    /// Invariant breaches (empty = the run certified recovery).
+    pub violations: Vec<Violation>,
+    /// Canonical metrics snapshot (empty JSON object with obs off).
+    pub metrics_json: String,
+    /// Chrome trace of the run, captured only for violating runs with
+    /// observability on (it is large).
+    pub trace_json: Option<String>,
+    /// `explain_slowest`-style hop diagnosis of the slowest I/O,
+    /// captured for violating runs with observability on.
+    pub diagnosis: Option<String>,
+}
+
+impl ChaosOutcome {
+    /// True when every oracle held.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Canonical JSON rendering of the verdicts (replay-comparable).
+    pub fn verdicts_json(&self) -> String {
+        let mut s = format!(
+            "{{\"seed\":{},\"submitted\":{},\"completed\":{},\"corrupt_planted\":{},\"corrupt_caught\":{},\"violations\":[",
+            self.seed, self.submitted, self.completed, self.corrupt_planted, self.corrupt_caught
+        );
+        for (i, v) in self.violations.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&v.to_json());
+        }
+        s.push_str("]}");
+        s
+    }
+}
+
+fn resolve_device(tb: &Testbed, tier: DeviceTier, index: usize) -> Option<DeviceId> {
+    let kind = match tier {
+        DeviceTier::Tor => ebs_net::DeviceKind::Tor,
+        DeviceTier::Spine => ebs_net::DeviceKind::Spine,
+    };
+    let devices = tb.fabric().topology().devices_of_kind(kind);
+    if devices.is_empty() {
+        None
+    } else {
+        Some(devices[index % devices.len()])
+    }
+}
+
+/// Run `schedule` to quiesce and evaluate every oracle. Deterministic:
+/// equal schedules produce byte-identical outcomes.
+pub fn run_schedule(schedule: &Schedule) -> ChaosOutcome {
+    let mut cfg = TestbedConfig::small(schedule.variant, schedule.n_compute, schedule.n_storage);
+    cfg.seed = schedule.seed;
+    let mut tb = Testbed::new(cfg);
+    let t0 = SimTime::ZERO;
+
+    for compute in 0..schedule.n_compute {
+        tb.attach_fio(
+            t0 + SimDuration::from_millis(1),
+            compute,
+            FioConfig {
+                depth: schedule.fio_depth,
+                bytes: schedule.io_bytes,
+                read_fraction: schedule.read_fraction,
+            },
+        );
+    }
+
+    let mut violations = Vec::new();
+    let mut corrupt_planted = 0u64;
+    let mut corrupt_caught = 0u64;
+    for (i, f) in schedule.faults.iter().enumerate() {
+        let at = t0 + f.at;
+        let heal_at = at + f.kind.heal_after();
+        match &f.kind {
+            FaultKind::FailStop {
+                tier, device_index, ..
+            } => {
+                if let Some(dev) = resolve_device(&tb, *tier, *device_index) {
+                    tb.schedule_failure(at, dev, FailureMode::FailStop);
+                    tb.schedule_heal(heal_at, dev);
+                }
+            }
+            FaultKind::Reboot {
+                tier, device_index, ..
+            } => {
+                if let Some(dev) = resolve_device(&tb, *tier, *device_index) {
+                    tb.schedule_failure_with(at, dev, FailureMode::FailStop, REBOOT_CONVERGENCE);
+                    tb.schedule_heal(heal_at, dev);
+                }
+            }
+            FaultKind::Blackhole {
+                tier,
+                device_index,
+                fraction,
+                salt,
+                ..
+            } => {
+                if let Some(dev) = resolve_device(&tb, *tier, *device_index) {
+                    tb.schedule_failure(
+                        at,
+                        dev,
+                        FailureMode::Blackhole {
+                            fraction: *fraction,
+                            salt: *salt,
+                        },
+                    );
+                    tb.schedule_heal(heal_at, dev);
+                }
+            }
+            FaultKind::RandomLoss {
+                tier,
+                device_index,
+                rate,
+                ..
+            } => {
+                if let Some(dev) = resolve_device(&tb, *tier, *device_index) {
+                    tb.schedule_failure(at, dev, FailureMode::RandomLoss { rate: *rate });
+                    tb.schedule_heal(heal_at, dev);
+                }
+            }
+            FaultKind::QosThrottle {
+                compute,
+                iops,
+                mbps,
+                ..
+            } => {
+                let compute = compute % schedule.n_compute.max(1);
+                tb.schedule_qos(at, compute, throttle_spec(*iops, *mbps));
+                tb.schedule_qos(heal_at, compute, QosSpec::unlimited());
+            }
+            FaultKind::StorageSlowdown {
+                storage, factor, ..
+            } => {
+                let storage = storage % schedule.n_storage.max(1);
+                tb.schedule_storage_degrade(at, storage, *factor);
+                tb.schedule_storage_degrade(heal_at, storage, 1.0);
+            }
+            FaultKind::PcieStall { compute, extra, .. } => {
+                let compute = compute % schedule.n_compute.max(1);
+                tb.schedule_pcie_stall(at, compute, *extra);
+                tb.schedule_pcie_stall(heal_at, compute, SimDuration::ZERO);
+            }
+            FaultKind::BitFlip { rate, blocks } => {
+                // Side campaign: bit flips perturb *data*, not timing, so
+                // they run against the CRC pipeline directly (exactly the
+                // §4.7 data path) without disturbing the testbed's clock.
+                let (planted, caught) =
+                    bit_flip_campaign(schedule.seed, i as u64, *rate, *blocks, &mut violations);
+                corrupt_planted += planted;
+                corrupt_caught += caught;
+            }
+        }
+    }
+
+    tb.schedule_stop_fio(t0 + schedule.horizon);
+    tb.run_until(t0 + schedule.quiesce_at());
+
+    // --- oracles ---------------------------------------------------------
+    let last_heal = t0 + schedule.last_heal();
+    check_traces(
+        tb.traces(),
+        last_heal,
+        schedule.recovery_deadline,
+        &mut violations,
+    );
+
+    let submitted = tb.traces().len() as u64;
+    let completed = tb.traces().iter().filter(|t| t.completed.is_some()).count() as u64;
+    let admitted: u64 = (0..schedule.n_compute).map(|c| tb.qos_stats(c).0).sum();
+    let completed_ctr: u64 = (0..schedule.n_compute)
+        .map(|c| tb.compute_progress(c).0)
+        .sum();
+    conserve(
+        "qos_admitted == traces",
+        submitted,
+        admitted,
+        &mut violations,
+    );
+    conserve(
+        "completed counters == completed traces",
+        completed,
+        completed_ctr,
+        &mut violations,
+    );
+    conserve(
+        "outstanding == submitted - completed",
+        submitted - completed,
+        tb.outstanding_ios() as u64,
+        &mut violations,
+    );
+    if ebs_obs::ENABLED && tb.journal().dropped() == 0 {
+        let mut submits = 0u64;
+        let mut io_spans = 0u64;
+        for ev in tb.journal().events() {
+            if ev.track != ebs_stack::diag::IO_TRACK {
+                continue;
+            }
+            match ev.kind {
+                ebs_obs::EventKind::Instant { name: "submit", .. } => submits += 1,
+                ebs_obs::EventKind::Span { .. } => io_spans += 1,
+                _ => {}
+            }
+        }
+        conserve(
+            "journal submits == traces",
+            submitted,
+            submits,
+            &mut violations,
+        );
+        conserve(
+            "journal io spans == completed traces",
+            completed,
+            io_spans,
+            &mut violations,
+        );
+    }
+
+    let outstanding = tb.outstanding_ios() as u64;
+    let queue_len = tb.queue_len() as u64;
+    if outstanding > 0 || queue_len > schedule.max_idle_queue as u64 {
+        violations.push(Violation::NotQuiescent {
+            outstanding,
+            queue_len,
+            limit: schedule.max_idle_queue as u64,
+        });
+    }
+
+    tb.sample_obs();
+    let metrics_json = ebs_obs::metrics_snapshot(tb.metrics());
+    let (trace_json, diagnosis) = if !violations.is_empty() && ebs_obs::ENABLED {
+        (
+            Some(ebs_obs::chrome_trace(tb.journal())),
+            tb.explain_slowest_io().map(|e| e.render()),
+        )
+    } else {
+        (None, None)
+    };
+
+    ChaosOutcome {
+        seed: schedule.seed,
+        submitted,
+        completed,
+        corrupt_planted,
+        corrupt_caught,
+        violations,
+        metrics_json,
+        trace_json,
+        diagnosis,
+    }
+}
+
+fn campaign_header(addr: u64, segment_id: u64) -> EbsHeader {
+    EbsHeader {
+        version: EbsHeader::VERSION,
+        op: EbsOp::WriteBlock,
+        flags: 0,
+        path_id: 0,
+        vd_id: 0,
+        rpc_id: addr,
+        pkt_id: addr as u16,
+        total_pkts: CAMPAIGN_SEGMENT_BLOCKS as u16,
+        block_addr: addr,
+        len: ebs_sa::BLOCK_SIZE,
+        payload_crc: 0,
+        path_seq: 0,
+        segment_id,
+    }
+}
+
+/// Push `blocks` deterministic blocks through the DPU CRC stage with a
+/// flip injector, then run the receiver-side segment aggregation check.
+/// Flips are forced into the CRC register (as in the scripted §4.7
+/// experiment) so ground truth is exact: a segment is corrupted iff some
+/// block's claimed CRC disagrees with a clean recomputation. Returns
+/// (planted, caught) corrupted-segment counts and records any mismatch
+/// between ground truth and the checker's verdict.
+fn bit_flip_campaign(
+    seed: u64,
+    fault_index: u64,
+    rate: f64,
+    blocks: usize,
+    out: &mut Vec<Violation>,
+) -> (u64, u64) {
+    let block_size = ebs_sa::BLOCK_SIZE as usize;
+    let mut data_rng = rng::stream_indexed(seed, "chaos-bitflip-data", fault_index);
+    let mut injector =
+        BitFlipInjector::new(seed ^ fault_index.wrapping_mul(0x9E37_79B9_7F4A_7C15), rate);
+    injector.crc_register_share = 1.0;
+    let mut pipeline = Pipeline::new(vec![
+        Box::new(CrcStage::new(block_size, Some(injector))) as Box<dyn Stage>
+    ]);
+
+    let mut planted = 0u64;
+    let mut caught = 0u64;
+    let mut checker = SegmentChecker::new(block_size);
+    let mut segment_corrupt = false;
+    let mut segment = 0u64;
+    for addr in 0..blocks as u64 {
+        let mut block = vec![0u8; block_size];
+        data_rng.fill(&mut block[..]);
+        let mut ctx = PacketCtx::new(campaign_header(addr, segment), Bytes::from(block.clone()));
+        if pipeline.process(SimTime::ZERO, &mut ctx).is_none() {
+            // The CRC stage never drops packets; treat a drop as a lost
+            // block, which the conservation oracle frames best.
+            out.push(Violation::Conservation {
+                counter: "crc pipeline forwarded blocks",
+                expected: blocks as u64,
+                got: addr,
+            });
+            return (planted, caught);
+        }
+        if ctx.hdr.payload_crc != block_crc_raw(&block, block_size) {
+            segment_corrupt = true;
+        }
+        checker.add_block(&block, ctx.hdr.payload_crc);
+        let last_in_segment = addr % CAMPAIGN_SEGMENT_BLOCKS as u64
+            == CAMPAIGN_SEGMENT_BLOCKS as u64 - 1
+            || addr == blocks as u64 - 1;
+        if last_in_segment {
+            let verdict = checker.verify_and_reset();
+            match (segment_corrupt, verdict) {
+                (true, SegmentVerdict::Ok) => {
+                    planted += 1;
+                    out.push(Violation::UndetectedCorruption { segment });
+                }
+                (true, SegmentVerdict::Corrupt) => {
+                    planted += 1;
+                    caught += 1;
+                }
+                (false, SegmentVerdict::Corrupt) => {
+                    out.push(Violation::CrcFalsePositive { segment });
+                }
+                (false, SegmentVerdict::Ok) => {}
+            }
+            segment_corrupt = false;
+            segment += 1;
+        }
+    }
+    (planted, caught)
+}

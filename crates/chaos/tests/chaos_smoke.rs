@@ -1,0 +1,64 @@
+//! The `chaos_smoke` tier: sweep seeded schedules from the smoke
+//! envelope over both stacks and require every invariant oracle to hold.
+//!
+//! 32 seeds x 2 variants = 64 schedules (the CI floor). Schedules are
+//! sharded across threads — runs are independent, so parallelism cannot
+//! perturb verdicts.
+
+use ebs_chaos::{run_schedule, ChaosConfig, Schedule};
+use ebs_stack::Variant;
+
+const SEEDS_PER_VARIANT: u64 = 32;
+const SHARDS: u64 = 4;
+
+fn sweep(variant: Variant) {
+    let cfg = ChaosConfig::smoke(variant);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..SHARDS)
+            .map(|shard| {
+                let cfg = &cfg;
+                s.spawn(move || {
+                    let mut failures = Vec::new();
+                    let mut seed = shard;
+                    while seed < SEEDS_PER_VARIANT {
+                        let schedule = Schedule::generate(seed, cfg);
+                        let outcome = run_schedule(&schedule);
+                        if !outcome.ok() {
+                            failures.push((seed, outcome));
+                        }
+                        seed += SHARDS;
+                    }
+                    failures
+                })
+            })
+            .collect();
+        let mut all = Vec::new();
+        for h in handles {
+            all.extend(h.join().expect("chaos shard panicked"));
+        }
+        if !all.is_empty() {
+            let label = cfg.variant.label();
+            let mut msg = format!("{} violating schedules under {label}:\n", all.len());
+            for (seed, outcome) in &all {
+                msg.push_str(&format!("  seed {seed}:\n"));
+                for v in &outcome.violations {
+                    msg.push_str(&format!("    {}\n", v.describe()));
+                }
+                msg.push_str(&format!(
+                    "  replay: cargo bench --bench chaos -- --replay {seed} --stack {label}\n"
+                ));
+            }
+            panic!("{msg}");
+        }
+    });
+}
+
+#[test]
+fn smoke_luna_recovers_from_every_schedule() {
+    sweep(Variant::Luna);
+}
+
+#[test]
+fn smoke_solar_recovers_from_every_schedule() {
+    sweep(Variant::Solar);
+}

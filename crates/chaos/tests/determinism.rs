@@ -1,0 +1,46 @@
+//! Seed-replay determinism: running the same seed twice must reproduce
+//! the schedule, the verdicts and the observability snapshot
+//! byte-for-byte. This is the property the whole subsystem leans on —
+//! `--replay <seed>` is only a debugger if it replays *exactly*.
+
+use ebs_chaos::{run_schedule, ChaosConfig, Schedule};
+use ebs_stack::Variant;
+
+#[test]
+fn same_seed_replays_bit_identically() {
+    for variant in [Variant::Luna, Variant::Solar] {
+        let cfg = ChaosConfig::smoke(variant);
+        for seed in [0u64, 3, 11, 42, 0xEB5] {
+            let s1 = Schedule::generate(seed, &cfg);
+            let s2 = Schedule::generate(seed, &cfg);
+            assert_eq!(s1.to_json(), s2.to_json(), "schedule diverged, seed {seed}");
+
+            let o1 = run_schedule(&s1);
+            let o2 = run_schedule(&s2);
+            assert_eq!(
+                o1.verdicts_json(),
+                o2.verdicts_json(),
+                "verdicts diverged, seed {seed} ({})",
+                variant.label()
+            );
+            assert_eq!(
+                o1.metrics_json,
+                o2.metrics_json,
+                "obs metrics snapshot diverged, seed {seed} ({})",
+                variant.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn soak_envelope_is_deterministic_too() {
+    let cfg = ChaosConfig::soak(Variant::Solar);
+    let s1 = Schedule::generate(7, &cfg);
+    let s2 = Schedule::generate(7, &cfg);
+    assert_eq!(s1.to_json(), s2.to_json());
+    let o1 = run_schedule(&s1);
+    let o2 = run_schedule(&s2);
+    assert_eq!(o1.verdicts_json(), o2.verdicts_json());
+    assert_eq!(o1.metrics_json, o2.metrics_json);
+}

@@ -23,7 +23,7 @@
 //! ## Unsafe-isolation policy
 //!
 //! The crate denies `unsafe_code` globally; the **only** exemption is the
-//! private [`hw`] module (gated behind the `hw` feature and
+//! private `hw` module (gated behind the `hw` feature and
 //! `target_arch = "x86_64"`), which wraps the two SIMD kernels. Every
 //! `unsafe` entry point asserts CPU-feature detection before calling into
 //! a `#[target_feature]` function, and every kernel is differential-tested

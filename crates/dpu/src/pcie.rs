@@ -80,6 +80,10 @@ impl DataPath {
 pub struct DpuPcie {
     internal: Channel,
     host: Channel,
+    /// Extra latency added to every transfer while a stall condition is
+    /// active (credit starvation, a misbehaving peer hogging the bus, a
+    /// firmware hiccup). Zero = healthy.
+    stall: SimDuration,
 }
 
 impl DpuPcie {
@@ -88,7 +92,19 @@ impl DpuPcie {
         DpuPcie {
             internal: Channel::new(cfg.internal_rate, cfg.per_transfer),
             host: Channel::new(cfg.host_rate, cfg.per_transfer),
+            stall: SimDuration::ZERO,
         }
+    }
+
+    /// Inject (or with `SimDuration::ZERO`, heal) a PCIe stall: every
+    /// subsequent transfer pays `extra` on top of its modeled time.
+    pub fn set_stall(&mut self, extra: SimDuration) {
+        self.stall = extra;
+    }
+
+    /// Current stall penalty per transfer (zero = healthy).
+    pub fn stall(&self) -> SimDuration {
+        self.stall
     }
 
     /// Move one block of `bytes` along `path`'s PCIe crossings starting at
@@ -102,6 +118,10 @@ impl DpuPcie {
         }
         for _ in 0..t.host {
             done = self.host.transfer(done, bytes);
+        }
+        if done > now {
+            // A stalled bus delays any transfer that actually crossed it.
+            done += self.stall;
         }
         done
     }
@@ -217,6 +237,18 @@ mod tests {
         }
         let gbps = blocks as f64 * 4096.0 * 8.0 / 1e9 * 1e3;
         assert!(gbps > 100.0, "host PCIe is plenty: {gbps} Gbps");
+    }
+
+    #[test]
+    fn stall_adds_latency_until_healed() {
+        let mut pcie = DpuPcie::new(PcieConfig::default());
+        let healthy = pcie.transfer_block(SimTime::ZERO, DataPath::Solar, 4096);
+        pcie.set_stall(SimDuration::from_micros(50));
+        let stalled = pcie.transfer_block(healthy, DataPath::Solar, 4096);
+        assert!(stalled - healthy >= SimDuration::from_micros(50));
+        pcie.set_stall(SimDuration::ZERO);
+        let again = pcie.transfer_block(stalled, DataPath::Solar, 4096);
+        assert!(again - stalled < SimDuration::from_micros(50));
     }
 
     #[test]

@@ -34,7 +34,7 @@
 //! is identical either way — observation never perturbs behaviour.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod export;
 mod journal;

@@ -339,6 +339,35 @@ pub enum Event {
         /// Device to heal.
         device: DeviceId,
     },
+    /// Replace a compute server's QoS spec for its own virtual disk
+    /// (throttle injection; restore with [`QosSpec::unlimited`]).
+    SetQos {
+        /// Compute server index.
+        compute: usize,
+        /// New spec for vd `compute`.
+        spec: QosSpec,
+    },
+    /// Degrade (or with factor 1.0, heal) a storage server's service time.
+    DegradeStorage {
+        /// Storage server index.
+        storage: usize,
+        /// Service-time multiplier (1.0 = healthy).
+        factor: f64,
+    },
+    /// Stall (or with `SimDuration::ZERO`, heal) a compute server's DPU
+    /// PCIe channels: every transfer pays the extra latency.
+    StallPcie {
+        /// Compute server index.
+        compute: usize,
+        /// Extra latency per transfer.
+        extra: SimDuration,
+    },
+    /// Detach the closed-loop fio driver from a compute server: completed
+    /// I/Os stop resubmitting, letting the testbed drain to quiescence.
+    StopFio {
+        /// Compute server index.
+        compute: usize,
+    },
 }
 
 /// The composed world (see module docs).
@@ -569,6 +598,14 @@ impl Testbed {
         (c.completed_ios, c.completed_bytes)
     }
 
+    /// (admitted, throttled) I/O counts of one compute server's QoS table
+    /// (admission-conservation checks: every submitted I/O is admitted
+    /// exactly once).
+    pub fn qos_stats(&self, compute: usize) -> (u64, u64) {
+        let c = &self.computes[compute];
+        (c.qos.admitted_ios(), c.qos.throttled_ios())
+    }
+
     /// Consumed DPU-CPU cores on one compute server (Table 1 metric).
     pub fn consumed_cores(&self, compute: usize) -> f64 {
         self.computes[compute].cpu.consumed_cores(self.q.now())
@@ -709,6 +746,45 @@ impl Testbed {
         self.q.schedule_at(at, Event::Heal { device });
     }
 
+    /// Schedule a QoS spec replacement on a compute server's virtual disk
+    /// (throttle injection; schedule [`QosSpec::unlimited`] to restore).
+    pub fn schedule_qos(&mut self, at: SimTime, compute: usize, spec: QosSpec) {
+        self.q.schedule_at(at, Event::SetQos { compute, spec });
+    }
+
+    /// Schedule a storage-service slowdown (`factor` > 1.0) or its heal
+    /// (`factor` = 1.0).
+    pub fn schedule_storage_degrade(&mut self, at: SimTime, storage: usize, factor: f64) {
+        self.q
+            .schedule_at(at, Event::DegradeStorage { storage, factor });
+    }
+
+    /// Schedule a DPU PCIe stall (`extra` latency per transfer) or its
+    /// heal (`SimDuration::ZERO`).
+    pub fn schedule_pcie_stall(&mut self, at: SimTime, compute: usize, extra: SimDuration) {
+        self.q.schedule_at(at, Event::StallPcie { compute, extra });
+    }
+
+    /// Schedule the detachment of every fio driver: from `at` on,
+    /// completions stop resubmitting and the testbed drains toward
+    /// quiescence (in-flight and already-queued I/Os still finish).
+    pub fn schedule_stop_fio(&mut self, at: SimTime) {
+        for compute in 0..self.computes.len() {
+            self.q.schedule_at(at, Event::StopFio { compute });
+        }
+    }
+
+    /// I/Os submitted but not yet completed across all compute servers.
+    pub fn outstanding_ios(&self) -> usize {
+        self.computes.iter().map(|c| c.pending.len()).sum()
+    }
+
+    /// Events currently queued in the simulator (quiescence diagnostics;
+    /// an idle testbed holds only periodic timer/probe events).
+    pub fn queue_len(&self) -> usize {
+        self.q.len()
+    }
+
     /// Run the world until `horizon` (inclusive of events at it).
     pub fn run_until(&mut self, horizon: SimTime) {
         while let Some(t) = self.q.peek_time() {
@@ -769,6 +845,18 @@ impl Testbed {
                 }
             }
             Event::Heal { device } => self.fabric.heal(device),
+            Event::SetQos { compute, spec } => {
+                self.computes[compute].qos.set_spec(compute as u64, spec);
+            }
+            Event::DegradeStorage { storage, factor } => {
+                self.storages[storage].backend.set_degrade(factor);
+            }
+            Event::StallPcie { compute, extra } => {
+                self.computes[compute].pcie.set_stall(extra);
+            }
+            Event::StopFio { compute } => {
+                self.computes[compute].fio = None;
+            }
         }
     }
 

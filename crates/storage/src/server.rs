@@ -53,6 +53,11 @@ pub struct StorageServer {
     rng: SmallRng,
     writes: u64,
     reads: u64,
+    /// Service-time multiplier (1.0 = healthy). A degraded block server
+    /// models brown-out conditions — GC storms, a failing drive, BN
+    /// congestion — without taking the server down: requests still
+    /// complete, just slower.
+    degrade: f64,
 }
 
 impl StorageServer {
@@ -67,7 +72,37 @@ impl StorageServer {
             rng: rng::stream_indexed(seed, "storage-bn", index as u64),
             writes: 0,
             reads: 0,
+            degrade: 1.0,
         }
+    }
+
+    /// Set the service-time multiplier: every request completing after
+    /// this call takes `factor`× its modeled time (the slowdown is
+    /// attributed to the SSD component). `1.0` restores healthy service;
+    /// values below 1.0 are clamped to healthy.
+    pub fn set_degrade(&mut self, factor: f64) {
+        self.degrade = factor.max(1.0);
+    }
+
+    /// Current service-time multiplier (1.0 = healthy).
+    pub fn degrade(&self) -> f64 {
+        self.degrade
+    }
+
+    /// Stretch a request's completion by the degrade factor, charging the
+    /// extra time to the SSD side of the breakdown.
+    fn apply_degrade(
+        &self,
+        now: SimTime,
+        done: SimTime,
+        mut bd: StorageBreakdown,
+    ) -> (SimTime, StorageBreakdown) {
+        if self.degrade <= 1.0 {
+            return (done, bd);
+        }
+        let extra = (done - now).mul_f64(self.degrade - 1.0);
+        bd.ssd += extra;
+        (done + extra, bd)
     }
 
     fn bn_oneway(&mut self, bytes: usize) -> SimDuration {
@@ -100,7 +135,8 @@ impl StorageServer {
         }
         let total = done - now;
         let bn = max_bn.min(total);
-        (
+        self.apply_degrade(
+            now,
             done,
             StorageBreakdown {
                 bn,
@@ -121,7 +157,8 @@ impl StorageServer {
         let done = fetched + bn_back;
         let total = done - now;
         let bn = (bn_fwd + bn_back).min(total);
-        (
+        self.apply_degrade(
+            now,
             done,
             StorageBreakdown {
                 bn,
@@ -142,6 +179,9 @@ impl ebs_obs::Sample for StorageServer {
     fn sample_into(&self, _now: SimTime, m: &mut ebs_obs::Metrics) {
         m.counter_add("storage", "reads", self.reads);
         m.counter_add("storage", "writes", self.writes);
+        if self.degrade > 1.0 {
+            m.gauge_set("storage", "degrade_factor", self.degrade);
+        }
     }
 }
 
@@ -201,6 +241,30 @@ mod tests {
             let (done, bd) = s.write(t, 4);
             assert_eq!((done - t).as_nanos(), (bd.bn + bd.ssd).as_nanos());
         }
+    }
+
+    #[test]
+    fn degrade_stretches_service_and_heals() {
+        let mut slow = server();
+        let mut healthy = server();
+        slow.set_degrade(4.0);
+        let t = SimTime::from_millis(1);
+        let (d_slow, bd_slow) = slow.write(t, 1);
+        let (d_fast, bd_fast) = healthy.write(t, 1);
+        // Identical seeds: the degraded run is exactly 4x the healthy one.
+        assert_eq!((d_slow - t).as_nanos(), (d_fast - t).as_nanos() * 4);
+        // The extra time is charged to the SSD component; BN is untouched.
+        assert_eq!(bd_slow.bn, bd_fast.bn);
+        assert!(bd_slow.ssd > bd_fast.ssd);
+        assert_eq!(
+            (d_slow - t).as_nanos(),
+            (bd_slow.bn + bd_slow.ssd).as_nanos()
+        );
+        // Healing restores byte-identical service.
+        slow.set_degrade(1.0);
+        let (a, _) = slow.read(SimTime::from_millis(2), 1);
+        let (b, _) = healthy.read(SimTime::from_millis(2), 1);
+        assert_eq!(a, b);
     }
 
     #[test]

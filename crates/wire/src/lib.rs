@@ -14,7 +14,7 @@
 //!   SOLAR's design makes unnecessary.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod ebs;
 mod int;

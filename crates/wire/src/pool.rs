@@ -144,8 +144,7 @@ impl BlockPool {
     }
 
     /// An empty writable buffer with `block_size` capacity. Append with
-    /// [`PooledBuf::put_slice`] / [`bytes::BufMut`], then
-    /// [`PooledBuf::freeze`].
+    /// `put_slice` (via [`bytes::BufMut`]), then [`PooledBuf::freeze`].
     pub fn take(&self) -> PooledBuf {
         let (buf, _) = self.grab();
         PooledBuf {

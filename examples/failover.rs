@@ -48,8 +48,12 @@ fn run(variant: Variant) -> (usize, usize, f64) {
 
 fn main() {
     println!("Injecting a silent 40% blackhole on a ToR at t=500ms under live fio load.\n");
+    let mut solar_hung = 0;
     for variant in [Variant::Luna, Variant::Solar] {
         let (total, hung, rate) = run(variant);
+        if variant == Variant::Solar {
+            solar_hung = hung;
+        }
         println!(
             "{:<6}  {total:>6} I/Os issued   {hung:>4} hung >=1s   {rate:>8.0} IO/s sustained after failure",
             variant.label()
@@ -61,4 +65,12 @@ intervene (the paper's production incidents took 42 minutes, §3.3);
 SOLAR detects consecutive per-packet timeouts, declares the path down,
 and reroutes onto healthy ECMP buckets — the I/O-hang count is zero."
     );
+    // SOLAR failing to reroute would make the headline claim above a lie;
+    // exit nonzero so CI catches the regression.
+    if solar_hung > 0 {
+        eprintln!(
+            "\nerror: SOLAR left {solar_hung} I/Os hung >= 1s — multipath failover regressed"
+        );
+        std::process::exit(1);
+    }
 }

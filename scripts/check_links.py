@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Relative-link checker for the repository's markdown.
+
+Scans every tracked *.md file (repo root, docs/, crate READMEs) for
+markdown links and inline reference targets, and verifies that every
+*relative* target exists in the working tree. External links (http/https/
+mailto) are deliberately not fetched — CI must not depend on the network.
+
+Checked:
+  [text](relative/path.md)        -> path must exist
+  [text](relative/path.md#frag)   -> path must exist (fragment not checked
+                                     against headings, except same-file
+                                     anchors which are)
+  [text](#fragment)               -> a heading in the same file must
+                                     slugify to the fragment
+
+Exit status: 0 clean, 1 with any broken link (all reported).
+"""
+
+import os
+import re
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+CODE_FENCE_RE = re.compile(r"```.*?```", re.DOTALL)
+EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+
+def md_files():
+    out = []
+    for dirpath, dirnames, filenames in os.walk(REPO):
+        dirnames[:] = [
+            d
+            for d in dirnames
+            if d not in ("target", ".git", ".github", "node_modules")
+        ]
+        for f in filenames:
+            if f.endswith(".md"):
+                out.append(os.path.join(dirpath, f))
+    return sorted(out)
+
+
+def slugify(heading):
+    """GitHub-style heading -> anchor slug."""
+    # Strip markdown emphasis/code markers, then non-word chars.
+    h = re.sub(r"[`*_]", "", heading.strip().lower())
+    h = re.sub(r"[^\w\- ]", "", h)
+    return h.replace(" ", "-")
+
+
+def check_file(path, errors):
+    with open(path, encoding="utf-8") as fh:
+        raw = fh.read()
+    # Links inside fenced code blocks are examples, not navigation.
+    text = CODE_FENCE_RE.sub("", raw)
+    anchors = {slugify(h) for h in HEADING_RE.findall(text)}
+    rel = os.path.relpath(path, REPO)
+    for m in LINK_RE.finditer(text):
+        target = m.group(1)
+        if target.startswith(EXTERNAL):
+            continue
+        if target.startswith("#"):
+            if target[1:] not in anchors:
+                errors.append(f"{rel}: broken same-file anchor {target}")
+            continue
+        file_part = target.split("#", 1)[0]
+        if not file_part:
+            continue
+        resolved = os.path.normpath(os.path.join(os.path.dirname(path), file_part))
+        if not os.path.exists(resolved):
+            errors.append(f"{rel}: broken relative link {target}")
+
+
+def main():
+    errors = []
+    files = md_files()
+    for path in files:
+        check_file(path, errors)
+    if errors:
+        print(f"{len(errors)} broken link(s) across {len(files)} markdown files:")
+        for e in errors:
+            print(f"  {e}")
+        return 1
+    print(f"all relative links resolve across {len(files)} markdown files")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,9 +17,11 @@
 //! ([`crc`]), the SEC cipher ([`crypto`]), the storage agent ([`sa`]),
 //! the ALI-DPU model with its P4-style pipeline ([`dpu`]), the storage
 //! cluster ([`storage`]), RDMA baselines ([`rdma`]), workload generators
-//! ([`workload`]), the composed end-to-end testbed ([`stack`]), and the
-//! experiment harness ([`bench`]) that regenerates every figure and
-//! table of the paper's evaluation.
+//! ([`workload`]), the composed end-to-end testbed ([`stack`]), the
+//! experiment harness ([`mod@bench`]) that regenerates every figure and
+//! table of the paper's evaluation, and the deterministic chaos-search
+//! subsystem ([`chaos`]) that sweeps seeded fault schedules through the
+//! testbed and certifies recovery invariants.
 //!
 //! ## Quickstart
 //!
@@ -48,6 +50,7 @@
 #![warn(missing_docs)]
 
 pub use ebs_bench as bench;
+pub use ebs_chaos as chaos;
 pub use ebs_crc as crc;
 pub use ebs_crypto as crypto;
 pub use ebs_dpu as dpu;
