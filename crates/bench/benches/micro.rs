@@ -446,6 +446,120 @@ fn bench_event_queue(c: &mut Criterion) {
     g.finish();
 }
 
+/// The batched drain the testbed main loop actually runs: many events
+/// collide on the same timestamp (serialized TxDone bursts, ACK fan-in),
+/// and `pop_batch` hands the whole tie group over in one call instead of
+/// paying the heap/wheel pop machinery per event. Deltas are quantized so
+/// batches are a few events deep, matching the testbed's tie profile.
+fn bench_event_queue_pop_batch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("event_queue_pop_batch");
+    const POP: usize = 256; // events handled per iteration
+    fn delta_ns(r: u64) -> u64 {
+        // 24 distinct quantized horizons → heavy timestamp collisions.
+        8_192 * (1 + r % 24)
+    }
+    g.throughput(Throughput::Elements(POP as u64));
+    g.bench_function("pop_batch", |b| {
+        let mut q = ebs_sim::EventQueue::new();
+        let mut x = 7u64;
+        for i in 0..1024u64 {
+            q.schedule_at(SimTime::from_nanos(delta_ns(lcg(&mut x))), i);
+        }
+        let mut buf: Vec<(SimTime, u64)> = Vec::with_capacity(64);
+        b.iter(|| {
+            let mut handled = 0usize;
+            while handled < POP {
+                let n = q.pop_batch(SimTime::MAX, &mut buf);
+                assert!(n > 0, "steady state");
+                handled += n;
+                for (t, v) in buf.drain(..) {
+                    q.schedule_at(
+                        t + ebs_sim::SimDuration::from_nanos(delta_ns(lcg(&mut x))),
+                        v,
+                    );
+                }
+            }
+            q.now()
+        })
+    });
+    // What a per-event driver loop must do: peek (to enforce the stop
+    // horizon before committing to the pop), then pop — the pre-batch
+    // testbed loop. `pop_batch` fuses the liveness pre-check away.
+    g.bench_function("per_event_peek_then_pop", |b| {
+        let mut q = ebs_sim::EventQueue::new();
+        let mut x = 7u64;
+        for i in 0..1024u64 {
+            q.schedule_at(SimTime::from_nanos(delta_ns(lcg(&mut x))), i);
+        }
+        b.iter(|| {
+            for _ in 0..POP {
+                let t_next = q.peek_time().expect("steady state");
+                assert!(t_next <= SimTime::MAX, "horizon check");
+                let (t, v) = q.pop().expect("steady state");
+                q.schedule_at(
+                    t + ebs_sim::SimDuration::from_nanos(delta_ns(lcg(&mut x))),
+                    v,
+                );
+            }
+            q.now()
+        })
+    });
+    g.finish();
+}
+
+/// The memoized ECMP post-filter sets: a warm cache serves every hop of a
+/// cross-pod traversal from a two-word epoch check ("hit"), while an
+/// epoch bump — here an exclusion/heal toggle on a server that is on no
+/// forwarding path, so the routes themselves never change — forces every
+/// hop to re-filter its candidate set ("miss_after_invalidation").
+fn bench_ecmp_route_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ecmp_route_cache");
+    let topo = ebs_net::Topology::build(ebs_net::ClosConfig::testbed(2, 2, 2));
+    let servers = topo.servers();
+    let (src, dst) = (servers[0], servers[5]);
+    let spare = servers[1]; // never a next hop for src → dst
+    let flow = ebs_net::FlowLabel {
+        src,
+        dst,
+        src_port: 47001,
+        dst_port: 9000,
+        proto: 17,
+    };
+    let run = |b: &mut criterion::Bencher, invalidate: bool| {
+        let mut f: ebs_net::Fabric<u32> =
+            ebs_net::Fabric::new(topo.clone(), ebs_net::FabricConfig::default());
+        let mut q = ebs_sim::EventQueue::new();
+        let mut sink = ebs_sim::EventQueue::new();
+        b.iter(|| {
+            if invalidate {
+                // Exclude then re-include: two epoch bumps, zero route
+                // changes for the measured flow.
+                f.inject_failure_with(
+                    spare,
+                    ebs_net::FailureMode::FailStop,
+                    ebs_sim::SimDuration::ZERO,
+                    &mut sink,
+                );
+                let (t, ev) = sink.pop().expect("convergence event");
+                f.handle(t, ev, &mut sink);
+                f.heal(spare);
+            }
+            let pkt = ebs_net::FabricPacket::new(flow, 4096, None, 0u32);
+            f.send(q.now(), pkt, &mut q);
+            let mut delivered = 0u32;
+            while let Some((t, ev)) = q.pop() {
+                if f.handle(t, ev, &mut q).is_some() {
+                    delivered += 1;
+                }
+            }
+            delivered
+        })
+    };
+    g.bench_function("hit", |b| run(b, false));
+    g.bench_function("miss_after_invalidation", |b| run(b, true));
+    g.finish();
+}
+
 /// A full cross-pod packet traversal: server → ToR → spine → core → spine
 /// → ToR → server, with INT stamping at every switch egress. Exercises the
 /// per-hop ECMP (cached flow hash), the pre-sized port queues and the
@@ -501,7 +615,9 @@ criterion_group! {
         bench_transports,
         bench_pipeline,
         bench_ecmp,
+        bench_ecmp_route_cache,
         bench_event_queue,
+        bench_event_queue_pop_batch,
         bench_fabric_forward
 }
 criterion_main!(benches);

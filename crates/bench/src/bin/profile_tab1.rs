@@ -1,0 +1,110 @@
+//! Ad-hoc timing probe for individual experiments (not part of the suite).
+
+use ebs_bench::reliability::{run_scenario, Scenario};
+use ebs_stack::Variant;
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "tab1".into());
+    let t = std::time::Instant::now();
+    match which.as_str() {
+        "tab1" => {
+            let (o, _) = ebs_bench::performance::tab1(true);
+            eprintln!("{}", o.title);
+        }
+        "fig6" => {
+            let (o, _) = ebs_bench::performance::fig6(true);
+            eprintln!("{}", o.title);
+        }
+        "fig14" => {
+            let (o, _) = ebs_bench::performance::fig14(true);
+            eprintln!("{}", o.title);
+        }
+        "fig15" => {
+            let (o, _) = ebs_bench::performance::fig15(true);
+            eprintln!("{}", o.title);
+        }
+        "tab2" => {
+            let c = ebs_bench::reliability::tab2_counts(&Scenario::ALL, true);
+            eprintln!("{:?}", c);
+        }
+        "sizes" => {
+            use ebs_stack::{Event, Msg, Reply};
+            eprintln!("Event={}", std::mem::size_of::<Event>());
+            eprintln!("NetEvent={}", std::mem::size_of::<ebs_net::NetEvent>());
+            eprintln!(
+                "FabricPacket<Msg>={}",
+                std::mem::size_of::<ebs_net::FabricPacket<Msg>>()
+            );
+            eprintln!("Msg={}", std::mem::size_of::<Msg>());
+            eprintln!("Reply={}", std::mem::size_of::<Reply>());
+            eprintln!("Segment={}", std::mem::size_of::<ebs_tcp::Segment>());
+            eprintln!("EbsHeader={}", std::mem::size_of::<ebs_wire::EbsHeader>());
+            eprintln!("IntStack={}", std::mem::size_of::<ebs_wire::IntStack>());
+            eprintln!("OutPacket={}", std::mem::size_of::<ebs_solar::OutPacket>());
+            eprintln!("IoRequest={}", std::mem::size_of::<ebs_sa::IoRequest>());
+        }
+        "one" => {
+            use ebs_sim::SimTime;
+            use ebs_stack::{FioConfig, Testbed, TestbedConfig};
+            let variant = match std::env::args().nth(2).as_deref() {
+                Some("luna") => Variant::Luna,
+                _ => Variant::Solar,
+            };
+            let mut cfg = TestbedConfig::small(variant, 4, 3);
+            cfg.seed = 2 + Scenario::PacketDrop75 as u64;
+            let mut tb = Testbed::new(cfg);
+            if std::env::args().nth(3).as_deref() == Some("prof") {
+                tb.enable_profiling();
+            }
+            for c in 0..4 {
+                tb.attach_fio(
+                    SimTime::from_millis(1),
+                    c,
+                    FioConfig {
+                        depth: 2,
+                        bytes: 16 * 1024,
+                        read_fraction: 0.2,
+                    },
+                );
+            }
+            let t0 = std::time::Instant::now();
+            tb.run_until(SimTime::from_secs(3));
+            let wall = t0.elapsed().as_secs_f64();
+            tb.sample_obs();
+            let ev = tb.metrics().counter("sim", "events_processed");
+            eprintln!(
+                "{variant:?} events={ev} wall={wall:.2}s ns/event={:.0}",
+                wall * 1e9 / ev as f64
+            );
+            let (hits, misses) = tb.fabric().route_cache_stats();
+            eprintln!(
+                "delivered={} drops={} route hits={hits} misses={misses}",
+                tb.fabric().delivered(),
+                tb.fabric().drops().total(),
+            );
+            for key in ["pkts_sent", "retransmits", "probes_sent"] {
+                eprintln!("solar.{key}={}", tb.metrics().counter("solar", key));
+            }
+            if let Some(p) = tb.phase_cycles() {
+                eprintln!("{p:#?}");
+            }
+        }
+        "cells" => {
+            for sc in Scenario::ALL {
+                for v in [Variant::Luna, Variant::Solar] {
+                    let t0 = std::time::Instant::now();
+                    let hung = run_scenario(sc, v, true);
+                    eprintln!(
+                        "{:?} {:?}: hung={} wall={:.2}s",
+                        sc,
+                        v,
+                        hung,
+                        t0.elapsed().as_secs_f64()
+                    );
+                }
+            }
+        }
+        _ => panic!("unknown"),
+    }
+    eprintln!("{which}: {:.2}s", t.elapsed().as_secs_f64());
+}

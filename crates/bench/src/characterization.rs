@@ -12,7 +12,11 @@ use rand::Rng;
 use crate::output::ExperimentOutput;
 
 /// Fig. 3: hourly EBS vs total traffic and I/O rates over a week.
-pub fn fig3() -> ExperimentOutput {
+///
+/// Returns the rendered figure plus its headline metrics for
+/// `BENCH_RESULTS.json` (so the bench gate guards the numbers, not just
+/// the wall time).
+pub fn fig3() -> (ExperimentOutput, Vec<(String, f64)>) {
     let model = FleetModel::default();
     let traffic = model.traffic(168, 3);
     let rates = model.io_rates(168, 3);
@@ -60,7 +64,11 @@ pub fn fig3() -> ExperimentOutput {
             f2(s.write_krps / s.read_krps),
         ]);
     }
-    ExperimentOutput {
+    let metrics = vec![
+        ("ebs_tx_share".to_string(), txs / 168.0),
+        ("ebs_total_share".to_string(), ebs / all),
+    ];
+    let output = ExperimentOutput {
         id: "fig3",
         title: "Hourly traffic & I/O rate per server over a week".into(),
         tables: vec![
@@ -71,11 +79,14 @@ pub fn fig3() -> ExperimentOutput {
         notes: vec![
             "Generative model calibrated to §2.3: EBS = 63% of TX / 51% of total; writes 3-4x reads.".into(),
         ],
-    }
+    };
+    (output, metrics)
 }
 
 /// Fig. 4: per-minute IOPS of a hot server over a day.
-pub fn fig4() -> ExperimentOutput {
+///
+/// Returns the figure plus its headline metric (peak kIOPS).
+pub fn fig4() -> (ExperimentOutput, Vec<(String, f64)>) {
     let series = hot_server_iops(4);
     let mut table = TextTable::new(["hour", "mean kIOPS", "min kIOPS", "max kIOPS"]);
     for h in 0..24 {
@@ -89,7 +100,8 @@ pub fn fig4() -> ExperimentOutput {
         table.row([h.to_string(), f1(mean), f1(min), f1(max)]);
     }
     let peak = series.iter().map(|(_, v)| *v).fold(0.0, f64::max);
-    ExperimentOutput {
+    let metrics = vec![("peak_kiops".to_string(), peak / 1e3)];
+    let output = ExperimentOutput {
         id: "fig4",
         title: "Average IOPS per minute over a day, highly-loaded server".into(),
         tables: vec![("hourly summary of per-minute samples".into(), table)],
@@ -97,11 +109,12 @@ pub fn fig4() -> ExperimentOutput {
             "peak {:.0}K IOPS vs paper 'up to 200K IOPS (or network flows per second)'",
             peak / 1e3
         )],
-    }
+    };
+    (output, metrics)
 }
 
 /// Fig. 5: CDFs of I/O and FN RPC sizes.
-pub fn fig5() -> ExperimentOutput {
+pub fn fig5() -> (ExperimentOutput, Vec<(String, f64)>) {
     let mixture = SizeMixture::fig5_io();
     let rw = RwMix::production();
     let mut rng = ebs_sim::rng::stream(5, "fig5");
@@ -148,7 +161,14 @@ pub fn fig5() -> ExperimentOutput {
             f2(rpc_cdf.fraction_le(a)),
         ]);
     }
-    ExperimentOutput {
+    let metrics = vec![
+        ("rpc_le_4k_fraction".to_string(), rpc_cdf.fraction_le(4.0)),
+        (
+            "rpc_le_128k_fraction".to_string(),
+            rpc_cdf.fraction_le(128.0),
+        ),
+    ];
+    let output = ExperimentOutput {
         id: "fig5",
         title: "Distribution of I/O and FN RPC sizes".into(),
         tables: vec![("CDF at the paper's anchor sizes".into(), table)],
@@ -160,7 +180,8 @@ pub fn fig5() -> ExperimentOutput {
             ),
             "RPC sizes derive from I/O sizes via real SA splitting over 2MB segments.".into(),
         ],
-    }
+    };
+    (output, metrics)
 }
 
 /// Fig. 7: the three-year latency/IOPS evolution, given measured
@@ -188,7 +209,7 @@ pub fn fig7(kernel: StackPerf, luna: StackPerf, solar: StackPerf) -> ExperimentO
 }
 
 /// Fig. 8: I/O-hang incidents by failure tier over two years.
-pub fn fig8() -> ExperimentOutput {
+pub fn fig8() -> (ExperimentOutput, Vec<(String, f64)>) {
     let events = incidents::generate(100, 8);
     let mut scatter = TextTable::new(["tier", "duration (min)", "VMs with I/O hang"]);
     for e in events.iter().step_by(5) {
@@ -204,11 +225,12 @@ pub fn fig8() -> ExperimentOutput {
         "median duration (min)",
         "median VMs hung",
     ]);
-    for tier in [
-        ebs_workload::FailureTier::Tor,
-        ebs_workload::FailureTier::Spine,
-        ebs_workload::FailureTier::Core,
-        ebs_workload::FailureTier::DcRouter,
+    let mut metrics = Vec::new();
+    for (tier, key) in [
+        (ebs_workload::FailureTier::Tor, "tor"),
+        (ebs_workload::FailureTier::Spine, "spine"),
+        (ebs_workload::FailureTier::Core, "core"),
+        (ebs_workload::FailureTier::DcRouter, "dc_router"),
     ] {
         let mut durations: Vec<f64> = events
             .iter()
@@ -228,8 +250,9 @@ pub fn fig8() -> ExperimentOutput {
             f1(durations[durations.len() / 2]),
             vms[vms.len() / 2].to_string(),
         ]);
+        metrics.push((format!("{key}_median_vms_hung"), vms[vms.len() / 2] as f64));
     }
-    ExperimentOutput {
+    let output = ExperimentOutput {
         id: "fig8",
         title: "I/O hangs caused by ~100 network failures over two years (Luna era)".into(),
         tables: vec![
@@ -239,5 +262,6 @@ pub fn fig8() -> ExperimentOutput {
         notes: vec![
             "Blast radius grows with tier; hang count is duration-insensitive — the §3.3 motivation for sub-second endpoint rerouting.".into(),
         ],
-    }
+    };
+    (output, metrics)
 }

@@ -11,7 +11,7 @@ use crate::output::ExperimentOutput;
 
 /// Fig. 11: inject ~100 corruption events with the production cause mix;
 /// every one must be caught by the segment-level CRC aggregation.
-pub fn fig11() -> ExperimentOutput {
+pub fn fig11() -> (ExperimentOutput, Vec<(String, f64)>) {
     let mut rng = ebs_sim::rng::stream(11, "fig11");
     const BLOCK: usize = 4096;
     const BLOCKS_PER_SEGMENT: usize = 8;
@@ -92,14 +92,19 @@ pub fn fig11() -> ExperimentOutput {
             f1(paper_pct),
         ]);
     }
-    ExperimentOutput {
+    let metrics = vec![(
+        "crc_detection_rate".to_string(),
+        detected as f64 / n_events as f64,
+    )];
+    let output = ExperimentOutput {
         id: "fig11",
         title: "Root causes of data-corruption events mitigated by software CRC".into(),
         tables: vec![("injection campaign".into(), table)],
         notes: vec![format!(
             "{detected}/{n_events} corruptions detected by the segment CRC aggregation (must be 100%)"
         )],
-    }
+    };
+    (output, metrics)
 }
 
 /// Table 3: SOLAR's FPGA resource consumption.
@@ -143,8 +148,9 @@ mod tests {
 
     #[test]
     fn fig11_detects_everything() {
-        let out = fig11();
+        let (out, metrics) = fig11();
         assert!(out.notes[0].contains("100/100"), "{}", out.notes[0]);
+        assert_eq!(metrics, vec![("crc_detection_rate".to_string(), 1.0)]);
     }
 
     #[test]

@@ -221,13 +221,13 @@ pub fn run_report(quick: bool, parallel: bool) -> RunReport {
     let (fig6_nums, fig14_nums);
     if parallel {
         (experiments, fig6_nums, fig14_nums) = std::thread::scope(|s| {
-            let fig3 = s.spawn(|| timed(|| (characterization::fig3(), vec![])));
-            let fig4 = s.spawn(|| timed(|| (characterization::fig4(), vec![])));
-            let fig5 = s.spawn(|| timed(|| (characterization::fig5(), vec![])));
+            let fig3 = s.spawn(|| timed(characterization::fig3));
+            let fig4 = s.spawn(|| timed(characterization::fig4));
+            let fig5 = s.spawn(|| timed(characterization::fig5));
             let fig6 = s.spawn(move || exp_fig6(quick));
-            let tab1 = s.spawn(move || timed(|| (performance::tab1(quick), vec![])));
-            let fig8 = s.spawn(|| timed(|| (characterization::fig8(), vec![])));
-            let fig11 = s.spawn(|| timed(|| (hardware::fig11(), vec![])));
+            let tab1 = s.spawn(move || timed(|| performance::tab1(quick)));
+            let fig8 = s.spawn(|| timed(characterization::fig8));
+            let fig11 = s.spawn(|| timed(hardware::fig11));
             let fig14 = s.spawn(move || exp_fig14(quick));
             let fig15 = s.spawn(move || exp_fig15(quick));
             let tab2 = s.spawn(move || exp_tab2(quick));
@@ -249,14 +249,14 @@ pub fn run_report(quick: bool, parallel: bool) -> RunReport {
             (out, f6, f14)
         });
     } else {
-        experiments.push(timed(|| (characterization::fig3(), vec![])));
-        experiments.push(timed(|| (characterization::fig4(), vec![])));
-        experiments.push(timed(|| (characterization::fig5(), vec![])));
+        experiments.push(timed(characterization::fig3));
+        experiments.push(timed(characterization::fig4));
+        experiments.push(timed(characterization::fig5));
         let (fig6_r, f6) = exp_fig6(quick);
         experiments.push(fig6_r);
-        experiments.push(timed(|| (performance::tab1(quick), vec![])));
-        experiments.push(timed(|| (characterization::fig8(), vec![])));
-        experiments.push(timed(|| (hardware::fig11(), vec![])));
+        experiments.push(timed(|| performance::tab1(quick)));
+        experiments.push(timed(characterization::fig8));
+        experiments.push(timed(hardware::fig11));
         let (fig14_r, f14) = exp_fig14(quick);
         experiments.push(fig14_r);
         experiments.push(exp_fig15(quick));

@@ -170,8 +170,9 @@ fn rpc_only_config(variant: Variant, server_gbps: u64) -> TestbedConfig {
 
 /// Table 1: FN RPC latency and consumed cores, kernel vs LUNA, at 2×25GE
 /// and 2×100GE, single 4KB RPC and line-rate stress.
-pub fn tab1(quick: bool) -> ExperimentOutput {
+pub fn tab1(quick: bool) -> (ExperimentOutput, Vec<(String, f64)>) {
     let mut tables = Vec::new();
+    let mut metrics = Vec::new();
     for (nic, gbps) in [("2x25GE", 50u64), ("2x100GE", 200u64)] {
         let mut table = TextTable::new(["load", "stack", "avg RPC latency (us)", "consumed cores"]);
         for variant in [Variant::Kernel, Variant::Luna] {
@@ -203,6 +204,14 @@ pub fn tab1(quick: bool) -> ExperimentOutput {
                 .map(|(lat, tr)| (lat.saturating_sub(tr.sa)).as_micros_f64())
                 .collect();
             let avg = done.iter().sum::<f64>() / done.len() as f64;
+            metrics.push((
+                format!(
+                    "{}_{}_single_rpc_us",
+                    variant.label().to_lowercase(),
+                    nic.to_lowercase()
+                ),
+                avg,
+            ));
             table.row([
                 "single 4KB RPC".to_string(),
                 variant.label().to_string(),
@@ -241,6 +250,14 @@ pub fn tab1(quick: bool) -> ExperimentOutput {
                 .map(|l| l.as_micros_f64())
                 .collect();
             let avg = lat.iter().sum::<f64>() / lat.len().max(1) as f64;
+            metrics.push((
+                format!(
+                    "{}_{}_stress_cores",
+                    variant.label().to_lowercase(),
+                    nic.to_lowercase()
+                ),
+                cores.max(1.0),
+            ));
             table.row([
                 format!("{:.0} Gbps stress ({} deep)", gbps_done, depth),
                 variant.label().to_string(),
@@ -252,7 +269,7 @@ pub fn tab1(quick: bool) -> ExperimentOutput {
         }
         tables.push((format!("Tested using {nic}"), table));
     }
-    ExperimentOutput {
+    let output = ExperimentOutput {
         id: "tab1",
         title: "FN RPC latency and CPU used under different load".into(),
         tables,
@@ -260,7 +277,8 @@ pub fn tab1(quick: bool) -> ExperimentOutput {
             "Paper: single 4KB RPC 70.1 vs 13.1 us (2x25GE), 43.4 vs 12.4 us (2x100GE); stress cores 4 vs 1 and 12 vs 4.".into(),
             "Storage is nulled (~50ns) so the measurement isolates the FN RPC path.".into(),
         ],
-    }
+    };
+    (output, metrics)
 }
 
 /// Fig. 14 results for integration tests.

@@ -19,7 +19,9 @@
 mod fabric;
 mod topology;
 
-pub use fabric::{DropStats, Fabric, FabricConfig, FabricPacket, FailureMode, FlowLabel, NetEvent};
+pub use fabric::{
+    DropStats, Fabric, FabricConfig, FabricPacket, FailureMode, FlowLabel, NetEvent, PacketHandle,
+};
 pub use topology::{
     ClosConfig, Coord, DeviceId, DeviceKind, DeviceSpec, LinkSpec, PortSpec, Topology,
 };

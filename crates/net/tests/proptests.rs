@@ -14,7 +14,7 @@ fn fabric(dual: bool) -> Fabric<u32> {
     Fabric::new(Topology::build(cfg), FabricConfig::default())
 }
 
-fn drain(f: &mut Fabric<u32>, q: &mut EventQueue<NetEvent<u32>>) -> Vec<u32> {
+fn drain(f: &mut Fabric<u32>, q: &mut EventQueue<NetEvent>) -> Vec<u32> {
     let mut out = Vec::new();
     while let Some((t, ev)) = q.pop() {
         if let Some(pkt) = f.handle(t, ev, q) {
@@ -56,7 +56,9 @@ proptest! {
             );
             // Space arrivals to avoid tail-drop from a synthetic burst.
             let at = SimTime::from_micros(i as u64 * 40);
-            q.schedule_at(at, NetEvent::Arrive { device: pkt.flow.src, pkt });
+            let src = pkt.flow.src;
+            let ev = f.arrive_event(src, pkt);
+            q.schedule_at(at, ev);
             sent += 1;
         }
         let got = drain(&mut f, &mut q);
@@ -88,7 +90,9 @@ proptest! {
                 None,
                 1u32,
             );
-            q.schedule_at(SimTime::ZERO, NetEvent::Arrive { device: pkt.flow.src, pkt });
+            let src = pkt.flow.src;
+            let ev = f.arrive_event(src, pkt);
+            q.schedule_at(SimTime::ZERO, ev);
             let mut at = None;
             while let Some((t, ev)) = q.pop() {
                 if f.handle(t, ev, &mut q).is_some() {
@@ -106,7 +110,7 @@ proptest! {
 #[test]
 fn ecmp_balances_over_source_ports() {
     let mut f = fabric(false);
-    let mut q: EventQueue<NetEvent<u32>> = EventQueue::new();
+    let mut q: EventQueue<NetEvent> = EventQueue::new();
     // Cross-pod traffic from server 0 to server 5 over 256 source ports.
     for sport in 0..256u16 {
         let pkt = FabricPacket::new(
@@ -121,13 +125,9 @@ fn ecmp_balances_over_source_ports() {
             Some(ebs_wire::IntStack::with_path_capacity()),
             sport as u32,
         );
-        q.schedule_at(
-            SimTime::from_micros(sport as u64 * 20),
-            NetEvent::Arrive {
-                device: pkt.flow.src,
-                pkt,
-            },
-        );
+        let src = pkt.flow.src;
+        let ev = f.arrive_event(src, pkt);
+        q.schedule_at(SimTime::from_micros(sport as u64 * 20), ev);
     }
     // Count distinct first-hop spine devices via the INT stacks.
     let mut spine_seen = std::collections::HashSet::new();

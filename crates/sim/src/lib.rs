@@ -13,7 +13,9 @@
 //!   to model CPU cores, DMA engines and PCIe channels without per-operation
 //!   events;
 //! * [`rng`] — labelled deterministic random streams so every stochastic
-//!   component draws from its own reproducible sequence.
+//!   component draws from its own reproducible sequence;
+//! * [`fxmap`] — deterministic fast hashing ([`FxHashMap`]) for hot
+//!   point-lookup maps, replacing SipHash + random seeding.
 //!
 //! Design follows the sans-io idiom of the session guides: protocol and
 //! hardware models in the sibling crates are pure state machines; only the
@@ -23,12 +25,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fxmap;
 mod queue;
 mod rate;
 mod resource;
 pub mod rng;
 mod time;
 
+pub use fxmap::{FxHashMap, FxHashSet, FxHasher};
 pub use queue::{EventId, EventQueue, MapScheduler, Scheduler};
 pub use rate::Bandwidth;
 pub use resource::{Channel, FifoResource};

@@ -18,14 +18,15 @@
 //! property that matters — each *data-bearing* packet is one self-
 //! contained block — is unchanged.
 
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use ebs_sim::FxHashMap;
+use std::collections::{BinaryHeap, VecDeque};
 
 use bytes::Bytes;
 use ebs_sim::{SimDuration, SimTime};
 use ebs_wire::{EbsHeader, EbsOp, IntStack, FLAG_INT_REQUEST, FLAG_RETRANSMIT};
 
 use crate::config::SolarConfig;
-use crate::path::{Path, PktKey};
+use crate::path::{PathSet, PathView, PktKey};
 
 /// A packet the host must put on the wire (UDP source port selects the
 /// path: `base_port + hdr.path_id`).
@@ -210,15 +211,15 @@ pub struct ReadBlock {
 #[derive(Debug)]
 pub struct SolarClient {
     cfg: SolarConfig,
-    paths: Vec<Path>,
-    outstanding: HashMap<PktKey, Outstanding>,
+    paths: PathSet,
+    outstanding: FxHashMap<PktKey, Outstanding>,
     /// The Addr table: (rpc, pkt) → guest address for in-flight reads. In
     /// real SOLAR this lives in FPGA BRAM (Table 3 charges it 5.1% LUT /
     /// 8.1% BRAM); it is the *only* per-request state the design needs.
-    addr_table: HashMap<PktKey, u64>,
+    addr_table: FxHashMap<PktKey, u64>,
     txq: VecDeque<PktKey>,
     timers: BinaryHeap<TimerEntry>,
-    rpcs: HashMap<u64, RpcState>,
+    rpcs: FxHashMap<u64, RpcState>,
     events: VecDeque<SolarEvent>,
     stats: SolarStats,
     next_generation: u64,
@@ -232,15 +233,15 @@ impl SolarClient {
     /// Panics if `cfg.n_paths` is zero or exceeds 256.
     pub fn new(cfg: SolarConfig) -> Self {
         assert!(cfg.n_paths > 0 && cfg.n_paths <= 256, "1..=256 paths");
-        let paths = (0..cfg.n_paths as u8).map(|i| Path::new(i, &cfg)).collect();
+        let paths = PathSet::new(cfg.n_paths, &cfg);
         SolarClient {
             cfg,
             paths,
-            outstanding: HashMap::new(),
-            addr_table: HashMap::new(),
+            outstanding: FxHashMap::default(),
+            addr_table: FxHashMap::default(),
             txq: VecDeque::new(),
             timers: BinaryHeap::new(),
-            rpcs: HashMap::new(),
+            rpcs: FxHashMap::default(),
             events: VecDeque::new(),
             stats: SolarStats::default(),
             next_generation: 1,
@@ -253,9 +254,9 @@ impl SolarClient {
         self.stats
     }
 
-    /// Per-path view (diagnostics / tests).
-    pub fn paths(&self) -> &[Path] {
-        &self.paths
+    /// Per-path views (diagnostics / tests).
+    pub fn paths(&self) -> Vec<PathView<'_>> {
+        self.paths.views().collect()
     }
 
     /// In-flight plus queued packets.
@@ -433,7 +434,7 @@ impl SolarClient {
     /// Earliest instant `on_timer` must run (packet RTOs and path probes).
     pub fn poll_timer(&self) -> Option<SimTime> {
         let t1 = self.timers.peek().map(|e| SimTime::from_nanos(e.at_ns));
-        let t2 = self.paths.iter().filter_map(|p| p.next_probe()).min();
+        let t2 = self.paths.min_next_probe();
         match (t1, t2) {
             (Some(a), Some(b)) => Some(a.min(b)),
             (a, b) => a.or(b),
@@ -481,8 +482,10 @@ impl SolarClient {
         o.avoid_path = Some(old_path);
         let out_of_budget = o.retries > self.cfg.max_pkt_retries;
         let rpc_id = o.hdr.rpc_id;
-        self.paths[old_path as usize].release(old_seq, credit);
-        let failed_now = self.paths[old_path as usize].on_timeout(now, old_epoch, &self.cfg);
+        self.paths.release(old_path as usize, old_seq, credit);
+        let failed_now = self
+            .paths
+            .on_timeout(old_path as usize, now, old_epoch, &self.cfg);
         if failed_now {
             self.stats.path_failovers += 1;
             self.events
@@ -515,7 +518,8 @@ impl SolarClient {
         for k in keys {
             if let Some(o) = self.outstanding.remove(&k) {
                 if o.in_flight {
-                    self.paths[o.path as usize].release(o.path_seq, o.credit_bytes);
+                    self.paths
+                        .release(o.path as usize, o.path_seq, o.credit_bytes);
                 }
             }
             self.addr_table.remove(&k);
@@ -538,12 +542,14 @@ impl SolarClient {
     /// retries.
     fn pick_path(&self, bytes: u64, ignore_window: bool, avoid: Option<u8>) -> Option<u8> {
         let n = self.paths.len();
+        // The scan reads only the PathSet's hot arrays (liveness, srtt,
+        // window, inflight) — see the struct-of-arrays notes in `path`.
         if ignore_window {
             if let Some(avoid_id) = avoid {
                 for k in 1..=n {
-                    let p = &self.paths[(avoid_id as usize + k) % n];
-                    if p.id != avoid_id && p.is_up() {
-                        return Some(p.id);
+                    let idx = (avoid_id as usize + k) % n;
+                    if idx != avoid_id as usize && self.paths.up[idx] {
+                        return Some(idx as u8);
                     }
                 }
                 // No other up path: fall through to the shared last-resort
@@ -556,20 +562,29 @@ impl SolarClient {
         for honor_avoid in [true, false] {
             for i in 0..n {
                 let idx = (self.rr_cursor + i) % n;
-                let p = &self.paths[idx];
-                if honor_avoid && avoid == Some(p.id) {
+                if honor_avoid && avoid == Some(idx as u8) {
                     continue;
                 }
-                if !p.is_up() {
+                if !self.paths.up[idx] {
                     continue;
                 }
-                if !ignore_window && p.available_window() < bytes {
+                if !ignore_window
+                    && self.paths.window[idx].saturating_sub(self.paths.inflight[idx]) < bytes
+                {
                     continue;
                 }
-                let rtt = p.srtt().map(|d| d.as_nanos() as f64).unwrap_or(0.0); // unmeasured paths look fastest → get sampled
+                let srtt_ns = self.paths.srtt_ns[idx];
+                // Unmeasured paths look fastest → get sampled. The ns
+                // value round-trips through u64 exactly as `srtt()` does,
+                // so ties resolve identically to the per-path accessor.
+                let rtt = if srtt_ns.is_nan() {
+                    0.0
+                } else {
+                    (srtt_ns as u64) as f64
+                };
                 match best {
-                    None => best = Some((p.id, rtt)),
-                    Some((_, b)) if rtt < b => best = Some((p.id, rtt)),
+                    None => best = Some((idx as u8, rtt)),
+                    Some((_, b)) if rtt < b => best = Some((idx as u8, rtt)),
                     _ => {}
                 }
             }
@@ -582,11 +597,13 @@ impl SolarClient {
         // least-recently-probed failed path (it doubles as a probe with
         // payload).
         if best.is_none() && ignore_window {
-            best = self
-                .paths
-                .iter()
-                .min_by_key(|p| p.next_probe().map(|t| t.as_nanos()).unwrap_or(u64::MAX))
-                .map(|p| (p.id, 0.0));
+            let mut min: Option<(u8, u64)> = None;
+            for (idx, &at) in self.paths.next_probe_ns.iter().enumerate() {
+                if min.is_none_or(|(_, m)| at < m) {
+                    min = Some((idx as u8, at));
+                }
+            }
+            best = min.map(|(id, _)| (id, 0.0));
         }
         best.map(|(id, _)| id)
     }
@@ -594,35 +611,31 @@ impl SolarClient {
     /// Produce the next packet to put on the wire, if any. Call repeatedly
     /// until `None` after submissions, ACKs and timer fires.
     pub fn poll_transmit(&mut self, now: SimTime) -> Option<OutPacket> {
-        // 1. Probes for failed paths.
-        for i in 0..self.paths.len() {
-            let due = matches!(self.paths[i].next_probe(), Some(t) if t <= now);
-            if due {
-                self.paths[i].probe_sent(now, &self.cfg);
-                self.stats.probes_sent += 1;
-                let path_id = self.paths[i].id;
-                let src_port = self.paths[i].src_port(&self.cfg);
-                return Some(OutPacket {
-                    hdr: EbsHeader {
-                        version: EbsHeader::VERSION,
-                        op: EbsOp::Probe,
-                        flags: 0,
-                        path_id,
-                        vd_id: 0,
-                        rpc_id: 0,
-                        pkt_id: 0,
-                        total_pkts: 0,
-                        block_addr: 0,
-                        len: 0,
-                        payload_crc: 0,
-                        path_seq: 0,
-                        segment_id: 0,
-                    },
-                    payload: Bytes::new(),
-                    src_port,
-                    int_request: false,
-                });
-            }
+        // 1. Probes for failed paths (one compare when none is due).
+        if let Some(i) = self.paths.first_due_probe(now) {
+            self.paths.probe_sent(i, now, &self.cfg);
+            self.stats.probes_sent += 1;
+            let src_port = self.paths.src_port(i, &self.cfg);
+            return Some(OutPacket {
+                hdr: EbsHeader {
+                    version: EbsHeader::VERSION,
+                    op: EbsOp::Probe,
+                    flags: 0,
+                    path_id: i as u8,
+                    vd_id: 0,
+                    rpc_id: 0,
+                    pkt_id: 0,
+                    total_pkts: 0,
+                    block_addr: 0,
+                    len: 0,
+                    payload_crc: 0,
+                    path_seq: 0,
+                    segment_id: 0,
+                },
+                payload: Bytes::new(),
+                src_port,
+                int_request: false,
+            });
         }
 
         // 2. Data / request packets gated by per-path windows. Scan a
@@ -653,10 +666,10 @@ impl SolarClient {
         };
         let bytes = o.credit_bytes;
         let is_retx = o.retries > 0;
-        let seq = self.paths[path_id as usize].register_tx(key, bytes);
+        let seq = self.paths.register_tx(path_id as usize, key, bytes);
         o.path = path_id;
         o.path_seq = seq;
-        o.path_epoch = self.paths[path_id as usize].epoch();
+        o.path_epoch = self.paths.epoch(path_id as usize);
         o.sent_at = now;
         o.generation = generation;
         o.in_flight = true;
@@ -665,14 +678,14 @@ impl SolarClient {
         if is_retx {
             o.hdr.flags |= FLAG_RETRANSMIT;
         }
-        let rto = self.paths[path_id as usize].rto();
+        let rto = self.paths.rto(path_id as usize);
         self.timers.push(TimerEntry {
             at_ns: (now + rto).as_nanos(),
             key,
             generation,
         });
         self.stats.pkts_sent += 1;
-        let src_port = self.paths[path_id as usize].src_port(&self.cfg);
+        let src_port = self.paths.src_port(path_id as usize, &self.cfg);
         Some(OutPacket {
             hdr: o.hdr,
             // O(1) handle clone of the (possibly pooled) block — first
@@ -691,8 +704,8 @@ impl SolarClient {
             EbsOp::ReadResp => self.complete_packet(now, pkt, true),
             EbsOp::ProbeAck => {
                 let id = pkt.hdr.path_id as usize;
-                if id < self.paths.len() && !self.paths[id].is_up() {
-                    self.paths[id].revive();
+                if id < self.paths.len() && !self.paths.is_up(id) {
+                    self.paths.revive(id);
                     self.events.push_back(SolarEvent::PathUp {
                         path_id: pkt.hdr.path_id,
                     });
@@ -728,14 +741,15 @@ impl SolarClient {
         let Some(o) = self.outstanding.remove(&key) else {
             return; // just observed above; gone means nothing to release
         };
-        let path = &mut self.paths[o.path as usize];
-        path.release(o.path_seq, o.credit_bytes);
+        let path = o.path as usize;
+        self.paths.release(path, o.path_seq, o.credit_bytes);
         let sample = if o.retransmitted {
             None
         } else {
             Some(now.saturating_since(o.sent_at))
         };
-        path.on_ack(now, sample, pkt.int.as_ref(), &self.cfg);
+        self.paths
+            .on_ack(path, now, sample, pkt.int.as_ref(), &self.cfg);
 
         if is_read {
             let guest_addr = self.addr_table.remove(&key).unwrap_or(0);
@@ -782,11 +796,7 @@ impl SolarClient {
         if gap_start >= gap_end {
             return;
         }
-        let lost: Vec<PktKey> = self.paths[path_idx]
-            .outstanding_seqs
-            .range(gap_start..gap_end)
-            .map(|(_, &k)| k)
-            .collect();
+        let lost = self.paths.outstanding_in(path_idx, gap_start, gap_end);
         for k in lost {
             let Some(o) = self.outstanding.get_mut(&k) else {
                 continue;
@@ -799,7 +809,7 @@ impl SolarClient {
             o.retransmitted = true;
             o.retries += 1;
             let (p, s, c, rpc) = (o.path, o.path_seq, o.credit_bytes, o.hdr.rpc_id);
-            self.paths[p as usize].release(s, c);
+            self.paths.release(p as usize, s, c);
             if self.outstanding[&k].retries > self.cfg.max_pkt_retries {
                 self.fail_rpc(rpc);
             } else {
@@ -859,10 +869,10 @@ impl ebs_obs::Sample for SolarClient {
         m.counter_add("solar", "rpcs_failed", s.rpcs_failed);
         m.counter_add("solar", "path_failovers", s.path_failovers);
         m.counter_add("solar", "probes_sent", s.probes_sent);
-        let up = self.paths.iter().filter(|p| p.is_up()).count();
+        let up = self.paths.views().filter(|p| p.is_up()).count();
         m.gauge_set("solar", "paths_up", up as f64);
         m.gauge_set("solar", "inflight_rpcs", self.rpcs.len() as f64);
-        for p in &self.paths {
+        for p in self.paths.views() {
             if let Some(srtt) = p.srtt() {
                 m.observe("solar", "path_srtt_ns", srtt.as_nanos());
             }

@@ -8,7 +8,7 @@
 //! bounded additive increase otherwise, against a per-RTT reference
 //! window `Wc`.
 
-use std::collections::HashMap;
+use ebs_sim::FxHashMap;
 
 use ebs_sim::SimTime;
 use ebs_wire::IntStack;
@@ -32,7 +32,7 @@ pub struct Hpcc {
     wc: f64,
     inc_stage: u32,
     last_wc_update: SimTime,
-    prev_hops: HashMap<u32, HopSnapshot>,
+    prev_hops: FxHashMap<u32, HopSnapshot>,
     /// Most recent computed max-hop utilization (diagnostic).
     last_u: f64,
 }
@@ -47,7 +47,7 @@ impl Hpcc {
             wc: bdp,
             inc_stage: 0,
             last_wc_update: SimTime::ZERO,
-            prev_hops: HashMap::new(),
+            prev_hops: FxHashMap::default(),
             last_u: 0.0,
         }
     }

@@ -38,7 +38,7 @@ pub use client::{
 };
 pub use config::{HpccConfig, SolarConfig};
 pub use hpcc::Hpcc;
-pub use path::{Path, PathStatus, PktKey};
+pub use path::{PathSet, PathStatus, PathView, PktKey};
 pub use responder::{ServerAction, SolarResponder};
 
 #[cfg(test)]

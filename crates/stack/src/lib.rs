@@ -18,7 +18,7 @@ mod trace;
 
 pub use calibrate::{RdmaCosts, SaCosts, SolarCosts};
 pub use diag::{HopSpan, IoExplanation};
-pub use testbed::{Event, FioConfig, Msg, Reply, Testbed, TestbedConfig, Variant};
+pub use testbed::{Event, FioConfig, Msg, PhaseCycles, Reply, Testbed, TestbedConfig, Variant};
 pub use trace::{Breakdown, IoTrace};
 
 #[cfg(test)]

@@ -7,7 +7,7 @@
 //! response → completion, with every stage charged against the calibrated
 //! models and recorded in a distributed trace (Fig. 6 methodology).
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 use bytes::Bytes;
 use ebs_luna::{RpcClient, RpcServer, StackCosts};
@@ -17,7 +17,7 @@ use ebs_net::{
 };
 use ebs_rdma::{QpConfig, QpPacket, RdmaQp};
 use ebs_sa::{split_io, IoKind, IoRequest, QosSpec, QosTable, SegmentTable, SubIo, BLOCK_SIZE};
-use ebs_sim::{rng, EventQueue, MapScheduler, SimDuration, SimTime};
+use ebs_sim::{rng, EventQueue, FxHashMap, MapScheduler, SimDuration, SimTime};
 use ebs_solar::{
     InPacket, OutPacket, ReadBlock, ServerAction, SolarClient, SolarConfig, SolarEvent,
     SolarResponder, WriteBlock,
@@ -236,8 +236,8 @@ struct ComputeNode {
     seg_table: SegmentTable,
     qos: QosTable,
     transport: ComputeTransport,
-    pending: HashMap<u64, PendingIo>,
-    rpc_to_io: HashMap<u64, (u64, u32)>,
+    pending: FxHashMap<u64, PendingIo>,
+    rpc_to_io: FxHashMap<u64, (u64, u32)>,
     next_io_id: u64,
     next_rpc_id: u64,
     fio: Option<FioState>,
@@ -289,8 +289,9 @@ pub enum Reply {
 /// World events.
 #[derive(Debug)]
 pub enum Event {
-    /// Fabric internals.
-    Net(NetEvent<Msg>),
+    /// Fabric internals. Non-generic and 16 bytes: packets live in the
+    /// fabric's arena and only a handle rides the queue.
+    Net(NetEvent),
     /// A guest submits an I/O.
     Guest {
         /// Compute server index.
@@ -312,8 +313,11 @@ pub enum Event {
     StorageDone {
         /// Storage server index.
         storage: usize,
-        /// The prepared reply.
-        reply: Reply,
+        /// The prepared reply. Boxed deliberately: replies are orders of
+        /// magnitude rarer than per-hop [`Event::Net`] events, and keeping
+        /// the widest variant out of line keeps the whole `Event` enum —
+        /// and thus every queue slab slot — small.
+        reply: Box<Reply>,
     },
     /// Compute-side transport timer.
     ComputeTimer {
@@ -370,6 +374,37 @@ pub enum Event {
     },
 }
 
+/// Wall-clock nanoseconds spent per simulation phase, collected when
+/// [`Testbed::enable_profiling`] was called before the run. Accumulators
+/// overlap deliberately: `deliver_ns` includes the pump work it triggers,
+/// and `pump_ns` separately totals all pumping wherever it ran — the
+/// breakdown is for *attribution*, not for summing to 100%.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct PhaseCycles {
+    /// Event-queue pop (incl. horizon peeking).
+    pub pop_ns: u64,
+    /// Fabric event handling: routing, queueing, serialization.
+    pub net_ns: u64,
+    /// Endpoint delivery: transport rx, request serving, completions.
+    pub deliver_ns: u64,
+    /// Transport pumping (poll_transmit / poll_timer scans), wherever
+    /// it was triggered from.
+    pub pump_ns: u64,
+    /// Host-side events: guest submission, SA completion, storage done,
+    /// transport timers.
+    pub host_ns: u64,
+    /// Events dispatched while profiling.
+    pub events: u64,
+}
+
+/// What lives at a fabric device, if anything (switches carry no node).
+#[derive(Clone, Copy)]
+enum NodeSlot {
+    None,
+    Compute(u32),
+    Storage(u32),
+}
+
 /// The composed world (see module docs).
 pub struct Testbed {
     cfg: TestbedConfig,
@@ -377,10 +412,12 @@ pub struct Testbed {
     fabric: Fabric<Msg>,
     computes: Vec<ComputeNode>,
     storages: Vec<StorageNode>,
-    compute_of_device: HashMap<DeviceId, usize>,
-    storage_of_device: HashMap<DeviceId, usize>,
+    /// Dense device → node map indexed by `DeviceId.0`; resolves each
+    /// delivered packet's destination in one array load instead of two
+    /// hash probes on the hottest testbed path.
+    node_of_device: Vec<NodeSlot>,
     traces: Vec<IoTrace>,
-    breakdowns: HashMap<(u32, u64), StorageBreakdown>,
+    breakdowns: FxHashMap<(u32, u64), StorageBreakdown>,
     sa_costs: SaCosts,
     solar_costs: SolarCosts,
     /// Storage-side stack latency per served request (rx + tx crossings
@@ -391,6 +428,18 @@ pub struct Testbed {
     journal: Journal,
     /// Metrics registry refreshed by [`Testbed::sample_obs`].
     metrics: Metrics,
+    /// Phase-cycle accounting; `None` (the default) costs one branch per
+    /// event.
+    prof: Option<Box<PhaseCycles>>,
+    /// Scratch for [`EventQueue::pop_batch`] in the run loop; reused so
+    /// steady-state batching never allocates.
+    batch: Vec<(SimTime, Event)>,
+    /// Scratch buffers for the pump/drain hot paths, taken with
+    /// `mem::take` and restored after use so per-event pumping never
+    /// allocates. A re-entrant call just sees an empty fresh vec.
+    out_compute: Vec<(FlowLabel, usize, Option<IntStack>, Msg)>,
+    out_storage: Vec<(FlowLabel, usize, Msg)>,
+    done_rpcs: Vec<(u64, SimTime)>,
 }
 
 impl Testbed {
@@ -415,12 +464,11 @@ impl Testbed {
             },
         );
 
-        let mut compute_of_device = HashMap::new();
-        let mut storage_of_device = HashMap::new();
+        let mut node_of_device = vec![NodeSlot::None; fabric.topology().devices().len()];
         let mut computes = Vec::with_capacity(cfg.n_compute);
         for i in 0..cfg.n_compute {
             let device = fabric.topology().servers()[i];
-            compute_of_device.insert(device, i);
+            node_of_device[device.0 as usize] = NodeSlot::Compute(i as u32);
             let mut seg_table = SegmentTable::new(ebs_sa::SEGMENT_BLOCKS);
             let n_storage = cfg.n_storage as u64;
             seg_table.provision(i as u64, cfg.vd_segments * ebs_sa::SEGMENT_BLOCKS, |seg| {
@@ -454,8 +502,8 @@ impl Testbed {
                 seg_table,
                 qos,
                 transport,
-                pending: HashMap::new(),
-                rpc_to_io: HashMap::new(),
+                pending: FxHashMap::default(),
+                rpc_to_io: FxHashMap::default(),
                 next_io_id: 1,
                 next_rpc_id: 1,
                 fio: None,
@@ -471,7 +519,7 @@ impl Testbed {
             // `small()` geometry that lands in different pods from the
             // compute servers.
             let device = fabric.topology().servers()[n_slots - cfg.n_storage + j];
-            storage_of_device.insert(device, j);
+            node_of_device[device.0 as usize] = NodeSlot::Storage(j as u32);
             storages.push(StorageNode {
                 device,
                 backend: StorageServer::new(j, cfg.ssd, cfg.bn, cfg.seed),
@@ -497,13 +545,30 @@ impl Testbed {
             fabric,
             computes,
             storages,
-            compute_of_device,
-            storage_of_device,
+            node_of_device,
             traces: Vec::new(),
-            breakdowns: HashMap::new(),
+            breakdowns: FxHashMap::default(),
             journal: Journal::new(),
             metrics: Metrics::new(),
+            prof: None,
+            batch: Vec::with_capacity(64),
+            out_compute: Vec::with_capacity(16),
+            out_storage: Vec::with_capacity(16),
+            done_rpcs: Vec::with_capacity(16),
         }
+    }
+
+    /// Turn on per-phase wall-clock accounting for subsequent
+    /// [`Testbed::run_until`] calls (the experiments bench `--profile`
+    /// flag). Adds measurement overhead; leave off for timed runs.
+    pub fn enable_profiling(&mut self) {
+        self.prof = Some(Box::default());
+    }
+
+    /// The phase breakdown collected so far (None unless
+    /// [`Testbed::enable_profiling`] was called).
+    pub fn phase_cycles(&self) -> Option<PhaseCycles> {
+        self.prof.as_deref().copied()
     }
 
     /// The configuration.
@@ -578,6 +643,14 @@ impl Testbed {
             .counter_add("obs", "journal_events", self.journal.len() as u64);
         self.metrics
             .counter_add("obs", "journal_dropped", self.journal.dropped());
+        if let Some(p) = self.prof.as_deref() {
+            self.metrics.counter_add("prof", "pop_ns", p.pop_ns);
+            self.metrics.counter_add("prof", "net_ns", p.net_ns);
+            self.metrics.counter_add("prof", "deliver_ns", p.deliver_ns);
+            self.metrics.counter_add("prof", "pump_ns", p.pump_ns);
+            self.metrics.counter_add("prof", "host_ns", p.host_ns);
+            self.metrics.counter_add("prof", "events", p.events);
+        }
     }
 
     /// Explain the slowest completed I/O recorded in the journal: its
@@ -646,7 +719,7 @@ impl Testbed {
                     out.push(format!(
                         "  peer {} path {} window={} inflight={} u={:.2} srtt={:?} up={} next_probe={:?} rto={}",
                         storage,
-                        p.id,
+                        p.id(),
                         p.window(),
                         p.inflight_bytes(),
                         p.last_utilization(),
@@ -786,14 +859,57 @@ impl Testbed {
     }
 
     /// Run the world until `horizon` (inclusive of events at it).
+    ///
+    /// Events are drained in timestamp batches
+    /// ([`EventQueue::pop_batch`]): all events sharing the current
+    /// timestamp come out of the queue in one pass, then dispatch runs
+    /// strictly in popped order. Dispatch order — and therefore every
+    /// simulation result — is identical to the sequential peek/pop loop;
+    /// only the queue bookkeeping is amortized. Same-timestamp events
+    /// *spawned by* a dispatch form the next batch, exactly where
+    /// sequential popping would have placed them.
     pub fn run_until(&mut self, horizon: SimTime) {
-        while let Some(t) = self.q.peek_time() {
-            if t > horizon {
+        if self.prof.is_some() {
+            return self.run_until_profiled(horizon);
+        }
+        let mut batch = std::mem::take(&mut self.batch);
+        while self.q.pop_batch(horizon, &mut batch) > 0 {
+            for (now, ev) in batch.drain(..) {
+                self.dispatch(now, ev);
+            }
+        }
+        self.batch = batch;
+    }
+
+    /// [`Testbed::run_until`] with per-phase wall-clock attribution.
+    fn run_until_profiled(&mut self, horizon: SimTime) {
+        let mut batch = std::mem::take(&mut self.batch);
+        loop {
+            let t0 = std::time::Instant::now();
+            let n = self.q.pop_batch(horizon, &mut batch);
+            let t1 = std::time::Instant::now();
+            if n == 0 {
                 break;
             }
-            let (now, ev) = self.q.pop().expect("peeked");
-            self.dispatch(now, ev);
+            // lint: allow(panic_discipline) — prof is Some on this path by construction
+            let p = self.prof.as_mut().unwrap();
+            p.events += n as u64;
+            p.pop_ns += (t1 - t0).as_nanos() as u64;
+            for (now, ev) in batch.drain(..) {
+                let d0 = std::time::Instant::now();
+                let is_net = matches!(ev, Event::Net(_));
+                self.dispatch(now, ev);
+                let d = d0.elapsed().as_nanos() as u64;
+                // lint: allow(panic_discipline) — prof is Some on this path by construction
+                let p = self.prof.as_mut().unwrap();
+                if is_net {
+                    p.net_ns += d;
+                } else {
+                    p.host_ns += d;
+                }
+            }
         }
+        self.batch = batch;
     }
 
     /// I/Os that were unanswered for ≥ `threshold` as of `now` (Table 2's
@@ -821,7 +937,7 @@ impl Testbed {
                 from_fio,
             } => self.guest_io(now, compute, io, from_fio),
             Event::SaDone { compute, io_id } => self.sa_done(now, compute, io_id),
-            Event::StorageDone { storage, reply } => self.storage_done(now, storage, reply),
+            Event::StorageDone { storage, reply } => self.storage_done(now, storage, *reply),
             Event::ComputeTimer { compute } => {
                 self.computes[compute].timer_at = None;
                 self.fire_compute_timers(now, compute);
@@ -1090,11 +1206,14 @@ impl Testbed {
     // --- delivery from the fabric ---------------------------------------
 
     fn deliver(&mut self, now: SimTime, pkt: FabricPacket<Msg>) {
-        let dst = pkt.flow.dst;
-        if let Some(&s) = self.storage_of_device.get(&dst) {
-            self.storage_rx(now, s, pkt);
-        } else if let Some(&cidx) = self.compute_of_device.get(&dst) {
-            self.compute_rx(now, cidx, pkt);
+        let t0 = self.prof.is_some().then(std::time::Instant::now);
+        match self.node_of_device[pkt.flow.dst.0 as usize] {
+            NodeSlot::Storage(s) => self.storage_rx(now, s as usize, pkt),
+            NodeSlot::Compute(c) => self.compute_rx(now, c as usize, pkt),
+            NodeSlot::None => {}
+        }
+        if let (Some(t0), Some(p)) = (t0, self.prof.as_deref_mut()) {
+            p.deliver_ns += t0.elapsed().as_nanos() as u64;
         }
     }
 
@@ -1165,12 +1284,12 @@ impl Testbed {
                         now,
                         Event::StorageDone {
                             storage,
-                            reply: Reply::Solar {
+                            reply: Box::new(Reply::Solar {
                                 compute,
                                 out: n,
                                 echo_int: None,
                                 reply_port,
-                            },
+                            }),
                         },
                     );
                 }
@@ -1187,12 +1306,12 @@ impl Testbed {
                             done + self.server_stack_latency,
                             Event::StorageDone {
                                 storage,
-                                reply: Reply::Solar {
+                                reply: Box::new(Reply::Solar {
                                     compute,
                                     out: ack,
                                     echo_int: echo,
                                     reply_port,
-                                },
+                                }),
                             },
                         );
                     }
@@ -1208,12 +1327,12 @@ impl Testbed {
                             done + self.server_stack_latency,
                             Event::StorageDone {
                                 storage,
-                                reply: Reply::Solar {
+                                reply: Box::new(Reply::Solar {
                                     compute,
                                     out,
                                     echo_int: None,
                                     reply_port,
-                                },
+                                }),
                             },
                         );
                     }
@@ -1222,12 +1341,12 @@ impl Testbed {
                             now,
                             Event::StorageDone {
                                 storage,
-                                reply: Reply::Solar {
+                                reply: Box::new(Reply::Solar {
                                     compute,
                                     out,
                                     echo_int: None,
                                     reply_port,
-                                },
+                                }),
                             },
                         );
                     }
@@ -1307,7 +1426,10 @@ impl Testbed {
         // response) — half of Table 1's four per-RPC crossings.
         self.q.schedule_at(
             done + self.server_stack_latency,
-            Event::StorageDone { storage, reply },
+            Event::StorageDone {
+                storage,
+                reply: Box::new(reply),
+            },
         );
     }
 
@@ -1429,7 +1551,7 @@ impl Testbed {
     // --- completion plumbing ---------------------------------------------
 
     fn drain_completions(&mut self, now: SimTime, compute: usize) {
-        let mut done_rpcs: Vec<(u64, SimTime)> = Vec::new();
+        let mut done_rpcs = std::mem::take(&mut self.done_rpcs);
         {
             let Testbed {
                 computes,
@@ -1525,7 +1647,7 @@ impl Testbed {
             }
         }
         let is_solar = matches!(self.cfg.variant, Variant::Solar | Variant::SolarStar);
-        for (rpc_id, t_done) in done_rpcs {
+        for (rpc_id, t_done) in done_rpcs.drain(..) {
             let overhead = if is_solar {
                 t_done.saturating_since(now)
             } else {
@@ -1533,6 +1655,7 @@ impl Testbed {
             };
             self.finish_rpc(compute, rpc_id, t_done, overhead);
         }
+        self.done_rpcs = done_rpcs;
     }
 
     fn finish_rpc(
@@ -1672,8 +1795,9 @@ impl Testbed {
     }
 
     fn pump_compute(&mut self, now: SimTime, compute: usize) {
+        let prof_t0 = self.prof.is_some().then(std::time::Instant::now);
         // Collect outgoing packets first (borrow of computes), then send.
-        let mut outgoing: Vec<(FlowLabel, usize, Option<IntStack>, Msg)> = Vec::new();
+        let mut outgoing = std::mem::take(&mut self.out_compute);
         let mut min_timer: Option<SimTime> = None;
         {
             let c = &mut self.computes[compute];
@@ -1763,9 +1887,10 @@ impl Testbed {
                 }
             }
         }
-        for (flow, size, int, msg) in outgoing {
+        for (flow, size, int, msg) in outgoing.drain(..) {
             self.send_fabric(now, flow, size, int, msg);
         }
+        self.out_compute = outgoing;
         // (Re)arm the host timer.
         if let Some(t) = min_timer {
             let c = &mut self.computes[compute];
@@ -1775,10 +1900,14 @@ impl Testbed {
                     .schedule_at(t.max(now), Event::ComputeTimer { compute });
             }
         }
+        if let (Some(t0), Some(p)) = (prof_t0, self.prof.as_deref_mut()) {
+            p.pump_ns += t0.elapsed().as_nanos() as u64;
+        }
     }
 
     fn pump_storage(&mut self, now: SimTime, storage: usize) {
-        let mut outgoing: Vec<(FlowLabel, usize, Msg)> = Vec::new();
+        let prof_t0 = self.prof.is_some().then(std::time::Instant::now);
+        let mut outgoing = std::mem::take(&mut self.out_storage);
         let mut min_timer: Option<SimTime> = None;
         {
             let node = &mut self.storages[storage];
@@ -1828,9 +1957,10 @@ impl Testbed {
                 min_timer = min_opt(min_timer, qp.poll_timer());
             }
         }
-        for (flow, size, msg) in outgoing {
+        for (flow, size, msg) in outgoing.drain(..) {
             self.send_fabric(now, flow, size, None, msg);
         }
+        self.out_storage = outgoing;
         if let Some(t) = min_timer {
             let node = &mut self.storages[storage];
             if node.timer_at.is_none_or(|cur| t < cur) {
@@ -1838,6 +1968,9 @@ impl Testbed {
                 self.q
                     .schedule_at(t.max(now), Event::StorageTimer { storage });
             }
+        }
+        if let (Some(t0), Some(p)) = (prof_t0, self.prof.as_deref_mut()) {
+            p.pump_ns += t0.elapsed().as_nanos() as u64;
         }
     }
 

@@ -102,11 +102,100 @@ pub enum TcpState {
     Closed,
 }
 
-#[derive(Debug)]
-struct SentSeg {
-    payload: Bytes,
-    sent_at: SimTime,
-    retransmitted: bool,
+/// Hot per-flow scalars, packed into a single 64-byte cache line.
+///
+/// Every ACK touches all of these and (in the common no-loss case)
+/// nothing else of the engine beyond the in-flight columns, so keeping
+/// them adjacent — and `repr(C)` so the compiler cannot scatter them —
+/// makes the per-event touch one line instead of a walk over the whole
+/// struct.
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+struct FlowHot {
+    snd_una: u64,
+    snd_nxt: u64,
+    peer_window: u64,
+    recover: u64,
+    cwnd: f64,
+    ssthresh: f64,
+    /// Smoothed RTT in ns; NAN = no sample yet.
+    srtt_ns: f64,
+    rttvar_ns: f64,
+}
+
+/// Send-side in-flight segments in struct-of-arrays form.
+///
+/// Offsets only ever grow (new data is carved at `snd_nxt`) and leave
+/// from the front on cumulative ACKs, so parallel `VecDeque` columns
+/// replace the old `BTreeMap<u64, SentSeg>`: the ACK scan walks the
+/// offset/len/meta columns without pulling payload pointers into cache,
+/// and retransmit lookup is a binary search instead of a tree descent.
+#[derive(Debug, Default)]
+struct Inflight {
+    off: VecDeque<u64>,
+    len: VecDeque<u32>,
+    sent_at: VecDeque<SimTime>,
+    retransmitted: VecDeque<bool>,
+    payload: VecDeque<Bytes>,
+}
+
+impl Inflight {
+    fn is_empty(&self) -> bool {
+        self.off.is_empty()
+    }
+
+    fn front_off(&self) -> Option<u64> {
+        self.off.front().copied()
+    }
+
+    fn push(&mut self, off: u64, payload: Bytes, now: SimTime) {
+        debug_assert!(self.off.back().is_none_or(|&b| b < off));
+        self.off.push_back(off);
+        self.len.push_back(payload.len() as u32);
+        self.sent_at.push_back(now);
+        self.retransmitted.push_back(false);
+        self.payload.push_back(payload);
+    }
+
+    /// Mark the segment at stream offset `off` retransmitted and return
+    /// a clone of its payload; `None` if it has since been acked away.
+    fn mark_retransmit(&mut self, off: u64, now: SimTime) -> Option<Bytes> {
+        let i = self.off.partition_point(|&o| o < off);
+        if self.off.get(i) != Some(&off) {
+            return None;
+        }
+        self.retransmitted[i] = true;
+        self.sent_at[i] = now;
+        Some(self.payload[i].clone())
+    }
+
+    /// Drop every segment starting below `ack_off` (cumulative ACK).
+    /// Returns the RTT-sample candidate per Karn's rule: the send time of
+    /// the newest dropped segment that was never retransmitted and is
+    /// fully covered by the ACK.
+    fn ack_below(&mut self, ack_off: u64, rtx_queue: &mut BTreeSet<u64>) -> Option<SimTime> {
+        let mut sample = None;
+        while let Some(&off) = self.off.front() {
+            if off >= ack_off {
+                break;
+            }
+            self.off.pop_front();
+            // lint: allow(panic_discipline) — all five columns push/pop together; a length mismatch is a corrupted engine, not a recoverable protocol state
+            let len = self.len.pop_front().expect("columns in sync");
+            // lint: allow(panic_discipline) — columns push/pop together (see above)
+            let sent_at = self.sent_at.pop_front().expect("columns in sync");
+            // lint: allow(panic_discipline) — columns push/pop together (see above)
+            let retransmitted = self.retransmitted.pop_front().expect("columns in sync");
+            self.payload.pop_front();
+            if !retransmitted && off + len as u64 <= ack_off {
+                sample = Some(sent_at);
+            }
+            if !rtx_queue.is_empty() {
+                rtx_queue.remove(&off);
+            }
+        }
+        sample
+    }
 }
 
 /// Counters for the experiments.
@@ -133,17 +222,12 @@ pub struct TcpEngine {
     irs: u32,
 
     // --- send side (u64 unwrapped stream offsets) ---
-    snd_una: u64,
-    snd_nxt: u64,
+    hot: FlowHot,
     pending: VecDeque<Bytes>,
     pending_bytes: usize,
-    inflight: BTreeMap<u64, SentSeg>,
+    inflight: Inflight,
     rtx_queue: BTreeSet<u64>,
-    peer_window: u64,
-    cwnd: f64,
-    ssthresh: f64,
     dupacks: u32,
-    recover: u64,
     in_recovery: bool,
 
     // --- receive side ---
@@ -154,8 +238,6 @@ pub struct TcpEngine {
     rx_ready_bytes: usize,
 
     // --- timers / RTT ---
-    srtt_ns: Option<f64>,
-    rttvar_ns: f64,
     rto: SimDuration,
     rto_deadline: Option<SimTime>,
     retries: u32,
@@ -174,25 +256,27 @@ impl TcpEngine {
         TcpEngine {
             state,
             irs: 0,
-            snd_una: 0,
-            snd_nxt: 0,
+            hot: FlowHot {
+                snd_una: 0,
+                snd_nxt: 0,
+                peer_window: cfg.recv_window as u64,
+                recover: 0,
+                cwnd,
+                ssthresh: f64::INFINITY,
+                srtt_ns: f64::NAN,
+                rttvar_ns: 0.0,
+            },
             pending: VecDeque::new(),
             pending_bytes: 0,
-            inflight: BTreeMap::new(),
+            inflight: Inflight::default(),
             rtx_queue: BTreeSet::new(),
-            peer_window: cfg.recv_window as u64,
-            cwnd,
-            ssthresh: f64::INFINITY,
             dupacks: 0,
-            recover: 0,
             in_recovery: false,
             rcv_nxt: 0,
             ooo: BTreeMap::new(),
             ooo_bytes: 0,
             rx_ready: VecDeque::new(),
             rx_ready_bytes: 0,
-            srtt_ns: None,
-            rttvar_ns: 0.0,
             rto,
             rto_deadline: None,
             retries: 0,
@@ -232,12 +316,12 @@ impl TcpEngine {
 
     /// Unacknowledged bytes in flight.
     pub fn bytes_in_flight(&self) -> u64 {
-        self.snd_nxt - self.snd_una
+        self.hot.snd_nxt - self.hot.snd_una
     }
 
     /// Current congestion window in bytes.
     pub fn cwnd(&self) -> u64 {
-        self.cwnd as u64
+        self.hot.cwnd as u64
     }
 
     /// Current retransmission timeout.
@@ -247,7 +331,11 @@ impl TcpEngine {
 
     /// Smoothed RTT, if sampled.
     pub fn srtt(&self) -> Option<SimDuration> {
-        self.srtt_ns.map(|ns| SimDuration::from_nanos(ns as u64))
+        if self.hot.srtt_ns.is_nan() {
+            None
+        } else {
+            Some(SimDuration::from_nanos(self.hot.srtt_ns as u64))
+        }
     }
 
     /// Bytes accepted from the app but not yet transmitted.
@@ -315,7 +403,7 @@ impl TcpEngine {
             }
             return;
         }
-        let Some((&first, _)) = self.inflight.first_key_value() else {
+        let Some(first) = self.inflight.front_off() else {
             self.rto_deadline = None;
             return;
         };
@@ -329,8 +417,8 @@ impl TcpEngine {
         }
         self.rtx_queue.insert(first);
         let flight = self.bytes_in_flight() as f64;
-        self.ssthresh = (flight / 2.0).max(2.0 * self.cfg.mss as f64);
-        self.cwnd = self.cfg.mss as f64;
+        self.hot.ssthresh = (flight / 2.0).max(2.0 * self.cfg.mss as f64);
+        self.hot.cwnd = self.cfg.mss as f64;
         self.in_recovery = false;
         self.dupacks = 0;
         self.rto = self.rto.mul_f64(2.0).min(self.cfg.rto_max);
@@ -377,15 +465,7 @@ impl TcpEngine {
         // 1. Retransmissions take priority.
         while let Some(&off) = self.rtx_queue.iter().next() {
             self.rtx_queue.remove(&off);
-            let payload = match self.inflight.get_mut(&off) {
-                Some(seg) => {
-                    seg.retransmitted = true;
-                    seg.sent_at = now;
-                    Some(seg.payload.clone())
-                }
-                None => None,
-            };
-            if let Some(payload) = payload {
+            if let Some(payload) = self.inflight.mark_retransmit(off, now) {
                 self.stats.segs_sent += 1;
                 self.stats.retransmits += 1;
                 self.ack_pending = false;
@@ -404,22 +484,15 @@ impl TcpEngine {
         }
 
         // 2. New data, within cwnd and the peer's window.
-        let window = (self.cwnd as u64).min(self.peer_window);
+        let window = (self.hot.cwnd as u64).min(self.hot.peer_window);
         if !self.pending.is_empty() && self.bytes_in_flight() < window {
             let budget = (window - self.bytes_in_flight()) as usize;
             let take = budget.min(self.cfg.mss);
             let payload = self.carve(take);
             if !payload.is_empty() {
-                let off = self.snd_nxt;
-                self.snd_nxt += payload.len() as u64;
-                self.inflight.insert(
-                    off,
-                    SentSeg {
-                        payload: payload.clone(),
-                        sent_at: now,
-                        retransmitted: false,
-                    },
-                );
+                let off = self.hot.snd_nxt;
+                self.hot.snd_nxt += payload.len() as u64;
+                self.inflight.push(off, payload.clone(), now);
                 self.stats.segs_sent += 1;
                 self.ack_pending = false;
                 if self.rto_deadline.is_none() {
@@ -440,7 +513,7 @@ impl TcpEngine {
             self.ack_pending = false;
             self.stats.acks_sent += 1;
             return Some(Segment {
-                seq: self.data_seq(self.snd_nxt),
+                seq: self.data_seq(self.hot.snd_nxt),
                 ack: self.ack_seq(),
                 flags: TcpFlags::ACK,
                 window: self.advertised_window(),
@@ -483,7 +556,7 @@ impl TcpEngine {
             TcpState::Listen => {
                 if seg.flags.contains(TcpFlags::SYN) {
                     self.irs = seg.seq;
-                    self.peer_window = seg.window as u64;
+                    self.hot.peer_window = seg.window as u64;
                     self.state = TcpState::SynReceived;
                     self.syn_pending = true;
                 }
@@ -491,7 +564,7 @@ impl TcpEngine {
             TcpState::SynSent => {
                 if seg.flags.contains(TcpFlags::SYN) && seg.flags.contains(TcpFlags::ACK) {
                     self.irs = seg.seq;
-                    self.peer_window = seg.window as u64;
+                    self.hot.peer_window = seg.window as u64;
                     self.state = TcpState::Established;
                     self.rto_deadline = None;
                     self.retries = 0;
@@ -505,7 +578,7 @@ impl TcpEngine {
                     self.syn_pending = true;
                 } else if seg.flags.contains(TcpFlags::ACK) {
                     self.state = TcpState::Established;
-                    self.peer_window = seg.window as u64;
+                    self.hot.peer_window = seg.window as u64;
                     // Fall through to normal processing for piggybacked data.
                     self.established_segment(now, seg);
                 }
@@ -515,7 +588,7 @@ impl TcpEngine {
     }
 
     fn established_segment(&mut self, now: SimTime, seg: Segment) {
-        self.peer_window = seg.window as u64;
+        self.hot.peer_window = seg.window as u64;
 
         // A retransmitted SYN+ACK means our final handshake ACK was lost:
         // re-ack so the peer can leave SYN_RECEIVED.
@@ -528,39 +601,34 @@ impl TcpEngine {
         if seg.flags.contains(TcpFlags::ACK) {
             let ack_off = unwrap_seq(
                 seg.ack.wrapping_sub(self.cfg.iss).wrapping_sub(1),
-                self.snd_una,
+                self.hot.snd_una,
             );
-            if ack_off > self.snd_una as i64 && ack_off <= self.snd_nxt as i64 {
+            if ack_off > self.hot.snd_una as i64 && ack_off <= self.hot.snd_nxt as i64 {
                 let ack_off = ack_off as u64;
                 self.retries = 0;
                 // RTT sample from the newest fully-acked, never
                 // retransmitted segment (Karn's rule).
-                let mut sample: Option<SimDuration> = None;
-                let still_inflight = self.inflight.split_off(&ack_off);
-                let acked = std::mem::replace(&mut self.inflight, still_inflight);
-                for (off, s) in acked {
-                    if !s.retransmitted && off + s.payload.len() as u64 <= ack_off {
-                        sample = Some(now.saturating_since(s.sent_at));
-                    }
-                    self.rtx_queue.remove(&off);
-                }
-                let newly = ack_off - self.snd_una;
+                let sample = self
+                    .inflight
+                    .ack_below(ack_off, &mut self.rtx_queue)
+                    .map(|sent_at| now.saturating_since(sent_at));
+                let newly = ack_off - self.hot.snd_una;
                 self.stats.bytes_acked += newly;
-                self.snd_una = ack_off;
+                self.hot.snd_una = ack_off;
                 self.dupacks = 0;
                 if let Some(rtt) = sample {
                     self.update_rtt(rtt);
                 }
                 // Congestion control.
                 if self.in_recovery {
-                    if ack_off >= self.recover {
+                    if ack_off >= self.hot.recover {
                         self.in_recovery = false;
-                        self.cwnd = self.ssthresh;
+                        self.hot.cwnd = self.hot.ssthresh;
                     }
-                } else if self.cwnd < self.ssthresh {
-                    self.cwnd += newly as f64; // slow start
+                } else if self.hot.cwnd < self.hot.ssthresh {
+                    self.hot.cwnd += newly as f64; // slow start
                 } else {
-                    self.cwnd += (self.cfg.mss as f64 * self.cfg.mss as f64) / self.cwnd;
+                    self.hot.cwnd += (self.cfg.mss as f64 * self.cfg.mss as f64) / self.hot.cwnd;
                     // CA
                 }
                 // Timer: restart if data remains, else disarm.
@@ -569,7 +637,7 @@ impl TcpEngine {
                 } else {
                     self.arm_rto(now);
                 }
-            } else if ack_off == self.snd_una as i64
+            } else if ack_off == self.hot.snd_una as i64
                 && !self.inflight.is_empty()
                 && seg.payload.is_empty()
             {
@@ -577,11 +645,11 @@ impl TcpEngine {
                 if self.dupacks == 3 && !self.in_recovery {
                     // Fast retransmit + fast recovery (simplified Reno).
                     let flight = self.bytes_in_flight() as f64;
-                    self.ssthresh = (flight / 2.0).max(2.0 * self.cfg.mss as f64);
-                    self.cwnd = self.ssthresh;
+                    self.hot.ssthresh = (flight / 2.0).max(2.0 * self.cfg.mss as f64);
+                    self.hot.cwnd = self.hot.ssthresh;
                     self.in_recovery = true;
-                    self.recover = self.snd_nxt;
-                    if let Some(&first) = self.inflight.keys().next() {
+                    self.hot.recover = self.hot.snd_nxt;
+                    if let Some(first) = self.inflight.front_off() {
                         self.rtx_queue.insert(first);
                     }
                 }
@@ -639,18 +707,16 @@ impl TcpEngine {
 
     fn update_rtt(&mut self, rtt: SimDuration) {
         let r = rtt.as_nanos() as f64;
-        let srtt = match self.srtt_ns {
-            None => {
-                self.rttvar_ns = r / 2.0;
-                r
-            }
-            Some(srtt) => {
-                self.rttvar_ns = 0.75 * self.rttvar_ns + 0.25 * (srtt - r).abs();
-                0.875 * srtt + 0.125 * r
-            }
+        let srtt = if self.hot.srtt_ns.is_nan() {
+            self.hot.rttvar_ns = r / 2.0;
+            r
+        } else {
+            let srtt = self.hot.srtt_ns;
+            self.hot.rttvar_ns = 0.75 * self.hot.rttvar_ns + 0.25 * (srtt - r).abs();
+            0.875 * srtt + 0.125 * r
         };
-        self.srtt_ns = Some(srtt);
-        let rto_ns = srtt + 4.0 * self.rttvar_ns;
+        self.hot.srtt_ns = srtt;
+        let rto_ns = srtt + 4.0 * self.hot.rttvar_ns;
         self.rto = SimDuration::from_nanos(rto_ns as u64)
             .max(self.cfg.rto_min)
             .min(self.cfg.rto_max);

@@ -21,12 +21,14 @@ mod int;
 mod ip;
 pub mod pool;
 mod rpc;
+pub mod slab;
 
 pub use ebs::{EbsHeader, EbsOp, FLAG_ENCRYPTED, FLAG_INT_REQUEST, FLAG_RETRANSMIT};
 pub use int::{IntHop, IntStack, MAX_INT_HOPS};
 pub use ip::{internet_checksum, Ipv4Header, TcpFlags, TcpHeader, UdpHeader, WireError};
 pub use pool::{BlockPool, PoolStats, PooledBuf, PooledBytes};
 pub use rpc::{FrameDecoder, RpcFrame, RpcMethod};
+pub use slab::{Handle, Slab};
 
 /// The EBS data block size: 4 KiB, matching the SSD sector size (§2.2).
 pub const BLOCK_SIZE: usize = 4096;

@@ -139,4 +139,50 @@ proptest! {
         dec.extend(&junk);
         let _ = dec.next_frame();
     }
+
+    /// Slab handle recycling never aliases: a handle freed by `take` can
+    /// never observe the slot's next occupant, and every live handle
+    /// observes exactly the value it was issued for — under arbitrary
+    /// interleavings of inserts and takes (including stale double-takes,
+    /// which must not evict the recycled value). This is the invariant
+    /// the fabric's packet arena rests on.
+    #[test]
+    #[cfg_attr(miri, ignore)] // covered by the deterministic slab unit tests under Miri
+    fn slab_recycling_never_aliases_live_handles(
+        ops in proptest::collection::vec((any::<bool>(), any::<prop::sample::Index>()), 1..200),
+    ) {
+        let mut slab: ebs_wire::slab::Slab<u64> = ebs_wire::slab::Slab::new();
+        let mut live: Vec<(ebs_wire::slab::Handle, u64)> = Vec::new();
+        let mut dead: Vec<ebs_wire::slab::Handle> = Vec::new();
+        let mut next_val = 0u64;
+        for (is_insert, idx) in ops {
+            if is_insert || live.is_empty() {
+                let h = slab.insert(next_val);
+                // A fresh handle must not collide with any handle ever
+                // issued (slot reuse must come with a new generation).
+                for (lh, _) in &live {
+                    prop_assert_ne!(*lh, h);
+                }
+                for dh in &dead {
+                    prop_assert_ne!(*dh, h);
+                }
+                live.push((h, next_val));
+                next_val += 1;
+            } else {
+                let (h, v) = live.swap_remove(idx.index(live.len()));
+                prop_assert_eq!(slab.take(h), Some(v));
+                prop_assert_eq!(slab.take(h), None, "double take is a no-op");
+                dead.push(h);
+            }
+            // Every live handle sees its own value; every dead handle
+            // sees nothing, no matter how its slot was recycled.
+            for (lh, lv) in &live {
+                prop_assert_eq!(slab.get(*lh), Some(lv));
+            }
+            for dh in &dead {
+                prop_assert_eq!(slab.get(*dh), None);
+            }
+            prop_assert_eq!(slab.len(), live.len());
+        }
+    }
 }

@@ -70,6 +70,44 @@ def by_id(doc, which):
     return out
 
 
+def wall_delta_table(fresh, base, fresh_exps, base_exps):
+    """Per-experiment wall-clock deltas vs the baseline, as table rows.
+
+    Covers the union of experiment ids (new/missing ones get a '-') so
+    the table is a complete picture of where suite time went, not just
+    of what regressed. Printed on every run and written to
+    target/bench-wall-deltas.txt for the CI artifact upload.
+    """
+    rows = [("experiment", "base (s)", "fresh (s)", "delta (s)", "delta (%)")]
+    ids = sorted(set(base_exps) | set(fresh_exps))
+    ids.append("total")
+    for exp_id in ids:
+        if exp_id == "total":
+            bw = base.get("total_wall_s")
+            fw = fresh.get("total_wall_s")
+        else:
+            bw = base_exps[exp_id].get("wall_s") if exp_id in base_exps else None
+            fw = fresh_exps[exp_id].get("wall_s") if exp_id in fresh_exps else None
+        cells = [
+            exp_id,
+            f"{bw:.2f}" if bw is not None else "-",
+            f"{fw:.2f}" if fw is not None else "-",
+        ]
+        if bw is not None and fw is not None:
+            cells.append(f"{fw - bw:+.2f}")
+            cells.append(f"{(fw / bw - 1) * 100:+.1f}" if bw else "-")
+        else:
+            cells.extend(["-", "-"])
+        rows.append(tuple(cells))
+    widths = [max(len(r[i]) for r in rows) for i in range(5)]
+    lines = [
+        "  ".join(c.ljust(w) if i == 0 else c.rjust(w) for i, (c, w) in enumerate(zip(r, widths)))
+        for r in rows
+    ]
+    lines.insert(1, "  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
 def main():
     fresh_path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_RESULTS.json"
     base_arg = sys.argv[2] if len(sys.argv) > 2 else None
@@ -86,6 +124,16 @@ def main():
 
     failures = []
     fresh_exps, base_exps = by_id(fresh, "fresh"), by_id(base, "baseline")
+
+    table = wall_delta_table(fresh, base, fresh_exps, base_exps)
+    print("bench_compare: per-experiment wall-clock deltas:")
+    print(table)
+    try:
+        out = Path("target/bench-wall-deltas.txt")
+        out.parent.mkdir(exist_ok=True)
+        out.write_text(table + "\n")
+    except OSError as e:
+        print(f"bench_compare: NOTE could not write {out}: {e}")
 
     # Experiments only in the fresh run are new work, not regressions —
     # report them so the baseline gets refreshed, but don't fail.

@@ -120,9 +120,11 @@ fn fig6_shapes() {
 
 #[test]
 fn tab1_renders_all_rows() {
-    let out = performance::tab1(true);
+    let (out, metrics) = performance::tab1(true);
     assert_eq!(out.tables.len(), 2);
     for (_, t) in &out.tables {
         assert_eq!(t.len(), 4, "single+stress x kernel+luna");
     }
+    // One latency + one cores metric per (variant, NIC) cell.
+    assert_eq!(metrics.len(), 8, "{metrics:?}");
 }
