@@ -600,6 +600,40 @@ fn bench_fabric_forward(c: &mut Criterion) {
     g.finish();
 }
 
+/// The sharded engine's fixed overhead: 50 conservative windows of
+/// barrier + mailbox exchange with light cross-shard replication, at
+/// 2/4/8 shards over the same 16 servers. Per-window cost is the
+/// number that bounds how fine the exchange window can be cut.
+fn bench_shard_windows(c: &mut Criterion) {
+    use ebs_sim::{SimDuration, SimTime};
+    use ebs_stack::{ReplicationConfig, ShardedTestbed, ShardedTestbedConfig, Variant};
+    let mut g = c.benchmark_group("shard_windows");
+    for shards in [2u32, 4, 8] {
+        let mut cfg = ShardedTestbedConfig::new(Variant::Solar, 8, 8, shards);
+        cfg.replication = Some(ReplicationConfig {
+            start: SimTime::ZERO,
+            interval: SimDuration::from_micros(100),
+            blocks: 1,
+        });
+        let mut fleet = ShardedTestbed::new(cfg);
+        g.bench_with_input(
+            BenchmarkId::new("barrier_exchange_50w", shards),
+            &shards,
+            |b, _| {
+                // The fleet persists across iterations: each one advances
+                // the same idle-but-replicating fleet 50 more windows, so
+                // the sample is pure window + exchange cost, no setup.
+                b.iter(|| {
+                    let horizon = fleet.now() + fleet.window() * 50;
+                    fleet.run_until(horizon);
+                    std::hint::black_box(fleet.exchanged())
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default()
@@ -618,6 +652,7 @@ criterion_group! {
         bench_ecmp_route_cache,
         bench_event_queue,
         bench_event_queue_pop_batch,
-        bench_fabric_forward
+        bench_fabric_forward,
+        bench_shard_windows
 }
 criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Scratch profiler for the fleet speedup cell: run the flat and
+//! 4-shard cells at a given scale with phase instrumentation, to see
+//! where flat-cell cycles go as the region grows.
+//!
+//! `cargo run --release -p ebs-bench --bin profile_fleet -- <computes> <storages> [horizon_ms]`
+
+use ebs_sim::{SimDuration, SimTime};
+use ebs_stack::{ShardedTestbed, ShardedTestbedConfig, Variant};
+
+fn cell(n_shards: u32, computes: usize, storages: usize, horizon_ms: u64, profile: bool) {
+    let mut cfg = ShardedTestbedConfig::new(Variant::Solar, computes, storages, n_shards);
+    cfg.base.vds_per_compute = 4;
+    cfg.threads = 1;
+    let mut fleet = ShardedTestbed::new(cfg);
+    for s in 0..fleet.shards() {
+        let tb = fleet.shard_mut(s);
+        if profile {
+            tb.enable_profiling();
+        }
+        for c in 0..tb.config().n_compute {
+            tb.attach_probe(
+                SimTime::from_millis(1),
+                c,
+                SimDuration::from_millis(1),
+                4096,
+                0.7,
+            );
+        }
+    }
+    let t = std::time::Instant::now();
+    fleet.run_until(SimTime::from_millis(horizon_ms));
+    let wall = t.elapsed().as_secs_f64();
+    let events: u64 = (0..fleet.shards())
+        .map(|s| fleet.shard(s).events_processed())
+        .sum();
+    eprintln!(
+        "{n_shards} shard(s): wall {wall:.2}s, {events} events, {:.0}ns/event, {} ios",
+        wall * 1e9 / events.max(1) as f64,
+        fleet.total_progress().0
+    );
+    if profile {
+        let mut tot = ebs_stack::PhaseCycles::default();
+        for s in 0..fleet.shards() {
+            if let Some(p) = fleet.shard(s).phase_cycles() {
+                tot.pop_ns += p.pop_ns;
+                tot.net_ns += p.net_ns;
+                tot.deliver_ns += p.deliver_ns;
+                tot.pump_ns += p.pump_ns;
+                tot.host_ns += p.host_ns;
+                tot.events += p.events;
+            }
+        }
+        let sum = (tot.pop_ns + tot.net_ns + tot.deliver_ns + tot.pump_ns + tot.host_ns).max(1);
+        let share = |ns: u64| ns as f64 / sum as f64 * 100.0;
+        eprintln!(
+            "  pop {:5.1}%  net {:5.1}%  deliver {:5.1}%  pump {:5.1}%  host {:5.1}%",
+            share(tot.pop_ns),
+            share(tot.net_ns),
+            share(tot.deliver_ns),
+            share(tot.pump_ns),
+            share(tot.host_ns)
+        );
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let computes: usize = args.get(1).and_then(|v| v.parse().ok()).unwrap_or(1024);
+    let storages: usize = args.get(2).and_then(|v| v.parse().ok()).unwrap_or(256);
+    let horizon: u64 = args.get(3).and_then(|v| v.parse().ok()).unwrap_or(60);
+    let profile = args.iter().any(|a| a == "--profile");
+    cell(1, computes, storages, horizon, profile);
+    cell(4, computes, storages, horizon, profile);
+}

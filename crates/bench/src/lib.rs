@@ -29,6 +29,7 @@ use std::time::Instant;
 
 pub mod ablations;
 pub mod characterization;
+pub mod fleet;
 pub mod hardware;
 pub mod obs;
 mod output;
@@ -92,7 +93,30 @@ impl RunReport {
                 }
                 s.push_str(&format!("\"{}\": {}", k, num(*v)));
             }
-            s.push_str("}}");
+            s.push('}');
+            // Notes are informational context (wall-derived shares,
+            // substitutions) — bench_compare renders them but never
+            // gates on them.
+            if !e.output.notes.is_empty() {
+                s.push_str(", \"notes\": [");
+                for (j, n) in e.output.notes.iter().enumerate() {
+                    if j > 0 {
+                        s.push_str(", ");
+                    }
+                    s.push('"');
+                    for c in n.chars() {
+                        match c {
+                            '"' => s.push_str("\\\""),
+                            '\\' => s.push_str("\\\\"),
+                            c if (c as u32) < 0x20 => s.push_str(&format!("\\u{:04x}", c as u32)),
+                            c => s.push(c),
+                        }
+                    }
+                    s.push('"');
+                }
+                s.push(']');
+            }
+            s.push('}');
             if i + 1 < self.experiments.len() {
                 s.push(',');
             }

@@ -52,6 +52,6 @@ mod shrink;
 pub use config::{ChaosConfig, FaultWeights};
 pub use oracle::Violation;
 pub use report::{repro_json, write_repro};
-pub use runner::{run_schedule, ChaosOutcome};
+pub use runner::{run_schedule, run_schedule_sharded, ChaosOutcome};
 pub use schedule::{DeviceTier, FaultEvent, FaultKind, Schedule};
 pub use shrink::{shrink, ShrinkOutcome};

@@ -14,7 +14,7 @@ use ebs_dpu::{BitFlipInjector, CrcStage, PacketCtx, Pipeline, Stage};
 use ebs_net::{DeviceId, FailureMode};
 use ebs_sa::QosSpec;
 use ebs_sim::{rng, SimDuration, SimTime};
-use ebs_stack::{FioConfig, Testbed, TestbedConfig};
+use ebs_stack::{FioConfig, ShardedTestbed, ShardedTestbedConfig, Testbed, TestbedConfig};
 use ebs_wire::{EbsHeader, EbsOp};
 use rand::Rng;
 
@@ -294,6 +294,265 @@ pub fn run_schedule(schedule: &Schedule) -> ChaosOutcome {
         metrics_json,
         trace_json,
         diagnosis,
+    }
+}
+
+/// Map a flat server index onto the shard that owns it: `(shard, local
+/// index)`. The global index wraps modulo the fleet total, mirroring the
+/// flat runner's `index % n` normalization.
+fn locate(counts: &[usize], global: usize) -> (usize, usize) {
+    let total: usize = counts.iter().sum();
+    let mut g = global % total.max(1);
+    for (s, &c) in counts.iter().enumerate() {
+        if g < c {
+            return (s, g);
+        }
+        g -= c;
+    }
+    (0, 0)
+}
+
+/// Replay `schedule` through the sharded fleet engine: the same fault
+/// timeline split across `n_shards` pod-group shards run under the
+/// window barrier with `threads` workers. The mapping from the flat
+/// schedule to the fleet is fixed — tier faults land in shard
+/// `device_index % n_shards` (resolved within that shard's fabric),
+/// compute/storage-indexed faults map their global index onto the
+/// owning shard's local slot, and fio attaches to every compute of
+/// every shard. Cross-shard replication stays off so the quiescence
+/// oracle keeps its meaning (no open-loop background traffic).
+///
+/// Deterministic for any `threads` value: the replay tests assert the
+/// verdicts and the fleet digest are byte-identical across thread
+/// counts.
+pub fn run_schedule_sharded(schedule: &Schedule, n_shards: u32, threads: usize) -> ChaosOutcome {
+    let mut cfg = ShardedTestbedConfig::new(
+        schedule.variant,
+        schedule.n_compute,
+        schedule.n_storage,
+        n_shards,
+    );
+    cfg.base.seed = schedule.seed;
+    cfg.threads = threads;
+    let mut fleet = ShardedTestbed::new(cfg);
+    let n = fleet.shards();
+    let t0 = SimTime::ZERO;
+
+    let computes: Vec<usize> = (0..n).map(|s| fleet.shard(s).config().n_compute).collect();
+    let storages: Vec<usize> = (0..n).map(|s| fleet.shard(s).config().n_storage).collect();
+
+    for s in 0..n {
+        let tb = fleet.shard_mut(s);
+        for compute in 0..tb.config().n_compute {
+            tb.attach_fio(
+                t0 + SimDuration::from_millis(1),
+                compute,
+                FioConfig {
+                    depth: schedule.fio_depth,
+                    bytes: schedule.io_bytes,
+                    read_fraction: schedule.read_fraction,
+                },
+            );
+        }
+    }
+
+    let mut violations = Vec::new();
+    let mut corrupt_planted = 0u64;
+    let mut corrupt_caught = 0u64;
+    for (i, f) in schedule.faults.iter().enumerate() {
+        let at = t0 + f.at;
+        let heal_at = at + f.kind.heal_after();
+        match &f.kind {
+            FaultKind::FailStop {
+                tier, device_index, ..
+            } => {
+                let tb = fleet.shard_mut(device_index % n);
+                if let Some(dev) = resolve_device(tb, *tier, device_index / n.max(1)) {
+                    tb.schedule_failure(at, dev, FailureMode::FailStop);
+                    tb.schedule_heal(heal_at, dev);
+                }
+            }
+            FaultKind::Reboot {
+                tier, device_index, ..
+            } => {
+                let tb = fleet.shard_mut(device_index % n);
+                if let Some(dev) = resolve_device(tb, *tier, device_index / n.max(1)) {
+                    tb.schedule_failure_with(at, dev, FailureMode::FailStop, REBOOT_CONVERGENCE);
+                    tb.schedule_heal(heal_at, dev);
+                }
+            }
+            FaultKind::Blackhole {
+                tier,
+                device_index,
+                fraction,
+                salt,
+                ..
+            } => {
+                let tb = fleet.shard_mut(device_index % n);
+                if let Some(dev) = resolve_device(tb, *tier, device_index / n.max(1)) {
+                    tb.schedule_failure(
+                        at,
+                        dev,
+                        FailureMode::Blackhole {
+                            fraction: *fraction,
+                            salt: *salt,
+                        },
+                    );
+                    tb.schedule_heal(heal_at, dev);
+                }
+            }
+            FaultKind::RandomLoss {
+                tier,
+                device_index,
+                rate,
+                ..
+            } => {
+                let tb = fleet.shard_mut(device_index % n);
+                if let Some(dev) = resolve_device(tb, *tier, device_index / n.max(1)) {
+                    tb.schedule_failure(at, dev, FailureMode::RandomLoss { rate: *rate });
+                    tb.schedule_heal(heal_at, dev);
+                }
+            }
+            FaultKind::QosThrottle {
+                compute,
+                iops,
+                mbps,
+                ..
+            } => {
+                let (s, local) = locate(&computes, *compute);
+                let tb = fleet.shard_mut(s);
+                tb.schedule_qos(at, local, throttle_spec(*iops, *mbps));
+                tb.schedule_qos(heal_at, local, QosSpec::unlimited());
+            }
+            FaultKind::StorageSlowdown {
+                storage, factor, ..
+            } => {
+                let (s, local) = locate(&storages, *storage);
+                let tb = fleet.shard_mut(s);
+                tb.schedule_storage_degrade(at, local, *factor);
+                tb.schedule_storage_degrade(heal_at, local, 1.0);
+            }
+            FaultKind::PcieStall { compute, extra, .. } => {
+                let (s, local) = locate(&computes, *compute);
+                let tb = fleet.shard_mut(s);
+                tb.schedule_pcie_stall(at, local, *extra);
+                tb.schedule_pcie_stall(heal_at, local, SimDuration::ZERO);
+            }
+            FaultKind::BitFlip { rate, blocks } => {
+                let (planted, caught) =
+                    bit_flip_campaign(schedule.seed, i as u64, *rate, *blocks, &mut violations);
+                corrupt_planted += planted;
+                corrupt_caught += caught;
+            }
+        }
+    }
+
+    for s in 0..n {
+        fleet.shard_mut(s).schedule_stop_fio(t0 + schedule.horizon);
+    }
+    fleet.run_until(t0 + schedule.quiesce_at());
+
+    // --- oracles (per shard where per-I/O, summed where conserved) -------
+    let last_heal = t0 + schedule.last_heal();
+    let mut submitted = 0u64;
+    let mut completed = 0u64;
+    let mut admitted = 0u64;
+    let mut completed_ctr = 0u64;
+    let mut outstanding = 0u64;
+    let mut queue_len = 0u64;
+    for s in 0..n {
+        let tb = fleet.shard(s);
+        check_traces(
+            tb.traces(),
+            last_heal,
+            schedule.recovery_deadline,
+            &mut violations,
+        );
+        submitted += tb.traces().len() as u64;
+        completed += tb.traces().iter().filter(|t| t.completed.is_some()).count() as u64;
+        admitted += (0..tb.config().n_compute)
+            .map(|c| tb.qos_stats(c).0)
+            .sum::<u64>();
+        completed_ctr += (0..tb.config().n_compute)
+            .map(|c| tb.compute_progress(c).0)
+            .sum::<u64>();
+        outstanding += tb.outstanding_ios() as u64;
+        queue_len += tb.queue_len() as u64;
+    }
+    conserve(
+        "qos_admitted == traces",
+        submitted,
+        admitted,
+        &mut violations,
+    );
+    conserve(
+        "completed counters == completed traces",
+        completed,
+        completed_ctr,
+        &mut violations,
+    );
+    conserve(
+        "outstanding == submitted - completed",
+        submitted - completed,
+        outstanding,
+        &mut violations,
+    );
+    if ebs_obs::ENABLED && (0..n).all(|s| fleet.shard(s).journal().dropped() == 0) {
+        let mut submits = 0u64;
+        let mut io_spans = 0u64;
+        for s in 0..n {
+            for ev in fleet.shard(s).journal().events() {
+                if ev.track != ebs_stack::diag::IO_TRACK {
+                    continue;
+                }
+                match ev.kind {
+                    ebs_obs::EventKind::Instant { name: "submit", .. } => submits += 1,
+                    ebs_obs::EventKind::Span { .. } => io_spans += 1,
+                    _ => {}
+                }
+            }
+        }
+        conserve(
+            "journal submits == traces",
+            submitted,
+            submits,
+            &mut violations,
+        );
+        conserve(
+            "journal io spans == completed traces",
+            completed,
+            io_spans,
+            &mut violations,
+        );
+    }
+
+    // Each shard has its own event queue idling at quiesce, so the
+    // idle-queue bound scales with the shard count.
+    let limit = schedule.max_idle_queue as u64 * n as u64;
+    if outstanding > 0 || queue_len > limit {
+        violations.push(Violation::NotQuiescent {
+            outstanding,
+            queue_len,
+            limit,
+        });
+    }
+
+    // The fleet digest is the replay-comparable metrics string for the
+    // sharded engine: per-shard digests at the committed window edge plus
+    // the exchange totals. Trace/diagnosis capture stays with the flat
+    // runner, which the shrinker uses.
+    let metrics_json = fleet.metrics_digest();
+
+    ChaosOutcome {
+        seed: schedule.seed,
+        submitted,
+        completed,
+        corrupt_planted,
+        corrupt_caught,
+        violations,
+        metrics_json,
+        trace_json: None,
+        diagnosis: None,
     }
 }
 

@@ -202,27 +202,36 @@ struct DeviceState {
 /// Memoized ECMP candidate sets, keyed densely by `(device, dst)`.
 ///
 /// Each entry caches the *post-exclusion-filter* port list for one
-/// (forwarding device, destination server) pair. Validity is tracked by an
-/// epoch stamp: any event that changes the exclusion set — a
+/// (forwarding device, destination server) pair as an `(offset, len)`
+/// window into one shared flat arena of port indices, so the forward hot
+/// path is a pair of index walks (entry lookup, arena slice) with no
+/// per-entry heap pointer to chase. Validity is tracked by an epoch
+/// stamp: any event that changes the exclusion set — a
 /// `RoutingConverged` that excludes a fail-stopped device, or a
 /// [`Fabric::heal`] that re-includes one — bumps the cache epoch, which
-/// invalidates every entry in O(1) without walking them. Entries refill
-/// lazily on first use after an invalidation.
+/// invalidates every entry in O(1) without walking them, and resets the
+/// arena. Entries refill lazily on first use after an invalidation.
 ///
 /// Failure *injection* deliberately does not invalidate: only `excluded`
 /// feeds the route filter (a failed-but-unconverged device still attracts
 /// traffic and drops it at arrival, as in the pre-cache code).
 #[derive(Debug)]
 struct RouteCache {
-    epoch: u64,
+    epoch: u32,
     n_dev: usize,
     entries: Vec<RouteEntry>,
+    /// All cached port lists, back to back, in fill order.
+    arena: Vec<u16>,
 }
 
-#[derive(Debug)]
+/// 12 bytes per (device, dst) pair — the dense table for a 4K-device
+/// fleet shard fits in ~190 MB where the old `Vec<u16>`-per-entry layout
+/// needed ~512 MB plus an allocation per filled entry.
+#[derive(Debug, Clone, Copy)]
 struct RouteEntry {
-    epoch: u64,
-    ports: Vec<u16>,
+    epoch: u32,
+    off: u32,
+    len: u16,
 }
 
 impl RouteCache {
@@ -232,17 +241,28 @@ impl RouteCache {
             // invalid.
             epoch: 1,
             n_dev,
-            entries: (0..n_dev * n_dev)
-                .map(|_| RouteEntry {
+            entries: vec![
+                RouteEntry {
                     epoch: 0,
-                    ports: Vec::new(),
-                })
-                .collect(),
+                    off: 0,
+                    len: 0,
+                };
+                n_dev * n_dev
+            ],
+            arena: Vec::new(),
         }
     }
 
     fn invalidate_all(&mut self) {
+        if self.epoch == u32::MAX {
+            // Epoch wrap would alias stale entries; walk once and restart.
+            for e in &mut self.entries {
+                e.epoch = 0;
+            }
+            self.epoch = 0;
+        }
         self.epoch += 1;
+        self.arena.clear();
     }
 }
 
@@ -516,35 +536,45 @@ impl<P> Fabric<P> {
         }
 
         // Forwarding decision, memoized per (device, dst) until the
-        // exclusion set changes.
+        // exclusion set changes. The hot case is two loads: the 12-byte
+        // entry, then its arena window.
         let Fabric {
             topo,
             devices,
             routes,
             route_scratch,
+            route_hits,
+            route_misses,
             ..
         } = self;
         let epoch = routes.epoch;
-        let entry = &mut routes.entries[device.0 as usize * routes.n_dev + dst.0 as usize];
+        let idx = device.0 as usize * routes.n_dev + dst.0 as usize;
+        let mut entry = routes.entries[idx];
         if entry.epoch != epoch {
             topo.next_hop_ports_into(device, dst, route_scratch);
-            entry.ports.clear();
+            let off = routes.arena.len();
             for &p in route_scratch.iter() {
                 let to = devices[device.0 as usize].ports[p].to;
                 if !devices[to.0 as usize].excluded {
-                    entry.ports.push(p as u16);
+                    routes.arena.push(p as u16);
                 }
             }
-            entry.epoch = epoch;
-            self.route_misses += 1;
+            entry = RouteEntry {
+                epoch,
+                off: off as u32,
+                len: (routes.arena.len() - off) as u16,
+            };
+            routes.entries[idx] = entry;
+            *route_misses += 1;
         } else {
-            self.route_hits += 1;
+            *route_hits += 1;
         }
-        if entry.ports.is_empty() {
+        if entry.len == 0 {
             self.drops.no_route += 1;
             self.packets.take(h);
             return None;
         }
+        let ports = &routes.arena[entry.off as usize..entry.off as usize + entry.len as usize];
         // ECMP: consistent hash of flow ⊕ device salt, re-mixed per hop.
         // The finalizer matters: `(hash ^ salt) % 2` consumes only the low
         // bit, and since an odd salt multiplier preserves device-id
@@ -561,7 +591,7 @@ impl<P> Fabric<P> {
         x ^= x >> 27;
         x = x.wrapping_mul(0x94D049BB133111EB);
         x ^= x >> 31;
-        let choice = entry.ports[(x % entry.ports.len() as u64) as usize] as usize;
+        let choice = ports[(x % ports.len() as u64) as usize] as usize;
         self.enqueue(now, device, choice, h, sched);
         None
     }

@@ -17,11 +17,13 @@
 #![warn(missing_docs)]
 
 mod fabric;
+mod shard;
 mod topology;
 
 pub use fabric::{
     DropStats, Fabric, FabricConfig, FabricPacket, FailureMode, FlowLabel, NetEvent, PacketHandle,
 };
+pub use shard::{ShardPlan, ShardSlice};
 pub use topology::{
     ClosConfig, Coord, DeviceId, DeviceKind, DeviceSpec, LinkSpec, PortSpec, Topology,
 };

@@ -460,6 +460,28 @@ impl<E> EventQueue<E> {
         out.len()
     }
 
+    /// Advance the clock to `t` without popping anything — the windowed
+    /// counterpart of [`EventQueue::pop_batch`], for executors that run a
+    /// queue in fixed time windows (the sharded fleet engine): after
+    /// draining a window the shard's clock moves to the window edge even
+    /// when the shard went idle before it, so every shard observes the
+    /// same `now` at a barrier and cross-shard injections
+    /// (`schedule_at(edge + latency, ..)`) are trivially in the future.
+    ///
+    /// Earlier `t` values are ignored (the clock never moves backwards);
+    /// skipping over a still-pending event is a caller bug, caught in
+    /// debug builds.
+    pub fn advance_to(&mut self, t: SimTime) {
+        if t <= self.now {
+            return;
+        }
+        debug_assert!(
+            self.peek_time().is_none_or(|next| next >= t),
+            "advance_to({t:?}) would skip a pending event"
+        );
+        self.now = t;
+    }
+
     /// Timestamp of the next pending (non-cancelled) event without popping.
     ///
     /// This needs to skip stale keys, so it may discard cancelled entries
@@ -758,6 +780,54 @@ mod tests {
         assert_eq!(q.len(), 1, "late event untouched");
         assert_eq!(q.pop_batch(SimTime::MAX, &mut buf), 1);
         assert_eq!(q.now(), SimTime::from_micros(9));
+    }
+
+    #[test]
+    fn advance_to_moves_the_clock_over_idle_windows() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::from_micros(100), "late");
+        let mut buf = Vec::new();
+        assert_eq!(q.pop_batch(SimTime::from_micros(40), &mut buf), 0);
+        assert_eq!(q.now(), SimTime::ZERO, "an empty window leaves now put");
+        q.advance_to(SimTime::from_micros(40));
+        assert_eq!(q.now(), SimTime::from_micros(40));
+        // Never backwards, even when asked.
+        q.advance_to(SimTime::from_micros(10));
+        assert_eq!(q.now(), SimTime::from_micros(40));
+        // Scheduling relative to the advanced clock works as usual.
+        q.schedule_at(SimTime::from_micros(60), "mid");
+        assert_eq!(q.pop_batch(SimTime::MAX, &mut buf), 1);
+        assert_eq!(buf, vec![(SimTime::from_micros(60), "mid")]);
+        assert_eq!(q.pop_batch(SimTime::MAX, &mut buf), 1);
+        assert_eq!(buf, vec![(SimTime::from_micros(100), "late")]);
+    }
+
+    #[test]
+    fn windowed_runs_pop_identically_to_one_shot() {
+        // run_until(h1); advance_to(h1); run_until(h2) must pop the same
+        // sequence as run_until(h2) — the property the sharded engine's
+        // legacy-equality guarantee rests on.
+        let mut one = EventQueue::new();
+        let mut win = EventQueue::new();
+        for q in [&mut one, &mut win] {
+            for i in 0..50u64 {
+                q.schedule_at(SimTime::from_micros(i * 7 % 40), i);
+            }
+        }
+        let mut a = Vec::new();
+        let mut got_one = Vec::new();
+        while one.pop_batch(SimTime::from_micros(50), &mut a) > 0 {
+            got_one.extend(a.iter().copied());
+        }
+        let mut got_win = Vec::new();
+        for edge in (10..=50).step_by(10) {
+            let edge = SimTime::from_micros(edge);
+            while win.pop_batch(edge, &mut a) > 0 {
+                got_win.extend(a.iter().copied());
+            }
+            win.advance_to(edge);
+        }
+        assert_eq!(got_one, got_win);
     }
 
     #[test]

@@ -160,7 +160,8 @@ impl PathSet {
         self.cold[i].remap_generation
     }
 
-    /// Current route epoch of path `i` (see [`PathCold::epoch`]'s notes).
+    /// Current route epoch of path `i`: bumped on every remap or revival
+    /// so stale-route timeouts can be told apart from current-route ones.
     /// Recorded per packet at transmit time; [`PathSet::on_timeout`]
     /// ignores stale-epoch timeouts.
     pub fn epoch(&self, i: usize) -> u32 {

@@ -13,12 +13,18 @@
 
 pub mod calibrate;
 pub mod diag;
+mod sharded;
 mod testbed;
 mod trace;
 
 pub use calibrate::{RdmaCosts, SaCosts, SolarCosts};
 pub use diag::{HopSpan, IoExplanation};
-pub use testbed::{Event, FioConfig, Msg, PhaseCycles, Reply, Testbed, TestbedConfig, Variant};
+pub use sharded::{
+    ReplicationConfig, ShardStats, ShardedTestbed, ShardedTestbedConfig, WorkerStats,
+};
+pub use testbed::{
+    Event, FioConfig, Msg, PhaseCycles, RemoteMsg, Reply, Testbed, TestbedConfig, Variant,
+};
 pub use trace::{Breakdown, IoTrace};
 
 #[cfg(test)]

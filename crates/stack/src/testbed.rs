@@ -104,6 +104,44 @@ pub enum Msg {
         /// INT stack echoed in an ACK (as opposed to collected en route).
         echo_int: Option<IntStack>,
     },
+    /// Cross-shard replication RPC (or its response): BN chunk
+    /// replication between storage clusters in different shards. Within
+    /// a shard it rides the local fabric between a storage server and
+    /// the shard gateway; between shards the sharded executor carries it
+    /// through deterministic mailboxes.
+    Remote(RemoteMsg),
+}
+
+/// A cross-shard storage-to-storage replication RPC. Plain data (`Copy`,
+/// no payload handle) so it can cross thread boundaries in the sharded
+/// executor's mailboxes.
+#[derive(Debug, Clone, Copy)]
+pub struct RemoteMsg {
+    /// Shard that issued the RPC.
+    pub src_shard: u32,
+    /// Shard that serves it.
+    pub dst_shard: u32,
+    /// Issuing storage index within `src_shard`.
+    pub src_storage: u32,
+    /// Serving storage index within `dst_shard`.
+    pub dst_storage: u32,
+    /// Correlation id, unique within `src_shard`.
+    pub rpc_id: u64,
+    /// Blocks replicated (request payload size).
+    pub blocks: u32,
+    /// True for the response leg.
+    pub is_resp: bool,
+    /// Issue time at the source storage (for end-to-end RTT accounting;
+    /// all shards share one simulated timebase).
+    pub issued: SimTime,
+    /// Time this leg reached its sending shard's gateway; the message
+    /// lands in the destination shard at `depart + boundary_latency`.
+    pub depart: SimTime,
+    /// Outbox sequence within the source shard: with the shard id it
+    /// totally orders every exchanged message, which fixes the mailbox
+    /// drain order — and therefore event-queue tie-breaking — across
+    /// any thread schedule.
+    pub seq: u64,
 }
 
 /// Closed-loop fio-style driver configuration (Fig. 14/15, Table 2).
@@ -122,6 +160,39 @@ struct FioState {
     cfg: FioConfig,
     rng: SmallRng,
     issued: u64,
+}
+
+/// Open-loop probe driver: a fixed-rate trickle of I/Os per compute
+/// server (fleet runs model thousands of lightly-loaded VMs; a
+/// closed-loop fio driver per VM would saturate every server).
+#[derive(Debug)]
+struct ProbeState {
+    interval: SimDuration,
+    bytes: u32,
+    read_fraction: f64,
+    rng: SmallRng,
+}
+
+/// Cross-shard replication engine state
+/// (see [`Testbed::enable_remote_replication`]).
+struct RemoteState {
+    shard: u32,
+    n_shards: u32,
+    /// Storage servers per peer shard (uniform fleets only).
+    peer_storages: u32,
+    blocks: u32,
+    interval: SimDuration,
+    rng: SmallRng,
+    next_rpc_id: u64,
+    /// Outbox sequence counter; see [`RemoteMsg::seq`].
+    next_seq: u64,
+    /// Messages that reached the gateway this window, awaiting pickup by
+    /// the sharded executor ([`Testbed::take_remote_outbox`]).
+    outbox: Vec<RemoteMsg>,
+    issued: u64,
+    served: u64,
+    completed: u64,
+    rtt_ns_sum: u64,
 }
 
 /// Testbed configuration.
@@ -156,6 +227,14 @@ pub struct TestbedConfig {
     /// Table 1 methodology benchmarks the bare RPC path, so it disables
     /// this.
     pub sa_enabled: bool,
+    /// Virtual disks provisioned per compute server (fleet runs model
+    /// many VMs per server). Disk ids are `compute * vds_per_compute ..`;
+    /// with the default of 1, vd id == compute index as before.
+    pub vds_per_compute: u64,
+    /// Reserve one spare server slot as the shard *gateway*: the
+    /// boundary device cross-shard replication traffic enters and leaves
+    /// through. Required by [`Testbed::enable_remote_replication`].
+    pub gateway: bool,
     /// RNG seed.
     pub seed: u64,
 }
@@ -191,6 +270,8 @@ impl TestbedConfig {
             solar: SolarConfig::default(),
             pcie: ebs_dpu::PcieConfig::default(),
             sa_enabled: true,
+            vds_per_compute: 1,
+            gateway: false,
             seed: 1,
         }
     }
@@ -241,6 +322,7 @@ struct ComputeNode {
     next_io_id: u64,
     next_rpc_id: u64,
     fio: Option<FioState>,
+    probe: Option<ProbeState>,
     timer_at: Option<SimTime>,
     completed_ios: u64,
     completed_bytes: u64,
@@ -284,6 +366,9 @@ pub enum Reply {
         /// reverse flow re-hashes whenever the client remaps a path.
         reply_port: u16,
     },
+    /// Cross-shard replication response, ready to head back to the
+    /// issuing shard through the gateway.
+    Remote(RemoteMsg),
 }
 
 /// World events.
@@ -372,6 +457,17 @@ pub enum Event {
         /// Compute server index.
         compute: usize,
     },
+    /// Open-loop probe driver tick: issue one I/O and rearm.
+    ProbeTick {
+        /// Compute server index.
+        compute: usize,
+    },
+    /// Cross-shard replication tick on a storage server: issue one
+    /// replication RPC toward a peer shard and rearm.
+    ReplTick {
+        /// Storage server index.
+        storage: usize,
+    },
 }
 
 /// Wall-clock nanoseconds spent per simulation phase, collected when
@@ -403,6 +499,8 @@ enum NodeSlot {
     None,
     Compute(u32),
     Storage(u32),
+    /// The shard boundary: packets delivered here leave the shard.
+    Gateway,
 }
 
 /// The composed world (see module docs).
@@ -418,6 +516,10 @@ pub struct Testbed {
     node_of_device: Vec<NodeSlot>,
     traces: Vec<IoTrace>,
     breakdowns: FxHashMap<(u32, u64), StorageBreakdown>,
+    /// The shard boundary device, when `cfg.gateway` reserved one.
+    gateway: Option<DeviceId>,
+    /// Cross-shard replication engine, when enabled.
+    remote: Option<Box<RemoteState>>,
     sa_costs: SaCosts,
     solar_costs: SolarCosts,
     /// Storage-side stack latency per served request (rx + tx crossings
@@ -471,11 +573,15 @@ impl Testbed {
             node_of_device[device.0 as usize] = NodeSlot::Compute(i as u32);
             let mut seg_table = SegmentTable::new(ebs_sa::SEGMENT_BLOCKS);
             let n_storage = cfg.n_storage as u64;
-            seg_table.provision(i as u64, cfg.vd_segments * ebs_sa::SEGMENT_BLOCKS, |seg| {
-                ((seg + i as u64) % n_storage) as u32
-            });
             let mut qos = QosTable::new();
-            qos.set_spec(i as u64, cfg.qos);
+            let vds = cfg.vds_per_compute.max(1);
+            for v in 0..vds {
+                let vd = i as u64 * vds + v;
+                seg_table.provision(vd, cfg.vd_segments * ebs_sa::SEGMENT_BLOCKS, |seg| {
+                    ((seg + i as u64 + v) % n_storage) as u32
+                });
+                qos.set_spec(vd, cfg.qos);
+            }
             let transport = match cfg.variant {
                 Variant::Kernel => ComputeTransport::Tcp {
                     costs: StackCosts::kernel(),
@@ -507,12 +613,27 @@ impl Testbed {
                 next_io_id: 1,
                 next_rpc_id: 1,
                 fio: None,
+                probe: None,
                 timer_at: None,
                 completed_ios: 0,
                 completed_bytes: 0,
             });
         }
         let n_slots = fabric.topology().servers().len();
+        let gateway = if cfg.gateway {
+            // The gateway takes the first spare slot after the compute
+            // cluster; storage counts down from the end, so the slot is
+            // free whenever the fabric has slack.
+            assert!(
+                n_slots > cfg.n_compute + cfg.n_storage,
+                "no spare server slot for the shard gateway"
+            );
+            let device = fabric.topology().servers()[cfg.n_compute];
+            node_of_device[device.0 as usize] = NodeSlot::Gateway;
+            Some(device)
+        } else {
+            None
+        };
         let mut storages = Vec::with_capacity(cfg.n_storage);
         for j in 0..cfg.n_storage {
             // Storage takes slots from the end of the fabric: with the
@@ -548,6 +669,8 @@ impl Testbed {
             node_of_device,
             traces: Vec::new(),
             breakdowns: FxHashMap::default(),
+            gateway,
+            remote: None,
             journal: Journal::new(),
             metrics: Metrics::new(),
             prof: None,
@@ -782,6 +905,119 @@ impl Testbed {
         }
     }
 
+    /// Attach an open-loop probe driver to a compute server: one I/O per
+    /// `interval` (jittered ±50% from the probe's own RNG stream),
+    /// spread across the server's virtual disks. Unlike fio, the rate is
+    /// load-independent — the fleet-scale stand-in for thousands of
+    /// lightly-loaded VMs whose hung-I/O detectors fire on a schedule.
+    pub fn attach_probe(
+        &mut self,
+        start: SimTime,
+        compute: usize,
+        interval: SimDuration,
+        bytes: u32,
+        read_fraction: f64,
+    ) {
+        let mut rng = rng::stream_indexed(self.cfg.seed, "probe", compute as u64);
+        let first = start + interval.mul_f64(rng.gen::<f64>());
+        self.computes[compute].probe = Some(ProbeState {
+            interval,
+            bytes,
+            read_fraction,
+            rng,
+        });
+        self.q.schedule_at(first, Event::ProbeTick { compute });
+    }
+
+    /// Turn on cross-shard replication: every storage server issues one
+    /// replication RPC per `interval` (jittered) toward a uniformly
+    /// random storage server in a uniformly random *other* shard,
+    /// leaving through the gateway. The sharded executor carries the
+    /// RPCs between shards; requires `TestbedConfig::gateway`.
+    pub fn enable_remote_replication(
+        &mut self,
+        start: SimTime,
+        shard: u32,
+        n_shards: u32,
+        peer_storages: u32,
+        interval: SimDuration,
+        blocks: u32,
+    ) {
+        assert!(
+            self.gateway.is_some(),
+            "remote replication needs `TestbedConfig::gateway`"
+        );
+        let mut rng = rng::stream_indexed(self.cfg.seed, "remote", shard as u64);
+        for storage in 0..self.storages.len() {
+            let first = start + interval.mul_f64(rng.gen::<f64>());
+            self.q.schedule_at(first, Event::ReplTick { storage });
+        }
+        self.remote = Some(Box::new(RemoteState {
+            shard,
+            n_shards,
+            peer_storages,
+            blocks,
+            interval,
+            rng,
+            next_rpc_id: 1,
+            next_seq: 0,
+            outbox: Vec::new(),
+            issued: 0,
+            served: 0,
+            completed: 0,
+            rtt_ns_sum: 0,
+        }));
+    }
+
+    /// Drain the messages that reached the gateway since the last call,
+    /// in arrival order (each stamped with a dense `seq`). Called by the
+    /// sharded executor at every window edge.
+    pub fn take_remote_outbox(&mut self) -> Vec<RemoteMsg> {
+        self.remote
+            .as_deref_mut()
+            .map_or_else(Vec::new, |r| std::mem::take(&mut r.outbox))
+    }
+
+    /// Inject a message from another shard: it materializes at this
+    /// shard's gateway at `at` and rides the local fabric to its target
+    /// storage server. `at` must be ≥ the local clock (the executor's
+    /// window invariant guarantees this).
+    pub fn inject_remote(&mut self, at: SimTime, msg: RemoteMsg) {
+        let Some(gdev) = self.gateway else { return };
+        let target = if msg.is_resp {
+            msg.src_storage
+        } else {
+            msg.dst_storage
+        } as usize;
+        let Some(node) = self.storages.get(target) else {
+            return;
+        };
+        let size = if msg.is_resp {
+            128
+        } else {
+            msg.blocks as usize * BLOCK_SIZE as usize + 128
+        };
+        let flow = FlowLabel {
+            src: gdev,
+            dst: node.device,
+            src_port: 9101,
+            dst_port: 41_000 + (msg.rpc_id & 0x3FF) as u16,
+            proto: 17,
+        };
+        let ev = self
+            .fabric
+            .arrive_event(gdev, FabricPacket::new(flow, size, None, Msg::Remote(msg)));
+        self.q.schedule_at(at, Event::Net(ev));
+    }
+
+    /// Cross-shard replication counters:
+    /// `(issued, served, completed, rtt_ns_sum)`.
+    pub fn replication_stats(&self) -> (u64, u64, u64, u64) {
+        self.remote.as_deref().map_or((0, 0, 0, 0), |r| {
+            (r.issued, r.served, r.completed, r.rtt_ns_sum)
+        })
+    }
+
     /// Schedule a fabric failure injection.
     pub fn schedule_failure(&mut self, at: SimTime, device: DeviceId, mode: FailureMode) {
         self.q.schedule_at(
@@ -915,11 +1151,148 @@ impl Testbed {
     /// I/Os that were unanswered for ≥ `threshold` as of `now` (Table 2's
     /// metric with threshold = 1 s).
     pub fn hung_ios(&self, threshold: SimDuration) -> usize {
-        let now = self.q.now();
+        self.hung_ios_at(self.q.now(), threshold)
+    }
+
+    /// [`Testbed::hung_ios`] at an explicit instant (fleet shards can sit
+    /// at different local clocks, so the caller picks the common asof).
+    pub fn hung_ios_at(&self, asof: SimTime, threshold: SimDuration) -> usize {
         self.traces
             .iter()
-            .filter(|t| t.hung(now, threshold))
+            .filter(|t| t.hung(asof, threshold))
             .count()
+    }
+
+    /// Distinct compute servers (≈ VMs) with at least one I/O unanswered
+    /// for ≥ `threshold` as of `asof` — the y-axis of the paper's Fig. 8
+    /// per-incident curves.
+    pub fn hung_vms_at(&self, asof: SimTime, threshold: SimDuration) -> usize {
+        let mut hung = vec![false; self.computes.len()];
+        for t in self.traces.iter().filter(|t| t.hung(asof, threshold)) {
+            hung[t.compute] = true;
+        }
+        hung.iter().filter(|&&h| h).count()
+    }
+
+    /// Advance the simulated clock across an idle stretch without
+    /// dispatching anything (debug-panics if an event before `t` is
+    /// still pending). The sharded executor lines every shard up on a
+    /// window edge with this.
+    pub fn advance_clock_to(&mut self, t: SimTime) {
+        self.q.advance_to(t);
+    }
+
+    /// Events dispatched so far.
+    pub fn events_processed(&self) -> u64 {
+        self.q.events_processed()
+    }
+
+    /// A byte-exact digest of every simulation-visible outcome: event
+    /// counts, fabric delivery/drop stats, per-compute progress and QoS
+    /// hashes, trace checksums, replication counters and a journal hash.
+    /// Two runs are *the same simulation* iff their digests are equal —
+    /// this is the sharded engine's N-thread == 1-thread determinism
+    /// bar. The evaluation instant is explicit because engines may park
+    /// their final clocks differently (legacy run vs windowed run) while
+    /// agreeing on every event.
+    pub fn metrics_digest(&self, asof: SimTime) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "events={}/{}",
+            self.q.events_processed(),
+            self.q.events_scheduled()
+        );
+        let d = self.fabric.drops();
+        let (rh, rm) = self.fabric.route_cache_stats();
+        let _ = write!(
+            s,
+            " delivered={} drops={}/{}/{}/{}/{} routes={rh}/{rm}",
+            self.fabric.delivered(),
+            d.fail_stop,
+            d.blackhole,
+            d.random_loss,
+            d.queue_overflow,
+            d.no_route,
+        );
+        let mut ios = 0u64;
+        let mut bytes = 0u64;
+        let mut ch = Fnv::new();
+        for c in &self.computes {
+            ios += c.completed_ios;
+            bytes += c.completed_bytes;
+            ch.u64(c.completed_ios);
+            ch.u64(c.completed_bytes);
+            ch.u64(c.qos.admitted_ios());
+            ch.u64(c.qos.throttled_ios());
+        }
+        let _ = write!(s, " ios={ios} bytes={bytes} chash={:016x}", ch.finish());
+        let mut th = Fnv::new();
+        let mut completed = 0u64;
+        let mut lat_ns = 0u64;
+        for t in &self.traces {
+            th.u64(t.compute as u64);
+            th.u64(u64::from(t.kind == IoKind::Write));
+            th.u64(t.bytes as u64);
+            th.u64(t.submitted.as_nanos());
+            th.u64(match t.completed {
+                Some(c) => c.as_nanos(),
+                None => u64::MAX,
+            });
+            th.u64(t.qos_delay.as_nanos());
+            th.u64(t.sa.as_nanos());
+            th.u64(t.fn_.as_nanos());
+            th.u64(t.bn.as_nanos());
+            th.u64(t.ssd.as_nanos());
+            if let Some(c) = t.completed {
+                completed += 1;
+                lat_ns += c.saturating_since(t.submitted).as_nanos();
+            }
+        }
+        let _ = write!(
+            s,
+            " traces={completed}/{} lat_ns={lat_ns} thash={:016x} hung={}",
+            self.traces.len(),
+            th.finish(),
+            self.hung_ios_at(asof, SimDuration::from_secs(1)),
+        );
+        if let Some(r) = self.remote.as_deref() {
+            let _ = write!(
+                s,
+                " repl={}/{}/{} rtt_ns={} seq={}",
+                r.issued, r.served, r.completed, r.rtt_ns_sum, r.next_seq
+            );
+        }
+        let mut jh = Fnv::new();
+        for e in self.journal.events() {
+            jh.u64(e.at.as_nanos());
+            jh.bytes(e.track.as_bytes());
+            match e.kind {
+                ebs_obs::EventKind::Span { name, id, dur } => {
+                    jh.bytes(name.as_bytes());
+                    jh.u64(id);
+                    jh.u64(dur.as_nanos());
+                }
+                ebs_obs::EventKind::Instant { name, id, arg } => {
+                    jh.bytes(name.as_bytes());
+                    jh.u64(id);
+                    jh.u64(arg);
+                }
+                ebs_obs::EventKind::Counter { name, value } => {
+                    jh.bytes(name.as_bytes());
+                    jh.u64(value as u64);
+                }
+            }
+        }
+        let _ = write!(
+            s,
+            " journal={}+{} jhash={:016x}",
+            self.journal.len(),
+            self.journal.dropped(),
+            jh.finish()
+        );
+        s
     }
 
     fn dispatch(&mut self, now: SimTime, ev: Event) {
@@ -962,7 +1335,11 @@ impl Testbed {
             }
             Event::Heal { device } => self.fabric.heal(device),
             Event::SetQos { compute, spec } => {
-                self.computes[compute].qos.set_spec(compute as u64, spec);
+                let vds = self.cfg.vds_per_compute.max(1);
+                let qos = &mut self.computes[compute].qos;
+                for v in 0..vds {
+                    qos.set_spec(compute as u64 * vds + v, spec);
+                }
             }
             Event::DegradeStorage { storage, factor } => {
                 self.storages[storage].backend.set_degrade(factor);
@@ -973,6 +1350,97 @@ impl Testbed {
             Event::StopFio { compute } => {
                 self.computes[compute].fio = None;
             }
+            Event::ProbeTick { compute } => self.probe_tick(now, compute),
+            Event::ReplTick { storage } => self.repl_tick(now, storage),
+        }
+    }
+
+    // --- fleet drivers: probes & cross-shard replication -----------------
+
+    fn probe_tick(&mut self, now: SimTime, compute: usize) {
+        let vds = self.cfg.vds_per_compute.max(1);
+        let vd_blocks = self.cfg.vd_segments * ebs_sa::SEGMENT_BLOCKS;
+        let (io, next) = {
+            let Some(p) = self.computes[compute].probe.as_mut() else {
+                return;
+            };
+            let blocks = u64::from((p.bytes / BLOCK_SIZE).max(1));
+            let max_start = vd_blocks.saturating_sub(blocks).max(1);
+            let vd_id = if vds > 1 {
+                compute as u64 * vds + p.rng.gen_range(0..vds)
+            } else {
+                compute as u64
+            };
+            let io = IoRequest {
+                vd_id,
+                kind: if p.rng.gen::<f64>() < p.read_fraction {
+                    IoKind::Read
+                } else {
+                    IoKind::Write
+                },
+                offset: p.rng.gen_range(0..max_start) * BLOCK_SIZE as u64,
+                len: p.bytes,
+            };
+            (io, now + p.interval.mul_f64(0.5 + p.rng.gen::<f64>()))
+        };
+        self.q.schedule_at(next, Event::ProbeTick { compute });
+        self.guest_io(now, compute, io, false);
+    }
+
+    fn repl_tick(&mut self, now: SimTime, storage: usize) {
+        let (send, next) = {
+            let Some(r) = self.remote.as_deref_mut() else {
+                return;
+            };
+            let mut send = None;
+            if r.n_shards > 1 && r.peer_storages > 0 {
+                // Uniform pick over the *other* shards.
+                let mut dst_shard = r.rng.gen_range(0..r.n_shards - 1);
+                if dst_shard >= r.shard {
+                    dst_shard += 1;
+                }
+                let msg = RemoteMsg {
+                    src_shard: r.shard,
+                    dst_shard,
+                    src_storage: storage as u32,
+                    dst_storage: r.rng.gen_range(0..r.peer_storages),
+                    rpc_id: r.next_rpc_id,
+                    blocks: r.blocks,
+                    is_resp: false,
+                    issued: now,
+                    depart: SimTime::ZERO,
+                    seq: 0,
+                };
+                r.next_rpc_id += 1;
+                r.issued += 1;
+                send = Some(msg);
+            }
+            (send, now + r.interval.mul_f64(0.5 + r.rng.gen::<f64>()))
+        };
+        self.q.schedule_at(next, Event::ReplTick { storage });
+        if let (Some(msg), Some(gdev)) = (send, self.gateway) {
+            let sdev = self.storages[storage].device;
+            let flow = FlowLabel {
+                src: sdev,
+                dst: gdev,
+                src_port: 40_000 + (msg.rpc_id & 0x3FF) as u16,
+                dst_port: 9100,
+                proto: 17,
+            };
+            let size = msg.blocks as usize * BLOCK_SIZE as usize + 128;
+            self.send_fabric(now, flow, size, None, Msg::Remote(msg));
+        }
+    }
+
+    /// A packet reached the shard boundary: stamp it with the departure
+    /// time and the next outbox sequence, then park it for the executor's
+    /// window-edge exchange.
+    fn gateway_rx(&mut self, now: SimTime, pkt: FabricPacket<Msg>) {
+        if let (Msg::Remote(mut m), Some(r)) = (pkt.payload, self.remote.as_deref_mut()) {
+            m.depart = now;
+            m.seq = r.next_seq;
+            r.next_seq += 1;
+            r.outbox.push(m);
         }
     }
 
@@ -1210,6 +1678,7 @@ impl Testbed {
         match self.node_of_device[pkt.flow.dst.0 as usize] {
             NodeSlot::Storage(s) => self.storage_rx(now, s as usize, pkt),
             NodeSlot::Compute(c) => self.compute_rx(now, c as usize, pkt),
+            NodeSlot::Gateway => self.gateway_rx(now, pkt),
             NodeSlot::None => {}
         }
         if let (Some(t0), Some(p)) = (t0, self.prof.as_deref_mut()) {
@@ -1353,6 +1822,32 @@ impl Testbed {
                     ServerAction::None => {}
                 }
             }
+            Msg::Remote(m) => {
+                if m.is_resp {
+                    // Round trip complete at the issuing storage server.
+                    if let Some(r) = self.remote.as_deref_mut() {
+                        r.completed += 1;
+                        r.rtt_ns_sum += now.saturating_since(m.issued).as_nanos();
+                    }
+                } else {
+                    // Serve the replica write on the local backend, then
+                    // acknowledge toward the issuing shard.
+                    let (done, _bd) = self.storages[storage]
+                        .backend
+                        .write(now, m.blocks.max(1) as usize);
+                    if let Some(r) = self.remote.as_deref_mut() {
+                        r.served += 1;
+                    }
+                    let resp = RemoteMsg { is_resp: true, ..m };
+                    self.q.schedule_at(
+                        done + self.server_stack_latency,
+                        Event::StorageDone {
+                            storage,
+                            reply: Box::new(Reply::Remote(resp)),
+                        },
+                    );
+                }
+            }
         }
     }
 
@@ -1484,6 +1979,20 @@ impl Testbed {
                     },
                 );
             }
+            Reply::Remote(m) => {
+                // The ack heads back to the issuing shard via the gateway.
+                if let Some(gdev) = self.gateway {
+                    let sdev = self.storages[storage].device;
+                    let flow = FlowLabel {
+                        src: sdev,
+                        dst: gdev,
+                        src_port: 9102,
+                        dst_port: 42_000 + (m.rpc_id & 0x3FF) as u16,
+                        proto: 17,
+                    };
+                    self.send_fabric(now, flow, 128, None, Msg::Remote(m));
+                }
+            }
         }
     }
 
@@ -1545,6 +2054,8 @@ impl Testbed {
                 self.drain_completions(now, compute);
                 self.pump_compute(now, compute);
             }
+            // Replication traffic never targets compute servers.
+            Msg::Remote(_) => {}
         }
     }
 
@@ -1997,6 +2508,30 @@ enum RpcTransportKind {
     Rdma,
 }
 
+/// FNV-1a, for order-sensitive digest checksums ([`Testbed::metrics_digest`]).
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn bytes(&mut self, bs: &[u8]) {
+        for &b in bs {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.bytes(&v.to_le_bytes());
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
 fn min_opt(a: Option<SimTime>, b: Option<SimTime>) -> Option<SimTime> {
     match (a, b) {
         (Some(x), Some(y)) => Some(x.min(y)),
@@ -2026,8 +2561,16 @@ fn next_fio_io(fio: &mut FioState, compute: usize, cfg: &TestbedConfig) -> IoReq
     } else {
         IoKind::Write
     };
+    // Extra RNG draw only in the multi-vd regime, so single-vd runs stay
+    // bit-identical with historical baselines.
+    let vds = cfg.vds_per_compute.max(1);
+    let vd_id = if vds > 1 {
+        compute as u64 * vds + fio.rng.gen_range(0..vds)
+    } else {
+        compute as u64
+    };
     IoRequest {
-        vd_id: compute as u64,
+        vd_id,
         kind,
         offset: offset_block * BLOCK_SIZE as u64,
         len: fio.cfg.bytes,

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Compare a fresh quick-mode BENCH_RESULTS.json against the committed baseline.
+"""Compare a fresh benchmark JSON against the committed baseline.
 
 Guards the experiment harness against performance and fidelity regressions:
 
@@ -10,12 +10,18 @@ Guards the experiment harness against performance and fidelity regressions:
   simulator is deterministic, so metric drift means behaviour changed, not
   noise.
 
-Usage:
+Works on any file with the BENCH_RESULTS.json schema — the fleet suite's
+BENCH_FLEET.json gets the same gates:
+
     cargo bench -p ebs-bench --bench experiments -- --quick
-    python3 scripts/bench_compare.py [fresh.json] [baseline.json]
+    python3 scripts/bench_compare.py                      # BENCH_RESULTS.json
+    cargo bench -p ebs-bench --bench fleet
+    python3 scripts/bench_compare.py BENCH_FLEET.json     # fleet suite
 
 Defaults: fresh = ./BENCH_RESULTS.json (just regenerated, working tree),
-baseline = `git show HEAD:BENCH_RESULTS.json` (the committed one).
+baseline = `git show HEAD:<fresh file name>` (the committed one).
+Experiment "notes" (wall-derived occupancy/stall shares, speedup ratios)
+are rendered into target/bench-wall-deltas.txt but never gated.
 Exit code 0 = within tolerance, 1 = regression, 2 = usage/parse error.
 """
 
@@ -38,19 +44,20 @@ def load_fresh(path):
         sys.exit(2)
 
 
-def load_baseline(arg):
+def load_baseline(arg, fresh_path):
     if arg is not None:
         return load_fresh(arg)
+    name = Path(fresh_path).name
     try:
         blob = subprocess.run(
-            ["git", "show", "HEAD:BENCH_RESULTS.json"],
+            ["git", "show", f"HEAD:{name}"],
             capture_output=True,
             text=True,
             check=True,
         ).stdout
         return json.loads(blob)
     except (subprocess.CalledProcessError, json.JSONDecodeError) as e:
-        print(f"bench_compare: cannot read committed baseline: {e}")
+        print(f"bench_compare: cannot read committed baseline HEAD:{name}: {e}")
         sys.exit(2)
 
 
@@ -112,7 +119,7 @@ def main():
     fresh_path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_RESULTS.json"
     base_arg = sys.argv[2] if len(sys.argv) > 2 else None
     fresh = load_fresh(fresh_path)
-    base = load_baseline(base_arg)
+    base = load_baseline(base_arg, fresh_path)
 
     if fresh.get("quick") != base.get("quick"):
         print(
@@ -126,12 +133,21 @@ def main():
     fresh_exps, base_exps = by_id(fresh, "fresh"), by_id(base, "baseline")
 
     table = wall_delta_table(fresh, base, fresh_exps, base_exps)
+    # Fresh-run notes (per-shard occupancy, barrier-stall shares, speedup
+    # ratios) ride along under the table: wall-derived context, not gates.
+    notes = [
+        f"note {e['id']}: {n}"
+        for e in fresh.get("experiments", [])
+        for n in e.get("notes", [])
+        if isinstance(n, str)
+    ]
+    report = table + ("\n" + "\n".join(notes) if notes else "")
     print("bench_compare: per-experiment wall-clock deltas:")
-    print(table)
+    print(report)
     try:
         out = Path("target/bench-wall-deltas.txt")
         out.parent.mkdir(exist_ok=True)
-        out.write_text(table + "\n")
+        out.write_text(report + "\n")
     except OSError as e:
         print(f"bench_compare: NOTE could not write {out}: {e}")
 
