@@ -147,7 +147,7 @@ impl Stage for BlockStage {
 
 /// The Addr stage: (rpc, pkt) → guest DMA address, for READ responses.
 pub struct AddrStage {
-    table: std::collections::HashMap<(u64, u16), u64>,
+    table: ebs_sim::FxHashMap<(u64, u16), u64>,
     latency: SimDuration,
     misses: u64,
 }
@@ -156,7 +156,7 @@ impl AddrStage {
     /// Empty Addr table.
     pub fn new() -> Self {
         AddrStage {
-            table: std::collections::HashMap::new(),
+            table: ebs_sim::FxHashMap::default(),
             latency: SimDuration::from_nanos(50),
             misses: 0,
         }

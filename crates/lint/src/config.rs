@@ -67,6 +67,29 @@ pub struct Config {
     pub panic_deny: Vec<String>,
     /// Repo-relative path prefixes never linted (fixtures, target).
     pub exclude: Vec<String>,
+    /// Run the interprocedural taint pass for the sans-io and determinism
+    /// tiers (`[callgraph] enabled`).
+    pub callgraph_enabled: bool,
+    /// Fully-qualified function suffixes (`stack::wallclock::now`) that act
+    /// as sanctioned host boundaries: taint neither starts in nor flows
+    /// through them. Each entry is a reviewed exception — comment it.
+    pub callgraph_boundary: Vec<String>,
+    /// Repo-relative files forming the shard gateway (tier 5): the only
+    /// place worker state may be touched across the shard boundary.
+    pub shard_boundary_files: Vec<String>,
+    /// Crates whose `src/` may call the mailbox API only from the gateway.
+    pub shard_crates: Vec<String>,
+    /// Crates whose `src/` may use `std::sync`/`std::thread` only in the
+    /// gateway files.
+    pub shard_sync_crates: Vec<String>,
+    /// Patterns denied outside the gateway in `sync_crates`.
+    pub shard_sync_forbidden: Vec<String>,
+    /// Cross-shard mailbox method names, callable only from the gateway.
+    pub shard_mailbox_api: Vec<String>,
+    /// Types whose methods constitute direct shard state access.
+    pub shard_state_types: Vec<String>,
+    /// Audited method surface the gateway itself may call on those types.
+    pub shard_boundary_allowed: Vec<String>,
 }
 
 impl Config {
@@ -91,6 +114,18 @@ impl Config {
         cfg.panic_crates = list("panic_discipline", "crates");
         cfg.panic_deny = list("panic_discipline", "deny");
         cfg.exclude = list("lint", "exclude");
+        cfg.callgraph_enabled = matches!(
+            sections.get("callgraph").and_then(|s| s.get("enabled")),
+            Some(Value::Bool(true))
+        );
+        cfg.callgraph_boundary = list("callgraph", "boundary");
+        cfg.shard_boundary_files = list("shard_isolation", "boundary");
+        cfg.shard_crates = list("shard_isolation", "crates");
+        cfg.shard_sync_crates = list("shard_isolation", "sync_crates");
+        cfg.shard_sync_forbidden = list("shard_isolation", "sync_forbidden");
+        cfg.shard_mailbox_api = list("shard_isolation", "mailbox_api");
+        cfg.shard_state_types = list("shard_isolation", "shard_state_types");
+        cfg.shard_boundary_allowed = list("shard_isolation", "boundary_allowed_calls");
         Ok(cfg)
     }
 }
@@ -242,6 +277,28 @@ mod tests {
     fn rejects_garbage() {
         assert!(Config::parse("not toml at all").is_err());
         assert!(Config::parse("[s]\nkey = {inline = 1}").is_err());
+    }
+
+    #[test]
+    fn callgraph_and_shard_sections() {
+        let cfg = Config::parse(
+            "[callgraph]\nenabled = true\nboundary = [\"stack::wallclock::now\"]\n\n[shard_isolation]\nboundary = [\"crates/stack/src/sharded.rs\"]\ncrates = [\"stack\", \"bench\"]\nsync_crates = [\"stack\"]\nsync_forbidden = [\"std::sync\"]\nmailbox_api = [\"inject_remote\"]\nshard_state_types = [\"Testbed\"]\nboundary_allowed_calls = [\"run_until\"]\n",
+        )
+        .expect("parses");
+        assert!(cfg.callgraph_enabled);
+        assert_eq!(cfg.callgraph_boundary, ["stack::wallclock::now"]);
+        assert_eq!(cfg.shard_boundary_files, ["crates/stack/src/sharded.rs"]);
+        assert_eq!(cfg.shard_crates, ["stack", "bench"]);
+        assert_eq!(cfg.shard_sync_crates, ["stack"]);
+        assert_eq!(cfg.shard_mailbox_api, ["inject_remote"]);
+        assert_eq!(cfg.shard_boundary_allowed, ["run_until"]);
+    }
+
+    #[test]
+    fn callgraph_defaults_off() {
+        let cfg = Config::parse("[sans_io]\ncrates = [\"tcp\"]\n").expect("parses");
+        assert!(!cfg.callgraph_enabled);
+        assert!(cfg.callgraph_boundary.is_empty());
     }
 
     #[test]

@@ -1,0 +1,738 @@
+//! Workspace call graph and taint propagation.
+//!
+//! The per-file tiers in [`rules`](crate::rules) see one file at a time, so
+//! a forbidden API wrapped in a helper — `fn stamp() -> Instant {
+//! Instant::now() }` in a host crate, called from an engine — is invisible
+//! to them. This pass stitches the whole workspace together:
+//!
+//! 1. every parsed function becomes a node, addressed by crate directory,
+//!    module path (file layout plus inline `mod`s) and `impl` type;
+//! 2. call expressions are resolved through `use` trees, `crate`/`super`/
+//!    `Self` prefixes and cross-crate package aliases into edges;
+//! 3. each tier's forbidden patterns mark *directly tainted* functions, and
+//!    taint flows backwards along edges — stopping at the sanctioned
+//!    boundary functions listed in `[callgraph] boundary`;
+//! 4. a diagnostic fires at the **call site** where a tier-covered function
+//!    (engine/simulator `src`, non-test) invokes a tainted function outside
+//!    the tier, with the full witness chain down to the source line.
+//!
+//! Resolution is deliberately conservative where Rust needs type
+//! inference: a bare method call `x.poll()` resolves to the caller's own
+//! `impl` first, then to same-named workspace methods only when there are
+//! at most `METHOD_FANOUT_CAP` candidates. Unresolvable calls create no
+//! edges — they can shorten a chain but never invent one, and the token
+//! tiers still catch any forbidden API named literally in a covered file.
+//!
+//! The module also hosts the call-level half of **tier 5 — shard
+//! isolation** (the token half lives in `rules`): the cross-shard mailbox
+//! API may be invoked only from the gateway files, and the gateway itself
+//! may touch the shard-state types (`Testbed`, `EventQueue`) only through
+//! the audited surface in `[shard_isolation] boundary_allowed_calls`.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use crate::config::Config;
+use crate::lexer::Line;
+use crate::parser::{Call, FileItems};
+use crate::rules::{classify, find_bounded, waiver_state, Diagnostic, Rule, Waiver};
+
+/// One scanned file, lexed and parsed once by the orchestrator.
+pub struct FileData {
+    /// Repo-relative path with `/` separators.
+    pub rel: String,
+    /// Lexed lines (code/comment channels).
+    pub lines: Vec<Line>,
+    /// Per-line `#[cfg(test)]` region map.
+    pub in_test: Vec<bool>,
+    /// Parsed items.
+    pub items: FileItems,
+}
+
+/// What the interprocedural pass produced.
+#[derive(Debug, Default)]
+pub struct Analysis {
+    /// Violations, unsorted (the orchestrator sorts and dedups).
+    pub diags: Vec<Diagnostic>,
+    /// `(file index, waiver comment line, rule name)` of waivers that
+    /// suppressed a graph diagnostic or a taint source.
+    pub used_waivers: Vec<(usize, usize, &'static str)>,
+}
+
+/// Max same-named workspace methods a bare `x.m()` may resolve to before
+/// the call is treated as unresolvable (avoids linking every `.get()` to
+/// every `get` in the tree).
+const METHOD_FANOUT_CAP: usize = 4;
+
+/// Method names that never resolve through the bare-name fallback: they
+/// are overwhelmingly std container/iterator calls, and linking `x.iter()`
+/// to the one workspace type that happens to define `iter` produces far
+/// more false edges than it catches. The caller's own `impl` (and every
+/// explicit `Type::name` path) still resolves these precisely.
+const METHOD_NAME_STOPLIST: &[&str] = &[
+    "all",
+    "any",
+    "chain",
+    "clear",
+    "clone",
+    "cloned",
+    "collect",
+    "contains",
+    "copied",
+    "count",
+    "drain",
+    "extend",
+    "filter",
+    "find",
+    "first",
+    "flat_map",
+    "flatten",
+    "fold",
+    "get",
+    "get_mut",
+    "insert",
+    "into_iter",
+    "is_empty",
+    "iter",
+    "iter_mut",
+    "join",
+    "last",
+    "len",
+    "map",
+    "max",
+    "min",
+    "next",
+    "pop",
+    "push",
+    "remove",
+    "rev",
+    "sort",
+    "split",
+    "sum",
+    "take",
+    "zip",
+];
+
+/// Longest witness chain printed in a diagnostic message.
+const CHAIN_CAP: usize = 6;
+
+/// A call-graph node: one non-test function definition.
+struct Node {
+    file: usize,
+    def: usize,
+    crate_key: Option<String>,
+    in_src: bool,
+    /// `crate::mod::Type::name` with the crate *directory* name (what
+    /// `[callgraph] boundary` entries are matched against).
+    fq: String,
+    self_ty: Option<String>,
+    /// Resolved outgoing edges: `(callee node, 0-based call line)`.
+    edges: Vec<(usize, usize)>,
+    /// Resolved targets per call, aligned with the parsed call list.
+    targets: Vec<Vec<usize>>,
+}
+
+/// How a node became tainted, for witness-chain reconstruction.
+#[derive(Clone)]
+enum Cause {
+    /// Matched `pattern` on `line` of the node's own body.
+    Direct(String, usize),
+    /// Calls the tainted node.
+    Via(usize),
+}
+
+/// Run the whole interprocedural pass.
+pub fn analyze(
+    files: &[FileData],
+    extern_aliases: &BTreeMap<String, String>,
+    cfg: &Config,
+) -> Analysis {
+    let mut out = Analysis::default();
+    let g = build(files, extern_aliases);
+
+    if cfg.callgraph_enabled {
+        let boundary = boundary_nodes(&g, cfg);
+        // Tier 1: sans-io purity, transitively.
+        let sans_io: Vec<(&str, bool)> = cfg
+            .sans_io_forbidden
+            .iter()
+            .map(|p| (p.as_str(), false))
+            .collect();
+        taint_tier(
+            files,
+            &g,
+            &boundary,
+            Rule::SansIo,
+            &cfg.sans_io_crates,
+            &sans_io,
+            &mut out,
+        );
+        // Tier 2: determinism, transitively (hash collections only count
+        // outside `#[cfg(test)]` regions, matching the token rule).
+        let mut det: Vec<(&str, bool)> = cfg
+            .determinism_forbidden
+            .iter()
+            .map(|p| (p.as_str(), false))
+            .collect();
+        det.extend(
+            cfg.determinism_hash_collections
+                .iter()
+                .map(|p| (p.as_str(), true)),
+        );
+        taint_tier(
+            files,
+            &g,
+            &boundary,
+            Rule::Determinism,
+            &cfg.determinism_crates,
+            &det,
+            &mut out,
+        );
+    }
+
+    shard_isolation(files, &g, cfg, &mut out);
+    out
+}
+
+struct Graph {
+    nodes: Vec<Node>,
+}
+
+/// Module path a file contributes: `src/lib.rs` → `[]`, `src/a/b.rs` →
+/// `[a, b]`, `src/a/mod.rs` → `[a]`. Non-`src` files (tests, benches,
+/// examples) get a `#`-prefixed synthetic path so they can never be
+/// resolution targets of real code.
+fn file_mods(rel: &str, in_src: bool) -> Vec<String> {
+    let parts: Vec<&str> = rel.split('/').collect();
+    let src_at = parts.iter().position(|p| *p == "src");
+    if in_src {
+        let tail = &parts[src_at.expect("in_src implies a src segment") + 1..];
+        let mut mods: Vec<String> = tail[..tail.len().saturating_sub(1)]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        if let Some(stem) = tail.last().and_then(|f| f.strip_suffix(".rs")) {
+            if stem != "lib" && stem != "main" && stem != "mod" {
+                mods.push(stem.to_string());
+            }
+        }
+        mods
+    } else {
+        let mut mods = vec!["#".to_string()];
+        mods.extend(parts.iter().map(|s| s.to_string()));
+        mods
+    }
+}
+
+fn build(files: &[FileData], extern_aliases: &BTreeMap<String, String>) -> Graph {
+    let mut nodes = Vec::new();
+    // (crate, module-join, name) → free fns; (type, name) → assoc fns;
+    // name → methods (fns with a self type) for bare `.m()` fallback.
+    let mut free: BTreeMap<(String, String, String), Vec<usize>> = BTreeMap::new();
+    let mut assoc: BTreeMap<(String, String), Vec<usize>> = BTreeMap::new();
+    let mut by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+
+    for (fi, fd) in files.iter().enumerate() {
+        let class = classify(&fd.rel);
+        let fmods = file_mods(&fd.rel, class.in_src);
+        for (di, f) in fd.items.fns.iter().enumerate() {
+            let mut mods = fmods.clone();
+            mods.extend(f.mods.iter().cloned());
+            let crate_key = class.crate_name.clone();
+            let mut fq = crate_key.clone().unwrap_or_else(|| "#".to_string());
+            for m in &mods {
+                fq.push_str("::");
+                fq.push_str(m);
+            }
+            if let Some(t) = &f.self_ty {
+                fq.push_str("::");
+                fq.push_str(t);
+            }
+            fq.push_str("::");
+            fq.push_str(&f.name);
+
+            let id = nodes.len();
+            if !f.is_test {
+                if let Some(c) = &crate_key {
+                    free.entry((c.clone(), mods.join("::"), f.name.clone()))
+                        .or_default()
+                        .push(id);
+                }
+                if let Some(t) = &f.self_ty {
+                    assoc
+                        .entry((t.clone(), f.name.clone()))
+                        .or_default()
+                        .push(id);
+                    by_name.entry(f.name.clone()).or_default().push(id);
+                }
+            }
+            nodes.push(Node {
+                file: fi,
+                def: di,
+                crate_key,
+                in_src: class.in_src,
+                fq,
+                self_ty: f.self_ty.clone(),
+                edges: Vec::new(),
+                targets: Vec::new(),
+            });
+        }
+    }
+
+    // Resolve edges. Node ids are assigned file-by-file in fn order, so
+    // walk the same way to know each node's file context.
+    let mut id = 0usize;
+    let mut edges_by_node: Vec<Vec<(usize, usize)>> = vec![Vec::new(); nodes.len()];
+    let mut targets_by_node: Vec<Vec<Vec<usize>>> = vec![Vec::new(); nodes.len()];
+    for fd in files {
+        let class = classify(&fd.rel);
+        let fmods = file_mods(&fd.rel, class.in_src);
+        let uses: BTreeMap<&str, &[String]> = fd
+            .items
+            .uses
+            .iter()
+            .map(|u| (u.alias.as_str(), u.path.as_slice()))
+            .collect();
+        for f in &fd.items.fns {
+            let my = id;
+            id += 1;
+            if f.is_test {
+                continue; // test fns are never callees of real code
+            }
+            let mut mods = fmods.clone();
+            mods.extend(f.mods.iter().cloned());
+            let ctx = Ctx {
+                crate_key: class.crate_name.as_deref(),
+                module: &mods,
+                self_ty: f.self_ty.as_deref(),
+                uses: &uses,
+                globs: &fd.items.globs,
+                free: &free,
+                assoc: &assoc,
+                by_name: &by_name,
+                aliases: extern_aliases,
+            };
+            for c in &f.calls {
+                let resolved = ctx.resolve(c);
+                for &target in &resolved {
+                    if target != my {
+                        edges_by_node[my].push((target, c.line));
+                    }
+                }
+                targets_by_node[my].push(resolved);
+            }
+        }
+    }
+    for ((n, e), t) in nodes.iter_mut().zip(edges_by_node).zip(targets_by_node) {
+        n.edges = e;
+        n.targets = t;
+    }
+    Graph { nodes }
+}
+
+/// Resolution context for one function's calls.
+struct Ctx<'a> {
+    crate_key: Option<&'a str>,
+    module: &'a [String],
+    self_ty: Option<&'a str>,
+    uses: &'a BTreeMap<&'a str, &'a [String]>,
+    globs: &'a [Vec<String>],
+    free: &'a BTreeMap<(String, String, String), Vec<usize>>,
+    assoc: &'a BTreeMap<(String, String), Vec<usize>>,
+    by_name: &'a BTreeMap<String, Vec<usize>>,
+    aliases: &'a BTreeMap<String, String>,
+}
+
+impl Ctx<'_> {
+    fn resolve(&self, call: &Call) -> Vec<usize> {
+        if call.is_method {
+            let name = &call.path[0];
+            // The caller's own impl wins (`self.helper()`), else any
+            // workspace method of that name — capped, and never for
+            // ubiquitous std-container names.
+            if let Some(ty) = self.self_ty {
+                if let Some(v) = self.assoc.get(&(ty.to_string(), name.clone())) {
+                    return v.clone();
+                }
+            }
+            if METHOD_NAME_STOPLIST.contains(&name.as_str()) {
+                return Vec::new();
+            }
+            return match self.by_name.get(name) {
+                Some(v) if v.len() <= METHOD_FANOUT_CAP => v.clone(),
+                _ => Vec::new(),
+            };
+        }
+
+        let segs = &call.path;
+        if segs.len() == 1 {
+            let name = &segs[0];
+            // Same-module free fn, then `use` alias, then glob imports.
+            if let Some(v) = self.free_in(self.crate_key, self.module, name) {
+                return v;
+            }
+            if let Some(path) = self.uses.get(name.as_str()) {
+                return self.resolve_abs(path);
+            }
+            for g in self.globs {
+                let mut p = g.clone();
+                p.push(name.clone());
+                let hit = self.resolve_abs(&p);
+                if !hit.is_empty() {
+                    return hit;
+                }
+            }
+            return Vec::new();
+        }
+
+        if segs[0] == "Self" {
+            if let Some(ty) = self.self_ty {
+                if let Some(v) = self
+                    .assoc
+                    .get(&(ty.to_string(), segs[segs.len() - 1].clone()))
+                {
+                    return v.clone();
+                }
+            }
+            return Vec::new();
+        }
+
+        // Splice a `use` alias into the head, then resolve absolutely.
+        if let Some(base) = self.uses.get(segs[0].as_str()) {
+            let mut p: Vec<String> = base.to_vec();
+            p.extend(segs[1..].iter().cloned());
+            return self.resolve_abs(&p);
+        }
+        self.resolve_abs(segs)
+    }
+
+    /// Resolve a (possibly relative) multi-segment path.
+    fn resolve_abs(&self, segs: &[String]) -> Vec<usize> {
+        if segs.is_empty() {
+            return Vec::new();
+        }
+        let head = segs[0].as_str();
+        match head {
+            // External: no edge. Forbidden std APIs are caught textually
+            // by the token scan in whichever body names them.
+            "std" | "core" | "alloc" => Vec::new(),
+            "crate" => self.in_module(self.crate_key, &[], &segs[1..]),
+            "self" => self.in_module(self.crate_key, self.module, &segs[1..]),
+            "super" => {
+                let mut base = self.module.to_vec();
+                let mut rest = segs;
+                while rest.first().map(String::as_str) == Some("super") {
+                    base.pop();
+                    rest = &rest[1..];
+                }
+                self.in_module(self.crate_key, &base, rest)
+            }
+            _ => {
+                if let Some(dir) = self.aliases.get(head) {
+                    return self.in_module(Some(dir.as_str()), &[], &segs[1..]);
+                }
+                // Relative: a child module of the current module, else a
+                // crate-root module, else a plain type association.
+                let hit = self.in_module(self.crate_key, self.module, segs);
+                if !hit.is_empty() {
+                    return hit;
+                }
+                self.in_module(self.crate_key, &[], segs)
+            }
+        }
+    }
+
+    /// Look up `rest` rooted at (`krate`, `base`): a free fn in the right
+    /// module, or `Type::assoc_fn` when the penultimate segment is a type.
+    fn in_module(&self, krate: Option<&str>, base: &[String], rest: &[String]) -> Vec<usize> {
+        match rest {
+            [] => Vec::new(),
+            [name] => self.free_in(krate, base, name).unwrap_or_default(),
+            [.., ty, name] => {
+                let mut mods = base.to_vec();
+                mods.extend(rest[..rest.len() - 1].iter().cloned());
+                if let Some(v) = self.free_in(krate, &mods, name) {
+                    return v;
+                }
+                if ty.chars().next().is_some_and(char::is_uppercase) {
+                    if let Some(v) = self.assoc.get(&(ty.clone(), name.clone())) {
+                        return v.clone();
+                    }
+                }
+                Vec::new()
+            }
+        }
+    }
+
+    fn free_in(&self, krate: Option<&str>, mods: &[String], name: &str) -> Option<Vec<usize>> {
+        let k = krate?;
+        self.free
+            .get(&(k.to_string(), mods.join("::"), name.to_string()))
+            .cloned()
+    }
+}
+
+/// Nodes matching `[callgraph] boundary` suffixes: taint neither starts in
+/// nor flows through them.
+fn boundary_nodes(g: &Graph, cfg: &Config) -> Vec<bool> {
+    g.nodes
+        .iter()
+        .map(|n| {
+            cfg.callgraph_boundary
+                .iter()
+                .any(|b| n.fq == *b || n.fq.ends_with(&format!("::{b}")))
+        })
+        .collect()
+}
+
+/// Whether a node is inside the tier's own enforcement scope (where the
+/// token rules already police direct occurrences).
+fn tier_covered(files: &[FileData], g: &Graph, id: usize, crates: &[String]) -> bool {
+    let n = &g.nodes[id];
+    let f = &files[n.file].items.fns[n.def];
+    n.in_src
+        && !f.is_test
+        && n.crate_key
+            .as_deref()
+            .is_some_and(|c| crates.iter().any(|x| x == c))
+}
+
+/// One tier's taint computation and call-site emission.
+fn taint_tier(
+    files: &[FileData],
+    g: &Graph,
+    boundary: &[bool],
+    rule: Rule,
+    crates: &[String],
+    patterns: &[(&str, bool)],
+    out: &mut Analysis,
+) {
+    if crates.is_empty() || patterns.is_empty() {
+        return;
+    }
+
+    // Direct sources: pattern matches inside a body, minus waived lines.
+    let mut cause: Vec<Option<Cause>> = vec![None; g.nodes.len()];
+    for (id, n) in g.nodes.iter().enumerate() {
+        if boundary[id] {
+            continue;
+        }
+        let fd = &files[n.file];
+        let f = &fd.items.fns[n.def];
+        if f.is_test {
+            continue;
+        }
+        'body: for ln in f.start..=f.end.min(fd.lines.len().saturating_sub(1)) {
+            for (pat, skip_test_lines) in patterns {
+                if *skip_test_lines && fd.in_test.get(ln).copied().unwrap_or(false) {
+                    continue;
+                }
+                if find_bounded(&fd.lines[ln].code, pat) {
+                    match waiver_state(&fd.lines, ln, rule) {
+                        (Waiver::Valid, at) => out.used_waivers.push((n.file, at, rule.name())),
+                        _ => {
+                            cause[id] = Some(Cause::Direct(pat.to_string(), ln));
+                            break 'body;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Propagate backwards along call edges (reverse BFS; cycles terminate
+    // via the visited `cause` slots).
+    let mut rev: Vec<Vec<usize>> = vec![Vec::new(); g.nodes.len()];
+    for (id, n) in g.nodes.iter().enumerate() {
+        for (callee, _) in &n.edges {
+            rev[*callee].push(id);
+        }
+    }
+    let mut queue: VecDeque<usize> = cause
+        .iter()
+        .enumerate()
+        .filter_map(|(i, c)| c.is_some().then_some(i))
+        .collect();
+    while let Some(h) = queue.pop_front() {
+        for &caller in &rev[h] {
+            if cause[caller].is_none() && !boundary[caller] {
+                cause[caller] = Some(Cause::Via(h));
+                queue.push_back(caller);
+            }
+        }
+    }
+
+    // Emit at the first tier-boundary-crossing call edge: a covered fn
+    // calling a tainted fn that the token tiers do *not* police.
+    let mut seen: BTreeSet<(usize, usize)> = BTreeSet::new();
+    for (id, n) in g.nodes.iter().enumerate() {
+        if !tier_covered(files, g, id, crates) {
+            continue;
+        }
+        let fd = &files[n.file];
+        for &(callee, line) in &n.edges {
+            if cause[callee].is_none() || tier_covered(files, g, callee, crates) {
+                continue;
+            }
+            match waiver_state(&fd.lines, line, rule) {
+                (Waiver::Valid, at) => out.used_waivers.push((n.file, at, rule.name())),
+                _ => {
+                    if seen.insert((id, line)) {
+                        out.diags.push(Diagnostic {
+                            path: fd.rel.clone(),
+                            line: line + 1,
+                            rule,
+                            msg: chain_msg(files, g, &cause, callee, rule),
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Render the witness chain from a tainted callee down to its source.
+fn chain_msg(
+    files: &[FileData],
+    g: &Graph,
+    cause: &[Option<Cause>],
+    start: usize,
+    rule: Rule,
+) -> String {
+    let mut msg = format!("call into `{}` reaches", g.nodes[start].fq);
+    let mut hops = vec![start];
+    let mut cur = start;
+    loop {
+        match &cause[cur] {
+            Some(Cause::Via(next)) => {
+                cur = *next;
+                hops.push(cur);
+                if hops.len() > CHAIN_CAP {
+                    msg.push_str(" a forbidden API (chain truncated)");
+                    break;
+                }
+            }
+            Some(Cause::Direct(pat, ln)) => {
+                let n = &g.nodes[cur];
+                msg.push_str(&format!(" `{pat}` ({}:{})", files[n.file].rel, ln + 1));
+                break;
+            }
+            None => break, // unreachable: only tainted nodes get here
+        }
+    }
+    if hops.len() > 1 {
+        let via: Vec<&str> = hops[1..]
+            .iter()
+            .take(CHAIN_CAP - 1)
+            .map(|&h| g.nodes[h].fq.as_str())
+            .collect();
+        msg.push_str(&format!(" via `{}`", via.join("` → `")));
+    }
+    msg.push_str(&format!(
+        " — {} transitively; fix the source, route it through a `[callgraph] boundary` fn, or waive with `// lint: allow({})`",
+        match rule {
+            Rule::SansIo => "the engine loses sans-io purity",
+            Rule::Determinism => "replay loses byte-identical determinism",
+            _ => "the tier invariant breaks",
+        },
+        rule.name()
+    ));
+    msg
+}
+
+/// Tier 5, call-level rules: mailbox confinement outside the gateway and
+/// the gateway's audited shard-state surface.
+fn shard_isolation(files: &[FileData], g: &Graph, cfg: &Config, out: &mut Analysis) {
+    if cfg.shard_boundary_files.is_empty() {
+        return;
+    }
+    let is_boundary_file = |rel: &str| cfg.shard_boundary_files.iter().any(|f| f == rel);
+    // Shard-state methods: every parsed method of the listed types.
+    let state_methods: BTreeSet<(String, String)> = g
+        .nodes
+        .iter()
+        .filter_map(|n| {
+            let ty = n.self_ty.clone()?;
+            cfg.shard_state_types.contains(&ty).then(|| {
+                let f = &files[n.file].items.fns[n.def];
+                (ty, f.name.clone())
+            })
+        })
+        .collect();
+
+    for n in &g.nodes {
+        let fd = &files[n.file];
+        let f = &fd.items.fns[n.def];
+        if f.is_test || !n.in_src {
+            continue;
+        }
+        let in_gateway = is_boundary_file(&fd.rel);
+        let crate_in = |list: &[String]| {
+            n.crate_key
+                .as_deref()
+                .is_some_and(|c| list.iter().any(|x| x == c))
+        };
+
+        // (a) mailbox API confinement: only the gateway crosses shards.
+        if !in_gateway && crate_in(&cfg.shard_crates) {
+            for c in &f.calls {
+                let name = c.path.last().expect("calls have at least one segment");
+                if cfg.shard_mailbox_api.iter().any(|m| m == name) {
+                    match waiver_state(&fd.lines, c.line, Rule::ShardIsolation) {
+                        (Waiver::Valid, at) => {
+                            out.used_waivers.push((n.file, at, Rule::ShardIsolation.name()))
+                        }
+                        _ => out.diags.push(Diagnostic {
+                            path: fd.rel.clone(),
+                            line: c.line + 1,
+                            rule: Rule::ShardIsolation,
+                            msg: format!(
+                                "cross-shard mailbox call `{name}` outside the gateway — only {} may move state between shards",
+                                cfg.shard_boundary_files.join(", ")
+                            ),
+                        }),
+                    }
+                }
+            }
+        }
+
+        // (b) gateway audit: shard-state types only via the allowed surface.
+        if in_gateway {
+            for (ci, c) in f.calls.iter().enumerate() {
+                let name = c.path.last().expect("calls have at least one segment");
+                let resolved: &[usize] = n.targets.get(ci).map(Vec::as_slice).unwrap_or(&[]);
+                let touches_state = resolved.iter().any(|&t| {
+                    g.nodes[t]
+                        .self_ty
+                        .as_deref()
+                        .is_some_and(|ty| cfg.shard_state_types.iter().any(|s| s == ty))
+                }) || c
+                    .path
+                    .len()
+                    .checked_sub(2)
+                    .map(|i| cfg.shard_state_types.contains(&c.path[i]))
+                    .unwrap_or(false);
+                if !touches_state || cfg.shard_boundary_allowed.iter().any(|a| a == name) {
+                    continue;
+                }
+                let ty = state_methods
+                    .iter()
+                    .find(|(_, m)| m == name)
+                    .map(|(t, _)| t.as_str())
+                    .unwrap_or("shard state");
+                match waiver_state(&fd.lines, c.line, Rule::ShardIsolation) {
+                    (Waiver::Valid, at) => {
+                        out.used_waivers.push((n.file, at, Rule::ShardIsolation.name()))
+                    }
+                    _ => out.diags.push(Diagnostic {
+                        path: fd.rel.clone(),
+                        line: c.line + 1,
+                        rule: Rule::ShardIsolation,
+                        msg: format!(
+                            "gateway touches `{ty}::{name}` outside the audited surface — extend [shard_isolation] boundary_allowed_calls after review"
+                        ),
+                    }),
+                }
+            }
+        }
+    }
+}

@@ -14,8 +14,9 @@
 //!
 //! The tricky cases a naive scanner gets wrong and this one handles:
 //! nested block comments, raw strings with arbitrarily many `#`s
-//! (`r##"…"##`), escaped quotes in strings, and the `'a` lifetime vs `'a'`
-//! char-literal ambiguity.
+//! (`r##"…"##`), escaped quotes in strings, byte-string and byte-char
+//! literals (`b"…"`, `b'"'` — the quote inside a byte char must not open
+//! string state), and the `'a` lifetime vs `'a'` char-literal ambiguity.
 
 /// One source line, split into its code and comment channels.
 #[derive(Debug, Clone, Default)]
@@ -39,17 +40,6 @@ pub fn lex(src: &str) -> Vec<Line> {
     let chars: Vec<char> = src.chars().collect();
     let mut lines: Vec<Line> = vec![Line::default()];
     let mut i = 0;
-
-    // Appends to the current line's channels, starting fresh lines on '\n'.
-    fn push(lines: &mut Vec<Line>, c: char, comment: bool) {
-        if c == '\n' {
-            lines.push(Line::default());
-        } else if comment {
-            lines.last_mut().expect("non-empty").comment.push(c);
-        } else {
-            lines.last_mut().expect("non-empty").code.push(c);
-        }
-    }
 
     while i < chars.len() {
         let c = chars[i];
@@ -99,28 +89,45 @@ pub fn lex(src: &str) -> Vec<Line> {
                 i += consumed;
                 continue;
             }
-            // b"…" / b'…' fall through: the quote itself is handled below.
+        }
+
+        // Byte-string and byte-char literals: b"…" and b'…'. These must be
+        // recognized *as* literals — a naive scanner that lets the `b`
+        // through and then treats `'` with an identifier on its left as a
+        // lifetime desyncs on `b'"'` (the quote opens string state and
+        // swallows real code until the next `"` in the file). The harmless
+        // `b` prefix stays in the code channel; contents are blanked.
+        if c == 'b' && !prev_is_ident(&chars, i) {
+            match next {
+                Some('"') => {
+                    push(&mut lines, 'b', false);
+                    i = consume_string(&chars, i + 1, &mut lines);
+                    continue;
+                }
+                Some('\'') => {
+                    push(&mut lines, 'b', false);
+                    push(&mut lines, '\'', false);
+                    i += 2;
+                    while i < chars.len() {
+                        match chars[i] {
+                            '\\' => i += 2,
+                            '\'' => {
+                                push(&mut lines, '\'', false);
+                                i += 1;
+                                break;
+                            }
+                            _ => i += 1,
+                        }
+                    }
+                    continue;
+                }
+                _ => {}
+            }
         }
 
         // Ordinary string literal.
         if c == '"' {
-            push(&mut lines, '"', false);
-            i += 1;
-            while i < chars.len() {
-                match chars[i] {
-                    '\\' => i += 2,
-                    '"' => {
-                        push(&mut lines, '"', false);
-                        i += 1;
-                        break;
-                    }
-                    '\n' => {
-                        push(&mut lines, '\n', false);
-                        i += 1;
-                    }
-                    _ => i += 1,
-                }
-            }
+            i = consume_string(&chars, i, &mut lines);
             continue;
         }
 
@@ -151,6 +158,41 @@ pub fn lex(src: &str) -> Vec<Line> {
         i += 1;
     }
     lines
+}
+
+/// Appends to the current line's channels, starting fresh lines on '\n'.
+fn push(lines: &mut Vec<Line>, c: char, comment: bool) {
+    if c == '\n' {
+        lines.push(Line::default());
+    } else if comment {
+        lines.last_mut().expect("non-empty").comment.push(c);
+    } else {
+        lines.last_mut().expect("non-empty").code.push(c);
+    }
+}
+
+/// Consume a `"…"` literal whose opening quote sits at `chars[i]`: emit the
+/// delimiting quotes (blanking the contents, tracking escapes and embedded
+/// newlines) and return the index just past the closing quote.
+fn consume_string(chars: &[char], i: usize, lines: &mut Vec<Line>) -> usize {
+    push(lines, '"', false);
+    let mut i = i + 1;
+    while i < chars.len() {
+        match chars[i] {
+            '\\' => i += 2,
+            '"' => {
+                push(lines, '"', false);
+                i += 1;
+                break;
+            }
+            '\n' => {
+                push(lines, '\n', false);
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
 }
 
 /// True when `chars[i - 1]` continues an identifier — used to keep the
@@ -277,6 +319,36 @@ mod tests {
         // The harmless `b` prefix stays in the code channel; the literal
         // contents are gone either way.
         assert_eq!(c[0], "f(\"\"); g(b\"\")");
+    }
+
+    #[test]
+    fn byte_char_literals_do_not_desync() {
+        // The quote inside b'"' must not open string state: the call that
+        // follows stays in the code channel.
+        let c = code_of("let q = b'\"'; Instant::now();");
+        assert_eq!(c[0], "let q = b''; Instant::now();");
+        // Escaped quote inside a byte char.
+        let c = code_of(r"let q = b'\''; f();");
+        assert_eq!(c[0], "let q = b''; f();");
+        // Plain byte char: contents blanked like any other literal.
+        let c = code_of("let n = b'n'; g();");
+        assert_eq!(c[0], "let n = b''; g();");
+    }
+
+    #[test]
+    fn byte_string_prefix_glued_to_ident_is_not_a_literal() {
+        // `grab"x"` — the b belongs to the identifier; the quote still
+        // starts an ordinary string.
+        let c = code_of("grab\"x\"; h();");
+        assert_eq!(c[0], "grab\"\"; h();");
+    }
+
+    #[test]
+    fn raw_byte_strings_span_lines() {
+        let lines = lex("f(br#\"panic!\nunwrap()\"#); g();");
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0].code, "f(\"");
+        assert_eq!(lines[1].code, "\"); g();");
     }
 
     #[test]

@@ -1,21 +1,32 @@
 //! # ebs-lint — the workspace's verifier-shaped gate
 //!
-//! The reproduction rests on two invariants the compiler does not check:
+//! The reproduction rests on invariants the compiler does not check:
 //! protocol engines are **sans-io** (the host injects time, io and
-//! randomness) and the simulator is **deterministic** (byte-identical
-//! `BENCH_RESULTS.json` across runs). The zero-copy work also opened the
-//! first real `unsafe` surface. This crate walks the tree and mechanically
-//! enforces the per-tier rules declared in the checked-in `lint.toml`:
+//! randomness), the simulator is **deterministic** (byte-identical
+//! `BENCH_RESULTS.json` across runs), and the sharded executor's workers
+//! are **isolated** (cross-shard state moves only through the mailbox
+//! gateway). The zero-copy work also opened the first real `unsafe`
+//! surface. This crate walks the tree and mechanically enforces the
+//! per-tier rules declared in the checked-in `lint.toml`:
 //!
 //! 1. **sans-io purity** — protocol crates may not reference wall clocks,
-//!    sockets, spawned threads or ambient RNG;
-//! 2. **determinism** — the simulator may not use wall-clock time or
-//!    randomly-seeded hash collections;
+//!    sockets, spawned threads or ambient RNG, *even transitively*: the
+//!    call-graph pass ([`graph`]) propagates taint from a forbidden API
+//!    through any number of host-crate helpers to the engine call site;
+//! 2. **determinism** — the simulator may not reach wall-clock time or
+//!    randomly-seeded hash collections, with the same transitive reach;
 //! 3. **unsafe hygiene** — `#![forbid(unsafe_code)]` everywhere except an
 //!    explicit file allowlist, where each `unsafe` needs a `// SAFETY:`
 //!    comment; growing the allowlist means touching `lint.toml` in review;
 //! 4. **panic discipline** — `unwrap`/`expect`/`panic!` are denied on the
-//!    data path unless waived inline with a reason.
+//!    data path unless waived inline with a reason;
+//! 5. **shard isolation** — sharded workers reach other shards only via
+//!    the gateway module's mailbox API; `std::sync` primitives and direct
+//!    `Testbed`/`EventQueue` access outside the audited surface are denied.
+//!
+//! Waivers are themselves checked: a `lint: allow(…)` comment that no
+//! longer suppresses anything is reported as `stale_waiver`, so the
+//! exception inventory can only shrink without review.
 //!
 //! The binary (`cargo run -p ebs-lint -- --check`) exits nonzero on any
 //! violation and writes a machine-readable JSON report. The lexer
@@ -26,15 +37,19 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod graph;
 pub mod lexer;
+pub mod parser;
 pub mod report;
 pub mod rules;
 
+use std::collections::{BTreeMap, BTreeSet};
 use std::fs;
 use std::path::{Path, PathBuf};
 
 use config::Config;
-use rules::Diagnostic;
+use graph::FileData;
+use rules::{Diagnostic, Rule};
 
 /// Result of linting a tree: diagnostics plus scan statistics.
 #[derive(Debug, Default)]
@@ -57,14 +72,23 @@ pub fn lint_tree(root: &Path, cfg: &Config) -> std::io::Result<Outcome> {
     files.sort();
 
     let mut out = Outcome::default();
+    // Pass 1: lex + parse every file once; run the token tiers.
+    let mut fds: Vec<FileData> = Vec::new();
+    let mut used: BTreeSet<(usize, usize, &'static str)> = BTreeSet::new();
     for abs in &files {
         let rel = rel_path(root, abs);
         if is_excluded(&rel, cfg) {
             continue;
         }
         let src = fs::read_to_string(abs)?;
-        out.files_scanned += 1;
-        out.diagnostics.extend(rules::lint_file(&rel, &src, cfg));
+        let lines = lexer::lex(&src);
+        let in_test = lexer::test_regions(&lines);
+        let idx = fds.len();
+
+        let fl = rules::lint_file_lexed(&rel, &lines, &in_test, cfg);
+        out.diagnostics.extend(fl.diags);
+        used.extend(fl.used_waivers.into_iter().map(|(ln, r)| (idx, ln, r)));
+
         // Crate-root check: lib.rs (or main.rs for pure binaries) of every
         // crate under crates/ and vendor/, plus the workspace root crate.
         if let Some(crate_name) = crate_root_of(&rel) {
@@ -72,9 +96,132 @@ pub fn lint_tree(root: &Path, cfg: &Config) -> std::io::Result<Outcome> {
                 out.diagnostics.push(d);
             }
         }
+
+        let test_by_path = rules::classify(&rel).test_by_path;
+        let items = parser::parse(&lines, &in_test, test_by_path);
+        fds.push(FileData {
+            rel,
+            lines,
+            in_test,
+            items,
+        });
     }
+    out.files_scanned = fds.len();
+
+    // Pass 2: the interprocedural tiers over the whole parsed workspace.
+    let aliases = extern_aliases(root)?;
+    let analysis = graph::analyze(&fds, &aliases, cfg);
+    out.diagnostics.extend(analysis.diags);
+    used.extend(analysis.used_waivers);
+
+    // Pass 3: stale-waiver audit — every `lint: allow` comment must have
+    // suppressed (or at least matched) something above.
+    out.diagnostics.extend(stale_waivers(&fds, &used));
+
     out.diagnostics.sort();
+    out.diagnostics.dedup();
     Ok(out)
+}
+
+/// Crate aliases visible in `use` paths: package names (with `-` → `_`)
+/// and directory names, mapped to the crate's directory key. Built from a
+/// minimal scan of each crate's `Cargo.toml` — only `[package] name` is
+/// read, so this stays zero-dep.
+fn extern_aliases(root: &Path) -> std::io::Result<BTreeMap<String, String>> {
+    let mut map = BTreeMap::new();
+    let mut add = |dir_key: &str, manifest: &Path| {
+        if dir_key != "." {
+            map.insert(dir_key.replace('-', "_"), dir_key.to_string());
+        }
+        if let Ok(src) = fs::read_to_string(manifest) {
+            if let Some(name) = package_name(&src) {
+                map.insert(name.replace('-', "_"), dir_key.to_string());
+            }
+        }
+    };
+    for parent in ["crates", "vendor"] {
+        let dir = root.join(parent);
+        if !dir.is_dir() {
+            continue;
+        }
+        for entry in fs::read_dir(&dir)? {
+            let entry = entry?;
+            if entry.path().is_dir() {
+                let key = entry.file_name().to_string_lossy().to_string();
+                add(&key, &entry.path().join("Cargo.toml"));
+            }
+        }
+    }
+    add(".", &root.join("Cargo.toml"));
+    Ok(map)
+}
+
+/// Extract `name = "…"` from a manifest's `[package]` section.
+fn package_name(manifest: &str) -> Option<String> {
+    let mut in_package = false;
+    for line in manifest.lines() {
+        let line = line.trim();
+        if let Some(sec) = line.strip_prefix('[') {
+            in_package = sec.trim_end_matches(']').trim() == "package";
+            continue;
+        }
+        if in_package {
+            if let Some(rest) = line.strip_prefix("name") {
+                let rest = rest.trim_start().strip_prefix('=')?.trim();
+                return Some(rest.trim_matches('"').to_string());
+            }
+        }
+    }
+    None
+}
+
+/// Report `lint: allow(<rule>)` comments that never matched an occurrence.
+/// Paren contents that are not a plain identifier (`<rule>` placeholders in
+/// prose) are ignored; identifiers that name no rule are reported too.
+fn stale_waivers(
+    fds: &[FileData],
+    used: &BTreeSet<(usize, usize, &'static str)>,
+) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for (fi, fd) in fds.iter().enumerate() {
+        for (ln, line) in fd.lines.iter().enumerate() {
+            let mut rest = line.comment.as_str();
+            while let Some(pos) = rest.find("lint: allow(") {
+                rest = &rest[pos + "lint: allow(".len()..];
+                let Some(close) = rest.find(')') else { break };
+                let name = &rest[..close];
+                rest = &rest[close + 1..];
+                if name.is_empty()
+                    || !name
+                        .chars()
+                        .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+                {
+                    continue; // prose like `lint: allow(<rule>)`
+                }
+                match Rule::WAIVABLE.iter().find(|r| r.name() == name) {
+                    None => diags.push(Diagnostic {
+                        path: fd.rel.clone(),
+                        line: ln + 1,
+                        rule: Rule::StaleWaiver,
+                        msg: format!("waiver names unknown rule `{name}` — it suppresses nothing"),
+                    }),
+                    Some(r) => {
+                        if !used.contains(&(fi, ln, r.name())) {
+                            diags.push(Diagnostic {
+                                path: fd.rel.clone(),
+                                line: ln + 1,
+                                rule: Rule::StaleWaiver,
+                                msg: format!(
+                                    "stale `lint: allow({name})` — no occurrence on this or the next line needs it; delete the waiver"
+                                ),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+    diags
 }
 
 /// If `rel` is a crate root file, return the crate's directory name
@@ -156,5 +303,17 @@ mod tests {
         );
         assert_eq!(crate_root_of("crates/tcp/src/engine.rs"), None);
         assert_eq!(crate_root_of("crates/tcp/tests/lib.rs"), None);
+    }
+
+    #[test]
+    fn package_names() {
+        assert_eq!(
+            package_name("[package]\nname = \"ebs-sim\"\nversion = \"0.1.0\"\n").as_deref(),
+            Some("ebs-sim")
+        );
+        assert_eq!(
+            package_name("[workspace]\nmembers = [\"crates/sim\"]\n"),
+            None
+        );
     }
 }

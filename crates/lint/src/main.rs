@@ -59,7 +59,9 @@ fn run() -> Result<ExitCode, Box<dyn std::error::Error>> {
     let config_path = config.unwrap_or_else(|| root.join("lint.toml"));
     let cfg = Config::parse(&std::fs::read_to_string(&config_path)?)?;
 
+    let started = std::time::Instant::now();
     let outcome = lint_tree(&root, &cfg)?;
+    let elapsed = started.elapsed();
     for d in &outcome.diagnostics {
         println!("{d}");
     }
@@ -74,7 +76,7 @@ fn run() -> Result<ExitCode, Box<dyn std::error::Error>> {
     )?;
 
     println!(
-        "ebs-lint: {} violation{} across {} file{} scanned (report: {})",
+        "ebs-lint: {} violation{} across {} file{} scanned in {:.2?} (report: {})",
         outcome.diagnostics.len(),
         if outcome.diagnostics.len() == 1 {
             ""
@@ -83,6 +85,7 @@ fn run() -> Result<ExitCode, Box<dyn std::error::Error>> {
         },
         outcome.files_scanned,
         if outcome.files_scanned == 1 { "" } else { "s" },
+        elapsed,
         json_path.display(),
     );
 

@@ -1,0 +1,696 @@
+//! A lightweight Rust *item* parser on top of the [`lexer`](crate::lexer).
+//!
+//! The call-graph tiers need three things per file, and only three:
+//! which functions are defined (with enough path context to name them),
+//! which names the file imports, and which calls each function body makes.
+//! This module extracts exactly that from the lexer's code channel — it is
+//! not a Rust parser and deliberately ignores everything else (types,
+//! generics, expressions, patterns).
+//!
+//! What it understands:
+//!
+//! * `mod name { … }` nesting (file-level module structure comes from the
+//!   path layout, handled by [`graph`](crate::graph));
+//! * `impl Type { … }` / `impl Trait for Type { … }` / `trait Name { … }`
+//!   blocks — functions inside are recorded as `Type::name`;
+//! * `fn name(...) { … }` items, including the span of their bodies, with
+//!   `#[cfg(test)]`-region / `tests`-path classification;
+//! * `use` trees, flattened to `alias → path` pairs (globs kept separately);
+//! * call expressions inside bodies: `path::to::f(…)`, `f(…)`, `x.m(…)`
+//!   and `Type::assoc(…)`, with `::<turbofish>` skipped.
+//!
+//! Known, deliberate approximations (see DESIGN.md §8 for the full list):
+//! function *references* passed without parentheses (`iter.map(helper)`)
+//! do not create call records, macro names are not calls (their argument
+//! tokens are scanned normally), and `use` items are collected file-wide
+//! rather than per-scope. Taint *sources* are token-matched over whole
+//! bodies, so these blind spots cannot hide a forbidden API inside the
+//! function that uses it — they can only shorten the call graph.
+
+use crate::lexer::Line;
+
+/// One call expression inside a function body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Call {
+    /// Path segments as written (`["ebs_sim", "SimTime", "from_nanos"]`,
+    /// `["helper"]`); method calls carry just the method name.
+    pub path: Vec<String>,
+    /// True for `.name(…)` receiver calls.
+    pub is_method: bool,
+    /// 0-based line of the call head.
+    pub line: usize,
+}
+
+/// One function item.
+#[derive(Debug, Clone)]
+pub struct FnDef {
+    /// Bare function name.
+    pub name: String,
+    /// Inline-`mod` path inside the file (the file's own module path is
+    /// prepended by the graph builder).
+    pub mods: Vec<String>,
+    /// Enclosing `impl`/`trait` type name, if any.
+    pub self_ty: Option<String>,
+    /// 0-based line of the `fn` keyword.
+    pub start: usize,
+    /// 0-based line of the body's closing brace (== `start` for bodyless
+    /// trait/extern declarations).
+    pub end: usize,
+    /// Inside a `#[cfg(test)]` region.
+    pub is_test: bool,
+    /// Calls made by the body (nested closures included; nested `fn`
+    /// items get their own records).
+    pub calls: Vec<Call>,
+}
+
+/// A flattened `use` mapping: `alias` names `path` in this file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UseItem {
+    /// The name in scope (last segment, or the `as` rename).
+    pub alias: String,
+    /// Full path segments.
+    pub path: Vec<String>,
+}
+
+/// Everything the graph builder needs from one file.
+#[derive(Debug, Default)]
+pub struct FileItems {
+    /// Function items in definition order.
+    pub fns: Vec<FnDef>,
+    /// Flattened `use` items (file-wide).
+    pub uses: Vec<UseItem>,
+    /// `use path::*;` glob imports (path segments).
+    pub globs: Vec<Vec<String>>,
+}
+
+/// A token of the code channel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// `::`
+    PathSep,
+    /// Single punctuation character (`{`, `}`, `(`, `.`, `<`, …).
+    Punct(char),
+}
+
+/// Tokenize the code channels of `lines` into `(line, token)` pairs.
+fn tokenize(lines: &[Line]) -> Vec<(usize, Tok)> {
+    let mut toks = Vec::new();
+    for (n, line) in lines.iter().enumerate() {
+        let chars: Vec<char> = line.code.chars().collect();
+        let mut i = 0;
+        while i < chars.len() {
+            let c = chars[i];
+            if c.is_whitespace() {
+                i += 1;
+            } else if c.is_alphanumeric() || c == '_' {
+                let start = i;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                toks.push((n, Tok::Ident(chars[start..i].iter().collect())));
+            } else if c == ':' && chars.get(i + 1) == Some(&':') {
+                toks.push((n, Tok::PathSep));
+                i += 2;
+            } else {
+                toks.push((n, Tok::Punct(c)));
+                i += 1;
+            }
+        }
+    }
+    toks
+}
+
+/// Scope kinds the parser tracks through brace nesting.
+#[derive(Debug)]
+enum Scope {
+    /// `mod name {`
+    Mod(String),
+    /// `impl Type {` / `impl Trait for Type {` / `trait Name {`
+    Ty(String),
+    /// Any other `{` (blocks, closures, struct literals, …); `fn` bodies
+    /// are consumed whole by `parse_fn` and never sit on this stack.
+    Block,
+}
+
+/// Keywords that can never head a call path. `crate`, `super`, `self` and
+/// `Self` are *allowed* heads (`crate::f()`, `Self::new()`).
+fn is_call_stopword(s: &str) -> bool {
+    matches!(
+        s,
+        "if" | "else"
+            | "while"
+            | "for"
+            | "loop"
+            | "match"
+            | "return"
+            | "break"
+            | "continue"
+            | "let"
+            | "mut"
+            | "ref"
+            | "move"
+            | "fn"
+            | "pub"
+            | "use"
+            | "mod"
+            | "impl"
+            | "trait"
+            | "struct"
+            | "enum"
+            | "union"
+            | "where"
+            | "unsafe"
+            | "async"
+            | "await"
+            | "dyn"
+            | "in"
+            | "as"
+            | "const"
+            | "static"
+            | "type"
+            | "true"
+            | "false"
+            | "extern"
+    )
+}
+
+/// Parse one file's items. `in_test` is the lexer's `#[cfg(test)]` region
+/// map; `test_by_path` marks whole-file test locations (`tests/`,
+/// `benches/`, `examples/`).
+pub fn parse(lines: &[Line], in_test: &[bool], test_by_path: bool) -> FileItems {
+    let toks = tokenize(lines);
+    let mut out = FileItems::default();
+    let mut scopes: Vec<Scope> = Vec::new();
+    let mut i = 0;
+
+    while i < toks.len() {
+        match &toks[i].1 {
+            Tok::Punct('{') => {
+                scopes.push(Scope::Block);
+                i += 1;
+            }
+            Tok::Punct('}') => {
+                scopes.pop();
+                i += 1;
+            }
+            Tok::Ident(kw) if kw == "use" => {
+                i = parse_use(&toks, i + 1, &mut out);
+            }
+            Tok::Ident(kw) if kw == "mod" => {
+                // `mod name {` opens a scope; `mod name;` is a file-level
+                // child handled by the path layout.
+                if let Some((_, Tok::Ident(name))) = toks.get(i + 1) {
+                    if let Some((_, Tok::Punct('{'))) = toks.get(i + 2) {
+                        scopes.push(Scope::Mod(name.clone()));
+                        i += 3;
+                        continue;
+                    }
+                }
+                i += 1;
+            }
+            Tok::Ident(kw) if kw == "impl" => {
+                let (ty, next) = parse_impl_header(&toks, i + 1);
+                if let Some((_, Tok::Punct('{'))) = toks.get(next) {
+                    scopes.push(match ty {
+                        Some(t) => Scope::Ty(t),
+                        None => Scope::Block,
+                    });
+                    i = next + 1;
+                } else {
+                    i = next.max(i + 1);
+                }
+            }
+            Tok::Ident(kw) if kw == "trait" => {
+                if let Some((_, Tok::Ident(name))) = toks.get(i + 1) {
+                    let name = name.clone();
+                    let mut j = i + 2;
+                    // Skip generics / supertrait bounds to the body brace.
+                    while j < toks.len() && !matches!(toks[j].1, Tok::Punct('{') | Tok::Punct(';'))
+                    {
+                        j += 1;
+                    }
+                    if let Some((_, Tok::Punct('{'))) = toks.get(j) {
+                        scopes.push(Scope::Ty(name));
+                        i = j + 1;
+                        continue;
+                    }
+                    i = j;
+                } else {
+                    i += 1;
+                }
+            }
+            Tok::Ident(kw) if kw == "fn" => {
+                i = parse_fn(&toks, i, in_test, test_by_path, &mut scopes, &mut out);
+            }
+            _ => i += 1,
+        }
+    }
+    out
+}
+
+/// Parse an `impl` header starting after the `impl` keyword. Returns the
+/// self type (the path after `for` if present, else the first path) and
+/// the index of the body `{` (or wherever scanning stopped).
+fn parse_impl_header(toks: &[(usize, Tok)], mut i: usize) -> (Option<String>, usize) {
+    let mut first: Option<String> = None;
+    let mut after_for: Option<String> = None;
+    let mut saw_for = false;
+    while i < toks.len() {
+        match &toks[i].1 {
+            Tok::Punct('{') | Tok::Punct(';') => break,
+            Tok::Punct('<') => i = skip_angles(toks, i),
+            Tok::Ident(s) if s == "for" => {
+                saw_for = true;
+                i += 1;
+            }
+            Tok::Ident(s) if s == "where" => {
+                // `where` clauses may contain `for<'a>`; stop collecting.
+                while i < toks.len() && !matches!(toks[i].1, Tok::Punct('{')) {
+                    i += 1;
+                }
+            }
+            Tok::Ident(s) => {
+                // Track the *last* identifier of each path so `a::b::Type`
+                // yields `Type`.
+                let slot = if saw_for { &mut after_for } else { &mut first };
+                if slot.is_none() || matches!(toks.get(i.wrapping_sub(1)), Some((_, Tok::PathSep)))
+                {
+                    *slot = Some(s.clone());
+                }
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    (after_for.or(first), i)
+}
+
+/// Skip a balanced `<…>` group starting at the `<` at `toks[i]`.
+fn skip_angles(toks: &[(usize, Tok)], mut i: usize) -> usize {
+    let mut depth = 0i32;
+    while i < toks.len() {
+        match toks[i].1 {
+            Tok::Punct('<') => depth += 1,
+            Tok::Punct('>') => {
+                depth -= 1;
+                if depth <= 0 {
+                    return i + 1;
+                }
+            }
+            // `(` in generic bounds (Fn traits); skip their groups too.
+            _ => {}
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Parse a `fn` item at `toks[i]` (pointing at the `fn` keyword): record
+/// the definition and collect the body's calls. Returns the index after
+/// the body (or after `;` for bodyless declarations).
+fn parse_fn(
+    toks: &[(usize, Tok)],
+    i: usize,
+    in_test: &[bool],
+    test_by_path: bool,
+    scopes: &mut Vec<Scope>,
+    out: &mut FileItems,
+) -> usize {
+    let start_line = toks[i].0;
+    let Some((_, Tok::Ident(name))) = toks.get(i + 1) else {
+        return i + 1; // `fn` in a type position (`fn(u8) -> u8`); skip.
+    };
+    let name = name.clone();
+
+    // Scan the signature to the body `{` or a terminating `;`, skipping
+    // generics and any `where` clause. Parens/brackets in the signature
+    // can contain nested parens (closure types); track their depth.
+    let mut j = i + 2;
+    let mut paren = 0i32;
+    loop {
+        match toks.get(j) {
+            None => return j,
+            Some((_, Tok::Punct('<'))) if paren == 0 => {
+                j = skip_angles(toks, j);
+                continue;
+            }
+            Some((_, Tok::Punct('('))) | Some((_, Tok::Punct('['))) => paren += 1,
+            Some((_, Tok::Punct(')'))) | Some((_, Tok::Punct(']'))) => paren -= 1,
+            Some((_, Tok::Punct(';'))) if paren == 0 => {
+                // Declaration without a body (trait method, extern).
+                let mods: Vec<String> = scopes
+                    .iter()
+                    .filter_map(|s| match s {
+                        Scope::Mod(m) => Some(m.clone()),
+                        _ => None,
+                    })
+                    .collect();
+                let self_ty = scopes.iter().rev().find_map(|s| match s {
+                    Scope::Ty(t) => Some(t.clone()),
+                    _ => None,
+                });
+                out.fns.push(FnDef {
+                    name,
+                    mods,
+                    self_ty,
+                    start: start_line,
+                    end: start_line,
+                    is_test: test_by_path || in_test.get(start_line).copied().unwrap_or(false),
+                    calls: Vec::new(),
+                });
+                return j + 1;
+            }
+            Some((_, Tok::Punct('{'))) if paren == 0 => break,
+            _ => {}
+        }
+        j += 1;
+    }
+
+    // `j` points at the body `{`. Collect calls to the matching `}`.
+    let mods: Vec<String> = scopes
+        .iter()
+        .filter_map(|s| match s {
+            Scope::Mod(m) => Some(m.clone()),
+            _ => None,
+        })
+        .collect();
+    let self_ty = scopes.iter().rev().find_map(|s| match s {
+        Scope::Ty(t) => Some(t.clone()),
+        _ => None,
+    });
+    let fn_idx = out.fns.len();
+    out.fns.push(FnDef {
+        name,
+        mods,
+        self_ty,
+        start: start_line,
+        end: start_line,
+        is_test: test_by_path || in_test.get(start_line).copied().unwrap_or(false),
+        calls: Vec::new(),
+    });
+
+    let mut depth = 0i32;
+    let mut k = j;
+    while k < toks.len() {
+        match &toks[k].1 {
+            Tok::Punct('{') => {
+                depth += 1;
+                k += 1;
+            }
+            Tok::Punct('}') => {
+                depth -= 1;
+                k += 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            // Nested `fn` item: parse it recursively as its own record so
+            // its calls are attributed to it, not to us.
+            Tok::Ident(kw) if kw == "fn" => {
+                scopes.push(Scope::Block); // placeholder; inner fn reads mods/ty only
+                k = parse_fn(toks, k, in_test, test_by_path, scopes, out);
+                scopes.pop();
+            }
+            // Method call: `.name(` or `.name::<T>(`.
+            Tok::Punct('.') => {
+                if let Some((line, Tok::Ident(m))) = toks.get(k + 1) {
+                    let mut n = k + 2;
+                    if matches!(toks.get(n), Some((_, Tok::PathSep)))
+                        && matches!(toks.get(n + 1), Some((_, Tok::Punct('<'))))
+                    {
+                        n = skip_angles(toks, n + 1);
+                    }
+                    if matches!(toks.get(n), Some((_, Tok::Punct('(')))) {
+                        out.fns[fn_idx].calls.push(Call {
+                            path: vec![m.clone()],
+                            is_method: true,
+                            line: *line,
+                        });
+                    }
+                    k += 2;
+                } else {
+                    k += 1;
+                }
+            }
+            Tok::Ident(id) if !is_call_stopword(id) => {
+                // A path: Ident (:: Ident | ::<…>)* — a call if `(` follows.
+                let head_line = toks[k].0;
+                let mut path = vec![id.clone()];
+                let mut n = k + 1;
+                loop {
+                    if matches!(toks.get(n), Some((_, Tok::PathSep))) {
+                        if matches!(toks.get(n + 1), Some((_, Tok::Punct('<')))) {
+                            n = skip_angles(toks, n + 1);
+                            continue;
+                        }
+                        if let Some((_, Tok::Ident(seg))) = toks.get(n + 1) {
+                            path.push(seg.clone());
+                            n += 2;
+                            continue;
+                        }
+                    }
+                    break;
+                }
+                if matches!(toks.get(n), Some((_, Tok::Punct('(')))) {
+                    out.fns[fn_idx].calls.push(Call {
+                        path,
+                        is_method: false,
+                        line: head_line,
+                    });
+                }
+                // Jump past the whole path so `a::b::f(…)` is recorded
+                // once, not once per suffix. Only path segments and
+                // turbofish groups are skipped — nothing callable hides
+                // in there.
+                k = n.max(k + 1);
+            }
+            _ => k += 1,
+        }
+        // Track the fn's end line as we go.
+        if let Some(t) = toks.get(k.saturating_sub(1)) {
+            out.fns[fn_idx].end = t.0;
+        }
+    }
+    k
+}
+
+/// Parse a `use` declaration starting after the `use` keyword; flatten the
+/// tree into `alias → path` items. Returns the index past the `;`.
+fn parse_use(toks: &[(usize, Tok)], mut i: usize, out: &mut FileItems) -> usize {
+    let mut prefix: Vec<String> = Vec::new();
+    // Stack of saved prefixes for nested `{` groups.
+    let mut stack: Vec<Vec<String>> = Vec::new();
+    let mut pending_alias: Option<String> = None;
+
+    // Emit the item currently accumulated in `prefix`.
+    fn emit(out: &mut FileItems, prefix: &[String], alias: Option<String>, depth: usize) {
+        if prefix.len() <= depth && alias.is_none() {
+            return; // nothing new since the group opened
+        }
+        if let Some(last) = prefix.last() {
+            if last == "self" {
+                // `use a::b::{self}` names `b`.
+                let path: Vec<String> = prefix[..prefix.len() - 1].to_vec();
+                if let Some(name) = path.last().cloned() {
+                    out.uses.push(UseItem {
+                        alias: alias.unwrap_or(name),
+                        path,
+                    });
+                }
+                return;
+            }
+            out.uses.push(UseItem {
+                alias: alias.unwrap_or_else(|| last.clone()),
+                path: prefix.to_vec(),
+            });
+        }
+    }
+
+    while i < toks.len() {
+        match &toks[i].1 {
+            Tok::Ident(s) if s == "as" => {
+                if let Some((_, Tok::Ident(a))) = toks.get(i + 1) {
+                    pending_alias = Some(a.clone());
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            Tok::Ident(s) => {
+                prefix.push(s.clone());
+                i += 1;
+            }
+            Tok::PathSep => i += 1,
+            Tok::Punct('{') => {
+                stack.push(prefix.clone());
+                i += 1;
+            }
+            Tok::Punct(',') => {
+                let depth = stack.last().map(|p| p.len()).unwrap_or(0);
+                emit(out, &prefix, pending_alias.take(), depth);
+                prefix = stack.last().cloned().unwrap_or_default();
+                i += 1;
+            }
+            Tok::Punct('}') => {
+                let depth = stack.last().map(|p| p.len()).unwrap_or(0);
+                emit(out, &prefix, pending_alias.take(), depth);
+                prefix = stack.pop().unwrap_or_default();
+                i += 1;
+            }
+            Tok::Punct('*') => {
+                out.globs.push(prefix.clone());
+                prefix = stack.last().cloned().unwrap_or_default();
+                i += 1;
+            }
+            Tok::Punct(';') => {
+                if stack.is_empty() {
+                    emit(out, &prefix, pending_alias.take(), 0);
+                }
+                return i + 1;
+            }
+            Tok::Punct('#') => i += 1, // stray attribute punctuation
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::{lex, test_regions};
+
+    fn items(src: &str) -> FileItems {
+        let lines = lex(src);
+        let t = test_regions(&lines);
+        parse(&lines, &t, false)
+    }
+
+    #[test]
+    fn fns_and_modules_and_impls() {
+        let src = "fn top() {}\nmod inner {\n  impl Widget {\n    pub fn poke(&self) {}\n  }\n  fn free() {}\n}\n";
+        let it = items(src);
+        let names: Vec<(String, Vec<String>, Option<String>)> = it
+            .fns
+            .iter()
+            .map(|f| (f.name.clone(), f.mods.clone(), f.self_ty.clone()))
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                ("top".into(), vec![], None),
+                ("poke".into(), vec!["inner".into()], Some("Widget".into())),
+                ("free".into(), vec!["inner".into()], None),
+            ]
+        );
+    }
+
+    #[test]
+    fn impl_trait_for_type_records_the_type() {
+        let it = items("impl<T: Clone> Iterator for Chunks<T> {\n  fn next(&mut self) {}\n}\n");
+        assert_eq!(it.fns[0].self_ty.as_deref(), Some("Chunks"));
+    }
+
+    #[test]
+    fn calls_plain_path_method_and_assoc() {
+        let it = items(
+            "fn f() {\n  helper();\n  a::b::deep(1);\n  SimTime::from_nanos(3);\n  x.poll(now);\n  y.collect::<Vec<_>>();\n}\n",
+        );
+        let calls = &it.fns[0].calls;
+        let paths: Vec<(Vec<String>, bool)> = calls
+            .iter()
+            .map(|c| (c.path.clone(), c.is_method))
+            .collect();
+        assert_eq!(
+            paths,
+            vec![
+                (vec!["helper".into()], false),
+                (vec!["a".into(), "b".into(), "deep".into()], false),
+                (vec!["SimTime".into(), "from_nanos".into()], false),
+                (vec!["poll".into()], true),
+                (vec!["collect".into()], true),
+            ]
+        );
+    }
+
+    #[test]
+    fn macros_and_keywords_are_not_calls() {
+        let it = items(
+            "fn f() {\n  format!(\"x\");\n  if (a) { return; }\n  matches!(e, E::V(_));\n}\n",
+        );
+        // `E::V(` inside matches! parses as an assoc-path call record —
+        // it resolves to nothing later. format!/if/return never record.
+        let heads: Vec<String> = it.fns[0].calls.iter().map(|c| c.path.join("::")).collect();
+        assert!(!heads
+            .iter()
+            .any(|h| h == "format" || h == "if" || h == "return"));
+    }
+
+    #[test]
+    fn use_trees_flatten() {
+        let it = items(
+            "use ebs_sim::{SimTime, rng as prng, queue::EventQueue};\nuse crate::testbed::*;\nuse std::collections::BTreeMap;\n",
+        );
+        let got: Vec<(String, String)> = it
+            .uses
+            .iter()
+            .map(|u| (u.alias.clone(), u.path.join("::")))
+            .collect();
+        assert!(got.contains(&("SimTime".into(), "ebs_sim::SimTime".into())));
+        assert!(got.contains(&("prng".into(), "ebs_sim::rng".into())));
+        assert!(got.contains(&("EventQueue".into(), "ebs_sim::queue::EventQueue".into())));
+        assert!(got.contains(&("BTreeMap".into(), "std::collections::BTreeMap".into())));
+        assert_eq!(
+            it.globs,
+            vec![vec!["crate".to_string(), "testbed".to_string()]]
+        );
+    }
+
+    #[test]
+    fn use_self_in_group_names_the_module() {
+        let it = items("use a::b::{self, c};\n");
+        let got: Vec<(String, String)> = it
+            .uses
+            .iter()
+            .map(|u| (u.alias.clone(), u.path.join("::")))
+            .collect();
+        assert!(got.contains(&("b".into(), "a::b".into())));
+        assert!(got.contains(&("c".into(), "a::b::c".into())));
+    }
+
+    #[test]
+    fn cfg_test_fns_are_marked() {
+        let src = "fn real() {}\n#[cfg(test)]\nmod tests {\n  fn t() { real(); }\n}\n";
+        let it = items(src);
+        assert!(!it.fns[0].is_test);
+        assert!(it.fns[1].is_test);
+    }
+
+    #[test]
+    fn closures_attribute_calls_to_the_enclosing_fn() {
+        let it = items("fn f() {\n  run(|| { helper(); });\n  s.spawn(move || inner());\n}\n");
+        let heads: Vec<String> = it.fns[0].calls.iter().map(|c| c.path.join("::")).collect();
+        assert!(heads.contains(&"helper".to_string()));
+        assert!(heads.contains(&"inner".to_string()));
+    }
+
+    #[test]
+    fn bodyless_trait_methods_record_no_calls() {
+        let it = items("trait T {\n  fn decl(&self);\n  fn dflt(&self) { decl_helper(); }\n}\n");
+        assert_eq!(it.fns[0].name, "decl");
+        assert!(it.fns[0].calls.is_empty());
+        assert_eq!(it.fns[1].name, "dflt");
+        assert_eq!(it.fns[1].calls.len(), 1);
+    }
+
+    #[test]
+    fn fn_pointer_types_do_not_derail() {
+        let it = items("fn f(cb: fn(u8) -> u8) { cb(1); g(); }\n");
+        assert_eq!(it.fns.len(), 1);
+        let heads: Vec<String> = it.fns[0].calls.iter().map(|c| c.path.join("::")).collect();
+        assert!(heads.contains(&"cb".to_string()));
+        assert!(heads.contains(&"g".to_string()));
+    }
+}

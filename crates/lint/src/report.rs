@@ -1,8 +1,19 @@
 //! Machine-readable output: a small hand-rolled JSON serializer (the
 //! workspace is offline; no serde) emitting a stable, sorted report that
 //! CI and `scripts/` tooling can diff across runs.
+//!
+//! The shape is versioned: `schema` names the document type and
+//! `schema_version` is bumped on any field addition, removal or meaning
+//! change, so downstream tooling can fail fast instead of mis-parsing.
+//! Nothing run-dependent (timings, absolute paths) goes in the report —
+//! the golden-output test diffs it byte-for-byte.
 
 use crate::rules::Diagnostic;
+
+/// Bumped whenever the report shape changes. v1 was the unversioned PR-3
+/// shape; v2 added `schema`/`schema_version` and the call-graph tiers'
+/// rule names in `by_rule`.
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// Render the full report: summary counts plus every diagnostic.
 pub fn to_json(diags: &[Diagnostic], files_scanned: usize) -> String {
@@ -17,6 +28,8 @@ pub fn to_json(diags: &[Diagnostic], files_scanned: usize) -> String {
 
     let mut out = String::with_capacity(4096);
     out.push_str("{\n");
+    out.push_str("  \"schema\": \"ebs-lint-report\",\n");
+    out.push_str(&format!("  \"schema_version\": {SCHEMA_VERSION},\n"));
     out.push_str(&format!("  \"files_scanned\": {files_scanned},\n"));
     out.push_str(&format!("  \"violations\": {},\n", diags.len()));
     out.push_str("  \"by_rule\": {");
@@ -76,6 +89,8 @@ mod tests {
             msg: "`panic!` with \"quotes\"".into(),
         }];
         let j = to_json(&diags, 10);
+        assert!(j.contains("\"schema\": \"ebs-lint-report\""));
+        assert!(j.contains(&format!("\"schema_version\": {SCHEMA_VERSION}")));
         assert!(j.contains("\"files_scanned\": 10"));
         assert!(j.contains("\"violations\": 1"));
         assert!(j.contains("\"panic_discipline\": 1"));

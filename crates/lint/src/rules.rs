@@ -1,10 +1,16 @@
-//! The four rule tiers, evaluated over lexed source.
+//! The per-file rule tiers, evaluated over lexed source.
 //!
 //! Every rule reports `file:line` diagnostics; every rule (except the
 //! allowlist itself) can be waived per-line with an inline
 //! `// lint: allow(<rule>) — <reason>` comment on the offending line or the
 //! line directly above it. A waiver without a reason does not count — the
-//! reason is the reviewable artifact.
+//! reason is the reviewable artifact. Waivers that match an occurrence are
+//! *recorded*: the stale-waiver audit in [`crate::lint_tree`] errors on any
+//! `lint: allow` comment that no longer suppresses anything.
+//!
+//! The interprocedural tiers (call-graph taint, shard isolation's call
+//! rules) live in [`crate::graph`]; this module holds the token-level
+//! rules plus the waiver machinery both passes share.
 
 use crate::config::Config;
 use crate::lexer::{lex, test_regions, Line};
@@ -20,6 +26,10 @@ pub enum Rule {
     UnsafeHygiene,
     /// No `unwrap`/`expect`/`panic!` on the data path without a waiver.
     PanicDiscipline,
+    /// Sharded workers reach other shards only through the gateway API.
+    ShardIsolation,
+    /// A `lint: allow(…)` comment that suppresses nothing.
+    StaleWaiver,
 }
 
 impl Rule {
@@ -30,8 +40,20 @@ impl Rule {
             Rule::Determinism => "determinism",
             Rule::UnsafeHygiene => "unsafe_hygiene",
             Rule::PanicDiscipline => "panic_discipline",
+            Rule::ShardIsolation => "shard_isolation",
+            Rule::StaleWaiver => "stale_waiver",
         }
     }
+
+    /// Rules a waiver comment may name. `stale_waiver` is excluded on
+    /// purpose: the fix for a stale waiver is deleting it, not waiving it.
+    pub const WAIVABLE: &'static [Rule] = &[
+        Rule::SansIo,
+        Rule::Determinism,
+        Rule::UnsafeHygiene,
+        Rule::PanicDiscipline,
+        Rule::ShardIsolation,
+    ];
 }
 
 /// One violation.
@@ -95,12 +117,30 @@ pub fn classify(path: &str) -> FileClass {
     }
 }
 
+/// What one file's token rules produced: diagnostics plus the waivers that
+/// actually matched an occurrence (fuel for the stale-waiver audit).
+#[derive(Debug, Default)]
+pub struct FileLint {
+    /// Violations found in the file.
+    pub diags: Vec<Diagnostic>,
+    /// `(0-based comment line, rule name)` of every waiver that matched an
+    /// occurrence — including reason-less ones, which get their own
+    /// diagnostic rather than a stale-waiver one.
+    pub used_waivers: Vec<(usize, &'static str)>,
+}
+
 /// Lint one file's source text. `path` must be repo-relative.
 pub fn lint_file(path: &str, src: &str, cfg: &Config) -> Vec<Diagnostic> {
     let lines = lex(src);
     let in_test = test_regions(&lines);
+    lint_file_lexed(path, &lines, &in_test, cfg).diags
+}
+
+/// Token-rule pass over pre-lexed source (the orchestrator lexes once and
+/// shares the lines with the parser and the call-graph pass).
+pub fn lint_file_lexed(path: &str, lines: &[Line], in_test: &[bool], cfg: &Config) -> FileLint {
     let class = classify(path);
-    let mut diags = Vec::new();
+    let mut out = FileLint::default();
 
     let in_crate = |list: &[String]| {
         class
@@ -112,11 +152,12 @@ pub fn lint_file(path: &str, src: &str, cfg: &Config) -> Vec<Diagnostic> {
     // --- Tier 1: sans-io purity -----------------------------------------
     if class.in_src && in_crate(&cfg.sans_io_crates) {
         for pat in &cfg.sans_io_forbidden {
-            scan_pattern(&lines, pat, |n| {
-                if !waived(&lines, n, Rule::SansIo) {
-                    diags.push(diag(path, n, Rule::SansIo, format!(
+            scan_pattern(lines, pat, |n| {
+                match waiver_state(lines, n, Rule::SansIo) {
+                    (Waiver::Valid, at) => out.used_waivers.push((at, Rule::SansIo.name())),
+                    _ => out.diags.push(diag(path, n, Rule::SansIo, format!(
                         "`{pat}` referenced in a sans-io protocol crate — the host must inject time, io and randomness"
-                    )));
+                    ))),
                 }
             });
         }
@@ -125,23 +166,28 @@ pub fn lint_file(path: &str, src: &str, cfg: &Config) -> Vec<Diagnostic> {
     // --- Tier 2: determinism --------------------------------------------
     if class.in_src && in_crate(&cfg.determinism_crates) {
         for pat in &cfg.determinism_forbidden {
-            scan_pattern(&lines, pat, |n| {
-                if !waived(&lines, n, Rule::Determinism) {
-                    diags.push(diag(
+            scan_pattern(lines, pat, |n| {
+                match waiver_state(lines, n, Rule::Determinism) {
+                    (Waiver::Valid, at) => out.used_waivers.push((at, Rule::Determinism.name())),
+                    _ => out.diags.push(diag(
                         path,
                         n,
                         Rule::Determinism,
                         format!("`{pat}` breaks byte-identical replay in a determinism-tier crate"),
-                    ));
+                    )),
                 }
             });
         }
         for pat in &cfg.determinism_hash_collections {
-            scan_pattern(&lines, pat, |n| {
-                if !in_test[n] && !waived(&lines, n, Rule::Determinism) {
-                    diags.push(diag(path, n, Rule::Determinism, format!(
+            scan_pattern(lines, pat, |n| {
+                if in_test[n] {
+                    return;
+                }
+                match waiver_state(lines, n, Rule::Determinism) {
+                    (Waiver::Valid, at) => out.used_waivers.push((at, Rule::Determinism.name())),
+                    _ => out.diags.push(diag(path, n, Rule::Determinism, format!(
                         "`{pat}` uses a randomly-seeded default hasher — iteration order varies run to run; use BTreeMap/BTreeSet or a fixed-seed hasher"
-                    )));
+                    ))),
                 }
             });
         }
@@ -149,13 +195,13 @@ pub fn lint_file(path: &str, src: &str, cfg: &Config) -> Vec<Diagnostic> {
 
     // --- Tier 3: unsafe hygiene -----------------------------------------
     let unsafe_allowed = cfg.unsafe_allow_files.iter().any(|f| f == path);
-    scan_pattern(&lines, "unsafe", |n| {
+    scan_pattern(lines, "unsafe", |n| {
         if !unsafe_allowed {
-            diags.push(diag(path, n, Rule::UnsafeHygiene, format!(
+            out.diags.push(diag(path, n, Rule::UnsafeHygiene, format!(
                 "`unsafe` outside the allowlist — add `{path}` to [unsafe_hygiene] allow_files in lint.toml and justify it in review"
             )));
-        } else if !has_safety_comment(&lines, n) {
-            diags.push(diag(
+        } else if !has_safety_comment(lines, n) {
+            out.diags.push(diag(
                 path,
                 n,
                 Rule::UnsafeHygiene,
@@ -167,16 +213,21 @@ pub fn lint_file(path: &str, src: &str, cfg: &Config) -> Vec<Diagnostic> {
     // --- Tier 4: panic discipline ---------------------------------------
     if class.in_src && in_crate(&cfg.panic_crates) && !class.test_by_path {
         for pat in &cfg.panic_deny {
-            scan_pattern(&lines, pat, |n| {
+            scan_pattern(lines, pat, |n| {
                 if in_test[n] {
                     return;
                 }
-                match waiver_state(&lines, n, Rule::PanicDiscipline) {
-                    Waiver::Valid => {}
-                    Waiver::MissingReason => diags.push(diag(path, n, Rule::PanicDiscipline, format!(
-                        "`{pat}` waiver is missing its reason — write `// lint: allow(panic_discipline) — <why this cannot fire>`"
-                    ))),
-                    Waiver::None => diags.push(diag(path, n, Rule::PanicDiscipline, format!(
+                match waiver_state(lines, n, Rule::PanicDiscipline) {
+                    (Waiver::Valid, at) => {
+                        out.used_waivers.push((at, Rule::PanicDiscipline.name()))
+                    }
+                    (Waiver::MissingReason, at) => {
+                        out.used_waivers.push((at, Rule::PanicDiscipline.name()));
+                        out.diags.push(diag(path, n, Rule::PanicDiscipline, format!(
+                            "`{pat}` waiver is missing its reason — write `// lint: allow(panic_discipline) — <why this cannot fire>`"
+                        )));
+                    }
+                    (Waiver::None, _) => out.diags.push(diag(path, n, Rule::PanicDiscipline, format!(
                         "`{pat}` on the data path — return an error, or waive with `// lint: allow(panic_discipline) — <reason>`"
                     ))),
                 }
@@ -184,7 +235,29 @@ pub fn lint_file(path: &str, src: &str, cfg: &Config) -> Vec<Diagnostic> {
         }
     }
 
-    diags
+    // --- Tier 5 (token part): sync primitives stay in the gateway -------
+    // The call-graph half of shard isolation (mailbox confinement, the
+    // gateway's audited `Testbed`/`EventQueue` surface) is in `graph`.
+    if class.in_src
+        && in_crate(&cfg.shard_sync_crates)
+        && !cfg.shard_boundary_files.iter().any(|f| f == path)
+    {
+        for pat in &cfg.shard_sync_forbidden {
+            scan_pattern(lines, pat, |n| {
+                if in_test[n] {
+                    return;
+                }
+                match waiver_state(lines, n, Rule::ShardIsolation) {
+                    (Waiver::Valid, at) => out.used_waivers.push((at, Rule::ShardIsolation.name())),
+                    _ => out.diags.push(diag(path, n, Rule::ShardIsolation, format!(
+                        "`{pat}` outside the shard gateway module — cross-thread coordination lives only in the audited barrier code"
+                    ))),
+                }
+            });
+        }
+    }
+
+    out
 }
 
 /// Check a crate root for `#![forbid(unsafe_code)]`. Returns a diagnostic
@@ -233,7 +306,7 @@ fn scan_pattern(lines: &[Line], pat: &str, mut hit: impl FnMut(usize)) {
 /// Substring search with identifier-boundary checks on whichever ends of
 /// the pattern are identifier characters (so `thread_rng` never matches
 /// `my_thread_rng_shim`, while `.unwrap()` needs no left boundary).
-fn find_bounded(code: &str, pat: &str) -> bool {
+pub(crate) fn find_bounded(code: &str, pat: &str) -> bool {
     if pat.is_empty() {
         return false;
     }
@@ -291,15 +364,17 @@ fn has_safety_comment(lines: &[Line], n: usize) -> bool {
     false
 }
 
-enum Waiver {
+pub(crate) enum Waiver {
     None,
     MissingReason,
     Valid,
 }
 
 /// Look for `lint: allow(<rule>)` on line `n` or the line directly above.
-fn waiver_state(lines: &[Line], n: usize, rule: Rule) -> Waiver {
-    let mut best = Waiver::None;
+/// The second element is the line the waiver comment sits on (== `n` when
+/// no waiver matched), which is what the stale-waiver audit records.
+pub(crate) fn waiver_state(lines: &[Line], n: usize, rule: Rule) -> (Waiver, usize) {
+    let mut best = (Waiver::None, n);
     for idx in [Some(n), n.checked_sub(1)].into_iter().flatten() {
         // The waiver above must be a comment-only line — a waiver trailing
         // some other statement does not leak downward.
@@ -307,8 +382,8 @@ fn waiver_state(lines: &[Line], n: usize, rule: Rule) -> Waiver {
             continue;
         }
         match waiver_on(&lines[idx].comment, rule) {
-            Waiver::Valid => return Waiver::Valid,
-            Waiver::MissingReason => best = Waiver::MissingReason,
+            Waiver::Valid => return (Waiver::Valid, idx),
+            Waiver::MissingReason => best = (Waiver::MissingReason, idx),
             Waiver::None => {}
         }
     }
@@ -327,11 +402,6 @@ fn waiver_on(comment: &str, rule: Rule) -> Waiver {
     } else {
         Waiver::Valid
     }
-}
-
-/// True when waived (used by rules without a reason requirement).
-fn waived(lines: &[Line], n: usize, rule: Rule) -> bool {
-    matches!(waiver_state(lines, n, rule), Waiver::Valid)
 }
 
 #[cfg(test)]

@@ -1,0 +1,182 @@
+//! Interprocedural hit/miss coverage against the fixture workspace in
+//! `tests/fixtures/callgraph_ws`: forbidden calls wrapped one and two
+//! helpers deep, a cross-module hop, taint stopped by an allowlisted
+//! boundary fn, a recursive cycle, a call-site waiver, the shard-isolation
+//! gateway rules, and the stale-waiver audit — all through the same
+//! `lint_tree` entry point the CLI uses.
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use ebs_lint::config::Config;
+use ebs_lint::{lint_tree, rules};
+
+fn fixture_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/callgraph_ws")
+}
+
+fn fixture_cfg(root: &Path) -> Config {
+    Config::parse(&fs::read_to_string(root.join("lint.toml")).expect("read fixture lint.toml"))
+        .expect("fixture lint.toml parses")
+}
+
+/// 1-based line of the unique `marker` in `rel` under the fixture root.
+fn mark(root: &Path, rel: &str, marker: &str) -> usize {
+    let src = fs::read_to_string(root.join(rel)).expect(rel);
+    let hits: Vec<usize> = src
+        .lines()
+        .enumerate()
+        .filter_map(|(i, l)| l.contains(marker).then_some(i + 1))
+        .collect();
+    assert_eq!(hits.len(), 1, "marker {marker:?} must be unique in {rel}");
+    hits[0]
+}
+
+#[test]
+fn interprocedural_hits_and_misses() {
+    let root = fixture_root();
+    let cfg = fixture_cfg(&root);
+    let outcome = lint_tree(&root, &cfg).expect("walk fixture workspace");
+
+    let engine = "crates/engine/src/lib.rs";
+    let shard = "crates/shardhost/src/lib.rs";
+    let gateway = "crates/shardhost/src/gateway.rs";
+    let submod = "crates/host/src/submod.rs";
+
+    let expected: BTreeSet<(String, usize, &str)> = [
+        // Taint surfaces at the engine call site, however deep the wrap.
+        (engine, mark(&root, engine, "MARK: one deep"), "sans_io"),
+        (engine, mark(&root, engine, "MARK: two deep"), "sans_io"),
+        (engine, mark(&root, engine, "MARK: cross module"), "sans_io"),
+        (engine, mark(&root, engine, "MARK: cycle"), "sans_io"),
+        (engine, mark(&root, engine, "MARK: hash map"), "determinism"),
+        // Tier 5: mailbox call and std::sync outside the gateway; the
+        // gateway itself reaching past its audited surface.
+        (
+            shard,
+            mark(&root, shard, "MARK: rogue mailbox"),
+            "shard_isolation",
+        ),
+        (
+            shard,
+            mark(&root, shard, "MARK: rogue sync"),
+            "shard_isolation",
+        ),
+        (
+            gateway,
+            mark(&root, gateway, "MARK: gateway snoop"),
+            "shard_isolation",
+        ),
+        // The audit flags the orphaned waiver comment in the host crate.
+        (
+            submod,
+            mark(&root, submod, "obsolete justification"),
+            "stale_waiver",
+        ),
+    ]
+    .into_iter()
+    .map(|(p, l, r)| (p.to_string(), l, r))
+    .collect();
+
+    let got: BTreeSet<(String, usize, &str)> = outcome
+        .diagnostics
+        .iter()
+        .map(|d| (d.path.clone(), d.line, d.rule.name()))
+        .collect();
+
+    let missing: Vec<_> = expected.difference(&got).collect();
+    let spurious: Vec<_> = got.difference(&expected).collect();
+    assert!(
+        missing.is_empty() && spurious.is_empty(),
+        "fixture diagnostics diverge\n  missing: {missing:?}\n  spurious: {spurious:?}\n  all:\n{}",
+        outcome
+            .diagnostics
+            .iter()
+            .map(|d| format!("    {d}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn witness_chain_names_source_and_hops() {
+    let root = fixture_root();
+    let cfg = fixture_cfg(&root);
+    let outcome = lint_tree(&root, &cfg).expect("walk fixture workspace");
+
+    let two_deep = mark(&root, "crates/engine/src/lib.rs", "MARK: two deep");
+    let d = outcome
+        .diagnostics
+        .iter()
+        .find(|d| d.path == "crates/engine/src/lib.rs" && d.line == two_deep)
+        .expect("two-deep wrap is flagged");
+    assert!(
+        d.msg.contains("wrap_two") && d.msg.contains("wrap_one") && d.msg.contains("Instant::now"),
+        "chain must name both hops and the source: {}",
+        d.msg
+    );
+    let src_line = mark(&root, "crates/host/src/lib.rs", "MARK: direct source");
+    assert!(
+        d.msg
+            .contains(&format!("crates/host/src/lib.rs:{src_line}")),
+        "chain must pin the source line: {}",
+        d.msg
+    );
+}
+
+/// The acceptance case for this tier: the per-file scanner sees nothing in
+/// the engine crate (no forbidden token appears there), so only the
+/// call-graph pass can catch the two-deep `Instant::now` wrap.
+#[test]
+fn per_file_scanner_provably_misses_the_wrap() {
+    let root = fixture_root();
+    let cfg = fixture_cfg(&root);
+    let rel = "crates/engine/src/lib.rs";
+    let src = fs::read_to_string(root.join(rel)).expect("read engine lib.rs");
+    let diags = rules::lint_file(rel, &src, &cfg);
+    assert!(
+        diags.is_empty(),
+        "per-file pass must be blind to wrapped calls, saw: {diags:?}"
+    );
+}
+
+/// Flipping `[callgraph] enabled` off restores the old per-file behaviour:
+/// every transitive finding disappears, tier-5 token findings remain.
+#[test]
+fn callgraph_can_be_disabled() {
+    let root = fixture_root();
+    let mut cfg = fixture_cfg(&root);
+    cfg.callgraph_enabled = false;
+    let outcome = lint_tree(&root, &cfg).expect("walk fixture workspace");
+    assert!(
+        outcome
+            .diagnostics
+            .iter()
+            .all(|d| !matches!(d.rule, rules::Rule::SansIo | rules::Rule::Determinism)),
+        "no transitive findings without the call-graph pass: {:?}",
+        outcome.diagnostics
+    );
+    // With the pass off, the call-site waiver in the engine has nothing to
+    // suppress — the audit must now call it stale.
+    let waiver_line = mark(&root, "crates/engine/src/lib.rs", "reviewed host tap");
+    assert!(
+        outcome
+            .diagnostics
+            .iter()
+            .any(|d| d.path == "crates/engine/src/lib.rs"
+                && d.line == waiver_line
+                && d.rule.name() == "stale_waiver"),
+        "call-site waiver should go stale when the pass is off: {:?}",
+        outcome.diagnostics
+    );
+    let sync_line = mark(&root, "crates/shardhost/src/lib.rs", "MARK: rogue sync");
+    assert!(
+        outcome
+            .diagnostics
+            .iter()
+            .any(|d| d.path == "crates/shardhost/src/lib.rs" && d.line == sync_line),
+        "token half of tier 5 still fires: {:?}",
+        outcome.diagnostics
+    );
+}

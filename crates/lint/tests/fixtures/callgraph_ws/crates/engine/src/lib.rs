@@ -1,0 +1,42 @@
+//! The tier-covered "engine": no forbidden token appears in this file, so
+//! the PR-3 per-file scanner finds nothing here. Every violation below is
+//! reachable only through the call graph.
+#![forbid(unsafe_code)]
+
+use host::{cyclic_a, via_boundary, wrap_one, wrap_two};
+
+/// Tainted one helper deep.
+pub fn tick_one() -> u64 {
+    wrap_one() // MARK: one deep
+}
+
+/// Tainted two helpers deep.
+pub fn tick_two() -> u64 {
+    wrap_two() // MARK: two deep
+}
+
+/// Tainted through a cross-module hop.
+pub fn tick_mod() -> u64 {
+    host::submod::wrap_mod() // MARK: cross module
+}
+
+/// Clean: the only wall-clock on this path is the sanctioned boundary.
+pub fn tick_ok() -> u64 {
+    via_boundary() // MARK: boundary ok
+}
+
+/// Tainted through a recursive cycle (and propagation terminates).
+pub fn tick_cycle() -> u64 {
+    cyclic_a(3) // MARK: cycle
+}
+
+/// Tainted but explicitly waived at the call site.
+pub fn tick_waived() -> u64 {
+    // lint: allow(sans_io) — fixture: reviewed host tap
+    wrap_one() // MARK: waived
+}
+
+/// Determinism taint: a default-hasher map two frames down.
+pub fn tick_map() -> Option<u8> {
+    host::pick_map(3) // MARK: hash map
+}

@@ -1,0 +1,47 @@
+//! Host crate: wraps forbidden APIs at various call depths. Nothing here
+//! is tier-covered, so the per-file scanner stays silent — only the
+//! call-graph pass can attribute these helpers to an engine call site.
+#![forbid(unsafe_code)]
+
+pub mod clock;
+pub mod submod;
+
+/// Forbidden call one helper deep.
+pub fn wrap_one() -> u64 {
+    let t = std::time::Instant::now(); // MARK: direct source
+    t.elapsed().as_nanos() as u64
+}
+
+/// Forbidden call two helpers deep — the case the per-file scanner
+/// provably misses.
+pub fn wrap_two() -> u64 {
+    wrap_one()
+}
+
+/// Taint stopped by the sanctioned boundary fn.
+pub fn via_boundary() -> u64 {
+    clock::sanctioned_now()
+}
+
+/// Mutually recursive pair; the cycle eventually reaches a source, and
+/// propagation must terminate anyway.
+pub fn cyclic_a(n: u64) -> u64 {
+    if n == 0 {
+        wrap_one()
+    } else {
+        cyclic_b(n - 1)
+    }
+}
+
+/// Other half of the cycle.
+pub fn cyclic_b(n: u64) -> u64 {
+    cyclic_a(n)
+}
+
+/// A default-hasher collection buried in a helper (determinism tier).
+pub fn pick_map(k: u8) -> Option<u8> {
+    use std::collections::HashMap;
+    let mut m = HashMap::new(); // MARK: hash source
+    m.insert(k, k);
+    m.get(&k).copied()
+}

@@ -1,0 +1,13 @@
+//! Cross-module hop: the source sits one module away from the helper the
+//! engine calls.
+
+/// Calls back into the crate root's tainted helper.
+pub fn wrap_mod() -> u64 {
+    crate::wrap_one()
+}
+
+// A waiver with nothing to waive: the stale-waiver audit must flag it.
+// lint: allow(determinism) — obsolete justification left behind
+pub fn clean() -> u64 {
+    7
+}

@@ -1,0 +1,21 @@
+//! The one sanctioned crossing point (listed in `[shard_isolation]
+//! boundary`). Mailbox calls and `std::sync` are legal here; shard-state
+//! methods are legal only through the audited surface.
+
+use crate::Shard;
+
+/// Uses the audited surface — clean.
+pub fn collect(s: &mut Shard) -> usize {
+    s.harvest() // MARK: gateway allowed
+}
+
+/// Reaches past the audited surface — violation.
+pub fn snoop(s: &Shard) -> usize {
+    s.peek_state() // MARK: gateway snoop
+}
+
+/// std::sync is permitted inside the boundary file.
+pub fn fan_in(vals: &std::sync::Mutex<Vec<u64>>) -> u64 {
+    // MARK: gateway sync ok
+    vals.lock().map(|v| v.iter().sum()).unwrap_or(0)
+}

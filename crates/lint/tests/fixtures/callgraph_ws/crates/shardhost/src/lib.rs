@@ -1,0 +1,46 @@
+//! Shard-isolation fixture: a `Shard` state type, a gateway module, and
+//! worker code that breaks the rules in both directions.
+#![forbid(unsafe_code)]
+
+pub mod gateway;
+
+/// The shard state type named in `[shard_isolation] shard_state_types`.
+pub struct Shard {
+    q: Vec<u64>,
+}
+
+impl Shard {
+    /// Mailbox API: deliver a message from another shard.
+    pub fn inject_remote(&mut self, v: u64) {
+        self.q.push(v);
+    }
+
+    /// Mailbox API: drain outgoing messages.
+    pub fn take_outbox(&mut self) -> Vec<u64> {
+        std::mem::take(&mut self.q)
+    }
+
+    /// On the gateway's audited surface (`boundary_allowed_calls`).
+    pub fn harvest(&mut self) -> usize {
+        let n = self.q.len();
+        self.q.clear();
+        n
+    }
+
+    /// NOT on the audited surface.
+    pub fn peek_state(&self) -> usize {
+        self.q.len()
+    }
+}
+
+/// Worker code calling the mailbox API outside the gateway — violation.
+pub fn rogue_mailbox(s: &mut Shard) {
+    s.inject_remote(1); // MARK: rogue mailbox
+}
+
+/// Worker code reaching for std::sync outside the gateway — violation.
+pub fn rogue_sync() -> u64 {
+    let m = std::sync::Mutex::new(7u64); // MARK: rogue sync
+    let v = m.lock().map(|g| *g).unwrap_or(0);
+    v
+}

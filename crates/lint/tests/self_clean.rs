@@ -15,12 +15,23 @@ fn workspace_passes_its_own_lint() {
     let cfg =
         Config::parse(&std::fs::read_to_string(root.join("lint.toml")).expect("read lint.toml"))
             .expect("lint.toml parses");
+    let started = std::time::Instant::now();
     let outcome = lint_tree(&root, &cfg).expect("walk workspace");
+    let took = started.elapsed();
     assert!(
         outcome.files_scanned > 50,
         "walk must cover the workspace, saw {}",
         outcome.files_scanned
     );
+    // Perf budget: the full workspace — lex, parse, call graph, all five
+    // tiers — must stay under 5 s. Asserted only in release; debug builds
+    // are allowed to be slow.
+    if !cfg!(debug_assertions) {
+        assert!(
+            took < std::time::Duration::from_secs(5),
+            "full workspace lint took {took:.2?}, budget is 5s"
+        );
+    }
     assert!(
         outcome.diagnostics.is_empty(),
         "workspace violates its own lint:\n{}",

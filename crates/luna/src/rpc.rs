@@ -7,9 +7,9 @@
 //! `ebs-tcp` — LUNA and kernel TCP differ only in the `StackCosts` the
 //! host charges around these calls.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
-use ebs_sim::{SimDuration, SimTime};
+use ebs_sim::{FxHashMap, SimDuration, SimTime};
 use ebs_tcp::{Segment, TcpConfig, TcpEngine};
 use ebs_wire::{FrameDecoder, RpcFrame, RpcMethod};
 
@@ -29,7 +29,7 @@ pub struct RpcCompletion {
 pub struct RpcClient {
     tcp: TcpEngine,
     dec: FrameDecoder,
-    inflight: HashMap<u64, SimTime>,
+    inflight: FxHashMap<u64, SimTime>,
     completions: VecDeque<RpcCompletion>,
     decode_errors: u64,
 }
@@ -40,7 +40,7 @@ impl RpcClient {
         RpcClient {
             tcp: TcpEngine::connect(cfg),
             dec: FrameDecoder::new(),
-            inflight: HashMap::new(),
+            inflight: FxHashMap::default(),
             completions: VecDeque::new(),
             decode_errors: 0,
         }

@@ -22,7 +22,7 @@ pub fn steer(peer_id: u64, cores: usize) -> usize {
 pub struct CoreEngine<C> {
     /// Core index.
     pub core: usize,
-    connections: std::collections::HashMap<u64, C>,
+    connections: ebs_sim::FxHashMap<u64, C>,
     ops: u64,
 }
 
@@ -30,7 +30,7 @@ impl<C> CoreEngine<C> {
     fn new(core: usize) -> Self {
         CoreEngine {
             core,
-            connections: std::collections::HashMap::new(),
+            connections: ebs_sim::FxHashMap::default(),
             ops: 0,
         }
     }

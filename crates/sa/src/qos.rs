@@ -6,9 +6,7 @@
 //! (Fig. 6 caption), so admission returns the delay for the caller to
 //! apply (and to subtract in measurements).
 
-use std::collections::HashMap;
-
-use ebs_sim::{Bandwidth, SimDuration, SimTime};
+use ebs_sim::{Bandwidth, FxHashMap, SimDuration, SimTime};
 
 /// Purchased service level of one virtual disk.
 #[derive(Debug, Clone, Copy)]
@@ -80,7 +78,7 @@ struct VdQos {
 /// The QoS table of one storage agent.
 #[derive(Debug, Default)]
 pub struct QosTable {
-    disks: HashMap<u64, VdQos>,
+    disks: FxHashMap<u64, VdQos>,
     admitted_ios: u64,
     admitted_bytes: u64,
     throttled_ios: u64,

@@ -2,7 +2,7 @@
 //! (§2.2, Fig. 2): it maps a virtual disk's block addresses to data
 //! segments on physical disks in specific block servers.
 
-use std::collections::HashMap;
+use ebs_sim::FxHashMap;
 
 /// Where a contiguous run of a virtual disk's blocks physically lives.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,7 +43,7 @@ impl std::error::Error for SegmentError {}
 #[derive(Debug, Clone)]
 pub struct SegmentTable {
     segment_blocks: u64,
-    disks: HashMap<u64, Vec<SegmentEntry>>,
+    disks: FxHashMap<u64, Vec<SegmentEntry>>,
     next_segment_id: u64,
 }
 
@@ -59,7 +59,7 @@ impl SegmentTable {
         assert!(segment_blocks > 0);
         SegmentTable {
             segment_blocks,
-            disks: HashMap::new(),
+            disks: FxHashMap::default(),
             next_segment_id: 1,
         }
     }

@@ -16,6 +16,7 @@ pub mod diag;
 mod sharded;
 mod testbed;
 mod trace;
+mod wallclock;
 
 pub use calibrate::{RdmaCosts, SaCosts, SolarCosts};
 pub use diag::{HopSpan, IoExplanation};

@@ -356,11 +356,11 @@ impl ShardedTestbed {
     fn run_serial(&mut self, horizon: SimTime) {
         let n = self.shards.len();
         let mut staged: Vec<Vec<RemoteMsg>> = vec![Vec::new(); n];
-        let t_worker = std::time::Instant::now();
+        let t_worker = crate::wallclock::now();
         while self.now < horizon {
             let edge = (self.now + self.window).min(horizon);
             for (i, tb) in self.shards.iter_mut().enumerate() {
-                let t0 = std::time::Instant::now();
+                let t0 = crate::wallclock::now();
                 tb.run_until(edge);
                 tb.advance_clock_to(edge);
                 for m in tb.take_remote_outbox() {
@@ -422,7 +422,7 @@ impl ShardedTestbed {
                 handles.push(scope.spawn(move || {
                     let mut ws = WorkerStats::default();
                     loop {
-                        let b0 = std::time::Instant::now();
+                        let b0 = crate::wallclock::now();
                         barrier.wait(); // window start (edge published)
                         ws.stall_ns += b0.elapsed().as_nanos() as u64;
                         let e = edge.load(Ordering::Acquire);
@@ -431,7 +431,7 @@ impl ShardedTestbed {
                         }
                         let e = SimTime::from_nanos(e);
                         for (i, tb, st) in set.iter_mut() {
-                            let t0 = std::time::Instant::now();
+                            let t0 = crate::wallclock::now();
                             tb.run_until(e);
                             tb.advance_clock_to(e);
                             for m in tb.take_remote_outbox() {
@@ -446,7 +446,7 @@ impl ShardedTestbed {
                             ws.busy_ns += d;
                             let _ = i;
                         }
-                        let b1 = std::time::Instant::now();
+                        let b1 = crate::wallclock::now();
                         barrier.wait(); // all outboxes staged
                         ws.stall_ns += b1.elapsed().as_nanos() as u64;
                         for (i, tb, st) in set.iter_mut() {

@@ -1121,22 +1121,22 @@ impl Testbed {
     fn run_until_profiled(&mut self, horizon: SimTime) {
         let mut batch = std::mem::take(&mut self.batch);
         loop {
-            let t0 = std::time::Instant::now();
+            let t0 = crate::wallclock::now();
             let n = self.q.pop_batch(horizon, &mut batch);
-            let t1 = std::time::Instant::now();
+            let t1 = crate::wallclock::now();
             if n == 0 {
                 break;
             }
-            // lint: allow(panic_discipline) — prof is Some on this path by construction
+            // prof is Some on this path by construction
             let p = self.prof.as_mut().unwrap();
             p.events += n as u64;
             p.pop_ns += (t1 - t0).as_nanos() as u64;
             for (now, ev) in batch.drain(..) {
-                let d0 = std::time::Instant::now();
+                let d0 = crate::wallclock::now();
                 let is_net = matches!(ev, Event::Net(_));
                 self.dispatch(now, ev);
                 let d = d0.elapsed().as_nanos() as u64;
-                // lint: allow(panic_discipline) — prof is Some on this path by construction
+                // prof is Some on this path by construction
                 let p = self.prof.as_mut().unwrap();
                 if is_net {
                     p.net_ns += d;
@@ -1674,7 +1674,7 @@ impl Testbed {
     // --- delivery from the fabric ---------------------------------------
 
     fn deliver(&mut self, now: SimTime, pkt: FabricPacket<Msg>) {
-        let t0 = self.prof.is_some().then(std::time::Instant::now);
+        let t0 = self.prof.is_some().then(crate::wallclock::now);
         match self.node_of_device[pkt.flow.dst.0 as usize] {
             NodeSlot::Storage(s) => self.storage_rx(now, s as usize, pkt),
             NodeSlot::Compute(c) => self.compute_rx(now, c as usize, pkt),
@@ -2306,7 +2306,7 @@ impl Testbed {
     }
 
     fn pump_compute(&mut self, now: SimTime, compute: usize) {
-        let prof_t0 = self.prof.is_some().then(std::time::Instant::now);
+        let prof_t0 = self.prof.is_some().then(crate::wallclock::now);
         // Collect outgoing packets first (borrow of computes), then send.
         let mut outgoing = std::mem::take(&mut self.out_compute);
         let mut min_timer: Option<SimTime> = None;
@@ -2417,7 +2417,7 @@ impl Testbed {
     }
 
     fn pump_storage(&mut self, now: SimTime, storage: usize) {
-        let prof_t0 = self.prof.is_some().then(std::time::Instant::now);
+        let prof_t0 = self.prof.is_some().then(crate::wallclock::now);
         let mut outgoing = std::mem::take(&mut self.out_storage);
         let mut min_timer: Option<SimTime> = None;
         {

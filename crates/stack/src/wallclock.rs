@@ -1,0 +1,16 @@
+//! The host stack's single sanctioned wall-clock tap.
+//!
+//! Everything in `ebs-stack` that reads real time — the profiler's
+//! per-phase attribution, the sharded executor's busy/stall accounting —
+//! funnels through [`now`]. The readings feed human-facing diagnostics
+//! only; simulated time is always an injected `ebs_sim::SimTime`. Keeping
+//! the tap in one function gives the lint's call-graph pass a reviewed
+//! boundary (`[callgraph] boundary` in `lint.toml`): taint from
+//! `Instant::now` stops here instead of flagging every profiled entry
+//! point from `run_until` up through the chaos harness.
+
+/// Read the wall clock. Stats only — must never feed simulated state.
+pub(crate) fn now() -> std::time::Instant {
+    // lint: allow(determinism) — profiling/stall accounting only; readings never influence simulated state or replayed bytes
+    std::time::Instant::now()
+}
