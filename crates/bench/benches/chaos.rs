@@ -10,6 +10,10 @@
 //!   both);
 //! * `--soak` — use the nightly soak envelope (bigger testbed, longer
 //!   faults) instead of the smoke envelope;
+//! * `--incast [hpcc|swift|dcqcn|fixed]` — use the incast-soak envelope
+//!   instead: SOLAR with ECN on, adversarial incast + microburst
+//!   traffic, and the CC oracles (bounded queues, no livelock) armed
+//!   for the named congestion controller (default hpcc);
 //! * `--schedules <n>` — stop after n seeds per stack instead of on the
 //!   wall budget;
 //! * `--budget-secs <s>` — wall budget (default 60; 5 with `--quick`);
@@ -86,16 +90,37 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick" || a == "--test");
     let soak = args.iter().any(|a| a == "--soak");
-    let stacks: Vec<Variant> = match flag_value(&args, "--stack")
-        .map(|s| s.to_ascii_lowercase())
-        .as_deref()
-    {
-        Some("luna") => vec![Variant::Luna],
-        Some("solar") => vec![Variant::Solar],
-        _ => vec![Variant::Luna, Variant::Solar],
+    let incast = args.iter().position(|a| a == "--incast").map(|i| {
+        match args
+            .get(i + 1)
+            .map(|s| s.to_ascii_lowercase())
+            .as_deref()
+            .unwrap_or("hpcc")
+        {
+            "swift" => ebs_cc::CcAlgo::Swift,
+            "dcqcn" => ebs_cc::CcAlgo::Dcqcn,
+            "fixed" => ebs_cc::CcAlgo::Fixed,
+            _ => ebs_cc::CcAlgo::Hpcc,
+        }
+    });
+    // The incast envelope is SOLAR-only (the CC trait lives behind the
+    // SOLAR per-path state), so it overrides --stack.
+    let stacks: Vec<Variant> = if incast.is_some() {
+        vec![Variant::Solar]
+    } else {
+        match flag_value(&args, "--stack")
+            .map(|s| s.to_ascii_lowercase())
+            .as_deref()
+        {
+            Some("luna") => vec![Variant::Luna],
+            Some("solar") => vec![Variant::Solar],
+            _ => vec![Variant::Luna, Variant::Solar],
+        }
     };
     let envelope = |v: Variant| {
-        if soak {
+        if let Some(cc) = incast {
+            ChaosConfig::incast_soak(cc)
+        } else if soak {
             ChaosConfig::soak(v)
         } else {
             ChaosConfig::smoke(v)
@@ -137,7 +162,11 @@ fn main() {
     }
     println!(
         "chaos {}: {ran} schedules over {:?} in {:.1}s, {failed} violating",
-        if soak { "soak" } else { "smoke" },
+        match incast {
+            Some(cc) => format!("incast-soak/{}", cc.name()),
+            None if soak => "soak".to_string(),
+            None => "smoke".to_string(),
+        },
         stacks.iter().map(|v| v.label()).collect::<Vec<_>>(),
         start.elapsed().as_secs_f64()
     );

@@ -1,0 +1,85 @@
+//! The null controller: a constant window.
+//!
+//! Preserves the pre-trait behavior of hosts that ran without
+//! congestion control — SOLAR with `int_enabled = false` (window parked
+//! at the BDP) and the RDMA baseline's static `window_pkts` — and
+//! doubles as the control arm of the CC comparison matrix.
+
+use crate::{AckSignal, CongestionControl};
+use ebs_sim::SimTime;
+
+/// Fixed-window parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct FixedConfig {
+    /// The constant window, bytes.
+    pub window_bytes: f64,
+}
+
+impl Default for FixedConfig {
+    fn default() -> Self {
+        FixedConfig {
+            // SOLAR's per-path BDP at 25G × 20us.
+            window_bytes: 62_500.0,
+        }
+    }
+}
+
+/// A window that never moves.
+#[derive(Debug)]
+pub struct Fixed {
+    window: f64,
+}
+
+impl Fixed {
+    /// A controller pinned at `cfg.window_bytes`.
+    pub fn new(cfg: FixedConfig) -> Self {
+        Fixed {
+            window: cfg.window_bytes,
+        }
+    }
+
+    /// Current window in bytes (constant).
+    pub fn window(&self) -> f64 {
+        self.window
+    }
+
+    /// Timeouts do not move a fixed window.
+    pub fn on_timeout(&mut self) {}
+}
+
+impl CongestionControl for Fixed {
+    fn on_ack(&mut self, _now: SimTime, _sig: &AckSignal<'_>) {}
+
+    fn on_timeout(&mut self) {}
+
+    fn window(&self) -> f64 {
+        self.window
+    }
+
+    fn name(&self) -> &'static str {
+        "fixed"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_is_constant() {
+        let mut f = Fixed::new(FixedConfig {
+            window_bytes: 1234.0,
+        });
+        f.on_timeout();
+        CongestionControl::on_ack(
+            &mut f,
+            SimTime::from_micros(1),
+            &AckSignal {
+                rtt_sample: None,
+                int: None,
+                ecn: true,
+            },
+        );
+        assert_eq!(f.window(), 1234.0);
+    }
+}

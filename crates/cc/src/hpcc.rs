@@ -1,4 +1,4 @@
-//! HPCC-style INT-driven congestion control, one instance per path.
+//! HPCC-style INT-driven congestion control.
 //!
 //! SOLAR pairs its per-packet ACKs with fine-grained congestion control
 //! (§4.8 cites HPCC [38]): every ACK echoes the INT stack the data packet
@@ -7,13 +7,58 @@
 //! update rule — multiplicative adjustment toward `η` when over-utilized,
 //! bounded additive increase otherwise, against a per-RTT reference
 //! window `Wc`.
+//!
+//! Ported verbatim from `ebs-solar` behind the [`CongestionControl`]
+//! trait; the float operations are unchanged so windows replay
+//! bit-identically across the move.
 
 use ebs_sim::FxHashMap;
 
-use ebs_sim::SimTime;
+use ebs_sim::{Bandwidth, SimDuration, SimTime};
 use ebs_wire::IntStack;
 
-use crate::config::HpccConfig;
+use crate::{AckSignal, CongestionControl};
+
+/// HPCC-style congestion control parameters (per path).
+#[derive(Debug, Clone, Copy)]
+pub struct HpccConfig {
+    /// Target utilization η (HPCC uses 0.95).
+    pub eta: f64,
+    /// Additive increase per ACK, in bytes (W_ai).
+    pub wai_bytes: f64,
+    /// Maximum additive-increase stages before a multiplicative update is
+    /// forced (HPCC's maxStage).
+    pub max_stage: u32,
+    /// Line rate of the bottleneck-free path (sets the initial window).
+    pub line_rate: Bandwidth,
+    /// Base (unloaded) RTT; with `line_rate` gives the BDP.
+    pub base_rtt: SimDuration,
+    /// Lower bound on the window so a path can always probe (bytes).
+    pub min_window: f64,
+}
+
+impl Default for HpccConfig {
+    fn default() -> Self {
+        HpccConfig {
+            eta: 0.95,
+            wai_bytes: 4096.0,
+            max_stage: 5,
+            // Per-path share of a 2x25GE NIC spraying over 4 paths: the
+            // *initial* window is one path's fair share of the NIC; HPCC
+            // grows it when INT shows headroom.
+            line_rate: Bandwidth::from_gbps(25),
+            base_rtt: SimDuration::from_micros(20),
+            min_window: 2.0 * 4096.0,
+        }
+    }
+}
+
+impl HpccConfig {
+    /// The bandwidth-delay product: initial and reference maximum window.
+    pub fn bdp_bytes(&self) -> f64 {
+        self.line_rate.bytes_per_sec() * self.base_rtt.as_secs_f64()
+    }
+}
 
 /// Previous INT observation of one hop (to difference the tx counter).
 #[derive(Debug, Clone, Copy)]
@@ -63,7 +108,7 @@ impl Hpcc {
     }
 
     /// Process the INT stack echoed by an ACK.
-    pub fn on_ack(&mut self, now: SimTime, int: &IntStack) {
+    pub fn on_int_ack(&mut self, now: SimTime, int: &IntStack) {
         let Some(u) = self.max_hop_utilization(int) else {
             return; // first sample of every hop: no rate yet
         };
@@ -125,6 +170,29 @@ impl Hpcc {
     }
 }
 
+impl CongestionControl for Hpcc {
+    /// HPCC only reacts to ACKs that carry INT; bare ACKs leave the
+    /// window untouched (matching the pre-trait SOLAR behavior when
+    /// `int_enabled` is off).
+    fn on_ack(&mut self, now: SimTime, sig: &AckSignal<'_>) {
+        if let Some(int) = sig.int {
+            self.on_int_ack(now, int);
+        }
+    }
+
+    fn on_timeout(&mut self) {
+        Hpcc::on_timeout(self);
+    }
+
+    fn window(&self) -> f64 {
+        Hpcc::window(self)
+    }
+
+    fn name(&self) -> &'static str {
+        "hpcc"
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -158,8 +226,8 @@ mod tests {
         h.on_timeout();
         let w0 = h.window();
         // Empty queue, negligible tx rate.
-        h.on_ack(SimTime::from_micros(10), &stack(vec![hop(1, 0, 0, 10_000)]));
-        h.on_ack(
+        h.on_int_ack(SimTime::from_micros(10), &stack(vec![hop(1, 0, 0, 10_000)]));
+        h.on_int_ack(
             SimTime::from_micros(25),
             &stack(vec![hop(1, 0, 100, 25_000)]),
         );
@@ -172,11 +240,11 @@ mod tests {
         let w0 = h.window();
         // Deep queue and line-rate tx: U >> eta.
         // 25G = 3.125 bytes/ns: in 10_000 ns, 31_250 bytes at line rate.
-        h.on_ack(
+        h.on_int_ack(
             SimTime::from_micros(10),
             &stack(vec![hop(1, 200_000, 0, 10_000)]),
         );
-        h.on_ack(
+        h.on_int_ack(
             SimTime::from_micros(25),
             &stack(vec![hop(1, 200_000, 46_875, 25_000)]),
         );
@@ -187,11 +255,11 @@ mod tests {
     #[test]
     fn bottleneck_is_the_max_hop() {
         let mut h = Hpcc::new(HpccConfig::default());
-        h.on_ack(
+        h.on_int_ack(
             SimTime::from_micros(10),
             &stack(vec![hop(1, 0, 0, 10_000), hop(2, 500_000, 0, 10_000)]),
         );
-        h.on_ack(
+        h.on_int_ack(
             SimTime::from_micros(25),
             &stack(vec![
                 hop(1, 0, 100, 25_000),
@@ -217,5 +285,45 @@ mod tests {
             h.on_timeout();
         }
         assert!(h.window() >= cfg.min_window);
+    }
+
+    #[test]
+    fn trait_ack_routes_int() {
+        let mut h = Hpcc::new(HpccConfig::default());
+        let w0 = h.window();
+        // A bare ACK (no INT) must not move the window.
+        CongestionControl::on_ack(
+            &mut h,
+            SimTime::from_micros(10),
+            &AckSignal {
+                rtt_sample: Some(SimDuration::from_micros(20)),
+                int: None,
+                ecn: true,
+            },
+        );
+        assert_eq!(h.window(), w0);
+        // The same congested INT trace as `congested_link_shrinks`, fed
+        // through the trait, must shrink it.
+        let s1 = stack(vec![hop(1, 200_000, 0, 10_000)]);
+        let s2 = stack(vec![hop(1, 200_000, 46_875, 25_000)]);
+        CongestionControl::on_ack(
+            &mut h,
+            SimTime::from_micros(10),
+            &AckSignal {
+                rtt_sample: None,
+                int: Some(&s1),
+                ecn: false,
+            },
+        );
+        CongestionControl::on_ack(
+            &mut h,
+            SimTime::from_micros(25),
+            &AckSignal {
+                rtt_sample: None,
+                int: Some(&s2),
+                ecn: false,
+            },
+        );
+        assert!(h.window() < w0);
     }
 }

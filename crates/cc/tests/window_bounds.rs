@@ -1,0 +1,94 @@
+//! Property tests: under arbitrary ACK/timeout histories, every
+//! controller's window stays inside [min_window, 4·BDP] (the fixed
+//! controller: exactly at its configured constant).
+
+use ebs_cc::{AckSignal, AnyCc, CcAlgo, CcConfig, CongestionControl};
+use ebs_sim::{SimDuration, SimTime};
+use ebs_wire::{IntHop, IntStack};
+use proptest::prelude::*;
+
+/// One generated step: `(kind, dt_us, rtt_us, has_rtt, ecn, hops)`.
+/// `kind == 0` is a timeout (1-in-10 weight); anything else is an ACK
+/// carrying whichever signals the flags enable.
+type RawStep = (u8, u64, u64, bool, bool, Vec<(u32, u64)>);
+
+fn drive(cc: &mut AnyCc, steps: &[RawStep]) -> Vec<f64> {
+    let mut now_us = 0u64;
+    let mut windows = Vec::with_capacity(steps.len());
+    for (kind, dt_us, rtt_us, has_rtt, ecn, hops) in steps {
+        if *kind == 0 {
+            cc.on_timeout();
+        } else {
+            now_us += dt_us;
+            let int = IntStack {
+                hops: hops
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &(queue_bytes, tx_bytes))| IntHop {
+                        device_id: i as u32,
+                        queue_bytes,
+                        tx_bytes,
+                        ts_ns: now_us * 1000,
+                        link_mbps: 25_000,
+                    })
+                    .collect(),
+            };
+            let sig = AckSignal {
+                rtt_sample: has_rtt.then(|| SimDuration::from_micros(*rtt_us)),
+                int: (!int.hops.is_empty()).then_some(&int),
+                ecn: *ecn,
+            };
+            cc.on_ack(SimTime::from_micros(now_us), &sig);
+        }
+        windows.push(cc.window());
+    }
+    windows
+}
+
+fn steps_strategy() -> impl Strategy<Value = Vec<RawStep>> {
+    proptest::collection::vec(
+        (
+            0u8..10,
+            0u64..200,
+            1u64..5_000,
+            any::<bool>(),
+            any::<bool>(),
+            proptest::collection::vec((0u32..10_000_000, 0u64..(1 << 40)), 0..4),
+        ),
+        1..200,
+    )
+}
+
+proptest! {
+    #[test]
+    fn adaptive_windows_stay_bounded(
+        steps in steps_strategy(),
+        algo in proptest::sample::select(vec![CcAlgo::Hpcc, CcAlgo::Swift, CcAlgo::Dcqcn]),
+    ) {
+        let cfg = CcConfig { algo, ..CcConfig::default() };
+        // All three adaptive controllers share the default 25G × 20us
+        // envelope: floor 8 KiB, cap 4 × BDP = 250_000 bytes.
+        let (floor, cap) = match algo {
+            CcAlgo::Hpcc => (cfg.hpcc.min_window, 4.0 * cfg.hpcc.bdp_bytes()),
+            CcAlgo::Swift => (cfg.swift.min_window, 4.0 * cfg.swift.bdp_bytes()),
+            CcAlgo::Dcqcn => (cfg.dcqcn.min_window, 4.0 * cfg.dcqcn.bdp_bytes()),
+            CcAlgo::Fixed => unreachable!(),
+        };
+        let mut cc = AnyCc::new(&cfg);
+        for w in drive(&mut cc, &steps) {
+            prop_assert!(w >= floor - 1e-9, "window {} under floor {}", w, floor);
+            prop_assert!(w <= cap + 1e-9, "window {} over cap {}", w, cap);
+            prop_assert!(w.is_finite());
+        }
+    }
+
+    #[test]
+    fn fixed_window_never_moves(steps in steps_strategy()) {
+        let cfg = CcConfig { algo: CcAlgo::Fixed, ..CcConfig::default() };
+        let pinned = cfg.fixed.window_bytes;
+        let mut cc = AnyCc::new(&cfg);
+        for w in drive(&mut cc, &steps) {
+            prop_assert_eq!(w, pinned);
+        }
+    }
+}

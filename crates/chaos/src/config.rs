@@ -2,6 +2,7 @@
 //! from. The config bounds *what can be generated*; the [`Schedule`]
 //! (crate::Schedule) is the concrete draw for one seed.
 
+use ebs_cc::CcAlgo;
 use ebs_sim::SimDuration;
 use ebs_stack::Variant;
 
@@ -108,6 +109,39 @@ pub struct ChaosConfig {
     /// Upper bound on the sim event-queue length at quiescence (an idle
     /// testbed holds only periodic timer/probe events).
     pub max_idle_queue: usize,
+    /// Congestion-control algorithm for the SOLAR paths (ignored by the
+    /// other variants). Plain config — copied into the schedule, never
+    /// sampled, so existing seeds replay unchanged.
+    pub cc: CcAlgo,
+    /// Enable RED/ECN marking at switch egress queues. Marking draws
+    /// from its own RNG stream, so turning it on shifts no other
+    /// randomness.
+    pub ecn: bool,
+    /// Adversarial incast/microburst traffic layered on top of the fio
+    /// workload, with its own oracles (bounded queues, no livelock).
+    pub incast: Option<IncastConfig>,
+}
+
+/// The incast/microburst stress envelope: deterministic adversarial
+/// traffic (from [`ebs_workload::adversarial`]) injected alongside the
+/// sampled faults, plus the CC-specific oracle bounds it must satisfy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IncastConfig {
+    /// Length of the adversarial pattern window.
+    pub duration: SimDuration,
+    /// Bounded-queue oracle: peak egress occupancy anywhere in the
+    /// fabric must stay at or below this (shallow buffers are 512 KiB;
+    /// a controller that fills them to the cap is in drop territory).
+    pub max_queue_bytes: usize,
+}
+
+impl Default for IncastConfig {
+    fn default() -> Self {
+        IncastConfig {
+            duration: SimDuration::from_millis(4),
+            max_queue_bytes: 448 * 1024,
+        }
+    }
 }
 
 impl ChaosConfig {
@@ -133,6 +167,9 @@ impl ChaosConfig {
             recovery_deadline: SimDuration::from_secs(5),
             quiesce_grace: SimDuration::from_secs(1),
             max_idle_queue: 1024,
+            cc: CcAlgo::Hpcc,
+            ecn: false,
+            incast: None,
         }
     }
 
@@ -153,6 +190,37 @@ impl ChaosConfig {
             min_fault_duration: SimDuration::from_millis(10),
             max_fault_duration: SimDuration::from_millis(120),
             ..ChaosConfig::smoke(variant)
+        }
+    }
+
+    /// The nightly incast-soak envelope: SOLAR under `cc` with ECN
+    /// marking on, adversarial incast + microburst traffic layered over
+    /// a lighter fault schedule, and the CC oracles (bounded queues, no
+    /// livelock) armed. Faults are restricted to classes that do not
+    /// drop or starve traffic outright (QoS, storage brown-out, PCIe
+    /// stall) so a violation indicts the congestion controller, not the
+    /// fault.
+    pub fn incast_soak(cc: CcAlgo) -> Self {
+        ChaosConfig {
+            cc,
+            ecn: true,
+            incast: Some(IncastConfig::default()),
+            n_compute: 4,
+            n_storage: 4,
+            max_fio_depth: 2,
+            min_faults: 0,
+            max_faults: 2,
+            weights: FaultWeights {
+                fail_stop: 0,
+                reboot: 0,
+                blackhole: 0,
+                random_loss: 0,
+                qos_throttle: 1,
+                storage_slowdown: 1,
+                pcie_stall: 1,
+                bit_flip: 1,
+            },
+            ..ChaosConfig::smoke(Variant::Solar)
         }
     }
 }

@@ -70,6 +70,24 @@ pub enum Violation {
         /// Configured idle bound.
         limit: u64,
     },
+    /// Under the incast envelope, some fabric egress queue exceeded the
+    /// bounded-occupancy limit — the congestion controller let a
+    /// shallow buffer fill into drop territory.
+    QueueBound {
+        /// Peak egress-queue occupancy observed anywhere (bytes).
+        max_queue_bytes: u64,
+        /// The configured bound (bytes).
+        limit: u64,
+    },
+    /// Under the incast envelope, traffic was submitted but nothing
+    /// ever completed: the controller starved itself (window pinned at
+    /// zero / mutual retransmission storm) instead of making progress.
+    Livelock {
+        /// I/Os submitted over the run.
+        submitted: u64,
+        /// I/Os completed by quiesce.
+        completed: u64,
+    },
 }
 
 impl Violation {
@@ -82,6 +100,8 @@ impl Violation {
             Violation::UndetectedCorruption { .. } => "undetected_corruption",
             Violation::CrcFalsePositive { .. } => "crc_false_positive",
             Violation::NotQuiescent { .. } => "not_quiescent",
+            Violation::QueueBound { .. } => "queue_bound",
+            Violation::Livelock { .. } => "livelock",
         }
     }
 
@@ -124,6 +144,16 @@ impl Violation {
             } => format!(
                 "not quiescent: {outstanding} outstanding ios, queue {queue_len} > limit {limit}"
             ),
+            Violation::QueueBound {
+                max_queue_bytes,
+                limit,
+            } => format!(
+                "egress queue peaked at {max_queue_bytes} bytes, above the {limit}-byte bound"
+            ),
+            Violation::Livelock {
+                submitted,
+                completed,
+            } => format!("livelock: {submitted} ios submitted, only {completed} ever completed"),
         }
     }
 
@@ -176,6 +206,21 @@ impl Violation {
                     s,
                     ",\"outstanding\":{outstanding},\"queue_len\":{queue_len},\"limit\":{limit}"
                 );
+            }
+            Violation::QueueBound {
+                max_queue_bytes,
+                limit,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"max_queue_bytes\":{max_queue_bytes},\"limit\":{limit}"
+                );
+            }
+            Violation::Livelock {
+                submitted,
+                completed,
+            } => {
+                let _ = write!(s, ",\"submitted\":{submitted},\"completed\":{completed}");
             }
         }
         s.push('}');

@@ -9,12 +9,13 @@
 //! is captured as canonical strings.
 
 use bytes::Bytes;
+use ebs_cc::CcAlgo;
 use ebs_crc::{block_crc_raw, SegmentChecker, SegmentVerdict};
 use ebs_dpu::{BitFlipInjector, CrcStage, PacketCtx, Pipeline, Stage};
 use ebs_net::{DeviceId, FailureMode};
-use ebs_sa::QosSpec;
+use ebs_sa::{IoKind, IoRequest, QosSpec};
 use ebs_sim::{rng, SimDuration, SimTime};
-use ebs_stack::{FioConfig, ShardedTestbed, ShardedTestbedConfig, Testbed, TestbedConfig};
+use ebs_stack::{FioConfig, ShardedTestbed, ShardedTestbedConfig, Testbed, TestbedConfig, Variant};
 use ebs_wire::{EbsHeader, EbsOp};
 use rand::Rng;
 
@@ -80,6 +81,67 @@ impl ChaosOutcome {
     }
 }
 
+/// Copy the schedule's congestion-control knobs onto the testbed config.
+/// Plain config transfer — nothing here draws randomness, so schedules
+/// generated before these knobs existed replay byte-identically.
+fn apply_cc_knobs(cfg: &mut TestbedConfig, schedule: &Schedule) {
+    cfg.solar.cc = schedule.cc;
+    cfg.ecn.enabled = schedule.ecn;
+    if schedule.cc == CcAlgo::Swift {
+        // Swift's stock 25 µs target is a fabric-delay target; the SOLAR
+        // ack path also carries SSD + server-stack time, so an end-to-end
+        // delay controller needs a target above the unloaded storage RTT
+        // or it pins the window at the floor (see bench::cc).
+        cfg.solar.swift.target_delay = SimDuration::from_micros(250);
+    }
+    if cfg.variant == Variant::Rdma && schedule.ecn {
+        cfg.rdma.dcqcn = Some(ebs_cc::DcqcnConfig::default());
+    }
+}
+
+/// Translate one adversarial [`ebs_workload::IoEvent`] into the guest
+/// I/O the testbed runners schedule. `compute` is the index the event
+/// was resolved onto (shard-local under the fleet engine), which is
+/// also the virtual disk the testbed provisioned for it.
+fn adversarial_req(e: &ebs_workload::IoEvent, compute: usize) -> IoRequest {
+    IoRequest {
+        vd_id: compute as u64,
+        kind: if e.write { IoKind::Write } else { IoKind::Read },
+        offset: e.offset,
+        len: e.bytes,
+    }
+}
+
+/// The adversarial event stream for the schedule's incast envelope:
+/// N:1 incast plus staggered microbursts, both deterministic pure-data
+/// generators (no RNG draw anywhere).
+fn incast_events(schedule: &Schedule) -> Vec<ebs_workload::IoEvent> {
+    let Some(inc) = &schedule.incast else {
+        return Vec::new();
+    };
+    let adv = ebs_workload::AdversarialConfig {
+        n_compute: schedule.n_compute.max(1) as u32,
+        duration_us: inc.duration.as_nanos() / 1000,
+    };
+    let mut evs = ebs_workload::adversarial::incast(&adv);
+    evs.extend(ebs_workload::adversarial::microburst(&adv));
+    evs
+}
+
+/// Layer the incast/microburst traffic over the fio workload (flat
+/// runner). Events start at the same 1 ms mark fio attaches at.
+fn inject_incast(tb: &mut Testbed, schedule: &Schedule, t0: SimTime) {
+    let start = t0 + SimDuration::from_millis(1);
+    for e in incast_events(schedule) {
+        let compute = e.compute as usize % schedule.n_compute.max(1);
+        tb.schedule_io(
+            start + SimDuration::from_micros(e.at_us),
+            compute,
+            adversarial_req(&e, compute),
+        );
+    }
+}
+
 fn resolve_device(tb: &Testbed, tier: DeviceTier, index: usize) -> Option<DeviceId> {
     let kind = match tier {
         DeviceTier::Tor => ebs_net::DeviceKind::Tor,
@@ -98,8 +160,10 @@ fn resolve_device(tb: &Testbed, tier: DeviceTier, index: usize) -> Option<Device
 pub fn run_schedule(schedule: &Schedule) -> ChaosOutcome {
     let mut cfg = TestbedConfig::small(schedule.variant, schedule.n_compute, schedule.n_storage);
     cfg.seed = schedule.seed;
+    apply_cc_knobs(&mut cfg, schedule);
     let mut tb = Testbed::new(cfg);
     let t0 = SimTime::ZERO;
+    inject_incast(&mut tb, schedule, t0);
 
     for compute in 0..schedule.n_compute {
         tb.attach_fio(
@@ -273,6 +337,24 @@ pub fn run_schedule(schedule: &Schedule) -> ChaosOutcome {
         });
     }
 
+    // CC oracles, armed only under the incast envelope: bounded queue
+    // occupancy and no livelock.
+    if let Some(inc) = &schedule.incast {
+        let max_q = tb.fabric().max_queue_bytes() as u64;
+        if max_q > inc.max_queue_bytes as u64 {
+            violations.push(Violation::QueueBound {
+                max_queue_bytes: max_q,
+                limit: inc.max_queue_bytes as u64,
+            });
+        }
+        if submitted > 0 && completed == 0 {
+            violations.push(Violation::Livelock {
+                submitted,
+                completed,
+            });
+        }
+    }
+
     tb.sample_obs();
     let metrics_json = ebs_obs::metrics_snapshot(tb.metrics());
     let (trace_json, diagnosis) = if !violations.is_empty() && ebs_obs::ENABLED {
@@ -334,12 +416,25 @@ pub fn run_schedule_sharded(schedule: &Schedule, n_shards: u32, threads: usize) 
     );
     cfg.base.seed = schedule.seed;
     cfg.threads = threads;
+    apply_cc_knobs(&mut cfg.base, schedule);
     let mut fleet = ShardedTestbed::new(cfg);
     let n = fleet.shards();
     let t0 = SimTime::ZERO;
 
     let computes: Vec<usize> = (0..n).map(|s| fleet.shard(s).config().n_compute).collect();
     let storages: Vec<usize> = (0..n).map(|s| fleet.shard(s).config().n_storage).collect();
+
+    // Incast traffic maps each flat compute index onto the owning
+    // shard's local slot, mirroring the fault mapping below.
+    let start = t0 + SimDuration::from_millis(1);
+    for e in incast_events(schedule) {
+        let (s, local) = locate(&computes, e.compute as usize);
+        fleet.shard_mut(s).schedule_io(
+            start + SimDuration::from_micros(e.at_us),
+            local,
+            adversarial_req(&e, local),
+        );
+    }
 
     for s in 0..n {
         let tb = fleet.shard_mut(s);
@@ -535,6 +630,27 @@ pub fn run_schedule_sharded(schedule: &Schedule, n_shards: u32, threads: usize) 
             queue_len,
             limit,
         });
+    }
+
+    // CC oracles under the incast envelope: the bound applies to the
+    // worst egress queue across every shard's fabric.
+    if let Some(inc) = &schedule.incast {
+        let max_q = (0..n)
+            .map(|s| fleet.shard(s).fabric().max_queue_bytes() as u64)
+            .max()
+            .unwrap_or(0);
+        if max_q > inc.max_queue_bytes as u64 {
+            violations.push(Violation::QueueBound {
+                max_queue_bytes: max_q,
+                limit: inc.max_queue_bytes as u64,
+            });
+        }
+        if submitted > 0 && completed == 0 {
+            violations.push(Violation::Livelock {
+                submitted,
+                completed,
+            });
+        }
     }
 
     // The fleet digest is the replay-comparable metrics string for the

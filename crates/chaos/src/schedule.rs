@@ -8,11 +8,12 @@
 //! testbed is consulted, so a schedule can be generated (and printed)
 //! without running anything.
 
+use ebs_cc::CcAlgo;
 use ebs_sim::{rng, Bandwidth, SimDuration};
 use ebs_stack::Variant;
 use rand::Rng;
 
-use crate::config::ChaosConfig;
+use crate::config::{ChaosConfig, IncastConfig};
 
 /// Fabric tier a net-level fault lands on. Server devices are never
 /// targeted directly — the paper's Table 2 failure model is switch-level
@@ -211,6 +212,13 @@ pub struct Schedule {
     pub quiesce_grace: SimDuration,
     /// Event-queue bound at quiescence.
     pub max_idle_queue: usize,
+    /// SOLAR congestion-control algorithm (config-copied, never
+    /// sampled — existing seeds replay unchanged).
+    pub cc: CcAlgo,
+    /// RED/ECN marking at switch egress queues.
+    pub ecn: bool,
+    /// Adversarial incast/microburst envelope, when armed.
+    pub incast: Option<IncastConfig>,
     /// The fault timeline, sorted by injection instant.
     pub faults: Vec<FaultEvent>,
 }
@@ -244,6 +252,9 @@ impl Schedule {
             recovery_deadline: cfg.recovery_deadline,
             quiesce_grace: cfg.quiesce_grace,
             max_idle_queue: cfg.max_idle_queue,
+            cc: cfg.cc,
+            ecn: cfg.ecn,
+            incast: cfg.incast,
             faults,
         }
     }
@@ -273,7 +284,7 @@ impl Schedule {
             "{{\"seed\":{},\"variant\":\"{}\",\"n_compute\":{},\"n_storage\":{},\
              \"fio_depth\":{},\"io_bytes\":{},\"read_fraction\":{},\
              \"horizon_ns\":{},\"recovery_deadline_ns\":{},\"quiesce_grace_ns\":{},\
-             \"faults\":[",
+             \"cc\":\"{}\",\"ecn\":{},",
             self.seed,
             self.variant.label(),
             self.n_compute,
@@ -284,7 +295,18 @@ impl Schedule {
             self.horizon.as_nanos(),
             self.recovery_deadline.as_nanos(),
             self.quiesce_grace.as_nanos(),
+            self.cc.name(),
+            self.ecn,
         );
+        if let Some(inc) = &self.incast {
+            let _ = write!(
+                s,
+                "\"incast\":{{\"duration_ns\":{},\"max_queue_bytes\":{}}},",
+                inc.duration.as_nanos(),
+                inc.max_queue_bytes
+            );
+        }
+        s.push_str("\"faults\":[");
         for (i, f) in self.faults.iter().enumerate() {
             if i > 0 {
                 s.push(',');

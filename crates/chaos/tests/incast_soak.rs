@@ -1,0 +1,108 @@
+//! The incast-soak envelope under test: SOLAR with ECN marking on and
+//! adversarial incast + microburst traffic layered over the fio
+//! workload, swept per congestion controller. Two properties:
+//!
+//! 1. Every oracle holds — including the CC-specific pair the envelope
+//!    arms (bounded queue occupancy, no livelock). The envelope's fault
+//!    classes are restricted to ones that do not drop traffic outright,
+//!    so a violation here indicts the controller.
+//! 2. Seed replay is byte-identical per controller, through both the
+//!    flat runner and the sharded fleet engine at 1 and 2 threads.
+
+use ebs_cc::CcAlgo;
+use ebs_chaos::{run_schedule, run_schedule_sharded, ChaosConfig, Schedule};
+
+/// The controllers the nightly incast soak sweeps. `Fixed` rides along
+/// as the no-control baseline: it must still avoid livelock, though its
+/// queue bound only holds because the envelope's fan-in is sized to the
+/// shallow-buffer cap.
+const CONTROLLERS: [CcAlgo; 4] = [CcAlgo::Hpcc, CcAlgo::Swift, CcAlgo::Dcqcn, CcAlgo::Fixed];
+
+#[test]
+fn incast_envelope_holds_for_every_controller() {
+    for cc in CONTROLLERS {
+        let cfg = ChaosConfig::incast_soak(cc);
+        for seed in [1u64, 9] {
+            let schedule = Schedule::generate(seed, &cfg);
+            let outcome = run_schedule(&schedule);
+            assert!(
+                outcome.ok(),
+                "cc {} seed {seed} violated: {:?}",
+                cc.name(),
+                outcome
+                    .violations
+                    .iter()
+                    .map(|v| v.describe())
+                    .collect::<Vec<_>>()
+            );
+            assert!(
+                outcome.completed > 0,
+                "cc {} seed {seed}: incast run completed nothing",
+                cc.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn incast_seed_replays_bit_identically_per_controller() {
+    for cc in CONTROLLERS {
+        let cfg = ChaosConfig::incast_soak(cc);
+        let s1 = Schedule::generate(5, &cfg);
+        let s2 = Schedule::generate(5, &cfg);
+        assert_eq!(
+            s1.to_json(),
+            s2.to_json(),
+            "schedule diverged, {}",
+            cc.name()
+        );
+        let o1 = run_schedule(&s1);
+        let o2 = run_schedule(&s2);
+        assert_eq!(
+            o1.verdicts_json(),
+            o2.verdicts_json(),
+            "verdicts diverged under {}",
+            cc.name()
+        );
+        assert_eq!(
+            o1.metrics_json,
+            o2.metrics_json,
+            "obs metrics diverged under {}",
+            cc.name()
+        );
+    }
+}
+
+/// Satellite of the determinism story: each controller's incast run
+/// replays byte-identically through the sharded fleet engine, and the
+/// 2-thread schedule agrees with the serial one. The 4+4 envelope
+/// splits into 2 shards of 2+2.
+#[test]
+fn incast_replays_through_the_sharded_engine_per_controller() {
+    for cc in CONTROLLERS {
+        let cfg = ChaosConfig::incast_soak(cc);
+        let sched = Schedule::generate(5, &cfg);
+        let serial = run_schedule_sharded(&sched, 2, 1);
+        let again = run_schedule_sharded(&sched, 2, 1);
+        assert_eq!(
+            serial.verdicts_json(),
+            again.verdicts_json(),
+            "sharded replay diverged under {}",
+            cc.name()
+        );
+        assert_eq!(serial.metrics_json, again.metrics_json);
+        let threaded = run_schedule_sharded(&sched, 2, 2);
+        assert_eq!(
+            serial.verdicts_json(),
+            threaded.verdicts_json(),
+            "2-thread sharded replay diverged under {}",
+            cc.name()
+        );
+        assert_eq!(
+            serial.metrics_json,
+            threaded.metrics_json,
+            "2-thread fleet digest diverged under {}",
+            cc.name()
+        );
+    }
+}

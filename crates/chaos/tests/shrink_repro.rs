@@ -61,6 +61,9 @@ fn planted() -> Schedule {
         recovery_deadline: SimDuration::from_secs(2),
         quiesce_grace: SimDuration::from_millis(500),
         max_idle_queue: 1024,
+        cc: ebs_cc::CcAlgo::Hpcc,
+        ecn: false,
+        incast: None,
         faults,
     }
 }

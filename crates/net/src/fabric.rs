@@ -76,6 +76,10 @@ pub struct FabricPacket<P> {
     pub size: usize,
     /// INT stack; `Some` enables per-hop stamping.
     pub int: Option<IntStack>,
+    /// ECN congestion-experienced mark: set by RED marking at a switch
+    /// egress queue ([`EcnConfig`]), read by the receiving endpoint and
+    /// echoed to the sender in its transport's ACK.
+    pub ecn: bool,
     /// Opaque payload delivered to the destination endpoint.
     pub payload: P,
     /// `flow.hash64()`, cached at construction.
@@ -90,6 +94,7 @@ impl<P> FabricPacket<P> {
             flow,
             size,
             int,
+            ecn: false,
             payload,
         }
     }
@@ -266,6 +271,38 @@ impl RouteCache {
     }
 }
 
+/// RED-style ECN marking at switch egress queues (the congestion signal
+/// DCQCN-class controllers consume). Disabled by default: marking draws
+/// from its own RNG stream (`"fabric-ecn"`), so enabling it never shifts
+/// the loss stream and existing seeds replay unchanged.
+#[derive(Debug, Clone, Copy)]
+pub struct EcnConfig {
+    /// Master switch; when false no packet is ever marked and the ECN
+    /// RNG stream is never drawn from.
+    pub enabled: bool,
+    /// Queue depth (bytes) below which nothing is marked.
+    pub kmin_bytes: usize,
+    /// Queue depth (bytes) at and above which everything is marked.
+    pub kmax_bytes: usize,
+    /// Marking probability as the queue reaches `kmax_bytes` (the RED
+    /// ramp is linear between the thresholds).
+    pub pmax: f64,
+}
+
+impl Default for EcnConfig {
+    fn default() -> Self {
+        EcnConfig {
+            enabled: false,
+            // DCQCN-style thresholds scaled to the testbed's ~256 KiB
+            // switch buffers: start marking at 1/16 occupancy, mark
+            // everything past 1/4.
+            kmin_bytes: 16 * 1024,
+            kmax_bytes: 64 * 1024,
+            pmax: 0.2,
+        }
+    }
+}
+
 /// Fabric-wide tunables.
 #[derive(Debug, Clone, Copy)]
 pub struct FabricConfig {
@@ -275,6 +312,8 @@ pub struct FabricConfig {
     pub routing_convergence: SimDuration,
     /// Seed for the loss RNG.
     pub seed: u64,
+    /// RED/ECN marking at switch egress queues.
+    pub ecn: EcnConfig,
 }
 
 impl Default for FabricConfig {
@@ -282,6 +321,7 @@ impl Default for FabricConfig {
         FabricConfig {
             routing_convergence: SimDuration::from_secs(30),
             seed: 1,
+            ecn: EcnConfig::default(),
         }
     }
 }
@@ -293,6 +333,11 @@ pub struct Fabric<P> {
     devices: Vec<DeviceState>,
     cfg: FabricConfig,
     loss_rng: SmallRng,
+    /// Dedicated RED-marking stream: only drawn from when ECN is
+    /// enabled, so turning marking on/off never perturbs `loss_rng`.
+    ecn_rng: SmallRng,
+    /// Packets ECN-marked so far (diagnostics / oracles).
+    ecn_marked: u64,
     drops: DropStats,
     delivered: u64,
     /// In-flight packets, parked between hops; events carry handles.
@@ -338,12 +383,15 @@ impl<P> Fabric<P> {
             })
             .collect();
         let loss_rng = rng::stream(cfg.seed, "fabric-loss");
+        let ecn_rng = rng::stream(cfg.seed, "fabric-ecn");
         let n_dev = devices.len();
         Fabric {
             topo,
             devices,
             cfg,
             loss_rng,
+            ecn_rng,
+            ecn_marked: 0,
             drops: DropStats::default(),
             delivered: 0,
             packets: Slab::with_capacity(256),
@@ -367,6 +415,11 @@ impl<P> Fabric<P> {
     /// Drop accounting.
     pub fn drops(&self) -> DropStats {
         self.drops
+    }
+
+    /// Packets ECN-marked by RED so far (0 unless marking is enabled).
+    pub fn ecn_marked(&self) -> u64 {
+        self.ecn_marked
     }
 
     /// Packets currently parked in the arena (in a queue or on a wire).
@@ -609,6 +662,9 @@ impl<P> Fabric<P> {
             devices,
             packets,
             drops,
+            cfg,
+            ecn_rng,
+            ecn_marked,
             ..
         } = self;
         let port = &mut devices[device.0 as usize].ports[port_idx];
@@ -621,8 +677,28 @@ impl<P> Fabric<P> {
             packets.take(h);
             return;
         }
-        // INT stamping on switch egress.
         if is_switch {
+            // RED/ECN marking on switch egress: linear ramp between kmin
+            // and kmax, certain past kmax. The guard keeps the dedicated
+            // ECN stream undrawn while marking is off, so existing seeds
+            // replay byte-identically with the feature disabled.
+            if cfg.ecn.enabled && !pkt.ecn {
+                let qlen = port.queued_bytes + size;
+                let marked = if qlen >= cfg.ecn.kmax_bytes {
+                    true
+                } else if qlen > cfg.ecn.kmin_bytes {
+                    let ramp = (qlen - cfg.ecn.kmin_bytes) as f64
+                        / (cfg.ecn.kmax_bytes - cfg.ecn.kmin_bytes).max(1) as f64;
+                    ecn_rng.gen::<f64>() < cfg.ecn.pmax * ramp
+                } else {
+                    false
+                };
+                if marked {
+                    pkt.ecn = true;
+                    *ecn_marked += 1;
+                }
+            }
+            // INT stamping on switch egress.
             if let Some(int) = pkt.int.as_mut() {
                 int.push(IntHop {
                     device_id: device.0,
@@ -694,6 +770,7 @@ impl<P> ebs_obs::Sample for Fabric<P> {
         m.counter_add("net", "drop_random_loss", self.drops.random_loss);
         m.counter_add("net", "drop_queue_overflow", self.drops.queue_overflow);
         m.counter_add("net", "drop_no_route", self.drops.no_route);
+        m.counter_add("net", "ecn_marked", self.ecn_marked);
         m.counter_add("net", "route_cache_hits", self.route_hits);
         m.counter_add("net", "route_cache_misses", self.route_misses);
         m.gauge_set("net", "max_queue_bytes", self.max_queue_bytes() as f64);
@@ -1015,5 +1092,88 @@ mod tests {
             "slots ({}) must reflect peak in-flight, not 500 sends",
             f.packets.slots()
         );
+    }
+
+    #[test]
+    fn ecn_disabled_never_marks() {
+        let (mut f, mut q) = fabric();
+        for i in 0..500 {
+            let p = pkt(&f, 0, 5, 1, i); // same flow -> same congested path
+            f.send(SimTime::ZERO, p, &mut q);
+        }
+        let got = run_to_end(&mut f, &mut q);
+        assert_eq!(f.ecn_marked(), 0);
+        assert!(got.iter().all(|(_, p)| !p.ecn));
+    }
+
+    #[test]
+    fn ecn_marks_under_congestion() {
+        let topo = Topology::build(ClosConfig::testbed(2, 2, 2));
+        let mut f: Fabric<u32> = Fabric::new(
+            topo,
+            FabricConfig {
+                ecn: EcnConfig {
+                    enabled: true,
+                    ..EcnConfig::default()
+                },
+                ..FabricConfig::default()
+            },
+        );
+        let mut q = EventQueue::new();
+        // N:1 incast: four senders converge on server 5, so the queue
+        // builds at its ToR's server-facing egress — a *switch* queue,
+        // where RED marking runs.
+        for i in 0..500 {
+            let p = pkt(&f, (i % 4) as usize, 5, 1, i);
+            f.send(SimTime::ZERO, p, &mut q);
+        }
+        let got = run_to_end(&mut f, &mut q);
+        assert!(f.ecn_marked() > 0, "a 2 MiB incast must cross kmin");
+        assert!(
+            got.iter().any(|(_, p)| p.ecn),
+            "marked packets must reach the destination with the bit set"
+        );
+        // Early packets see a near-empty queue and pass unmarked.
+        assert!(got.iter().any(|(_, p)| !p.ecn));
+    }
+
+    #[test]
+    fn ecn_marking_does_not_shift_the_loss_stream() {
+        // The RED draw uses its own RNG stream: the set of packets the
+        // RandomLoss failure eats must be identical whether or not ECN
+        // marking is enabled.
+        let delivered_tags = |ecn_on: bool| -> Vec<u32> {
+            let topo = Topology::build(ClosConfig::testbed(2, 2, 2));
+            let mut f: Fabric<u32> = Fabric::new(
+                topo,
+                FabricConfig {
+                    ecn: EcnConfig {
+                        enabled: ecn_on,
+                        ..EcnConfig::default()
+                    },
+                    ..FabricConfig::default()
+                },
+            );
+            let mut q = EventQueue::new();
+            let spine = f
+                .topology()
+                .devices()
+                .iter()
+                .position(|d| d.coord.kind == DeviceKind::Spine)
+                .map(|i| DeviceId(i as u32))
+                .unwrap();
+            f.inject_failure(spine, FailureMode::RandomLoss { rate: 0.3 }, &mut q);
+            for i in 0..300 {
+                let p = pkt(&f, 0, 5, (i % 7) as u16, i);
+                f.send(SimTime::from_micros(i as u64), p, &mut q);
+            }
+            let mut tags: Vec<u32> = run_to_end(&mut f, &mut q)
+                .into_iter()
+                .map(|(_, p)| p.payload)
+                .collect();
+            tags.sort_unstable();
+            tags
+        };
+        assert_eq!(delivered_tags(false), delivered_tags(true));
     }
 }

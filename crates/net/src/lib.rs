@@ -21,7 +21,8 @@ mod shard;
 mod topology;
 
 pub use fabric::{
-    DropStats, Fabric, FabricConfig, FabricPacket, FailureMode, FlowLabel, NetEvent, PacketHandle,
+    DropStats, EcnConfig, Fabric, FabricConfig, FabricPacket, FailureMode, FlowLabel, NetEvent,
+    PacketHandle,
 };
 pub use shard::{ShardPlan, ShardSlice};
 pub use topology::{

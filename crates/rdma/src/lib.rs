@@ -24,6 +24,7 @@
 use std::collections::{BTreeMap, VecDeque};
 
 use bytes::Bytes;
+use ebs_cc::{Dcqcn, DcqcnConfig};
 use ebs_sim::{SimDuration, SimTime};
 
 /// Loss-recovery mode of the RNIC generation.
@@ -47,6 +48,11 @@ pub struct QpConfig {
     pub rto: SimDuration,
     /// Loss recovery mode.
     pub recovery: Recovery,
+    /// Optional DCQCN-style ECN congestion control: when set, the QP
+    /// runs a rate controller over the hardware credit window — the
+    /// effective window is `min(window_pkts, dcqcn_window / mtu)`.
+    /// `None` keeps the fixed credit window (the era's default RNIC).
+    pub dcqcn: Option<DcqcnConfig>,
 }
 
 impl Default for QpConfig {
@@ -56,6 +62,7 @@ impl Default for QpConfig {
             window_pkts: 64,
             rto: SimDuration::from_millis(1),
             recovery: Recovery::GoBackN,
+            dcqcn: None,
         }
     }
 }
@@ -69,6 +76,10 @@ pub struct QpPacket {
     pub kind: PacketKind,
     /// Payload (data packets only).
     pub payload: Bytes,
+    /// ECN congestion-experienced mark. Set by the fabric on data
+    /// packets under RED marking; echoed by the responder on ACKs
+    /// (the CNP role, condensed into the ack stream).
+    pub ecn: bool,
 }
 
 /// RC packet kinds (condensed).
@@ -103,6 +114,8 @@ pub struct QpStats {
     pub timeouts: u64,
     /// Messages fully delivered to the peer application.
     pub msgs_delivered: u64,
+    /// ACKs received carrying an echoed ECN mark.
+    pub ecn_marked_acks: u64,
 }
 
 /// One side of a reliable-connection queue pair (sans-io).
@@ -122,14 +135,18 @@ pub struct RdmaQp {
     rx_msgs: VecDeque<Bytes>,
     nak_pending: Option<u64>,
     ack_pending: bool,
+    ecn_echo: bool,
+    dcqcn: Option<Dcqcn>,
     stats: QpStats,
 }
 
 impl RdmaQp {
     /// A fresh QP.
     pub fn new(cfg: QpConfig) -> Self {
+        let dcqcn = cfg.dcqcn.map(Dcqcn::new);
         RdmaQp {
             cfg,
+            dcqcn,
             next_psn: 0,
             snd_una: 0,
             tx_msgs: VecDeque::new(),
@@ -141,7 +158,20 @@ impl RdmaQp {
             rx_msgs: VecDeque::new(),
             nak_pending: None,
             ack_pending: false,
+            ecn_echo: false,
             stats: QpStats::default(),
+        }
+    }
+
+    /// The window the sender may fill right now, in packets: the hardware
+    /// credit window, further throttled by DCQCN when it is enabled.
+    pub fn effective_window_pkts(&self) -> usize {
+        match &self.dcqcn {
+            Some(cc) => {
+                let pkts = (cc.window() / self.cfg.mtu as f64).floor() as usize;
+                pkts.clamp(1, self.cfg.window_pkts)
+            }
+            None => self.cfg.window_pkts,
         }
     }
 
@@ -204,14 +234,18 @@ impl RdmaQp {
                 psn,
                 kind: PacketKind::Nak,
                 payload: Bytes::new(),
+                ecn: false,
             });
         }
         if self.ack_pending {
             self.ack_pending = false;
+            // Echo any congestion mark seen since the last ack.
+            let ecn = std::mem::take(&mut self.ecn_echo);
             return Some(QpPacket {
                 psn: self.rcv_expected,
                 kind: PacketKind::Ack,
                 payload: Bytes::new(),
+                ecn,
             });
         }
         // Retransmissions.
@@ -223,11 +257,12 @@ impl RdmaQp {
                     psn,
                     kind: PacketKind::Data { last: *last },
                     payload: payload.clone(),
+                    ecn: false,
                 });
             }
         }
         // New data within the window.
-        if self.inflight.len() < self.cfg.window_pkts {
+        if self.inflight.len() < self.effective_window_pkts() {
             if let Some(msg) = self.tx_msgs.front_mut() {
                 let take = msg.len().min(self.cfg.mtu);
                 let payload = msg.split_to(take);
@@ -246,6 +281,7 @@ impl RdmaQp {
                     psn,
                     kind: PacketKind::Data { last },
                     payload,
+                    ecn: false,
                 });
             }
         }
@@ -256,6 +292,9 @@ impl RdmaQp {
     pub fn on_packet(&mut self, now: SimTime, pkt: QpPacket) {
         match pkt.kind {
             PacketKind::Data { last } => {
+                if pkt.ecn {
+                    self.ecn_echo = true;
+                }
                 if pkt.psn == self.rcv_expected {
                     self.rcv_expected += 1;
                     self.rx_partial.extend_from_slice(&pkt.payload);
@@ -276,6 +315,12 @@ impl RdmaQp {
                 }
             }
             PacketKind::Ack => {
+                if pkt.ecn {
+                    self.stats.ecn_marked_acks += 1;
+                }
+                if let Some(cc) = self.dcqcn.as_mut() {
+                    cc.on_ecn_ack(now, pkt.ecn);
+                }
                 let acked: Vec<u64> = self.inflight.range(..pkt.psn).map(|(&p, _)| p).collect();
                 for p in acked {
                     self.inflight.remove(&p);
@@ -466,6 +511,105 @@ mod tests {
             sent += 1;
         }
         assert_eq!(sent, 4);
+    }
+
+    /// Like `drive`, but every data packet crossing a→b gets an ECN mark,
+    /// as a saturated fabric queue would apply.
+    fn drive_all_marked(a: &mut RdmaQp, b: &mut RdmaQp, max_steps: usize) {
+        let step = SimDuration::from_micros(2);
+        let mut now = SimTime::ZERO;
+        for _ in 0..max_steps {
+            let mut progressed = false;
+            while let Some(mut p) = a.poll_transmit(now) {
+                now += step;
+                progressed = true;
+                if matches!(p.kind, PacketKind::Data { .. }) {
+                    p.ecn = true;
+                }
+                b.on_packet(now, p);
+            }
+            while let Some(p) = b.poll_transmit(now) {
+                now += step;
+                progressed = true;
+                a.on_packet(now, p);
+            }
+            if !progressed {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn ecn_echo_rides_the_next_ack() {
+        let mut b = RdmaQp::new(QpConfig::default());
+        let now = SimTime::ZERO;
+        b.on_packet(
+            now,
+            QpPacket {
+                psn: 0,
+                kind: PacketKind::Data { last: true },
+                payload: Bytes::from(vec![1u8; 64]),
+                ecn: true,
+            },
+        );
+        let ack = b.poll_transmit(now).unwrap();
+        assert_eq!(ack.kind, PacketKind::Ack);
+        assert!(ack.ecn, "the mark must be echoed on the ack");
+        // A later unmarked delivery acks clean.
+        b.on_packet(
+            now,
+            QpPacket {
+                psn: 1,
+                kind: PacketKind::Data { last: true },
+                payload: Bytes::from(vec![2u8; 64]),
+                ecn: false,
+            },
+        );
+        let ack2 = b.poll_transmit(now).unwrap();
+        assert_eq!(ack2.kind, PacketKind::Ack);
+        assert!(!ack2.ecn, "echo state must reset after being sent");
+    }
+
+    #[test]
+    fn dcqcn_shrinks_window_under_marks() {
+        let cfg = QpConfig {
+            dcqcn: Some(DcqcnConfig::default()),
+            ..QpConfig::default()
+        };
+        let mut a = RdmaQp::new(cfg.clone());
+        let mut b = RdmaQp::new(QpConfig::default());
+        assert!(
+            a.effective_window_pkts() <= cfg.window_pkts,
+            "dcqcn window starts within the credit window"
+        );
+        let before = a.effective_window_pkts();
+        a.post_send(Bytes::from(vec![5u8; 400_000]));
+        drive_all_marked(&mut a, &mut b, 5_000);
+        assert_eq!(b.poll_recv().unwrap().len(), 400_000);
+        assert!(
+            a.stats().ecn_marked_acks > 0,
+            "marked acks must reach the requester"
+        );
+        assert!(
+            a.effective_window_pkts() < before,
+            "persistent marking must shrink the effective window: {} -> {}",
+            before,
+            a.effective_window_pkts()
+        );
+        // The floor is one packet — the QP never deadlocks.
+        assert!(a.effective_window_pkts() >= 1);
+    }
+
+    #[test]
+    fn dcqcn_disabled_keeps_fixed_window() {
+        let mut a = RdmaQp::new(QpConfig::default());
+        let mut b = RdmaQp::new(QpConfig::default());
+        a.post_send(Bytes::from(vec![5u8; 100_000]));
+        drive_all_marked(&mut a, &mut b, 2_000);
+        assert_eq!(b.poll_recv().unwrap().len(), 100_000);
+        // Marks are echoed but ignored: the window never moves.
+        assert!(a.stats().ecn_marked_acks > 0);
+        assert_eq!(a.effective_window_pkts(), QpConfig::default().window_pkts);
     }
 
     #[test]

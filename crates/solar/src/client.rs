@@ -23,7 +23,7 @@ use std::collections::{BinaryHeap, VecDeque};
 
 use bytes::Bytes;
 use ebs_sim::{SimDuration, SimTime};
-use ebs_wire::{EbsHeader, EbsOp, IntStack, FLAG_INT_REQUEST, FLAG_RETRANSMIT};
+use ebs_wire::{EbsHeader, EbsOp, IntStack, FLAG_ECN_ECHO, FLAG_INT_REQUEST, FLAG_RETRANSMIT};
 
 use crate::config::SolarConfig;
 use crate::path::{PathSet, PathView, PktKey};
@@ -748,8 +748,11 @@ impl SolarClient {
         } else {
             Some(now.saturating_since(o.sent_at))
         };
+        // The responder copies the request header into the ack, so a
+        // RED mark picked up by either direction surfaces here.
+        let ecn = pkt.hdr.flags & FLAG_ECN_ECHO != 0;
         self.paths
-            .on_ack(path, now, sample, pkt.int.as_ref(), &self.cfg);
+            .on_ack(path, now, sample, pkt.int.as_ref(), ecn, &self.cfg);
 
         if is_read {
             let guest_addr = self.addr_table.remove(&key).unwrap_or(0);

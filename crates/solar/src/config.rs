@@ -1,47 +1,9 @@
 //! SOLAR transport configuration.
 
-use ebs_sim::{Bandwidth, SimDuration};
+use ebs_cc::{CcAlgo, CcConfig, DcqcnConfig, FixedConfig, SwiftConfig};
+use ebs_sim::SimDuration;
 
-/// HPCC-style congestion control parameters (per path).
-#[derive(Debug, Clone, Copy)]
-pub struct HpccConfig {
-    /// Target utilization η (HPCC uses 0.95).
-    pub eta: f64,
-    /// Additive increase per ACK, in bytes (W_ai).
-    pub wai_bytes: f64,
-    /// Maximum additive-increase stages before a multiplicative update is
-    /// forced (HPCC's maxStage).
-    pub max_stage: u32,
-    /// Line rate of the bottleneck-free path (sets the initial window).
-    pub line_rate: Bandwidth,
-    /// Base (unloaded) RTT; with `line_rate` gives the BDP.
-    pub base_rtt: SimDuration,
-    /// Lower bound on the window so a path can always probe (bytes).
-    pub min_window: f64,
-}
-
-impl Default for HpccConfig {
-    fn default() -> Self {
-        HpccConfig {
-            eta: 0.95,
-            wai_bytes: 4096.0,
-            max_stage: 5,
-            // Per-path share of a 2x25GE NIC spraying over 4 paths: the
-            // *initial* window is one path's fair share of the NIC; HPCC
-            // grows it when INT shows headroom.
-            line_rate: Bandwidth::from_gbps(25),
-            base_rtt: SimDuration::from_micros(20),
-            min_window: 2.0 * 4096.0,
-        }
-    }
-}
-
-impl HpccConfig {
-    /// The bandwidth-delay product: initial and reference maximum window.
-    pub fn bdp_bytes(&self) -> f64 {
-        self.line_rate.bytes_per_sec() * self.base_rtt.as_secs_f64()
-    }
-}
+pub use ebs_cc::HpccConfig;
 
 /// SOLAR transport configuration.
 #[derive(Debug, Clone)]
@@ -78,10 +40,19 @@ pub struct SolarConfig {
     /// not an error — §3.3), so the default is effectively unbounded;
     /// tests set small budgets to exercise the failure path.
     pub max_pkt_retries: u32,
-    /// Request INT stamping and run HPCC; otherwise a fixed window.
+    /// Request INT stamping; HPCC needs it, the other controllers ignore
+    /// it (Swift reads RTT samples, DCQCN the echoed ECN bit).
     pub int_enabled: bool,
-    /// Congestion control parameters.
+    /// Which per-path congestion controller to run (the paper's choice
+    /// is HPCC; the others exist for the CC comparison matrix).
+    pub cc: CcAlgo,
+    /// HPCC parameters (also sets the fixed controller's window: the
+    /// per-path BDP, matching the pre-trait no-INT behavior).
     pub hpcc: HpccConfig,
+    /// Swift parameters (used when `cc == Swift`).
+    pub swift: SwiftConfig,
+    /// DCQCN parameters (used when `cc == Dcqcn`).
+    pub dcqcn: DcqcnConfig,
 }
 
 impl Default for SolarConfig {
@@ -106,7 +77,27 @@ impl Default for SolarConfig {
             remap_after_probes: 2,
             max_pkt_retries: u32::MAX,
             int_enabled: true,
+            cc: CcAlgo::Hpcc,
             hpcc: HpccConfig::default(),
+            swift: SwiftConfig::default(),
+            dcqcn: DcqcnConfig::default(),
+        }
+    }
+}
+
+impl SolarConfig {
+    /// The per-path controller parameter bundle `PathSet` builds from.
+    /// The fixed arm pins the window at the HPCC BDP so `cc = Fixed`
+    /// reproduces the pre-trait `int_enabled = false` behavior exactly.
+    pub fn cc_config(&self) -> CcConfig {
+        CcConfig {
+            algo: self.cc,
+            hpcc: self.hpcc,
+            swift: self.swift,
+            dcqcn: self.dcqcn,
+            fixed: FixedConfig {
+                window_bytes: self.hpcc.bdp_bytes(),
+            },
         }
     }
 }

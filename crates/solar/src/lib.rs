@@ -29,7 +29,6 @@
 
 mod client;
 mod config;
-mod hpcc;
 mod path;
 mod responder;
 
@@ -37,7 +36,10 @@ pub use client::{
     InPacket, OutPacket, ReadBlock, RpcKind, SolarClient, SolarEvent, SolarStats, WriteBlock,
 };
 pub use config::{HpccConfig, SolarConfig};
-pub use hpcc::Hpcc;
+// The controller moved to `ebs-cc` behind the `CongestionControl` trait
+// (it is one of four algorithms the `cc` config knob selects); re-export
+// the historical names so `use ebs_solar::Hpcc` keeps working.
+pub use ebs_cc::{CcAlgo, Hpcc};
 pub use path::{PathSet, PathStatus, PathView, PktKey};
 pub use responder::{ServerAction, SolarResponder};
 

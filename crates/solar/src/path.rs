@@ -24,10 +24,10 @@
 
 use std::collections::BTreeMap;
 
+use ebs_cc::{AckSignal, AnyCc, CongestionControl};
 use ebs_sim::{SimDuration, SimTime};
 
 use crate::config::SolarConfig;
-use crate::hpcc::Hpcc;
 
 /// Liveness of one path.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -61,7 +61,8 @@ struct PathCold {
     rttvar_ns: f64,
     rto: SimDuration,
     consecutive_timeouts: u32,
-    hpcc: Hpcc,
+    /// The per-path congestion controller `SolarConfig::cc` selects.
+    cc: AnyCc,
     next_seq: u32,
     /// Outstanding path sequence numbers, for out-of-order loss detection.
     outstanding_seqs: BTreeMap<u32, PktKey>,
@@ -108,12 +109,13 @@ pub struct PathSet {
 impl PathSet {
     /// `n` fresh, healthy paths.
     pub fn new(n: usize, cfg: &SolarConfig) -> Self {
+        let cc_cfg = cfg.cc_config();
         let cold: Vec<PathCold> = (0..n)
             .map(|_| PathCold {
                 rttvar_ns: 0.0,
                 rto: cfg.rto_initial,
                 consecutive_timeouts: 0,
-                hpcc: Hpcc::new(cfg.hpcc),
+                cc: AnyCc::new(&cc_cfg),
                 next_seq: 0,
                 outstanding_seqs: BTreeMap::new(),
                 failed_since: SimTime::ZERO,
@@ -122,7 +124,7 @@ impl PathSet {
                 epoch: 0,
             })
             .collect();
-        let window = cold.iter().map(|c| c.hpcc.window() as u64).collect();
+        let window = cold.iter().map(|c| c.cc.window() as u64).collect();
         PathSet {
             up: vec![true; n],
             srtt_ns: vec![f64::NAN; n],
@@ -200,9 +202,14 @@ impl PathSet {
         self.window[i]
     }
 
-    /// Last INT-derived utilization the congestion controller saw.
+    /// Last INT-derived utilization the congestion controller saw
+    /// (0.0 unless the HPCC controller is selected — only HPCC consumes
+    /// INT).
     pub fn last_utilization(&self, i: usize) -> f64 {
-        self.cold[i].hpcc.last_utilization()
+        self.cold[i]
+            .cc
+            .as_hpcc()
+            .map_or(0.0, |h| h.last_utilization())
     }
 
     /// Unacked bytes currently attributed to path `i`.
@@ -248,14 +255,17 @@ impl PathSet {
     }
 
     /// Record a successful round trip on path `i`: RTT sample (when
-    /// `sample` is set — Karn's rule excludes retransmissions), HPCC
-    /// update from the echoed INT, and liveness reset.
+    /// `sample` is set — Karn's rule excludes retransmissions), a
+    /// congestion-controller update from whichever signals the ACK
+    /// carried (echoed INT for HPCC, the RTT sample for Swift, the
+    /// echoed ECN mark for DCQCN), and liveness reset.
     pub fn on_ack(
         &mut self,
         i: usize,
         now: SimTime,
         sample: Option<SimDuration>,
         int: Option<&ebs_wire::IntStack>,
+        ecn: bool,
         cfg: &SolarConfig,
     ) {
         let c = &mut self.cold[i];
@@ -284,10 +294,15 @@ impl PathSet {
                 .max(cfg.rto_min)
                 .min(cfg.rto_max);
         }
-        if let Some(int) = int {
-            c.hpcc.on_ack(now, int);
-            self.window[i] = c.hpcc.window() as u64;
-        }
+        c.cc.on_ack(
+            now,
+            &AckSignal {
+                rtt_sample: sample,
+                int,
+                ecn,
+            },
+        );
+        self.window[i] = c.cc.window() as u64;
     }
 
     /// Record a timeout on path `i` of a packet sent in epoch
@@ -305,8 +320,8 @@ impl PathSet {
         cfg: &SolarConfig,
     ) -> bool {
         let c = &mut self.cold[i];
-        c.hpcc.on_timeout();
-        self.window[i] = c.hpcc.window() as u64;
+        c.cc.on_timeout();
+        self.window[i] = c.cc.window() as u64;
         c.rto = c.rto.mul_f64(2.0).min(cfg.rto_max);
         if sent_epoch != c.epoch {
             return false;
@@ -478,6 +493,7 @@ mod tests {
                 SimTime::from_micros(100),
                 Some(SimDuration::from_micros(20)),
                 None,
+                false,
                 &c,
             );
         }
@@ -506,7 +522,7 @@ mod tests {
         let (c, mut p) = one_path();
         p.on_timeout(0, SimTime::from_micros(1), p.epoch(0), &c);
         p.on_timeout(0, SimTime::from_micros(2), p.epoch(0), &c);
-        p.on_ack(0, SimTime::from_micros(3), None, None, &c);
+        p.on_ack(0, SimTime::from_micros(3), None, None, false, &c);
         assert_eq!(p.consecutive_timeouts(0), 0);
         assert!(!p.on_timeout(0, SimTime::from_micros(4), p.epoch(0), &c));
         assert!(p.is_up(0));

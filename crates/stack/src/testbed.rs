@@ -211,6 +211,9 @@ pub struct TestbedConfig {
     pub fabric: ClosConfig,
     /// Routing convergence delay after fail-stop.
     pub routing_convergence: SimDuration,
+    /// RED/ECN marking at switch egress queues (off by default; the
+    /// DCQCN arm of the CC matrix and the RDMA baseline turn it on).
+    pub ecn: ebs_net::EcnConfig,
     /// Segments per virtual disk.
     pub vd_segments: u64,
     /// QoS spec per disk (use [`QosSpec::unlimited`] unless testing QoS).
@@ -219,8 +222,14 @@ pub struct TestbedConfig {
     pub ssd: SsdConfig,
     /// Backend network model.
     pub bn: BnConfig,
-    /// SOLAR transport parameters.
+    /// SOLAR transport parameters (including the congestion-control
+    /// algorithm selection in [`SolarConfig::cc`]).
     pub solar: SolarConfig,
+    /// RDMA queue-pair parameters for the RDMA baseline, including the
+    /// optional DCQCN controller.
+    pub rdma: QpConfig,
+    /// Swap the LUNA TCP engine's Reno controller for Swift when set.
+    pub tcp_swift: Option<ebs_cc::SwiftConfig>,
     /// DPU PCIe channel parameters (Fig. 10's internal bottleneck).
     pub pcie: ebs_dpu::PcieConfig,
     /// Run the storage-agent data plane (tables, CRC) on each I/O. The
@@ -263,11 +272,14 @@ impl TestbedConfig {
             compute_cores: 6,
             fabric,
             routing_convergence: SimDuration::from_secs(30),
+            ecn: ebs_net::EcnConfig::default(),
             vd_segments: 16,
             qos: QosSpec::unlimited(),
             ssd: SsdConfig::default(),
             bn: BnConfig::default(),
             solar: SolarConfig::default(),
+            rdma: QpConfig::default(),
+            tcp_swift: None,
             pcie: ebs_dpu::PcieConfig::default(),
             sa_enabled: true,
             vds_per_compute: 1,
@@ -563,6 +575,7 @@ impl Testbed {
             FabricConfig {
                 routing_convergence: cfg.routing_convergence,
                 seed: cfg.seed,
+                ecn: cfg.ecn,
             },
         );
 
@@ -1566,6 +1579,7 @@ impl Testbed {
                         RpcClient::connect(TcpConfig {
                             iss: (compute as u32) << 8 | storage,
                             mss: 8960, // jumbo-capable NICs with TSO/GSO
+                            swift: self.cfg.tcp_swift,
                             ..TcpConfig::default()
                         })
                     });
@@ -1609,7 +1623,7 @@ impl Testbed {
                 ComputeTransport::Rdma { costs, conns } => {
                     let conn = conns
                         .entry(storage)
-                        .or_insert_with(|| RdmaQp::new(QpConfig::default()));
+                        .or_insert_with(|| RdmaQp::new(self.cfg.rdma.clone()));
                     let bytes = sub.blocks.len() * BLOCK_SIZE as usize;
                     let frame = RpcFrame {
                         rpc_id,
@@ -1695,6 +1709,7 @@ impl Testbed {
                     RpcServer::listen(TcpConfig {
                         iss: 0x8000_0000 | (compute << 8),
                         mss: 8960,
+                        swift: self.cfg.tcp_swift,
                         ..TcpConfig::default()
                     })
                 });
@@ -1710,13 +1725,18 @@ impl Testbed {
                 self.pump_storage(now, storage);
             }
             Msg::Rdma {
-                compute, pkt: qpkt, ..
+                compute,
+                pkt: mut qpkt,
+                ..
             } => {
+                // A fabric ECN mark rides into the QP packet so the
+                // responder echoes it on the ack (DCQCN's CNP role).
+                qpkt.ecn |= pkt.ecn;
                 let node = &mut self.storages[storage];
                 let qp = node
                     .rdma
                     .entry(compute)
-                    .or_insert_with(|| RdmaQp::new(QpConfig::default()));
+                    .or_insert_with(|| RdmaQp::new(self.cfg.rdma.clone()));
                 qp.on_packet(now, qpkt);
                 let mut jobs = Vec::new();
                 while let Some(msg) = qp.poll_recv() {
@@ -1731,8 +1751,16 @@ impl Testbed {
                 }
                 self.pump_storage(now, storage);
             }
-            Msg::Solar { compute, hdr, .. } => {
+            Msg::Solar {
+                compute, mut hdr, ..
+            } => {
                 let reply_port = pkt.flow.src_port;
+                // The responder copies the request header into its ack, so
+                // stamping the fabric's ECN mark here makes the ack echo it
+                // back to the sender's congestion controller.
+                if pkt.ecn {
+                    hdr.flags |= ebs_wire::FLAG_ECN_ECHO;
+                }
                 let (action, gap_nacks) = {
                     let node = &mut self.storages[storage];
                     let resp = node.solar.entry(compute).or_default();
@@ -2010,8 +2038,11 @@ impl Testbed {
                 self.pump_compute(now, compute);
             }
             Msg::Rdma {
-                storage, pkt: qpkt, ..
+                storage,
+                pkt: mut qpkt,
+                ..
             } => {
+                qpkt.ecn |= pkt.ecn;
                 let c = &mut self.computes[compute];
                 if let ComputeTransport::Rdma { conns, .. } = &mut c.transport {
                     if let Some(qp) = conns.get_mut(&storage) {
@@ -2022,11 +2053,16 @@ impl Testbed {
                 self.pump_compute(now, compute);
             }
             Msg::Solar {
-                hdr,
+                mut hdr,
                 echo_int,
                 storage,
                 ..
             } => {
+                // Marks applied on the reverse path (ack/read-response
+                // direction) also reach the client's controller.
+                if pkt.ecn {
+                    hdr.flags |= ebs_wire::FLAG_ECN_ECHO;
+                }
                 let c = &mut self.computes[compute];
                 if let ComputeTransport::Solar { clients, .. } = &mut c.transport {
                     if let Some(client) = clients.get_mut(&storage) {

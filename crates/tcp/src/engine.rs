@@ -44,6 +44,11 @@ pub struct TcpConfig {
     pub max_ooo_bytes: usize,
     /// Consecutive RTOs before the connection is declared dead.
     pub max_retries: u32,
+    /// Replace inline Reno with a Swift-style delay-based controller
+    /// (`None`, the default, keeps Reno). Loss events — fast retransmit
+    /// and RTO — feed the controller as multiplicative-decrease signals;
+    /// RTT samples drive its target-delay AIMD.
+    pub swift: Option<ebs_cc::SwiftConfig>,
 }
 
 impl Default for TcpConfig {
@@ -58,6 +63,7 @@ impl Default for TcpConfig {
             recv_window: 1 << 20,
             max_ooo_bytes: 1 << 20,
             max_retries: 10,
+            swift: None,
         }
     }
 }
@@ -229,6 +235,9 @@ pub struct TcpEngine {
     rtx_queue: BTreeSet<u64>,
     dupacks: u32,
     in_recovery: bool,
+    /// Swift-style delay-based controller when `cfg.swift` selects it;
+    /// `None` runs the inline Reno machinery.
+    swift: Option<ebs_cc::Swift>,
 
     // --- receive side ---
     rcv_nxt: u64,
@@ -251,7 +260,14 @@ pub struct TcpEngine {
 
 impl TcpEngine {
     fn new(cfg: TcpConfig, state: TcpState) -> Self {
-        let cwnd = (cfg.initial_cwnd_segs as usize * cfg.mss) as f64;
+        let swift = cfg.swift.map(ebs_cc::Swift::new);
+        // Swift owns the window from the first ACK on; starting cwnd at
+        // its BDP-based window (not Reno's IW10) keeps the two regimes
+        // from mixing.
+        let cwnd = swift.as_ref().map_or(
+            (cfg.initial_cwnd_segs as usize * cfg.mss) as f64,
+            ebs_cc::Swift::window,
+        );
         let rto = cfg.rto_initial;
         TcpEngine {
             state,
@@ -272,6 +288,7 @@ impl TcpEngine {
             rtx_queue: BTreeSet::new(),
             dupacks: 0,
             in_recovery: false,
+            swift,
             rcv_nxt: 0,
             ooo: BTreeMap::new(),
             ooo_bytes: 0,
@@ -416,9 +433,14 @@ impl TcpEngine {
             return;
         }
         self.rtx_queue.insert(first);
-        let flight = self.bytes_in_flight() as f64;
-        self.hot.ssthresh = (flight / 2.0).max(2.0 * self.cfg.mss as f64);
-        self.hot.cwnd = self.cfg.mss as f64;
+        if let Some(sw) = self.swift.as_mut() {
+            sw.on_timeout();
+            self.hot.cwnd = sw.window();
+        } else {
+            let flight = self.bytes_in_flight() as f64;
+            self.hot.ssthresh = (flight / 2.0).max(2.0 * self.cfg.mss as f64);
+            self.hot.cwnd = self.cfg.mss as f64;
+        }
         self.in_recovery = false;
         self.dupacks = 0;
         self.rto = self.rto.mul_f64(2.0).min(self.cfg.rto_max);
@@ -618,9 +640,18 @@ impl TcpEngine {
                 self.dupacks = 0;
                 if let Some(rtt) = sample {
                     self.update_rtt(rtt);
+                    if let Some(sw) = self.swift.as_mut() {
+                        sw.on_delay_sample(now, rtt);
+                    }
                 }
                 // Congestion control.
-                if self.in_recovery {
+                if let Some(sw) = self.swift.as_ref() {
+                    // Delay-based: the controller owns the window.
+                    self.hot.cwnd = sw.window();
+                    if self.in_recovery && ack_off >= self.hot.recover {
+                        self.in_recovery = false;
+                    }
+                } else if self.in_recovery {
                     if ack_off >= self.hot.recover {
                         self.in_recovery = false;
                         self.hot.cwnd = self.hot.ssthresh;
@@ -644,9 +675,16 @@ impl TcpEngine {
                 self.dupacks += 1;
                 if self.dupacks == 3 && !self.in_recovery {
                     // Fast retransmit + fast recovery (simplified Reno).
-                    let flight = self.bytes_in_flight() as f64;
-                    self.hot.ssthresh = (flight / 2.0).max(2.0 * self.cfg.mss as f64);
-                    self.hot.cwnd = self.hot.ssthresh;
+                    if let Some(sw) = self.swift.as_mut() {
+                        // Loss is a multiplicative-decrease signal for
+                        // the delay-based controller too.
+                        sw.on_timeout();
+                        self.hot.cwnd = sw.window();
+                    } else {
+                        let flight = self.bytes_in_flight() as f64;
+                        self.hot.ssthresh = (flight / 2.0).max(2.0 * self.cfg.mss as f64);
+                        self.hot.cwnd = self.hot.ssthresh;
+                    }
                     self.in_recovery = true;
                     self.hot.recover = self.hot.snd_nxt;
                     if let Some(first) = self.inflight.front_off() {

@@ -63,6 +63,12 @@ pub const FLAG_ENCRYPTED: u8 = 0x01;
 pub const FLAG_RETRANSMIT: u8 = 0x02;
 /// Header flag: receiver should echo an INT stack in the ACK.
 pub const FLAG_INT_REQUEST: u8 = 0x04;
+/// Header flag: ECN congestion-experienced echo. A RED-marked data
+/// packet has the mark copied into this bit by the receiving endpoint
+/// (the responder copies the request header into its ack, so the echo
+/// rides back to the sender for free), where the DCQCN-style controller
+/// consumes it.
+pub const FLAG_ECN_ECHO: u8 = 0x08;
 
 /// The SOLAR EBS header (fixed 56 bytes on the wire).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

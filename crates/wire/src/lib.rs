@@ -23,7 +23,7 @@ pub mod pool;
 mod rpc;
 pub mod slab;
 
-pub use ebs::{EbsHeader, EbsOp, FLAG_ENCRYPTED, FLAG_INT_REQUEST, FLAG_RETRANSMIT};
+pub use ebs::{EbsHeader, EbsOp, FLAG_ECN_ECHO, FLAG_ENCRYPTED, FLAG_INT_REQUEST, FLAG_RETRANSMIT};
 pub use int::{IntHop, IntStack, MAX_INT_HOPS};
 pub use ip::{internet_checksum, Ipv4Header, TcpFlags, TcpHeader, UdpHeader, WireError};
 pub use pool::{BlockPool, PoolStats, PooledBuf, PooledBytes};

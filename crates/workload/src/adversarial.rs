@@ -1,0 +1,229 @@
+//! Adversarial traffic patterns for the congestion-control matrix.
+//!
+//! Four stress shapes the CC literature (HPCC, Swift, DCQCN) evaluates
+//! against, expressed as pure data: a deterministic list of [`IoEvent`]s
+//! a harness replays into a testbed with `schedule_io`. No RNG — the
+//! same config always yields the same event list, so CC comparison runs
+//! are byte-identical across replays.
+//!
+//! The patterns exploit the testbed's topology (compute and storage
+//! live in separate pods, so every RPC crosses the spine):
+//!
+//! * **Incast** — one victim compute issues deep bursts of large reads;
+//!   every storage server responds at once and the N:1 convergence
+//!   point is the victim's ToR downlink.
+//! * **Microburst** — short synchronized write bursts separated by idle
+//!   gaps, faster than any RTT-granularity controller can react.
+//! * **Elephant/mice** — a few bulk writers (elephants) share the
+//!   fabric with many latency-sensitive 4 KiB readers (mice); the
+//!   interesting metric is the mice's p99.
+//! * **Oversubscribed spine** — every compute writes simultaneously,
+//!   saturating the pod-to-pod tier.
+
+use ebs_wire::BLOCK_SIZE;
+
+/// One scheduled guest I/O in an adversarial pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IoEvent {
+    /// Submission time, microseconds from pattern start.
+    pub at_us: u64,
+    /// Issuing compute server.
+    pub compute: u32,
+    /// Byte length (block-aligned).
+    pub bytes: u32,
+    /// Block-aligned byte offset on the compute's virtual disk.
+    pub offset: u64,
+    /// True for a write, false for a read.
+    pub write: bool,
+}
+
+/// Sizing knobs shared by all patterns.
+#[derive(Debug, Clone, Copy)]
+pub struct AdversarialConfig {
+    /// Compute servers participating.
+    pub n_compute: u32,
+    /// Pattern duration in microseconds.
+    pub duration_us: u64,
+}
+
+impl Default for AdversarialConfig {
+    fn default() -> Self {
+        AdversarialConfig {
+            n_compute: 8,
+            duration_us: 4_000,
+        }
+    }
+}
+
+const BLK: u64 = BLOCK_SIZE as u64;
+
+/// Wrap a strided offset into a bounded disk region so segment lookups
+/// stay within the provisioned virtual disk.
+fn wrap(offset_blocks: u64) -> u64 {
+    (offset_blocks % 1024) * BLK
+}
+
+/// N:1 incast: compute 0 is the victim. Every 500 µs it opens a burst
+/// of 32 large reads; the responses from every storage server converge
+/// on its access link simultaneously.
+pub fn incast(cfg: &AdversarialConfig) -> Vec<IoEvent> {
+    let mut ev = Vec::new();
+    let mut round = 0u64;
+    while round * 500 < cfg.duration_us {
+        for k in 0..32u64 {
+            ev.push(IoEvent {
+                at_us: round * 500,
+                compute: 0,
+                bytes: 128 * 1024,
+                // Stride reads across the disk so they fan out over
+                // many segments — and therefore many storage servers.
+                offset: wrap(round * 32 * 32 + k * 32),
+                write: false,
+            });
+        }
+        round += 1;
+    }
+    ev
+}
+
+/// Microbursts: every 200 µs, all computes fire an 8-deep write burst
+/// inside a ~10 µs window, then go idle.
+pub fn microburst(cfg: &AdversarialConfig) -> Vec<IoEvent> {
+    let mut ev = Vec::new();
+    let mut round = 0u64;
+    while round * 200 < cfg.duration_us {
+        for c in 0..cfg.n_compute {
+            for k in 0..8u64 {
+                ev.push(IoEvent {
+                    at_us: round * 200 + k + c as u64,
+                    compute: c,
+                    bytes: 16 * 1024,
+                    offset: wrap(round * 8 + k),
+                    write: true,
+                });
+            }
+        }
+        round += 1;
+    }
+    ev
+}
+
+/// Elephants and mice: computes 0-1 stream 512 KiB sequential writes
+/// back-to-back; the rest issue a steady 4 KiB read every 50 µs.
+pub fn elephant_mice(cfg: &AdversarialConfig) -> Vec<IoEvent> {
+    let mut ev = Vec::new();
+    let elephants = cfg.n_compute.min(2);
+    for c in 0..elephants {
+        let mut t = 0u64;
+        let mut seq = 0u64;
+        while t < cfg.duration_us {
+            ev.push(IoEvent {
+                at_us: t,
+                compute: c,
+                bytes: 512 * 1024,
+                offset: wrap(seq * 128),
+                write: true,
+            });
+            seq += 1;
+            t += 100; // ~aggressive open-loop stream
+        }
+    }
+    for c in elephants..cfg.n_compute {
+        let mut t = (c as u64) * 7; // deterministic phase offset
+        let mut seq = 0u64;
+        while t < cfg.duration_us {
+            ev.push(IoEvent {
+                at_us: t,
+                compute: c,
+                bytes: 4 * 1024,
+                offset: wrap(seq),
+                write: false,
+            });
+            seq += 1;
+            t += 50;
+        }
+    }
+    ev
+}
+
+/// Oversubscribed spine: every compute streams 256 KiB writes
+/// open-loop for the whole duration. With compute and storage in
+/// separate pods, all of it lands on the spine tier at once.
+pub fn oversubscribed_spine(cfg: &AdversarialConfig) -> Vec<IoEvent> {
+    let mut ev = Vec::new();
+    for c in 0..cfg.n_compute {
+        let mut t = (c as u64) * 3;
+        let mut seq = 0u64;
+        while t < cfg.duration_us {
+            ev.push(IoEvent {
+                at_us: t,
+                compute: c,
+                bytes: 256 * 1024,
+                offset: wrap(seq * 64),
+                write: true,
+            });
+            seq += 1;
+            t += 150;
+        }
+    }
+    ev
+}
+
+/// One adversarial pattern generator, as the suite exposes it.
+pub type PatternFn = fn(&AdversarialConfig) -> Vec<IoEvent>;
+
+/// The full pattern suite, as `(name, generator)` pairs — the CC
+/// comparison matrix iterates this.
+pub fn suite() -> [(&'static str, PatternFn); 4] {
+    [
+        ("incast", incast),
+        ("microburst", microburst),
+        ("elephant_mice", elephant_mice),
+        ("oversub_spine", oversubscribed_spine),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn patterns_are_deterministic_and_nonempty() {
+        let cfg = AdversarialConfig::default();
+        for (name, gen) in suite() {
+            let a = gen(&cfg);
+            let b = gen(&cfg);
+            assert!(!a.is_empty(), "{name} generated no events");
+            assert_eq!(a, b, "{name} must be deterministic");
+        }
+    }
+
+    #[test]
+    fn events_are_block_aligned_and_in_horizon() {
+        let cfg = AdversarialConfig {
+            n_compute: 6,
+            duration_us: 2_000,
+        };
+        for (name, gen) in suite() {
+            for e in gen(&cfg) {
+                assert_eq!(e.bytes as u64 % BLK, 0, "{name}: unaligned len");
+                assert_eq!(e.offset % BLK, 0, "{name}: unaligned offset");
+                assert!(e.compute < cfg.n_compute, "{name}: bad compute");
+                assert!(e.at_us < cfg.duration_us + 500, "{name}: past horizon");
+            }
+        }
+    }
+
+    #[test]
+    fn incast_converges_on_one_victim() {
+        let ev = incast(&AdversarialConfig::default());
+        assert!(ev.iter().all(|e| e.compute == 0 && !e.write));
+    }
+
+    #[test]
+    fn elephant_mice_has_both_classes() {
+        let ev = elephant_mice(&AdversarialConfig::default());
+        assert!(ev.iter().any(|e| e.write && e.bytes >= 512 * 1024));
+        assert!(ev.iter().any(|e| !e.write && e.bytes == 4096));
+    }
+}

@@ -14,11 +14,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adversarial;
 mod diurnal;
 pub mod incidents;
 mod rollout;
 mod sizes;
 
+pub use adversarial::{AdversarialConfig, IoEvent};
 pub use diurnal::{hot_server_iops, FleetModel, IoRateSample, TrafficSample};
 pub use rollout::{evolution, rollout, EvolutionPoint, QuarterMix, StackPerf, QUARTERS};
 pub use sizes::{RwMix, SizeMixture};
