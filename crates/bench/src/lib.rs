@@ -28,6 +28,7 @@
 use std::time::Instant;
 
 pub mod ablations;
+pub mod blk;
 pub mod cc;
 pub mod characterization;
 pub mod fleet;

@@ -5,6 +5,7 @@
 use ebs_cc::CcAlgo;
 use ebs_sim::SimDuration;
 use ebs_stack::Variant;
+use ebs_wire::PushdownPlacement;
 
 /// Relative sampling weights per fault class. A zero weight disables the
 /// class; the distribution is the normalized weight vector. All-zero
@@ -120,6 +121,38 @@ pub struct ChaosConfig {
     /// Adversarial incast/microburst traffic layered on top of the fio
     /// workload, with its own oracles (bounded queues, no livelock).
     pub incast: Option<IncastConfig>,
+    /// Virtio-blk pushdown traffic layered over the fio workload, with
+    /// ring-conservation oracles armed at quiesce. Plain config — copied
+    /// into the schedule, never sampled, so existing seeds replay
+    /// unchanged.
+    pub blk: Option<BlkChaosConfig>,
+}
+
+/// The blk-frontend stress envelope: a pushdown-enabled virtio-blk
+/// device mounted on compute 0, driving deterministic filtered range
+/// scans across the workload window while the sampled faults land on the
+/// fabric underneath. Remote placements must survive loss/blackhole via
+/// the frontend's RTO retransmit (which re-hashes the ECMP path), so the
+/// oracles demand every accepted request completes and the descriptor
+/// ring conserves its slots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlkChaosConfig {
+    /// Where the pushdown executes (client / storage node / DPU).
+    pub placement: PushdownPlacement,
+    /// Pushdown requests issued, spread evenly over the workload window.
+    pub requests: u32,
+    /// Blocks scanned per request.
+    pub blocks: u32,
+}
+
+impl Default for BlkChaosConfig {
+    fn default() -> Self {
+        BlkChaosConfig {
+            placement: PushdownPlacement::StorageNode,
+            requests: 16,
+            blocks: 64,
+        }
+    }
 }
 
 /// The incast/microburst stress envelope: deterministic adversarial
@@ -170,6 +203,7 @@ impl ChaosConfig {
             cc: CcAlgo::Hpcc,
             ecn: false,
             incast: None,
+            blk: None,
         }
     }
 

@@ -49,7 +49,7 @@ mod runner;
 mod schedule;
 mod shrink;
 
-pub use config::{ChaosConfig, FaultWeights, IncastConfig};
+pub use config::{BlkChaosConfig, ChaosConfig, FaultWeights, IncastConfig};
 pub use oracle::Violation;
 pub use report::{repro_json, write_repro};
 pub use runner::{run_schedule, run_schedule_sharded, ChaosOutcome};

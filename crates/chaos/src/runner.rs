@@ -15,7 +15,11 @@ use ebs_dpu::{BitFlipInjector, CrcStage, PacketCtx, Pipeline, Stage};
 use ebs_net::{DeviceId, FailureMode};
 use ebs_sa::{IoKind, IoRequest, QosSpec};
 use ebs_sim::{rng, SimDuration, SimTime};
-use ebs_stack::{FioConfig, ShardedTestbed, ShardedTestbedConfig, Testbed, TestbedConfig, Variant};
+use ebs_stack::blk::{BlkReq, Predicate, StorageFn};
+use ebs_stack::{
+    BlkCounters, BlkMountConfig, FioConfig, ShardedTestbed, ShardedTestbedConfig, Testbed,
+    TestbedConfig, Variant,
+};
 use ebs_wire::{EbsHeader, EbsOp};
 use rand::Rng;
 
@@ -48,6 +52,9 @@ pub struct ChaosOutcome {
     pub corrupt_caught: u64,
     /// Invariant breaches (empty = the run certified recovery).
     pub violations: Vec<Violation>,
+    /// Blk-frontend counters at quiesce, when the schedule armed the
+    /// pushdown envelope (`None` otherwise, and under the fleet runner).
+    pub blk: Option<BlkCounters>,
     /// Canonical metrics snapshot (empty JSON object with obs off).
     pub metrics_json: String,
     /// Chrome trace of the run, captured only for violating runs with
@@ -67,9 +74,23 @@ impl ChaosOutcome {
     /// Canonical JSON rendering of the verdicts (replay-comparable).
     pub fn verdicts_json(&self) -> String {
         let mut s = format!(
-            "{{\"seed\":{},\"submitted\":{},\"completed\":{},\"corrupt_planted\":{},\"corrupt_caught\":{},\"violations\":[",
+            "{{\"seed\":{},\"submitted\":{},\"completed\":{},\"corrupt_planted\":{},\"corrupt_caught\":{},",
             self.seed, self.submitted, self.completed, self.corrupt_planted, self.corrupt_caught
         );
+        if let Some(b) = &self.blk {
+            s.push_str(&format!(
+                "\"blk\":{{\"accepted\":{},\"completed\":{},\"rejected\":{},\"parts_sent\":{},\"retransmits\":{},\"dup_responses\":{},\"crc_failures\":{},\"data_bytes\":{}}},",
+                b.accepted,
+                b.completed,
+                b.rejected,
+                b.parts_sent,
+                b.retransmits,
+                b.dup_responses,
+                b.crc_failures,
+                b.data_bytes
+            ));
+        }
+        s.push_str("\"violations\":[");
         for (i, v) in self.violations.iter().enumerate() {
             if i > 0 {
                 s.push(',');
@@ -142,6 +163,80 @@ fn inject_incast(tb: &mut Testbed, schedule: &Schedule, t0: SimTime) {
     }
 }
 
+/// Mount the pushdown-enabled blk frontend on compute 0 and spread the
+/// envelope's filtered range scans evenly across the workload window.
+/// Pure config transfer plus arithmetic — no RNG draw, so arming the
+/// envelope shifts no other randomness.
+fn inject_blk(tb: &mut Testbed, schedule: &Schedule, t0: SimTime) {
+    let Some(b) = &schedule.blk else {
+        return;
+    };
+    if schedule.n_compute == 0 {
+        return;
+    }
+    tb.blk_mount(0, BlkMountConfig::with_placement(b.placement))
+        .expect("the default feature set always negotiates");
+    // A mildly selective predicate (~1/16 of blocks pass) so remote
+    // placements return a small but non-empty payload per part.
+    let func = StorageFn::scan(Predicate {
+        offset: 0,
+        mask: 0x0F,
+        value: 0x07,
+    });
+    let start = t0 + SimDuration::from_millis(1);
+    let span_ns = schedule
+        .horizon
+        .as_nanos()
+        .saturating_sub(SimDuration::from_millis(1).as_nanos());
+    let n = b.requests.max(1);
+    let step = SimDuration::from_nanos(span_ns / u64::from(n));
+    // Stride the ranges across segments so consecutive requests land on
+    // different block servers (vd 0 interleaves its segment mapping) and
+    // some ranges straddle a segment boundary (multi-part responses).
+    let blocks = b.blocks.max(1);
+    let window = 8 * ebs_sa::SEGMENT_BLOCKS;
+    let stride = ebs_sa::SEGMENT_BLOCKS / 2 + u64::from(blocks);
+    for i in 0..n {
+        let first = (u64::from(i) * stride) % window;
+        tb.schedule_blk(
+            start + step * u64::from(i),
+            0,
+            (i % 2) as usize,
+            BlkReq::pushdown(0, first, blocks, func),
+        );
+    }
+}
+
+/// Blk-frontend oracles at quiesce: the descriptor ring conserved its
+/// slots (free + held + pending == capacity, nothing stuck in flight)
+/// and every accepted request completed — remote placements must have
+/// recovered from any loss via the RTO retransmit path. Returns the
+/// counters for the outcome when the envelope was armed.
+fn blk_oracles(
+    tb: &Testbed,
+    schedule: &Schedule,
+    violations: &mut Vec<Violation>,
+) -> Option<BlkCounters> {
+    schedule.blk.as_ref()?;
+    let c = tb.blk_counters();
+    conserve(
+        "blk accepted == blk completed",
+        c.accepted,
+        c.completed,
+        violations,
+    );
+    conserve(
+        "blk ring conservation errors",
+        0,
+        tb.blk_ring_errors().len() as u64,
+        violations,
+    );
+    let (free, cap, held) = tb.blk_ring_slots();
+    conserve("blk ring descriptors held at quiesce", 0, held, violations);
+    conserve("blk ring free == capacity", cap, free, violations);
+    Some(c)
+}
+
 fn resolve_device(tb: &Testbed, tier: DeviceTier, index: usize) -> Option<DeviceId> {
     let kind = match tier {
         DeviceTier::Tor => ebs_net::DeviceKind::Tor,
@@ -164,6 +259,7 @@ pub fn run_schedule(schedule: &Schedule) -> ChaosOutcome {
     let mut tb = Testbed::new(cfg);
     let t0 = SimTime::ZERO;
     inject_incast(&mut tb, schedule, t0);
+    inject_blk(&mut tb, schedule, t0);
 
     for compute in 0..schedule.n_compute {
         tb.attach_fio(
@@ -355,6 +451,8 @@ pub fn run_schedule(schedule: &Schedule) -> ChaosOutcome {
         }
     }
 
+    let blk = blk_oracles(&tb, schedule, &mut violations);
+
     tb.sample_obs();
     let metrics_json = ebs_obs::metrics_snapshot(tb.metrics());
     let (trace_json, diagnosis) = if !violations.is_empty() && ebs_obs::ENABLED {
@@ -373,6 +471,7 @@ pub fn run_schedule(schedule: &Schedule) -> ChaosOutcome {
         corrupt_planted,
         corrupt_caught,
         violations,
+        blk,
         metrics_json,
         trace_json,
         diagnosis,
@@ -402,7 +501,9 @@ fn locate(counts: &[usize], global: usize) -> (usize, usize) {
 /// compute/storage-indexed faults map their global index onto the
 /// owning shard's local slot, and fio attaches to every compute of
 /// every shard. Cross-shard replication stays off so the quiescence
-/// oracle keeps its meaning (no open-loop background traffic).
+/// oracle keeps its meaning (no open-loop background traffic). The blk
+/// pushdown envelope is a flat-runner feature — the fleet replay ignores
+/// it (outcome `blk` stays `None`).
 ///
 /// Deterministic for any `threads` value: the replay tests assert the
 /// verdicts and the fleet digest are byte-identical across thread
@@ -666,6 +767,7 @@ pub fn run_schedule_sharded(schedule: &Schedule, n_shards: u32, threads: usize) 
         corrupt_planted,
         corrupt_caught,
         violations,
+        blk: None,
         metrics_json,
         trace_json: None,
         diagnosis: None,

@@ -13,7 +13,7 @@ use ebs_sim::{rng, Bandwidth, SimDuration};
 use ebs_stack::Variant;
 use rand::Rng;
 
-use crate::config::{ChaosConfig, IncastConfig};
+use crate::config::{BlkChaosConfig, ChaosConfig, IncastConfig};
 
 /// Fabric tier a net-level fault lands on. Server devices are never
 /// targeted directly — the paper's Table 2 failure model is switch-level
@@ -219,6 +219,9 @@ pub struct Schedule {
     pub ecn: bool,
     /// Adversarial incast/microburst envelope, when armed.
     pub incast: Option<IncastConfig>,
+    /// Virtio-blk pushdown envelope, when armed (config-copied, never
+    /// sampled — existing seeds replay unchanged).
+    pub blk: Option<BlkChaosConfig>,
     /// The fault timeline, sorted by injection instant.
     pub faults: Vec<FaultEvent>,
 }
@@ -255,6 +258,7 @@ impl Schedule {
             cc: cfg.cc,
             ecn: cfg.ecn,
             incast: cfg.incast,
+            blk: cfg.blk,
             faults,
         }
     }
@@ -304,6 +308,15 @@ impl Schedule {
                 "\"incast\":{{\"duration_ns\":{},\"max_queue_bytes\":{}}},",
                 inc.duration.as_nanos(),
                 inc.max_queue_bytes
+            );
+        }
+        if let Some(b) = &self.blk {
+            let _ = write!(
+                s,
+                "\"blk\":{{\"placement\":\"{}\",\"requests\":{},\"blocks\":{}}},",
+                b.placement.label(),
+                b.requests,
+                b.blocks
             );
         }
         s.push_str("\"faults\":[");

@@ -64,6 +64,7 @@ fn planted() -> Schedule {
         cc: ebs_cc::CcAlgo::Hpcc,
         ecn: false,
         incast: None,
+        blk: None,
         faults,
     }
 }

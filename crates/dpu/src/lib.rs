@@ -11,7 +11,9 @@
 //!   software-side contends for;
 //! * [`BitFlipInjector`] / [`CorruptionCause`] — FPGA fault injection
 //!   behind Fig. 11;
-//! * [`resources`] — the LUT/BRAM estimator behind Table 3.
+//! * [`resources`] — the LUT/BRAM estimator behind Table 3;
+//! * [`PushdownStage`] — storage-function pushdown as a metered pipeline
+//!   stage (cycles + PCIe bytes saved), kept out of the Table 3 totals.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -19,6 +21,7 @@
 pub mod faults;
 pub mod pcie;
 pub mod pipeline;
+pub mod pushdown;
 pub mod resources;
 
 pub use faults::{BitFlipInjector, CorruptionCause};
@@ -26,6 +29,7 @@ pub use pcie::{DataPath, DpuPcie, PcieConfig, Traversals};
 pub use pipeline::{
     AddrStage, BlockStage, CrcStage, PacketCtx, Pipeline, QosStage, SecStage, Stage, StageVerdict,
 };
+pub use pushdown::{pushdown_estimate, PushdownCosts, PushdownStage};
 
 use ebs_sim::{FifoResource, SimDuration, SimTime};
 

@@ -149,6 +149,34 @@ fn obs_crate_is_bound_to_sans_io_and_determinism() {
 }
 
 #[test]
+fn blk_crate_is_bound_to_all_three_tiers() {
+    // The virtio-shaped frontend's rings and pushdown execution are pure
+    // data structures; PR 10 put crates/blk under sans-io, determinism
+    // AND panic discipline. A wall-clock call must fire the first two...
+    let src = fixture("obs_wall_clock.rs");
+    let diags = lint_file("crates/blk/src/fixture.rs", &src, &real_config());
+    let expected = vec![line_of(&src, "Instant::now()")];
+    assert_eq!(
+        lines_with_rule(&diags, Rule::SansIo),
+        expected,
+        "{diags:#?}"
+    );
+    assert_eq!(
+        lines_with_rule(&diags, Rule::Determinism),
+        expected,
+        "{diags:#?}"
+    );
+    // ...and a bare unwrap on the ring path must fire the third.
+    let src = fixture("panic_violations.rs");
+    let diags = lint_file("crates/blk/src/fixture.rs", &src, &real_config());
+    assert!(
+        lines_with_rule(&diags, Rule::PanicDiscipline)
+            .contains(&line_of(&src, "x.unwrap() // fires")),
+        "{diags:#?}"
+    );
+}
+
+#[test]
 fn cc_crate_is_bound_to_all_three_tiers() {
     // The congestion controllers are pure window state machines; PR 9
     // put crates/cc under sans-io, determinism AND panic discipline.

@@ -28,7 +28,7 @@ mod stage;
 
 pub use qos::{QosSpec, QosTable};
 pub use segment::{SegmentEntry, SegmentError, SegmentTable, SEGMENT_BLOCKS};
-pub use split::{split_io, IoKind, IoRequest, SplitError, SubIo};
+pub use split::{split_io, split_range, IoKind, IoRequest, SplitError, SubIo};
 pub use stage::{stage_sub_io, StagedBlock};
 
 /// The EBS block size in bytes (4 KiB, matching SSD sectors).

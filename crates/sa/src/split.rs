@@ -94,6 +94,34 @@ pub fn split_io(
     Ok(out)
 }
 
+/// Split a raw block range into per-segment sub-I/Os — the pushdown
+/// path's entry point, where the request arrives as `(first_block,
+/// count)` instead of a byte extent. Each [`SubIo`] becomes one pushdown
+/// part executed on its owning block server (or that server's DPU).
+pub fn split_range(
+    table: &SegmentTable,
+    vd_id: u64,
+    first_block: u64,
+    count: u32,
+) -> Result<Vec<SubIo>, SplitError> {
+    if count == 0 {
+        return Err(SplitError::Empty);
+    }
+    let mut out: Vec<SubIo> = Vec::with_capacity(1);
+    for b in first_block..first_block + count as u64 {
+        let entry = table.lookup(vd_id, b).map_err(SplitError::Segment)?;
+        match out.last_mut() {
+            Some(last) if last.segment_id == entry.segment_id => last.blocks.push(b),
+            _ => out.push(SubIo {
+                block_server: entry.block_server,
+                segment_id: entry.segment_id,
+                blocks: vec![b],
+            }),
+        }
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -196,6 +224,31 @@ mod tests {
         };
         assert!(matches!(
             split_io(&t, &req, BS),
+            Err(SplitError::Segment(SegmentError::OutOfRange))
+        ));
+    }
+
+    #[test]
+    fn split_range_matches_split_io_on_the_same_extent() {
+        let t = table();
+        let req = IoRequest {
+            vd_id: 1,
+            kind: IoKind::Read,
+            offset: (SEGMENT_BLOCKS - 2) * BS as u64,
+            len: 6 * BS,
+        };
+        let via_io = split_io(&t, &req, BS).unwrap();
+        let via_range = split_range(&t, 1, SEGMENT_BLOCKS - 2, 6).unwrap();
+        assert_eq!(via_io, via_range);
+        assert_eq!(via_range.len(), 2);
+    }
+
+    #[test]
+    fn split_range_rejects_empty_and_out_of_range() {
+        let t = table();
+        assert_eq!(split_range(&t, 1, 0, 0), Err(SplitError::Empty));
+        assert!(matches!(
+            split_range(&t, 1, 4 * SEGMENT_BLOCKS, 1),
             Err(SplitError::Segment(SegmentError::OutOfRange))
         ));
     }

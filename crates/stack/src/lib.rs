@@ -23,8 +23,9 @@ pub use diag::{HopSpan, IoExplanation};
 pub use sharded::{
     ReplicationConfig, ShardStats, ShardedTestbed, ShardedTestbedConfig, WorkerStats,
 };
+pub use testbed::blk::{BlkCounters, BlkMountConfig, BlkTrace, PushdownMsg};
 pub use testbed::{
-    Event, FioConfig, Msg, PhaseCycles, RemoteMsg, Reply, Testbed, TestbedConfig, Variant,
+    blk, Event, FioConfig, Msg, PhaseCycles, RemoteMsg, Reply, Testbed, TestbedConfig, Variant,
 };
 pub use trace::{Breakdown, IoTrace};
 

@@ -34,6 +34,8 @@ use crate::calibrate::{RdmaCosts, SaCosts, SolarCosts};
 use crate::diag::IoExplanation;
 use crate::trace::IoTrace;
 
+pub mod blk;
+
 /// The five FN data-path variants of the paper.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Variant {
@@ -110,6 +112,10 @@ pub enum Msg {
     /// the shard gateway; between shards the sharded executor carries it
     /// through deterministic mailboxes.
     Remote(RemoteMsg),
+    /// Storage-function pushdown frame (request or response; a header
+    /// flag disambiguates) between a block-frontend mount and a block
+    /// server.
+    Pushdown(blk::PushdownMsg),
 }
 
 /// A cross-shard storage-to-storage replication RPC. Plain data (`Copy`,
@@ -381,6 +387,9 @@ pub enum Reply {
     /// Cross-shard replication response, ready to head back to the
     /// issuing shard through the gateway.
     Remote(RemoteMsg),
+    /// Pushdown response, ready to head back to the issuing compute
+    /// server with its result blocks.
+    Pushdown(blk::PushdownMsg),
 }
 
 /// World events.
@@ -480,6 +489,37 @@ pub enum Event {
         /// Storage server index.
         storage: usize,
     },
+    /// A guest submits a request on a block-frontend ring.
+    BlkGuest {
+        /// Compute server index.
+        compute: usize,
+        /// Queue index within the mount.
+        queue: usize,
+        /// The ring request.
+        req: blk::BlkReq,
+    },
+    /// A locally-served block-frontend request (flush/discard) finished.
+    BlkLocalDone {
+        /// Compute server index.
+        compute: usize,
+        /// Queue index within the mount.
+        queue: usize,
+        /// Ring descriptor to complete.
+        desc: u16,
+        /// Completion status.
+        status: u8,
+        /// Completion byte count.
+        len: u32,
+        /// Index into the blk trace stream.
+        trace_idx: usize,
+    },
+    /// Pushdown retransmit timer for one in-flight request id.
+    BlkRetx {
+        /// Issuing compute server index.
+        compute: usize,
+        /// Pushdown request id.
+        req_id: u64,
+    },
 }
 
 /// Wall-clock nanoseconds spent per simulation phase, collected when
@@ -554,6 +594,14 @@ pub struct Testbed {
     out_compute: Vec<(FlowLabel, usize, Option<IntStack>, Msg)>,
     out_storage: Vec<(FlowLabel, usize, Msg)>,
     done_rpcs: Vec<(u64, SimTime)>,
+    /// Block-frontend state, boxed and absent until the first
+    /// [`Testbed::blk_mount`]; runs that never mount keep digests
+    /// byte-identical with historical baselines.
+    blk: Option<Box<blk::BlkState>>,
+    /// Total bytes handed to the fabric (every transport, both
+    /// directions) — the bytes-moved metric the pushdown placement
+    /// bench compares.
+    fabric_bytes: u64,
 }
 
 impl Testbed {
@@ -691,6 +739,8 @@ impl Testbed {
             out_compute: Vec::with_capacity(16),
             out_storage: Vec::with_capacity(16),
             done_rpcs: Vec::with_capacity(16),
+            blk: None,
+            fabric_bytes: 0,
         }
     }
 
@@ -1305,6 +1355,7 @@ impl Testbed {
             self.journal.dropped(),
             jh.finish()
         );
+        self.blk_digest(&mut s);
         s
     }
 
@@ -1321,7 +1372,9 @@ impl Testbed {
                 compute,
                 io,
                 from_fio,
-            } => self.guest_io(now, compute, io, from_fio),
+            } => {
+                self.guest_io(now, compute, io, from_fio);
+            }
             Event::SaDone { compute, io_id } => self.sa_done(now, compute, io_id),
             Event::StorageDone { storage, reply } => self.storage_done(now, storage, *reply),
             Event::ComputeTimer { compute } => {
@@ -1365,6 +1418,20 @@ impl Testbed {
             }
             Event::ProbeTick { compute } => self.probe_tick(now, compute),
             Event::ReplTick { storage } => self.repl_tick(now, storage),
+            Event::BlkGuest {
+                compute,
+                queue,
+                req,
+            } => self.blk_guest(now, compute, queue, req),
+            Event::BlkLocalDone {
+                compute,
+                queue,
+                desc,
+                status,
+                len,
+                trace_idx,
+            } => self.blk_local_done(now, compute, queue, desc, status, len, trace_idx),
+            Event::BlkRetx { compute, req_id } => self.blk_retx(now, compute, req_id),
         }
     }
 
@@ -1459,7 +1526,7 @@ impl Testbed {
 
     // --- guest I/O entry -------------------------------------------------
 
-    fn guest_io(&mut self, now: SimTime, compute: usize, io: IoRequest, from_fio: bool) {
+    fn guest_io(&mut self, now: SimTime, compute: usize, io: IoRequest, from_fio: bool) -> u64 {
         let c = &mut self.computes[compute];
         let io_id = c.next_io_id;
         c.next_io_id += 1;
@@ -1556,6 +1623,7 @@ impl Testbed {
             },
         );
         self.q.schedule_at(ready, Event::SaDone { compute, io_id });
+        io_id
     }
 
     // --- transport submit ------------------------------------------------
@@ -1876,6 +1944,7 @@ impl Testbed {
                     );
                 }
             }
+            Msg::Pushdown(m) => self.blk_pushdown_storage(now, storage, m),
         }
     }
 
@@ -2021,6 +2090,7 @@ impl Testbed {
                     self.send_fabric(now, flow, 128, None, Msg::Remote(m));
                 }
             }
+            Reply::Pushdown(m) => self.blk_pushdown_reply(now, storage, m),
         }
     }
 
@@ -2092,6 +2162,7 @@ impl Testbed {
             }
             // Replication traffic never targets compute servers.
             Msg::Remote(_) => {}
+            Msg::Pushdown(m) => self.blk_pushdown_compute(now, compute, m),
         }
     }
 
@@ -2294,6 +2365,9 @@ impl Testbed {
                     );
                 }
             }
+            // If the block frontend issued this I/O, complete its ring
+            // descriptor too.
+            self.blk_on_guest_io_done(compute, io_id, p.done_at);
         }
     }
 
@@ -2529,6 +2603,7 @@ impl Testbed {
         int: Option<IntStack>,
         msg: Msg,
     ) {
+        self.fabric_bytes += size as u64;
         let Testbed { q, fabric, .. } = self;
         let mut sched = MapScheduler::new(q, Event::Net);
         let delivered = fabric.send(now, FabricPacket::new(flow, size, int, msg), &mut sched);

@@ -11,11 +11,15 @@
 //!   HPCC-style congestion control;
 //! * [`RpcFrame`] / [`FrameDecoder`] — LUNA's length-prefixed RPC framing
 //!   over a TCP byte stream, including the incremental reassembly that
-//!   SOLAR's design makes unnecessary.
+//!   SOLAR's design makes unnecessary;
+//! * [`BlkDesc`] / [`BlkReqHdr`] / [`BlkUsedElem`] / [`PushdownHdr`] — the
+//!   virtio-blk-shaped guest frontend's ring structures and the
+//!   storage-function pushdown frame (see `docs/PROTOCOL.md`).
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod blk;
 mod ebs;
 mod int;
 mod ip;
@@ -23,6 +27,12 @@ pub mod pool;
 mod rpc;
 pub mod slab;
 
+pub use blk::{
+    BlkDesc, BlkReqHdr, BlkReqType, BlkUsedElem, PushdownHdr, PushdownOp, PushdownPlacement,
+    BLK_F_DISCARD, BLK_F_FLUSH, BLK_F_MQ, BLK_F_PUSHDOWN, BLK_F_PUSHDOWN_DPU, BLK_F_SEG_MAX,
+    BLK_KNOWN_FEATURES, BLK_S_BADCRC, BLK_S_IOERR, BLK_S_OK, BLK_S_UNSUPP, DESC_F_DEV_WRITE,
+    PD_FLAG_RESPONSE, PD_FLAG_RETRANSMIT,
+};
 pub use ebs::{EbsHeader, EbsOp, FLAG_ECN_ECHO, FLAG_ENCRYPTED, FLAG_INT_REQUEST, FLAG_RETRANSMIT};
 pub use int::{IntHop, IntStack, MAX_INT_HOPS};
 pub use ip::{internet_checksum, Ipv4Header, TcpFlags, TcpHeader, UdpHeader, WireError};

@@ -14,7 +14,9 @@
 //! Everything they stand on is here too: the discrete-event kernel
 //! ([`sim`]), the Clos fabric with failure injection ([`net`]), wire
 //! formats ([`wire`]), CRC and the segment-aggregation integrity check
-//! ([`crc`]), the SEC cipher ([`crypto`]), the storage agent ([`sa`]),
+//! ([`crc`]), the SEC cipher ([`crypto`]), the virtio-blk-shaped guest
+//! frontend with storage-function pushdown ([`blk`] — `docs/PROTOCOL.md`
+//! §§1–7, DESIGN.md §11), the storage agent ([`sa`]),
 //! the ALI-DPU model with its P4-style pipeline ([`dpu`]), the storage
 //! cluster ([`storage`]), RDMA baselines ([`rdma`]), workload generators
 //! ([`workload`]), the composed end-to-end testbed ([`stack`]), the
@@ -50,6 +52,7 @@
 #![warn(missing_docs)]
 
 pub use ebs_bench as bench;
+pub use ebs_blk as blk;
 pub use ebs_chaos as chaos;
 pub use ebs_crc as crc;
 pub use ebs_crypto as crypto;
